@@ -1,0 +1,63 @@
+//! End-to-end deployment benchmarks at test scale: wall-clock cost of the
+//! three approaches over the same stream — the real-time counterpart of the
+//! accounted-cost comparison in Figure 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cdp_core::deployment::{run_deployment, DeploymentConfig};
+use cdp_core::presets::{taxi_spec, url_spec, SpecScale};
+use cdp_sampling::SamplingStrategy;
+
+fn bench_url_modes(c: &mut Criterion) {
+    let (stream, spec) = url_spec(SpecScale::Tiny);
+    let configs = [
+        ("online", DeploymentConfig::online()),
+        (
+            "periodical",
+            DeploymentConfig::periodical(spec.retrain_every),
+        ),
+        (
+            "continuous",
+            DeploymentConfig::continuous(
+                spec.proactive_every,
+                spec.sample_chunks,
+                SamplingStrategy::TimeBased,
+            ),
+        ),
+    ];
+    let mut group = c.benchmark_group("deployment/url_tiny");
+    group.sample_size(10);
+    for (name, config) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| black_box(run_deployment(&stream, &spec, config)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_taxi_modes(c: &mut Criterion) {
+    let (stream, spec) = taxi_spec(SpecScale::Tiny);
+    let configs = [
+        ("online", DeploymentConfig::online()),
+        (
+            "continuous",
+            DeploymentConfig::continuous(
+                spec.proactive_every,
+                spec.sample_chunks,
+                SamplingStrategy::Uniform,
+            ),
+        ),
+    ];
+    let mut group = c.benchmark_group("deployment/taxi_tiny");
+    group.sample_size(10);
+    for (name, config) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| black_box(run_deployment(&stream, &spec, config)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_url_modes, bench_taxi_modes);
+criterion_main!(benches);

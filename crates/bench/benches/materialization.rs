@@ -1,0 +1,137 @@
+//! Storage-layer benchmarks: the chunk store's put/evict/lookup path and
+//! the disk tier's encode/decode — the mechanics behind dynamic
+//! materialization (paper §3.2) and the I/O costs it avoids.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use cdp_linalg::{SparseBuilder, Vector};
+use cdp_storage::disk::{decode_chunk, encode_chunk};
+use cdp_storage::{
+    ChunkStore, FeatureChunk, LabeledPoint, RawChunk, Record, StorageBudget, Timestamp, Value,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn feature_chunk(ts: u64, rows: usize, dim: usize, nnz: usize) -> FeatureChunk {
+    let mut rng = StdRng::seed_from_u64(ts);
+    let points = (0..rows)
+        .map(|_| {
+            let mut b = SparseBuilder::with_capacity(nnz);
+            for _ in 0..nnz {
+                b.add(rng.random_range(0..dim), 1.0);
+            }
+            LabeledPoint::new(1.0, Vector::Sparse(b.build(dim).expect("in range")))
+        })
+        .collect();
+    FeatureChunk::new(Timestamp(ts), Timestamp(ts), points)
+}
+
+fn raw_chunk(ts: u64) -> RawChunk {
+    RawChunk::new(
+        Timestamp(ts),
+        vec![Record::new(vec![Value::Num(ts as f64)])],
+    )
+}
+
+fn bench_store_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store/ingest_with_eviction");
+    for &budget in &[64usize, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, &m| {
+            b.iter(|| {
+                let mut store = ChunkStore::new(StorageBudget::MaxChunks(m));
+                for t in 0..2048u64 {
+                    store.put_raw(raw_chunk(t)).expect("unique ts");
+                    store
+                        .put_feature(feature_chunk(t, 8, 1 << 12, 10))
+                        .expect("raw present");
+                }
+                black_box(store.materialized_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_store_lookup(c: &mut Criterion) {
+    let mut store = ChunkStore::new(StorageBudget::MaxChunks(512));
+    for t in 0..1024u64 {
+        store.put_raw(raw_chunk(t)).expect("unique ts");
+        store
+            .put_feature(feature_chunk(t, 8, 1 << 12, 10))
+            .expect("raw present");
+    }
+    let mut group = c.benchmark_group("store/lookup");
+    group.bench_function("hit(materialized)", |b| {
+        b.iter(|| black_box(store.lookup_feature(Timestamp(1000))));
+    });
+    group.bench_function("miss(evicted)", |b| {
+        b.iter(|| black_box(store.lookup_feature(Timestamp(3))));
+    });
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disk/codec");
+    for &rows in &[32usize, 256] {
+        let chunk = feature_chunk(1, rows, 1 << 16, 30);
+        let encoded = encode_chunk(&chunk);
+        group.throughput(Throughput::Bytes(encoded.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", rows), &chunk, |b, chunk| {
+            b.iter(|| black_box(encode_chunk(chunk)));
+        });
+        group.bench_with_input(BenchmarkId::new("decode", rows), &encoded, |b, encoded| {
+            b.iter(|| black_box(decode_chunk(encoded).expect("valid")));
+        });
+    }
+    group.finish();
+}
+
+/// Spill-vs-recompute: serving an evicted chunk from the disk tier versus
+/// re-materializing it through the URL pipeline (the paper's strategy).
+/// Which side wins depends on pipeline cost per row vs device bandwidth —
+/// exactly the trade-off `TieredStore` exposes.
+fn bench_spill_vs_recompute(c: &mut Criterion) {
+    use cdp_core::presets::{url_spec, SpecScale};
+    use cdp_datagen::ChunkStream;
+    use cdp_storage::{StorageBudget, TieredLookup, TieredStore};
+
+    let (stream, spec) = url_spec(SpecScale::Tiny);
+    let mut pipeline = spec.build_pipeline();
+    let raw0 = stream.chunk(0);
+    let fc0 = pipeline.fit_transform_chunk(&raw0);
+
+    let dir = std::env::temp_dir().join(format!("cdp-bench-tiered-{}", std::process::id()));
+    let mut tiered =
+        TieredStore::open(StorageBudget::MaxChunks(1), &dir).expect("temp dir is writable");
+    tiered.put_raw(raw0.clone()).expect("unique ts");
+    tiered.put_feature(fc0).expect("raw present");
+    // Insert a second chunk to evict (and spill) chunk 0.
+    let raw1 = stream.chunk(1);
+    let fc1 = pipeline.fit_transform_chunk(&raw1);
+    tiered.put_raw(raw1).expect("unique ts");
+    tiered.put_feature(fc1).expect("raw present");
+
+    let mut group = c.benchmark_group("store/spill_vs_recompute");
+    group.bench_function("disk_read(spilled)", |b| {
+        b.iter(|| {
+            let looked = tiered.lookup(Timestamp(0)).expect("disk tier healthy");
+            assert!(matches!(looked, TieredLookup::Disk(_)));
+            black_box(looked)
+        });
+    });
+    group.bench_function("pipeline_recompute", |b| {
+        b.iter(|| black_box(pipeline.transform_chunk(&raw0)));
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(
+    benches,
+    bench_store_ingest,
+    bench_store_lookup,
+    bench_codec,
+    bench_spill_vs_recompute
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! μ-analysis benchmarks: the closed forms (Eqs. 4/5 + the time-based
+//! extension) against the full arrival simulation, at the paper's
+//! N = 12 000.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cdp_sampling::{empirical_mu, mu_time_based, mu_uniform, mu_window, SamplingStrategy};
+
+const N: usize = 12_000;
+
+fn bench_closed_forms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mu/closed_form");
+    group.bench_function("uniform(eq4)", |b| {
+        b.iter(|| black_box(mu_uniform(black_box(7_200), N)));
+    });
+    group.bench_function("window(eq5)", |b| {
+        b.iter(|| black_box(mu_window(black_box(2_400), 6_000, N)));
+    });
+    group.bench_function("time_based(extension)", |b| {
+        b.iter(|| black_box(mu_time_based(black_box(7_200), N)));
+    });
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    // The empirical simulation at reduced N per iteration (full N takes
+    // seconds for the weighted strategy — sampled here at N/10).
+    let mut group = c.benchmark_group("mu/simulation");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("uniform", SamplingStrategy::Uniform),
+        ("time", SamplingStrategy::TimeBased),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, &s| {
+            b.iter(|| black_box(empirical_mu(s, 240, 1_200, 20, 3)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_closed_forms, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Pipeline-path benchmarks: the online path (`update` + `transform`, the
+//! online-statistics-computation cost) against the transform-only path
+//! (re-materialization and query answering) for both evaluation pipelines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use cdp_core::presets::{taxi_spec, url_spec, SpecScale};
+use cdp_datagen::ChunkStream;
+
+fn bench_url_paths(c: &mut Criterion) {
+    let (stream, spec) = url_spec(SpecScale::Tiny);
+    let chunk = stream.chunk(0);
+    let mut group = c.benchmark_group("pipeline/url");
+    group.throughput(Throughput::Elements(chunk.len() as u64));
+
+    group.bench_function("fit_transform(online path)", |b| {
+        let mut pipeline = spec.build_pipeline();
+        b.iter(|| black_box(pipeline.fit_transform_chunk(&chunk)));
+    });
+    group.bench_function("transform_only(rematerialize)", |b| {
+        let mut pipeline = spec.build_pipeline();
+        pipeline.fit_transform_chunk(&chunk); // settle statistics
+        b.iter(|| black_box(pipeline.transform_chunk(&chunk)));
+    });
+    group.bench_function("query(single record)", |b| {
+        let mut pipeline = spec.build_pipeline();
+        pipeline.fit_transform_chunk(&chunk);
+        let record = &chunk.records[0];
+        b.iter(|| black_box(pipeline.transform_query(record)));
+    });
+    group.finish();
+}
+
+fn bench_taxi_paths(c: &mut Criterion) {
+    let (stream, spec) = taxi_spec(SpecScale::Tiny);
+    let chunk = stream.chunk(0);
+    let mut group = c.benchmark_group("pipeline/taxi");
+    group.throughput(Throughput::Elements(chunk.len() as u64));
+
+    group.bench_function("fit_transform(online path)", |b| {
+        let mut pipeline = spec.build_pipeline();
+        b.iter(|| black_box(pipeline.fit_transform_chunk(&chunk)));
+    });
+    group.bench_function("transform_only(rematerialize)", |b| {
+        let mut pipeline = spec.build_pipeline();
+        pipeline.fit_transform_chunk(&chunk);
+        b.iter(|| black_box(pipeline.transform_chunk(&chunk)));
+    });
+    group.finish();
+}
+
+fn bench_chunk_generation(c: &mut Criterion) {
+    // Generator throughput bounds how fast experiments can stream.
+    let (url, _) = url_spec(SpecScale::Tiny);
+    let (taxi, _) = taxi_spec(SpecScale::Tiny);
+    let mut group = c.benchmark_group("datagen");
+    group.bench_function(BenchmarkId::new("url", "chunk"), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % url.total_chunks();
+            black_box(url.chunk(i))
+        });
+    });
+    group.bench_function(BenchmarkId::new("taxi", "chunk"), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % taxi.total_chunks();
+            black_box(taxi.chunk(i))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_url_paths,
+    bench_taxi_paths,
+    bench_chunk_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Sampler benchmarks: cost of one sampling operation per strategy and
+//! history size (the data manager's stage-3 work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cdp_sampling::{Sampler, SamplingStrategy};
+use cdp_storage::Timestamp;
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling/one_operation");
+    for &n in &[1_000usize, 12_000, 100_000] {
+        let pool: Vec<Timestamp> = (0..n as u64).map(Timestamp).collect();
+        let strategies = [
+            ("uniform", SamplingStrategy::Uniform),
+            ("window", SamplingStrategy::WindowBased { window: n / 2 }),
+            ("time", SamplingStrategy::TimeBased),
+        ];
+        for (name, strategy) in strategies {
+            group.bench_with_input(BenchmarkId::new(name, n), &pool, |b, pool| {
+                let mut sampler = Sampler::new(strategy, 3);
+                b.iter(|| black_box(sampler.sample(pool, 100)));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_sample_sizes(c: &mut Criterion) {
+    let pool: Vec<Timestamp> = (0..12_000u64).map(Timestamp).collect();
+    let mut group = c.benchmark_group("sampling/sample_size");
+    for &s in &[10usize, 100, 720] {
+        group.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, &s| {
+            let mut sampler = Sampler::new(SamplingStrategy::TimeBased, 5);
+            b.iter(|| black_box(sampler.sample(&pool, s)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_sample_sizes);
+criterion_main!(benches);

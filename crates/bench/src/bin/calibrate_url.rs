@@ -1,0 +1,62 @@
+//! Calibration sweep for the synthetic URL stream: how the drift speed
+//! moves the Figure-4 approach ordering and the Figure-6 sampling-strategy
+//! gap. A maintenance tool for tuning `UrlConfig::repo_scale` — not one of
+//! the paper's artifacts.
+
+use cdp_core::deployment::{run_deployment, DeploymentConfig};
+use cdp_core::presets::{url_spec_from, SpecScale};
+use cdp_core::report::{fmt_f, Table};
+use cdp_datagen::url::UrlConfig;
+use cdp_sampling::SamplingStrategy;
+
+fn main() {
+    let mut table = Table::new([
+        "drift/day",
+        "online",
+        "periodical",
+        "continuous(time)",
+        "cont(uniform)",
+        "fig6 gap",
+    ]);
+    for drift in [0.006, 0.012, 0.02, 0.03] {
+        let config = UrlConfig {
+            drift_per_day: drift,
+            ..UrlConfig::repo_scale()
+        };
+        let (stream, spec) = url_spec_from(config, 18, SpecScale::Repo);
+        let online = run_deployment(&stream, &spec, &DeploymentConfig::online());
+        let periodical = run_deployment(
+            &stream,
+            &spec,
+            &DeploymentConfig::periodical(spec.retrain_every),
+        );
+        let time = run_deployment(
+            &stream,
+            &spec,
+            &DeploymentConfig::continuous(
+                spec.proactive_every,
+                spec.sample_chunks,
+                SamplingStrategy::TimeBased,
+            ),
+        );
+        let uniform = run_deployment(
+            &stream,
+            &spec,
+            &DeploymentConfig::continuous(
+                spec.proactive_every,
+                spec.sample_chunks,
+                SamplingStrategy::Uniform,
+            ),
+        );
+        table.row([
+            format!("{drift}"),
+            fmt_f(online.average_error, 4),
+            fmt_f(periodical.average_error, 4),
+            fmt_f(time.average_error, 4),
+            fmt_f(uniform.average_error, 4),
+            fmt_f(uniform.average_error - time.average_error, 4),
+        ]);
+        eprintln!("drift {drift} done");
+    }
+    println!("{}", table.render());
+}

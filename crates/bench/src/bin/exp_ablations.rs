@@ -1,0 +1,8 @@
+//! Runs the design-choice ablations (warm start, scheduler slack, proactive
+//! interval, sample size). See `cdp-bench` docs for flags.
+
+fn main() {
+    cdp_bench::run_binary("exp_ablations", |scale, out| {
+        cdp_bench::experiments::ablations::run(scale, out)
+    });
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 2 of the paper. See `cdp-bench` docs for flags.
+
+fn main() {
+    cdp_bench::run_binary("exp_datasets", |scale, out| {
+        cdp_bench::experiments::datasets::run(scale, out)
+    });
+}

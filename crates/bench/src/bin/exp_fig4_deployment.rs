@@ -1,0 +1,7 @@
+//! Regenerates Figure 4 of the paper. See `cdp-bench` docs for flags.
+
+fn main() {
+    cdp_bench::run_binary("exp_fig4_deployment", |scale, out| {
+        cdp_bench::experiments::fig4::run(scale, out)
+    });
+}

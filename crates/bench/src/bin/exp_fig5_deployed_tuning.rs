@@ -1,0 +1,7 @@
+//! Regenerates Figure 5 of the paper. See `cdp-bench` docs for flags.
+
+fn main() {
+    cdp_bench::run_binary("exp_fig5_deployed_tuning", |scale, out| {
+        cdp_bench::experiments::fig5::run(scale, out)
+    });
+}

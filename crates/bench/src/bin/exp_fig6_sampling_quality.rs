@@ -1,0 +1,7 @@
+//! Regenerates Figure 6 of the paper. See `cdp-bench` docs for flags.
+
+fn main() {
+    cdp_bench::run_binary("exp_fig6_sampling_quality", |scale, out| {
+        cdp_bench::experiments::fig6::run(scale, out)
+    });
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 7 of the paper. See `cdp-bench` docs for flags.
+
+fn main() {
+    cdp_bench::run_binary("exp_fig7_materialization_cost", |scale, out| {
+        cdp_bench::experiments::fig7::run(scale, out)
+    });
+}

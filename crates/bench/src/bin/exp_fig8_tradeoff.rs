@@ -1,0 +1,7 @@
+//! Regenerates Figure 8 of the paper. See `cdp-bench` docs for flags.
+
+fn main() {
+    cdp_bench::run_binary("exp_fig8_tradeoff", |scale, out| {
+        cdp_bench::experiments::fig8::run(scale, out)
+    });
+}

@@ -1,0 +1,7 @@
+//! Regenerates the §5.5 staleness discussion as a measured table.
+
+fn main() {
+    cdp_bench::run_binary("exp_staleness", |scale, out| {
+        cdp_bench::experiments::staleness::run(scale, out)
+    });
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 3 of the paper. See `cdp-bench` docs for flags.
+
+fn main() {
+    cdp_bench::run_binary("exp_table3_tuning", |scale, out| {
+        cdp_bench::experiments::table3::run(scale, out)
+    });
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 4 of the paper. See `cdp-bench` docs for flags.
+
+fn main() {
+    cdp_bench::run_binary("exp_table4_mu", |scale, out| {
+        cdp_bench::experiments::table4::run(scale, out)
+    });
+}

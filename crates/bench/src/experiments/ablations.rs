@@ -1,0 +1,197 @@
+//! Ablations beyond the paper's figures: each design choice DESIGN.md
+//! calls out, isolated.
+//!
+//! 1. **Warm starting** for the periodical baseline (the paper adopts it
+//!    from TFX but never measures it): warm vs cold retraining.
+//! 2. **Scheduler slack** (Eq. 6): how the dynamic scheduler's `S` trades
+//!    proactive-training frequency against cost and quality.
+//! 3. **Proactive interval**: static-scheduling sweep over the training
+//!    interval.
+//! 4. **Sample size**: chunks per proactive-training instance.
+
+use std::path::Path;
+
+use cdp_core::deployment::{run_deployment, DeploymentConfig, DeploymentMode};
+use cdp_core::presets::{url_spec, SpecScale};
+use cdp_core::report::{fmt_f, fmt_secs, Table};
+use cdp_core::scheduler::Scheduler;
+use cdp_sampling::SamplingStrategy;
+
+fn warm_start_ablation(scale: SpecScale, out_dir: &Path) -> String {
+    let (stream, spec) = url_spec(scale);
+    let mut table = Table::new(["retraining", "error", "preprocessing", "training", "total"]);
+    for (name, warm) in [("warm (TFX-style)", true), ("cold restart", false)] {
+        let mut config = DeploymentConfig::periodical(spec.retrain_every);
+        config.mode = DeploymentMode::Periodical {
+            retrain_every: spec.retrain_every,
+            warm_start: warm,
+        };
+        let r = run_deployment(&stream, &spec, &config);
+        table.row([
+            name.to_owned(),
+            fmt_f(r.final_error, 4),
+            fmt_secs(r.preprocessing_secs),
+            fmt_secs(r.training_secs),
+            fmt_secs(r.total_secs),
+        ]);
+    }
+    let _ = table.write_csv(out_dir.join("ablation_warm_start.csv"));
+    format!(
+        "Ablation 1: periodical retraining, warm vs cold\n\n{}",
+        table.render()
+    )
+}
+
+fn slack_ablation(scale: SpecScale, out_dir: &Path) -> String {
+    let (stream, spec) = url_spec(scale);
+    let mut table = Table::new(["slack S", "proactive runs", "error", "total cost"]);
+    for slack in [1.0, 2.0, 8.0, 64.0] {
+        let mut config = DeploymentConfig::online();
+        config.mode = DeploymentMode::Continuous {
+            scheduler: Scheduler::Dynamic { slack },
+            sample_chunks: spec.sample_chunks,
+            strategy: SamplingStrategy::TimeBased,
+        };
+        // Make the accounted training time comparable to the chunk period
+        // so Eq. 6 has a regime to work in.
+        config.chunk_period_secs = 1e-3;
+        let r = run_deployment(&stream, &spec, &config);
+        table.row([
+            format!("{slack:.0}"),
+            r.proactive_runs.to_string(),
+            fmt_f(r.final_error, 4),
+            fmt_secs(r.total_secs),
+        ]);
+    }
+    let _ = table.write_csv(out_dir.join("ablation_slack.csv"));
+    format!(
+        "Ablation 2: dynamic scheduler slack (Eq. 6) — larger S ⇒ fewer trainings\n\n{}",
+        table.render()
+    )
+}
+
+fn interval_ablation(scale: SpecScale, out_dir: &Path) -> String {
+    let (stream, spec) = url_spec(scale);
+    let mut table = Table::new(["interval (chunks)", "proactive runs", "error", "total cost"]);
+    for every in [1usize, 2, 5, 10, 20] {
+        let config =
+            DeploymentConfig::continuous(every, spec.sample_chunks, SamplingStrategy::TimeBased);
+        let r = run_deployment(&stream, &spec, &config);
+        table.row([
+            every.to_string(),
+            r.proactive_runs.to_string(),
+            fmt_f(r.final_error, 4),
+            fmt_secs(r.total_secs),
+        ]);
+    }
+    let _ = table.write_csv(out_dir.join("ablation_interval.csv"));
+    format!(
+        "Ablation 3: static proactive-training interval\n\n{}",
+        table.render()
+    )
+}
+
+fn sample_size_ablation(scale: SpecScale, out_dir: &Path) -> String {
+    let (stream, spec) = url_spec(scale);
+    let mut table = Table::new([
+        "sample (chunks)",
+        "error",
+        "avg proactive time",
+        "total cost",
+    ]);
+    for chunks in [1usize, 4, 10, 25] {
+        let config =
+            DeploymentConfig::continuous(spec.proactive_every, chunks, SamplingStrategy::TimeBased);
+        let r = run_deployment(&stream, &spec, &config);
+        table.row([
+            chunks.to_string(),
+            fmt_f(r.final_error, 4),
+            fmt_secs(r.avg_proactive_secs),
+            fmt_secs(r.total_secs),
+        ]);
+    }
+    let _ = table.write_csv(out_dir.join("ablation_sample_size.csv"));
+    format!(
+        "Ablation 4: proactive-training sample size (the SGD sample-size \
+         hyperparameter, §2.1)\n\n{}",
+        table.render()
+    )
+}
+
+fn drift_scheduler_ablation(scale: SpecScale, out_dir: &Path) -> String {
+    let (stream, spec) = url_spec(scale);
+    let mut table = Table::new(["scheduler", "proactive runs", "error", "total cost"]);
+    let schedulers = [
+        ("static(5)", Scheduler::Static { every_chunks: 5 }),
+        (
+            "drift-adaptive(5)",
+            Scheduler::DriftAdaptive { every_chunks: 5 },
+        ),
+        (
+            "drift-adaptive(10)",
+            Scheduler::DriftAdaptive { every_chunks: 10 },
+        ),
+    ];
+    for (name, scheduler) in schedulers {
+        let mut config = DeploymentConfig::online();
+        config.mode = DeploymentMode::Continuous {
+            scheduler,
+            sample_chunks: spec.sample_chunks,
+            strategy: SamplingStrategy::TimeBased,
+        };
+        let r = run_deployment(&stream, &spec, &config);
+        table.row([
+            name.to_owned(),
+            r.proactive_runs.to_string(),
+            fmt_f(r.final_error, 4),
+            fmt_secs(r.total_secs),
+        ]);
+    }
+    let _ = table.write_csv(out_dir.join("ablation_drift_scheduler.csv"));
+    format!(
+        "Ablation 5: drift-adaptive scheduling (paper §7 future work) — the \
+         error monitor tightens the training interval under drift\n\n{}",
+        table.render()
+    )
+}
+
+/// Runs all five ablations on the URL pipeline.
+pub fn run(scale: SpecScale, out_dir: &Path) -> String {
+    [
+        warm_start_ablation(scale, out_dir),
+        slack_ablation(scale, out_dir),
+        interval_ablation(scale, out_dir),
+        sample_size_ablation(scale, out_dir),
+        drift_scheduler_ablation(scale, out_dir),
+    ]
+    .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ablations_render() {
+        let dir = std::env::temp_dir().join(format!("cdp-abl-{}", std::process::id()));
+        let report = run(SpecScale::Tiny, &dir);
+        assert!(report.contains("warm vs cold"));
+        assert!(report.contains("slack"));
+        assert!(report.contains("interval"));
+        assert!(report.contains("sample size"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn more_frequent_training_costs_more() {
+        let (stream, spec) = url_spec(SpecScale::Tiny);
+        let frequent =
+            DeploymentConfig::continuous(1, spec.sample_chunks, SamplingStrategy::TimeBased);
+        let rare =
+            DeploymentConfig::continuous(10, spec.sample_chunks, SamplingStrategy::TimeBased);
+        let f = run_deployment(&stream, &spec, &frequent);
+        let r = run_deployment(&stream, &spec, &rare);
+        assert!(f.proactive_runs > r.proactive_runs);
+        assert!(f.total_secs > r.total_secs);
+    }
+}

@@ -1,0 +1,93 @@
+//! Table 2: dataset descriptions — sizes, instance counts, and the
+//! initial/deployment split of the two synthetic streams.
+
+use std::path::Path;
+
+use cdp_core::presets::{taxi_spec, url_spec, SpecScale};
+use cdp_core::report::Table;
+use cdp_datagen::ChunkStream;
+
+/// Measures a stream by sampling a few chunks (full scans at paper scale
+/// would defeat the purpose of a descriptive table).
+fn describe(
+    name: &str,
+    stream: &dyn ChunkStream,
+    table: &mut Table,
+    initial_label: &str,
+    deployment_label: &str,
+) {
+    let total = stream.total_chunks();
+    let probe_idx = [0, total / 2, total - 1];
+    let probes: Vec<_> = probe_idx.iter().map(|&i| stream.chunk(i)).collect();
+    let rows_per_chunk = probes.iter().map(|c| c.len()).sum::<usize>() as f64 / probes.len() as f64;
+    let bytes_per_chunk =
+        probes.iter().map(|c| c.size_bytes()).sum::<usize>() as f64 / probes.len() as f64;
+    let instances = rows_per_chunk * total as f64;
+    let size_mb = bytes_per_chunk * total as f64 / (1024.0 * 1024.0);
+    table.row([
+        name.to_owned(),
+        format!("{size_mb:.1} MB"),
+        format!("{:.2} M", instances / 1e6),
+        format!("{total} chunks ({:.0} rows each)", rows_per_chunk),
+        initial_label.to_owned(),
+        deployment_label.to_owned(),
+    ]);
+}
+
+/// Regenerates Table 2.
+pub fn run(scale: SpecScale, out_dir: &Path) -> String {
+    let mut table = Table::new([
+        "dataset",
+        "size",
+        "# instances",
+        "chunks",
+        "initial",
+        "deployment",
+    ]);
+
+    let (url, _) = url_spec(scale);
+    let url_days = url.config().days;
+    let url_initial = url.initial_chunks();
+    describe(
+        "URL",
+        &url,
+        &mut table,
+        &format!("Day 0 ({url_initial} chunks)"),
+        &format!(
+            "Day 1-{} ({} chunks)",
+            url_days - 1,
+            url.total_chunks() - url_initial
+        ),
+    );
+
+    let (taxi, _) = taxi_spec(scale);
+    let taxi_initial = taxi.initial_chunks();
+    describe(
+        "Taxi",
+        &taxi,
+        &mut table,
+        &format!("first {taxi_initial} hours"),
+        &format!("{} hourly chunks", taxi.total_chunks() - taxi_initial),
+    );
+
+    let _ = table.write_csv(out_dir.join("table2_datasets.csv"));
+    format!(
+        "Table 2: dataset descriptions (synthetic stand-ins, {scale:?} scale)\n\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describes_both_datasets() {
+        let dir = std::env::temp_dir().join(format!("cdp-t2-{}", std::process::id()));
+        let report = run(SpecScale::Tiny, &dir);
+        assert!(report.contains("URL"));
+        assert!(report.contains("Taxi"));
+        assert!(dir.join("table2_datasets.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,69 @@
+//! Figure 8: the quality/cost trade-off — average deployed quality against
+//! total deployment cost for the three approaches on both pipelines.
+//!
+//! This is the paper's closing scatter: continuous deployment sits at
+//! periodical-level quality for roughly online-level cost.
+
+use std::path::Path;
+
+use cdp_core::presets::{taxi_spec, url_spec, SpecScale};
+use cdp_core::report::{fmt_f, fmt_secs, Table};
+
+use super::fig4;
+
+/// Regenerates Figure 8 from fresh Figure-4 runs.
+pub fn run(scale: SpecScale, out_dir: &Path) -> String {
+    let mut table = Table::new(["dataset", "approach", "avg quality (error)", "total cost"]);
+    let mut notes = String::new();
+
+    for dataset in ["URL", "Taxi"] {
+        let results = if dataset == "URL" {
+            let (stream, spec) = url_spec(scale);
+            fig4::compare(&stream, &spec)
+        } else {
+            let (stream, spec) = taxi_spec(scale);
+            fig4::compare(&stream, &spec)
+        };
+        for (name, r) in &results {
+            table.row([
+                dataset.to_owned(),
+                (*name).to_owned(),
+                fmt_f(r.average_error, 4),
+                fmt_secs(r.total_secs),
+            ]);
+        }
+        let periodical = &results[1].1;
+        let continuous = &results[2].1;
+        notes.push_str(&format!(
+            "{dataset}: continuous saves {:.1}x cost at {} quality vs periodical \
+             (Δerror = {:+.4})\n",
+            periodical.cost_ratio_to(continuous),
+            if continuous.average_error <= periodical.average_error {
+                "equal-or-better"
+            } else {
+                "slightly worse"
+            },
+            continuous.average_error - periodical.average_error,
+        ));
+    }
+
+    let _ = table.write_csv(out_dir.join("fig8_tradeoff.csv"));
+    format!(
+        "Figure 8: quality vs deployment-cost trade-off\n\n{}\n{notes}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_six_points() {
+        let dir = std::env::temp_dir().join(format!("cdp-f8-{}", std::process::id()));
+        let report = run(SpecScale::Tiny, &dir);
+        assert!(report.matches("URL").count() >= 3);
+        assert!(report.matches("Taxi").count() >= 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,124 @@
+//! Table 3: hyperparameter tuning during initial training — the
+//! {Adam, RMSProp, AdaDelta} × {1e-2, 1e-3, 1e-4} grid for both pipelines,
+//! with the best cell per adaptation technique highlighted.
+
+use std::path::Path;
+
+use cdp_core::presets::{taxi_spec, url_spec, DeploymentSpec, SpecScale};
+use cdp_core::report::{fmt_f, Table};
+use cdp_core::tuning::{best_initial, initial_grid, paper_grid, TuningCell};
+use cdp_datagen::ChunkStream;
+
+/// Runs the grid for one pipeline and returns its cells.
+pub fn grid_for(stream: &dyn ChunkStream, spec: &DeploymentSpec, base_eta: f64) -> Vec<TuningCell> {
+    initial_grid(stream, spec, &paper_grid(base_eta))
+}
+
+fn render(name: &str, cells: &[TuningCell], prec: usize, use_loss: bool) -> Table {
+    // At repository scale the URL held-out *error rate* is quantized by the
+    // small evaluation split, so the classification grid displays the
+    // held-out loss (continuous) instead; the taxi RMSLE is already
+    // continuous. Ranking in either case is (error, loss).
+    let metric_label = if use_loss {
+        "held-out loss"
+    } else {
+        "held-out error"
+    };
+    let value = |c: &TuningCell| {
+        if use_loss {
+            c.initial_loss
+        } else {
+            c.initial_error
+        }
+    };
+    let mut table = Table::new([
+        format!("{name} adaptation ({metric_label})"),
+        "1e-2".to_owned(),
+        "1e-3".to_owned(),
+        "1e-4".to_owned(),
+        "best".to_owned(),
+    ]);
+    for opt_name in ["Adam", "RMSProp", "Adadelta"] {
+        let row_cells: Vec<&TuningCell> = cells
+            .iter()
+            .filter(|c| c.optimizer.name() == opt_name)
+            .collect();
+        if row_cells.is_empty() {
+            continue;
+        }
+        let best = row_cells
+            .iter()
+            .min_by(|a, b| {
+                (a.initial_error, a.initial_loss)
+                    .partial_cmp(&(b.initial_error, b.initial_loss))
+                    .expect("finite")
+            })
+            .expect("non-empty row");
+        let fmt_cell = |lambda: f64| {
+            row_cells
+                .iter()
+                .find(|c| (c.lambda - lambda).abs() < 1e-12)
+                .map(|c| fmt_f(value(c), prec))
+                .unwrap_or_default()
+        };
+        table.row([
+            opt_name.to_owned(),
+            fmt_cell(1e-2),
+            fmt_cell(1e-3),
+            fmt_cell(1e-4),
+            format!("λ={:.0e} ({})", best.lambda, fmt_f(value(best), prec)),
+        ]);
+    }
+    table
+}
+
+/// Regenerates Table 3.
+pub fn run(scale: SpecScale, out_dir: &Path) -> String {
+    let mut out = String::from("Table 3: hyperparameter tuning during initial training\n\n");
+
+    let (url_stream, url) = url_spec(scale);
+    let url_cells = grid_for(&url_stream, &url, 0.01);
+    let url_table = render("URL", &url_cells, 4, true);
+    let _ = url_table.write_csv(out_dir.join("table3_url.csv"));
+    out.push_str(&url_table.render());
+    if let Some(best) = best_initial(&url_cells) {
+        out.push_str(&format!(
+            "URL best: {} λ={:.0e} → error {} (loss {})\n\n",
+            best.optimizer.name(),
+            best.lambda,
+            fmt_f(best.initial_error, 4),
+            fmt_f(best.initial_loss, 4)
+        ));
+    }
+
+    let (taxi_stream, taxi) = taxi_spec(scale);
+    let taxi_cells = grid_for(&taxi_stream, &taxi, 0.1);
+    let taxi_table = render("Taxi", &taxi_cells, 5, false);
+    let _ = taxi_table.write_csv(out_dir.join("table3_taxi.csv"));
+    out.push_str(&taxi_table.render());
+    if let Some(best) = best_initial(&taxi_cells) {
+        out.push_str(&format!(
+            "Taxi best: {} λ={:.0e} → RMSLE {}\n",
+            best.optimizer.name(),
+            best.lambda,
+            fmt_f(best.initial_error, 5)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_grids() {
+        let dir = std::env::temp_dir().join(format!("cdp-t3-{}", std::process::id()));
+        let report = run(SpecScale::Tiny, &dir);
+        assert!(report.contains("Adam"));
+        assert!(report.contains("Adadelta"));
+        assert!(report.contains("URL best"));
+        assert!(report.contains("Taxi best"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,77 @@
+//! Experiment regenerators for every table and figure in the paper's
+//! evaluation (§5), plus shared harness utilities.
+//!
+//! Each experiment is a library function in [`experiments`] returning the
+//! rendered report text (and writing CSV artifacts under `results/`); the
+//! `src/bin/exp_*` binaries are thin wrappers. Run them in release mode:
+//!
+//! ```sh
+//! cargo run --release -p cdp-bench --bin exp_fig4_deployment -- --scale repo
+//! ```
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `exp_datasets` | Table 2 (dataset descriptions) |
+//! | `exp_table3_tuning` | Table 3 (initial hyperparameter grid) |
+//! | `exp_fig4_deployment` | Figure 4 a–d (quality & cost over time) |
+//! | `exp_fig5_deployed_tuning` | Figure 5 (deployed tuning) |
+//! | `exp_fig6_sampling_quality` | Figure 6 (sampling strategies vs quality) |
+//! | `exp_table4_mu` | Table 4 (empirical vs theoretical μ) |
+//! | `exp_fig7_materialization_cost` | Figure 7 (optimizations vs cost) |
+//! | `exp_fig8_tradeoff` | Figure 8 (quality/cost trade-off) |
+//! | `exp_all` | everything above, in order |
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+use std::path::PathBuf;
+
+use cdp_core::presets::SpecScale;
+
+/// Parses `--scale tiny|repo|paper` from argv (default `repo`) and an
+/// optional `--out <dir>` (default `results/`).
+pub fn parse_args() -> (SpecScale, PathBuf) {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = SpecScale::Repo;
+    let mut out = PathBuf::from("results");
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" if i + 1 < args.len() => {
+                scale = match args[i + 1].as_str() {
+                    "tiny" => SpecScale::Tiny,
+                    "repo" => SpecScale::Repo,
+                    "paper" => SpecScale::Paper,
+                    other => {
+                        eprintln!("unknown scale '{other}', using repo");
+                        SpecScale::Repo
+                    }
+                };
+                i += 2;
+            }
+            "--out" if i + 1 < args.len() => {
+                out = PathBuf::from(&args[i + 1]);
+                i += 2;
+            }
+            other => {
+                eprintln!("ignoring unknown argument '{other}'");
+                i += 1;
+            }
+        }
+    }
+    (scale, out)
+}
+
+/// Standard binary entry: parse args, run the experiment, print its report.
+pub fn run_binary(name: &str, run: fn(SpecScale, &std::path::Path) -> String) {
+    let (scale, out) = parse_args();
+    eprintln!("[{name}] scale = {scale:?}, artifacts → {}", out.display());
+    let started = std::time::Instant::now();
+    let report = run(scale, &out);
+    println!("{report}");
+    eprintln!(
+        "[{name}] finished in {:.1} s",
+        started.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,220 @@
+//! The data manager (paper §4.2): chunk ingestion, feature storage with
+//! dynamic materialization, and sampling for proactive training.
+
+use std::sync::Arc;
+
+use cdp_sampling::{Sampler, SamplingStrategy};
+use cdp_storage::{
+    ChunkStore, FeatureChunk, FeatureLookup, RawChunk, StorageBudget, StoreStats, Timestamp,
+};
+
+/// One sampled chunk, as handed to the pipeline manager: either ready-to-use
+/// materialized features or the raw chunk that must be re-materialized.
+#[derive(Debug, Clone)]
+pub enum SampledChunk {
+    /// Features were materialized (Figure 2, scenario 1).
+    Materialized(Arc<FeatureChunk>),
+    /// Features were evicted; re-materialize from this raw chunk
+    /// (Figure 2, scenario 2).
+    NeedsRematerialization(Arc<RawChunk>),
+}
+
+impl SampledChunk {
+    /// True for the materialized variant.
+    pub fn is_materialized(&self) -> bool {
+        matches!(self, SampledChunk::Materialized(_))
+    }
+
+    /// The chunk's timestamp.
+    pub fn timestamp(&self) -> Timestamp {
+        match self {
+            SampledChunk::Materialized(fc) => fc.timestamp,
+            SampledChunk::NeedsRematerialization(raw) => raw.timestamp,
+        }
+    }
+}
+
+/// The data manager: storage plus sampling (see module docs).
+#[derive(Debug)]
+pub struct DataManager {
+    store: ChunkStore,
+    sampler: Sampler,
+}
+
+impl DataManager {
+    /// Creates a data manager with the given feature-cache budget and
+    /// sampling strategy.
+    pub fn new(budget: StorageBudget, strategy: SamplingStrategy, seed: u64) -> Self {
+        Self {
+            store: ChunkStore::new(budget),
+            sampler: Sampler::new(strategy, seed),
+        }
+    }
+
+    /// Stores an arriving raw chunk (workflow stage 1).
+    ///
+    /// # Panics
+    /// Panics on duplicate timestamps — the deployment loop assigns unique
+    /// ones, so a duplicate is a driver bug.
+    pub fn ingest_raw(&mut self, chunk: RawChunk) {
+        self.store
+            .put_raw(chunk)
+            .expect("deployment loop assigns unique timestamps");
+    }
+
+    /// Stores the preprocessed features of a chunk (workflow stage 2),
+    /// evicting the oldest features if over budget.
+    ///
+    /// # Panics
+    /// Panics when the raw chunk is missing or features already exist.
+    pub fn store_features(&mut self, chunk: FeatureChunk) {
+        self.store
+            .put_feature(chunk)
+            .expect("features stored once, after their raw chunk");
+    }
+
+    /// Samples `sample_chunks` chunks for proactive training (workflow
+    /// stage 3), resolving each to materialized features or a raw chunk for
+    /// re-materialization (stage 4 decision).
+    pub fn sample(&mut self, sample_chunks: usize) -> Vec<SampledChunk> {
+        let available = self.store.sampleable_timestamps();
+        let picked = self.sampler.sample(&available, sample_chunks);
+        picked
+            .into_iter()
+            .filter_map(|ts| match self.store.lookup_feature(ts) {
+                FeatureLookup::Materialized(fc) => Some(SampledChunk::Materialized(fc)),
+                FeatureLookup::Evicted(raw) => Some(SampledChunk::NeedsRematerialization(raw)),
+                // Raw data gone: the chunk is ignored by sampling (paper
+                // §3.2) — `sampleable_timestamps` should already exclude it,
+                // but a concurrent drop is tolerated.
+                FeatureLookup::Unavailable => None,
+            })
+            .collect()
+    }
+
+    /// All raw chunks, oldest first — the periodical baseline's retraining
+    /// input ("the entire historical data").
+    pub fn full_history(&self) -> Vec<Arc<RawChunk>> {
+        self.store
+            .sampleable_timestamps()
+            .into_iter()
+            .filter_map(|ts| self.store.raw(ts))
+            .collect()
+    }
+
+    /// Number of chunks available for sampling (the paper's `n`).
+    pub fn chunk_count(&self) -> usize {
+        self.store.raw_count()
+    }
+
+    /// Number of currently materialized feature chunks.
+    pub fn materialized_count(&self) -> usize {
+        self.store.materialized_count()
+    }
+
+    /// Storage behaviour counters (hits/misses/evictions).
+    pub fn stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    /// The sampling strategy in use.
+    pub fn strategy(&self) -> SamplingStrategy {
+        self.sampler.strategy()
+    }
+
+    /// Direct store access (failure injection and inspection in tests).
+    pub fn store_mut(&mut self) -> &mut ChunkStore {
+        &mut self.store
+    }
+
+    /// Direct store access (read-only).
+    pub fn store(&self) -> &ChunkStore {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdp_linalg::DenseVector;
+    use cdp_storage::{LabeledPoint, Record, Value};
+
+    fn raw(ts: u64) -> RawChunk {
+        RawChunk::new(
+            Timestamp(ts),
+            vec![Record::new(vec![Value::Num(ts as f64)])],
+        )
+    }
+
+    fn feat(ts: u64) -> FeatureChunk {
+        FeatureChunk::new(
+            Timestamp(ts),
+            Timestamp(ts),
+            vec![LabeledPoint::new(
+                1.0,
+                DenseVector::new(vec![ts as f64]).into(),
+            )],
+        )
+    }
+
+    fn manager(n: u64, m: usize, strategy: SamplingStrategy) -> DataManager {
+        let mut dm = DataManager::new(StorageBudget::MaxChunks(m), strategy, 9);
+        for t in 0..n {
+            dm.ingest_raw(raw(t));
+            dm.store_features(feat(t));
+        }
+        dm
+    }
+
+    #[test]
+    fn sample_resolves_materialization_state() {
+        let mut dm = manager(20, 5, SamplingStrategy::Uniform);
+        let sampled = dm.sample(20); // everything
+        assert_eq!(sampled.len(), 20);
+        let materialized = sampled.iter().filter(|s| s.is_materialized()).count();
+        assert_eq!(materialized, 5);
+        for s in &sampled {
+            match s {
+                SampledChunk::Materialized(fc) => assert!(fc.timestamp.0 >= 15),
+                SampledChunk::NeedsRematerialization(r) => assert!(r.timestamp.0 < 15),
+            }
+        }
+    }
+
+    #[test]
+    fn sample_skips_dropped_chunks() {
+        let mut dm = manager(10, 10, SamplingStrategy::Uniform);
+        dm.store_mut().drop_chunk(Timestamp(3));
+        let sampled = dm.sample(10);
+        assert_eq!(sampled.len(), 9);
+        assert!(sampled.iter().all(|s| s.timestamp() != Timestamp(3)));
+    }
+
+    #[test]
+    fn full_history_is_ordered() {
+        let dm = manager(8, 2, SamplingStrategy::TimeBased);
+        let hist = dm.full_history();
+        assert_eq!(hist.len(), 8);
+        for (i, c) in hist.iter().enumerate() {
+            assert_eq!(c.timestamp, Timestamp(i as u64));
+        }
+    }
+
+    #[test]
+    fn stats_reflect_sampling_hits() {
+        let mut dm = manager(10, 5, SamplingStrategy::Uniform);
+        dm.sample(10);
+        let stats = dm.stats();
+        assert_eq!(stats.feature_hits, 5);
+        assert_eq!(stats.feature_misses, 5);
+        assert!((stats.utilization_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_sampling_stays_in_window() {
+        let mut dm = manager(50, 50, SamplingStrategy::WindowBased { window: 10 });
+        for s in dm.sample(5) {
+            assert!(s.timestamp().0 >= 40);
+        }
+    }
+}

@@ -1,0 +1,497 @@
+//! End-to-end deployment drivers for the three approaches of Experiment 1.
+//!
+//! All three share the same arrival loop — every deployment chunk is first
+//! used for prequential evaluation, then for online learning — and differ
+//! only in how they keep the model fresh:
+//!
+//! * **Online**: nothing beyond the per-chunk online SGD pass;
+//! * **Periodical**: a full retraining over the entire history every
+//!   `retrain_every` chunks, warm-started TFX-style (pipeline statistics,
+//!   model weights, and optimizer state are reused) unless configured cold;
+//! * **Continuous** (the paper): proactive training — a scheduled single
+//!   mini-batch SGD iteration over a sample of the history, served from the
+//!   materialized-feature cache when possible.
+
+use cdp_datagen::ChunkStream;
+use cdp_engine::ExecutionEngine;
+use cdp_eval::cost::Stopwatch;
+use cdp_eval::prequential::average_of_curve;
+use cdp_eval::{CostLedger, CostModel, Phase, PrequentialEvaluator};
+use cdp_ml::TrainReport;
+use cdp_pipeline::drift::{DriftDetector, DriftStatus};
+use cdp_sampling::SamplingStrategy;
+use cdp_storage::{StorageBudget, StoreStats};
+use serde::{Deserialize, Serialize};
+
+use crate::data_manager::DataManager;
+use crate::pipeline_manager::PipelineManager;
+use crate::presets::DeploymentSpec;
+use crate::proactive::ProactiveTrainer;
+use crate::scheduler::{Scheduler, SchedulerContext};
+
+/// How the deployed model is kept fresh.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DeploymentMode {
+    /// Online learning only.
+    Online,
+    /// Online learning plus periodical full retraining.
+    Periodical {
+        /// Chunks between retrainings (URL: every 10 days; Taxi: monthly).
+        retrain_every: usize,
+        /// Reuse pipeline statistics, weights, and optimizer state
+        /// (TFX-style). The paper's baseline always warm-starts; `false` is
+        /// the cold-restart ablation.
+        warm_start: bool,
+    },
+    /// Online learning plus proactive training (this paper).
+    Continuous {
+        /// When proactive training fires.
+        scheduler: Scheduler,
+        /// Chunks sampled per proactive-training instance.
+        sample_chunks: usize,
+        /// Sampling strategy over the history.
+        strategy: SamplingStrategy,
+    },
+}
+
+impl DeploymentMode {
+    /// Short display name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DeploymentMode::Online => "Online",
+            DeploymentMode::Periodical { .. } => "Periodical",
+            DeploymentMode::Continuous { .. } => "Continuous",
+        }
+    }
+}
+
+/// The platform optimizations of Experiment 3.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OptimizationConfig {
+    /// Online statistics computation (§3.1). When disabled, proactive
+    /// training pays a statistics-recomputation scan and raw-data disk read
+    /// per sampled chunk (the NoOptimization baseline).
+    pub online_stats: bool,
+    /// Materialized-feature cache budget (§3.2). `MaxChunks(m)` yields a
+    /// materialization rate of `m/n`.
+    pub budget: StorageBudget,
+}
+
+impl Default for OptimizationConfig {
+    fn default() -> Self {
+        Self {
+            online_stats: true,
+            budget: StorageBudget::Unbounded,
+        }
+    }
+}
+
+/// Everything a deployment run needs besides the pipeline spec.
+#[derive(Debug, Clone, Copy)]
+pub struct DeploymentConfig {
+    /// Freshness mechanism.
+    pub mode: DeploymentMode,
+    /// Platform optimizations.
+    pub optimization: OptimizationConfig,
+    /// Simulated chunk arrival period in seconds (URL: 60 s; Taxi: 3600 s).
+    pub chunk_period_secs: f64,
+    /// Cost-model rates.
+    pub cost_model: CostModel,
+    /// Seed for the sampler.
+    pub seed: u64,
+    /// Execution engine for batch work (periodical retraining's history
+    /// transformation). Accounted cost is engine-independent; a threaded
+    /// engine only reduces wall-clock time.
+    pub engine: ExecutionEngine,
+}
+
+impl DeploymentConfig {
+    /// An online-only configuration (the baseline's defaults).
+    pub fn online() -> Self {
+        Self {
+            mode: DeploymentMode::Online,
+            optimization: OptimizationConfig::default(),
+            chunk_period_secs: 60.0,
+            cost_model: CostModel::commodity(),
+            seed: 17,
+            engine: ExecutionEngine::Sequential,
+        }
+    }
+
+    /// A continuous configuration with static scheduling every
+    /// `every_chunks`, sampling `sample_chunks` per instance.
+    pub fn continuous(
+        every_chunks: usize,
+        sample_chunks: usize,
+        strategy: SamplingStrategy,
+    ) -> Self {
+        Self {
+            mode: DeploymentMode::Continuous {
+                scheduler: Scheduler::Static { every_chunks },
+                sample_chunks,
+                strategy,
+            },
+            ..Self::online()
+        }
+    }
+
+    /// A periodical configuration retraining every `retrain_every` chunks
+    /// with warm starting.
+    pub fn periodical(retrain_every: usize) -> Self {
+        Self {
+            mode: DeploymentMode::Periodical {
+                retrain_every,
+                warm_start: true,
+            },
+            ..Self::online()
+        }
+    }
+}
+
+/// Everything a deployment run produces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeploymentResult {
+    /// Approach name (`Online` / `Periodical` / `Continuous`).
+    pub approach: String,
+    /// Cumulative prequential error at the end of the deployment.
+    pub final_error: f64,
+    /// Mean of the cumulative-error curve (Figure 8's quality axis).
+    pub average_error: f64,
+    /// `(examples_seen, cumulative_error)` per deployment chunk
+    /// (Figure 4 a/c).
+    pub error_curve: Vec<(u64, f64)>,
+    /// `(chunk_index, cumulative_accounted_seconds)` (Figure 4 b/d).
+    pub cost_curve: Vec<(u64, f64)>,
+    /// Accounted seconds per phase.
+    pub preprocessing_secs: f64,
+    /// Accounted training seconds.
+    pub training_secs: f64,
+    /// Accounted prediction seconds.
+    pub prediction_secs: f64,
+    /// Accounted materialization-I/O seconds.
+    pub io_secs: f64,
+    /// Total accounted deployment cost in seconds.
+    pub total_secs: f64,
+    /// Real wall-clock seconds the run took.
+    pub wall_secs: f64,
+    /// Proactive-training instances executed.
+    pub proactive_runs: u64,
+    /// Mean accounted seconds per proactive-training instance (the paper
+    /// reports 200 ms / 700 ms).
+    pub avg_proactive_secs: f64,
+    /// Full retrainings executed (periodical only).
+    pub retrain_runs: u64,
+    /// Chunk-store behaviour counters.
+    pub store_stats: StoreStats,
+    /// Measured materialization utilization rate μ over the run.
+    pub empirical_mu: f64,
+    /// Prediction queries answered.
+    pub queries_answered: u64,
+    /// Initial-training report.
+    pub initial_report: TrainReport,
+}
+
+impl DeploymentResult {
+    /// Cost ratio of this run against another (e.g. periodical / continuous).
+    pub fn cost_ratio_to(&self, other: &DeploymentResult) -> f64 {
+        self.total_secs / other.total_secs.max(1e-12)
+    }
+}
+
+/// Runs one deployment end to end: initial training on the stream's initial
+/// chunks, then the arrival loop over the deployment range.
+pub fn run_deployment(
+    stream: &dyn ChunkStream,
+    spec: &DeploymentSpec,
+    config: &DeploymentConfig,
+) -> DeploymentResult {
+    let wall = Stopwatch::start();
+    let strategy = match config.mode {
+        DeploymentMode::Continuous { strategy, .. } => strategy,
+        _ => SamplingStrategy::Uniform,
+    };
+    let mut dm = DataManager::new(config.optimization.budget, strategy, config.seed);
+    let mut pm = PipelineManager::new(spec.build_pipeline(), &spec.sgd, spec.online_batch);
+    let mut evaluator = PrequentialEvaluator::new(spec.metric, 0);
+    let proactive = if config.optimization.online_stats {
+        ProactiveTrainer::new()
+    } else {
+        ProactiveTrainer::without_online_stats()
+    };
+
+    // ---- Initial training (not part of the deployment cost, like the
+    // paper's Table 2 split) ----
+    let mut initial_ledger = CostLedger::new(config.cost_model);
+    let initial: Vec<_> = stream.initial();
+    let (initial_report, feature_chunks) = pm.initial_fit(&initial, &spec.sgd, &mut initial_ledger);
+    for (raw, fc) in initial.into_iter().zip(feature_chunks) {
+        dm.ingest_raw(raw);
+        dm.store_features(fc);
+    }
+    dm.store_mut().reset_stats();
+
+    // ---- Deployment loop ----
+    let mut ledger = CostLedger::new(config.cost_model);
+    let mut chunks_since_training = 0usize;
+    let mut last_training_secs = 0.0f64;
+    let mut proactive_runs = 0u64;
+    let mut proactive_secs_sum = 0.0f64;
+    let mut retrain_runs = 0u64;
+    // Per-chunk error monitor feeding the drift-adaptive scheduler
+    // (chunk-granular windows: ~60 stable chunks vs the last 12).
+    let mut drift_monitor = DriftDetector::new(60, 12, 2.0, 3.0);
+    let mut drift_level = 0u8;
+    let mut prev_acc = 0.0f64;
+    let mut prev_count = 0u64;
+
+    for idx in stream.deployment_range() {
+        let raw = stream.chunk(idx);
+        // Stage 1: discretized arrival into the store (raw history).
+        dm.ingest_raw(raw.clone());
+        // Stages 2 + prequential evaluation + online learning.
+        let fc = pm.process_online_chunk(&raw, &mut evaluator, &mut ledger);
+        dm.store_features(fc);
+        chunks_since_training += 1;
+
+        // Feed this chunk's mean error into the drift monitor.
+        let fresh = evaluator.count() - prev_count;
+        if fresh > 0 {
+            let chunk_error = (evaluator.raw_accumulator() - prev_acc) / fresh as f64;
+            prev_acc = evaluator.raw_accumulator();
+            prev_count = evaluator.count();
+            drift_level = match drift_monitor.observe(chunk_error) {
+                DriftStatus::Drift => 2,
+                DriftStatus::Warning => 1,
+                DriftStatus::Stable | DriftStatus::Warmup => 0,
+            };
+        }
+
+        match config.mode {
+            DeploymentMode::Online => {}
+            DeploymentMode::Periodical {
+                retrain_every,
+                warm_start,
+            } => {
+                if chunks_since_training >= retrain_every.max(1) {
+                    chunks_since_training = 0;
+                    retrain_runs += 1;
+                    let history = dm.full_history();
+                    if warm_start {
+                        pm.retrain_warm_on(&history, &spec.sgd, config.engine, &mut ledger);
+                    } else {
+                        // Cold restart: fresh pipeline statistics and model.
+                        pm = PipelineManager::new(
+                            spec.build_pipeline(),
+                            &spec.sgd,
+                            spec.online_batch,
+                        );
+                        let owned: Vec<_> = history.iter().map(|c| (**c).clone()).collect();
+                        pm.initial_fit(&owned, &spec.sgd, &mut ledger);
+                    }
+                }
+            }
+            DeploymentMode::Continuous {
+                scheduler,
+                sample_chunks,
+                ..
+            } => {
+                let queries = evaluator.count().max(1);
+                let ctx = SchedulerContext {
+                    chunk_period_secs: config.chunk_period_secs,
+                    last_training_secs,
+                    avg_prediction_latency: ledger.phase(Phase::Prediction) / queries as f64,
+                    prediction_rate: queries as f64 / ((idx + 1) as f64 * config.chunk_period_secs),
+                    chunks_since_last: chunks_since_training,
+                    drift_level,
+                };
+                if scheduler.should_fire(&ctx) {
+                    chunks_since_training = 0;
+                    let sampled = dm.sample(sample_chunks);
+                    let outcome = proactive.execute(&mut pm, sampled, &mut ledger);
+                    last_training_secs = outcome.accounted_secs;
+                    proactive_secs_sum += outcome.accounted_secs;
+                    proactive_runs += 1;
+                }
+            }
+        }
+
+        evaluator.checkpoint();
+        ledger.checkpoint(idx as u64);
+    }
+
+    let stats = dm.stats();
+    DeploymentResult {
+        approach: config.mode.name().to_owned(),
+        final_error: evaluator.error(),
+        average_error: average_of_curve(evaluator.curve()),
+        error_curve: evaluator.curve().to_vec(),
+        cost_curve: ledger.curve().to_vec(),
+        preprocessing_secs: ledger.phase(Phase::Preprocessing),
+        training_secs: ledger.phase(Phase::Training),
+        prediction_secs: ledger.phase(Phase::Prediction),
+        io_secs: ledger.phase(Phase::MaterializationIo),
+        total_secs: ledger.total(),
+        wall_secs: wall.elapsed_secs(),
+        proactive_runs,
+        avg_proactive_secs: if proactive_runs > 0 {
+            proactive_secs_sum / proactive_runs as f64
+        } else {
+            0.0
+        },
+        retrain_runs,
+        store_stats: stats,
+        empirical_mu: stats.utilization_rate(),
+        queries_answered: evaluator.count(),
+        initial_report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{taxi_spec, url_spec, SpecScale};
+
+    fn tiny_url() -> (cdp_datagen::url::UrlGenerator, DeploymentSpec) {
+        url_spec(SpecScale::Tiny)
+    }
+
+    fn tiny_taxi() -> (cdp_datagen::taxi::TaxiGenerator, DeploymentSpec) {
+        taxi_spec(SpecScale::Tiny)
+    }
+
+    #[test]
+    fn online_deployment_runs_and_learns() {
+        let (stream, spec) = tiny_url();
+        let result = run_deployment(&stream, &spec, &DeploymentConfig::online());
+        assert_eq!(result.approach, "Online");
+        assert!(result.queries_answered > 0);
+        assert!(result.final_error < 0.5, "error {}", result.final_error);
+        assert_eq!(result.proactive_runs, 0);
+        assert_eq!(result.retrain_runs, 0);
+        assert!(result.total_secs > 0.0);
+        assert_eq!(result.error_curve.len(), result.cost_curve.len());
+    }
+
+    #[test]
+    fn continuous_runs_proactive_training() {
+        let (stream, spec) = tiny_url();
+        let config = DeploymentConfig::continuous(2, 3, SamplingStrategy::TimeBased);
+        let result = run_deployment(&stream, &spec, &config);
+        assert!(result.proactive_runs > 0);
+        assert!(result.avg_proactive_secs > 0.0);
+        assert!(result.empirical_mu > 0.9, "unbounded budget ⇒ μ ≈ 1");
+    }
+
+    #[test]
+    fn periodical_retrains_and_costs_more_than_continuous() {
+        let (stream, spec) = tiny_url();
+        let periodical = run_deployment(&stream, &spec, &DeploymentConfig::periodical(5));
+        assert!(periodical.retrain_runs > 0);
+        let continuous = run_deployment(
+            &stream,
+            &spec,
+            &DeploymentConfig::continuous(2, 3, SamplingStrategy::TimeBased),
+        );
+        assert!(
+            periodical.total_secs > continuous.total_secs,
+            "periodical {} must exceed continuous {}",
+            periodical.total_secs,
+            continuous.total_secs
+        );
+        let online = run_deployment(&stream, &spec, &DeploymentConfig::online());
+        assert!(continuous.total_secs > online.total_secs);
+    }
+
+    #[test]
+    fn limited_budget_lowers_mu() {
+        let (stream, spec) = tiny_url();
+        let mut config = DeploymentConfig::continuous(2, 4, SamplingStrategy::Uniform);
+        config.optimization.budget = StorageBudget::MaxChunks(5);
+        let result = run_deployment(&stream, &spec, &config);
+        assert!(result.empirical_mu < 1.0);
+        assert!(result.store_stats.feature_misses > 0);
+    }
+
+    #[test]
+    fn no_optimization_costs_more() {
+        let (stream, spec) = tiny_url();
+        let base = DeploymentConfig::continuous(2, 4, SamplingStrategy::TimeBased);
+        let with_opt = run_deployment(&stream, &spec, &base);
+        let mut no_opt_cfg = base;
+        no_opt_cfg.optimization.online_stats = false;
+        let without = run_deployment(&stream, &spec, &no_opt_cfg);
+        assert!(
+            without.total_secs > with_opt.total_secs,
+            "NoOptimization {} must exceed optimized {}",
+            without.total_secs,
+            with_opt.total_secs
+        );
+    }
+
+    #[test]
+    fn taxi_deployment_regression_error_reasonable() {
+        let (stream, spec) = tiny_taxi();
+        let result = run_deployment(
+            &stream,
+            &spec,
+            &DeploymentConfig::continuous(2, 3, SamplingStrategy::Uniform),
+        );
+        // RMSLE on log1p(duration): the constant predictor sits around 6.5;
+        // anything below 1.0 means the model learned structure.
+        assert!(result.final_error < 1.0, "RMSLE = {}", result.final_error);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (stream, spec) = tiny_url();
+        let config = DeploymentConfig::continuous(3, 2, SamplingStrategy::Uniform);
+        let a = run_deployment(&stream, &spec, &config);
+        let b = run_deployment(&stream, &spec, &config);
+        assert_eq!(a.final_error, b.final_error);
+        assert_eq!(a.total_secs, b.total_secs);
+        assert_eq!(a.proactive_runs, b.proactive_runs);
+    }
+
+    #[test]
+    fn drift_adaptive_mode_runs_end_to_end() {
+        let (stream, spec) = tiny_url();
+        let mut config = DeploymentConfig::online();
+        config.mode = DeploymentMode::Continuous {
+            scheduler: Scheduler::DriftAdaptive { every_chunks: 4 },
+            sample_chunks: 3,
+            strategy: SamplingStrategy::TimeBased,
+        };
+        let result = run_deployment(&stream, &spec, &config);
+        assert!(result.proactive_runs > 0);
+        assert!(result.final_error < 0.5);
+        // Never more than one training per chunk.
+        assert!(result.proactive_runs <= (stream.total_chunks() - stream.initial_chunks()) as u64);
+    }
+
+    #[test]
+    fn threaded_engine_reproduces_sequential_deployment() {
+        let (stream, spec) = tiny_url();
+        let sequential = run_deployment(&stream, &spec, &DeploymentConfig::periodical(5));
+        let mut threaded_cfg = DeploymentConfig::periodical(5);
+        threaded_cfg.engine = ExecutionEngine::Threaded { workers: 4 };
+        let threaded = run_deployment(&stream, &spec, &threaded_cfg);
+        assert_eq!(sequential.final_error, threaded.final_error);
+        assert_eq!(sequential.total_secs, threaded.total_secs);
+        assert_eq!(sequential.retrain_runs, threaded.retrain_runs);
+    }
+
+    #[test]
+    fn cold_restart_differs_from_warm() {
+        let (stream, spec) = tiny_url();
+        let warm = run_deployment(&stream, &spec, &DeploymentConfig::periodical(5));
+        let mut cold_cfg = DeploymentConfig::periodical(5);
+        cold_cfg.mode = DeploymentMode::Periodical {
+            retrain_every: 5,
+            warm_start: false,
+        };
+        let cold = run_deployment(&stream, &spec, &cold_cfg);
+        assert_eq!(warm.retrain_runs, cold.retrain_runs);
+        // Cold restarts refit statistics (update passes) — strictly more work.
+        assert!(cold.preprocessing_secs > warm.preprocessing_secs);
+    }
+}

@@ -1,0 +1,210 @@
+//! Plain-text tables and CSV output for the experiment binaries.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<width$}", width = widths[i]);
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Writes the table as CSV to `path` (creating parent directories).
+    ///
+    /// # Errors
+    /// I/O errors creating directories or writing the file.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut content = String::new();
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        content.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        content.push('\n');
+        for row in &self.rows {
+            content.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            content.push('\n');
+        }
+        std::fs::write(path, content)
+    }
+}
+
+/// Formats a float with `prec` decimals.
+pub fn fmt_f(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+/// Formats seconds as `1.23 s` / `4.5 min` as appropriate.
+pub fn fmt_secs(secs: f64) -> String {
+    if secs >= 120.0 {
+        format!("{:.1} min", secs / 60.0)
+    } else if secs >= 1.0 {
+        format!("{secs:.2} s")
+    } else {
+        format!("{:.1} ms", secs * 1000.0)
+    }
+}
+
+/// Renders a `(x, y)` curve as a coarse ASCII sparkline of `buckets`
+/// segments — a quick visual for the figure regenerators.
+pub fn sparkline(curve: &[(u64, f64)], buckets: usize) -> String {
+    if curve.is_empty() || buckets == 0 {
+        return String::new();
+    }
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let step = (curve.len() as f64 / buckets as f64).max(1.0);
+    let sampled: Vec<f64> = (0..buckets.min(curve.len()))
+        .map(|b| curve[((b as f64 * step) as usize).min(curve.len() - 1)].1)
+        .collect();
+    let (min, max) = sampled
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    let span = (max - min).max(1e-12);
+    sampled
+        .iter()
+        .map(|&v| GLYPHS[(((v - min) / span) * 7.0).round() as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["alpha", "1"]).row(["b", "22222"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].contains("alpha"));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["only-one"]);
+        assert_eq!(t.len(), 1);
+        assert!(t.render().contains("only-one"));
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new(["x"]);
+        t.row(["a,b"]).row(["say \"hi\""]);
+        let dir = std::env::temp_dir().join(format!("cdp-report-{}", std::process::id()));
+        let path = dir.join("out.csv");
+        t.write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"a,b\""));
+        assert!(content.contains("\"say \"\"hi\"\"\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert_eq!(fmt_secs(0.5), "500.0 ms");
+        assert_eq!(fmt_secs(5.0), "5.00 s");
+        assert_eq!(fmt_secs(300.0), "5.0 min");
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let curve: Vec<(u64, f64)> = (0..100).map(|i| (i, i as f64)).collect();
+        let s = sparkline(&curve, 10);
+        assert_eq!(s.chars().count(), 10);
+        let first = s.chars().next().unwrap();
+        let last = s.chars().next_back().unwrap();
+        assert_eq!(first, '▁');
+        assert_eq!(last, '█');
+        assert!(sparkline(&[], 5).is_empty());
+    }
+}

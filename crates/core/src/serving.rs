@@ -1,0 +1,211 @@
+//! Concurrent model serving: answering prediction queries in real time
+//! while the platform keeps training.
+//!
+//! The deployment drivers in [`crate::deployment`] interleave serving and
+//! training on one thread with simulated time; [`ModelServer`] is the
+//! wall-clock counterpart — a thread-safe serving front that any number of
+//! query threads can call while the training thread publishes updated
+//! `(pipeline, model)` pairs with an atomic version swap. This is the piece
+//! that makes the paper's claim operational: because proactive training
+//! produces a new model in milliseconds, `publish` is frequent and cheap,
+//! and queries never wait on a retraining (§5.5).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use cdp_ml::LinearModel;
+use cdp_pipeline::Pipeline;
+use cdp_storage::Record;
+
+/// A served prediction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// The model's raw margin (classification: sign is the class;
+    /// regression: the predicted value).
+    pub value: f64,
+    /// Version of the `(pipeline, model)` pair that served the query.
+    pub version: u64,
+}
+
+#[derive(Debug)]
+struct Deployed {
+    pipeline: Pipeline,
+    model: LinearModel,
+    version: u64,
+}
+
+/// A thread-safe serving front over a deployed pipeline + model.
+///
+/// Cloning the server is cheap (it is an `Arc` handle); clones share the
+/// deployed pair, so one thread can `publish` while others `predict`.
+#[derive(Debug, Clone)]
+pub struct ModelServer {
+    deployed: Arc<RwLock<Deployed>>,
+    queries: Arc<AtomicU64>,
+    rejected: Arc<AtomicU64>,
+}
+
+impl ModelServer {
+    /// Deploys the initial `(pipeline, model)` pair as version 1.
+    ///
+    /// The model is grown to the pipeline's current output dimension so a
+    /// concurrent query can never outrun the weights.
+    pub fn new(pipeline: Pipeline, mut model: LinearModel) -> Self {
+        model.grow_to(pipeline.dim());
+        Self {
+            deployed: Arc::new(RwLock::new(Deployed {
+                pipeline,
+                model,
+                version: 1,
+            })),
+            queries: Arc::new(AtomicU64::new(0)),
+            rejected: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Answers one prediction query with the currently deployed pair.
+    /// Returns `None` (and counts a rejection) when the record is malformed
+    /// or filtered out by a pipeline cleaning stage.
+    pub fn predict(&self, record: &Record) -> Option<Prediction> {
+        let guard = self.deployed.read();
+        let point = match guard.pipeline.transform_query(record) {
+            Some(p) => p,
+            None => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        let value = guard.model.margin_ref(&point.features);
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        Some(Prediction {
+            value,
+            version: guard.version,
+        })
+    }
+
+    /// Atomically swaps in an updated `(pipeline, model)` pair (e.g. after
+    /// a proactive-training instance) and returns the new version number.
+    pub fn publish(&self, pipeline: Pipeline, mut model: LinearModel) -> u64 {
+        model.grow_to(pipeline.dim());
+        let mut guard = self.deployed.write();
+        guard.pipeline = pipeline;
+        guard.model = model;
+        guard.version += 1;
+        guard.version
+    }
+
+    /// Currently deployed version.
+    pub fn version(&self) -> u64 {
+        self.deployed.read().version
+    }
+
+    /// Queries answered so far.
+    pub fn queries_served(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Malformed/filtered queries rejected so far.
+    pub fn queries_rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdp_ml::LossKind;
+    use cdp_pipeline::encode::DenseEncoder;
+    use cdp_pipeline::parser::SchemaParser;
+    use cdp_pipeline::scale::StandardScaler;
+    use cdp_pipeline::PipelineBuilder;
+    use cdp_storage::{RawChunk, Schema, Timestamp, Value};
+
+    fn pipeline() -> Pipeline {
+        let schema = Schema::new(["y", "x"]);
+        PipelineBuilder::new(SchemaParser::new(schema, "y", &["x"], None))
+            .add(StandardScaler::new())
+            .encoder(DenseEncoder::new(1))
+            .expect("incremental components")
+    }
+
+    fn warmed_pipeline() -> Pipeline {
+        let mut p = pipeline();
+        let records = (0..8)
+            .map(|i| Record::new(vec![Value::Num(i as f64), Value::Num(i as f64)]))
+            .collect();
+        p.fit_transform_chunk(&RawChunk::new(Timestamp(0), records));
+        p
+    }
+
+    fn record(x: f64) -> Record {
+        Record::new(vec![Value::Num(0.0), Value::Num(x)])
+    }
+
+    #[test]
+    fn serves_predictions_and_counts() {
+        let model = LinearModel::zeros(2, LossKind::Squared);
+        let server = ModelServer::new(warmed_pipeline(), model);
+        let p = server.predict(&record(1.0)).expect("valid query");
+        assert_eq!(p.version, 1);
+        assert_eq!(server.queries_served(), 1);
+
+        // Malformed query counts as rejected.
+        assert!(server
+            .predict(&Record::new(vec![Value::Text("bad".into())]))
+            .is_none());
+        assert_eq!(server.queries_rejected(), 1);
+    }
+
+    #[test]
+    fn publish_bumps_version_and_changes_predictions() {
+        let server = ModelServer::new(warmed_pipeline(), LinearModel::zeros(2, LossKind::Squared));
+        let before = server.predict(&record(2.0)).expect("valid");
+        assert_eq!(before.value, 0.0);
+
+        let mut trained = LinearModel::zeros(2, LossKind::Squared);
+        trained.weights_mut().set(0, 1.0).expect("bias slot");
+        let v = server.publish(warmed_pipeline(), trained);
+        assert_eq!(v, 2);
+        let after = server.predict(&record(2.0)).expect("valid");
+        assert_eq!(after.version, 2);
+        assert_ne!(after.value, before.value);
+    }
+
+    #[test]
+    fn concurrent_queries_during_publishes() {
+        let server = ModelServer::new(warmed_pipeline(), LinearModel::zeros(2, LossKind::Squared));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let s = server.clone();
+                std::thread::spawn(move || {
+                    let mut last_version = 0;
+                    for i in 0..500 {
+                        let p = s.predict(&record(i as f64)).expect("valid query");
+                        // Versions move forward, never backward.
+                        assert!(p.version >= last_version);
+                        last_version = p.version;
+                    }
+                    last_version
+                })
+            })
+            .collect();
+        // Publisher thread: keep deploying new versions while readers run.
+        let publisher = {
+            let s = server.clone();
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    s.publish(warmed_pipeline(), LinearModel::zeros(2, LossKind::Squared));
+                }
+            })
+        };
+        publisher.join().expect("publisher lives");
+        for r in readers {
+            let last = r.join().expect("reader lives");
+            assert!(last >= 1);
+        }
+        assert_eq!(server.queries_served(), 4 * 500);
+        assert_eq!(server.version(), 51);
+    }
+}

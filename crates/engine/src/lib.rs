@@ -1,0 +1,183 @@
+//! The execution engine substrate.
+//!
+//! The paper's prototype delegates batch processing (proactive training) and
+//! stream processing (online learning, query answering) to Apache Spark
+//! (§4.5: "any data processing platform capable of processing data both in
+//! batch mode and streaming mode is a suitable execution engine"). This
+//! crate is that substrate at laptop scale: an [`ExecutionEngine`] executes
+//! chunk-level data-parallel operations either sequentially or on a
+//! crossbeam-scoped worker pool, preserving input order (the property the
+//! deployment loop relies on when unioning materialized and re-materialized
+//! chunks before a training step).
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A chunk-parallel execution engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionEngine {
+    /// Process items one by one on the calling thread.
+    #[default]
+    Sequential,
+    /// Process items on `workers` OS threads (crossbeam scoped).
+    Threaded {
+        /// Number of worker threads (≥ 1).
+        workers: usize,
+    },
+}
+
+impl ExecutionEngine {
+    /// A threaded engine sized to the machine (minimum 2 workers).
+    pub fn threaded_auto() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(2)
+            .max(2);
+        ExecutionEngine::Threaded { workers }
+    }
+
+    /// Engine display name.
+    pub fn name(&self) -> String {
+        match self {
+            ExecutionEngine::Sequential => "sequential".to_owned(),
+            ExecutionEngine::Threaded { workers } => format!("threaded×{workers}"),
+        }
+    }
+
+    /// Applies `f` to every item, returning outputs in input order.
+    ///
+    /// `f` must be `Sync` because workers share it; items are distributed by
+    /// an atomic cursor, so per-item cost imbalance is load-balanced.
+    pub fn map<T, U, F>(&self, items: Vec<T>, f: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        match *self {
+            ExecutionEngine::Sequential => items.into_iter().map(f).collect(),
+            ExecutionEngine::Threaded { workers } => {
+                let workers = workers.max(1).min(items.len().max(1));
+                let n = items.len();
+                // Move items into option slots so workers can take them.
+                let slots: Vec<Mutex<Option<T>>> =
+                    items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+                let outputs: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+                let cursor = AtomicUsize::new(0);
+                crossbeam::thread::scope(|scope| {
+                    for _ in 0..workers {
+                        scope.spawn(|_| loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let item = slots[i]
+                                .lock()
+                                .expect("slot lock")
+                                .take()
+                                .expect("each slot taken once");
+                            let out = f(item);
+                            *outputs[i].lock().expect("output lock") = Some(out);
+                        });
+                    }
+                })
+                .expect("worker panicked");
+                outputs
+                    .into_iter()
+                    .map(|m| {
+                        m.into_inner()
+                            .expect("output lock")
+                            .expect("output written")
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Maps then folds the outputs in input order (a deterministic reduce —
+    /// important for floating-point reproducibility across engines).
+    pub fn map_reduce<T, U, A, F, G>(&self, items: Vec<T>, f: F, init: A, g: G) -> A
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+        G: FnMut(A, U) -> A,
+    {
+        self.map(items, f).into_iter().fold(init, g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_and_threaded_agree() {
+        let items: Vec<u64> = (0..100).collect();
+        let seq = ExecutionEngine::Sequential.map(items.clone(), |x| x * x);
+        let par = ExecutionEngine::Threaded { workers: 4 }.map(items, |x| x * x);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn order_is_preserved_under_imbalance() {
+        // Make early items slow so late items finish first.
+        let items: Vec<u64> = (0..32).collect();
+        let out = ExecutionEngine::Threaded { workers: 8 }.map(items, |x| {
+            if x < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            x
+        });
+        assert_eq!(out, (0..32).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = ExecutionEngine::Threaded { workers: 4 }.map(Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        let out = ExecutionEngine::Threaded { workers: 64 }.map(vec![1, 2, 3], |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn map_reduce_is_deterministic() {
+        let items: Vec<f64> = (0..1000).map(|i| f64::from(i) * 0.1).collect();
+        let a = ExecutionEngine::Sequential.map_reduce(
+            items.clone(),
+            |x| x * 1.5,
+            0.0,
+            |acc, x| acc + x,
+        );
+        let b = ExecutionEngine::Threaded { workers: 7 }.map_reduce(
+            items,
+            |x| x * 1.5,
+            0.0,
+            |acc, x| acc + x,
+        );
+        // Fold order is identical (input order), so sums match exactly.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn moves_non_copy_items() {
+        let items = vec![String::from("a"), String::from("bb")];
+        let out = ExecutionEngine::Threaded { workers: 2 }.map(items, |s| s.len());
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(ExecutionEngine::Sequential.name(), "sequential");
+        assert_eq!(
+            ExecutionEngine::Threaded { workers: 3 }.name(),
+            "threaded×3"
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Property-based tests: the threaded engine is observationally equivalent
+//! to the sequential engine on arbitrary workloads.
+
+use cdp_engine::ExecutionEngine;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn map_equivalence(items in prop::collection::vec(0u64..1_000_000, 0..200), workers in 1usize..9) {
+        let f = |x: u64| x.wrapping_mul(2654435761).rotate_left(13);
+        let seq = ExecutionEngine::Sequential.map(items.clone(), f);
+        let par = ExecutionEngine::Threaded { workers }.map(items, f);
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn map_reduce_equivalence(items in prop::collection::vec(-1e3..1e3f64, 0..100), workers in 1usize..5) {
+        // The fold runs in input order on both engines, so even
+        // non-associative floating-point accumulation matches exactly.
+        let seq = ExecutionEngine::Sequential.map_reduce(
+            items.clone(),
+            |x| x * 1.000001 - 0.5,
+            1.0f64,
+            |acc, x| acc * 0.99 + x,
+        );
+        let par = ExecutionEngine::Threaded { workers }.map_reduce(
+            items,
+            |x| x * 1.000001 - 0.5,
+            1.0f64,
+            |acc, x| acc * 0.99 + x,
+        );
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn preserves_length_and_order(n in 0usize..300, workers in 1usize..8) {
+        let items: Vec<usize> = (0..n).collect();
+        let out = ExecutionEngine::Threaded { workers }.map(items, |i| i);
+        prop_assert_eq!(out, (0..n).collect::<Vec<usize>>());
+    }
+}

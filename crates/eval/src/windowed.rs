@@ -1,0 +1,142 @@
+//! Sliding-window error — the recency-sensitive complement to the
+//! cumulative prequential error.
+//!
+//! Cumulative error (the paper's reported metric) averages over the whole
+//! deployment, so late drift is diluted by a long accurate history. The
+//! windowed error over the last `W` examples is what a drift detector or a
+//! monitoring dashboard actually watches.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::prequential::ErrorMetric;
+
+/// Error over the most recent `window` examples.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WindowedError {
+    metric: ErrorMetric,
+    window: usize,
+    /// Per-example error contributions (0/1 for misclassification, squared
+    /// log error for RMSLE).
+    buffer: VecDeque<f64>,
+    /// Running sum of `buffer` (kept exact by add/remove pairs).
+    sum: f64,
+    total_seen: u64,
+}
+
+impl WindowedError {
+    /// Creates a windowed evaluator.
+    ///
+    /// # Panics
+    /// Panics when `window == 0`.
+    pub fn new(metric: ErrorMetric, window: usize) -> Self {
+        assert!(window > 0, "window must be non-empty");
+        Self {
+            metric,
+            window,
+            buffer: VecDeque::with_capacity(window),
+            sum: 0.0,
+            total_seen: 0,
+        }
+    }
+
+    /// The metric in use.
+    pub fn metric(&self) -> ErrorMetric {
+        self.metric
+    }
+
+    /// Observes one (prediction, label) pair.
+    pub fn observe(&mut self, prediction: f64, label: f64) {
+        let contribution = match self.metric {
+            ErrorMetric::Misclassification => f64::from((prediction >= 0.0) != (label >= 0.0)),
+            ErrorMetric::Rmsle => {
+                let d = prediction - label;
+                d * d
+            }
+        };
+        if self.buffer.len() == self.window {
+            if let Some(old) = self.buffer.pop_front() {
+                self.sum -= old;
+            }
+        }
+        self.buffer.push_back(contribution);
+        self.sum += contribution;
+        self.total_seen += 1;
+    }
+
+    /// Current windowed error (`0.0` before any observation).
+    pub fn error(&self) -> f64 {
+        if self.buffer.is_empty() {
+            return 0.0;
+        }
+        let mean = (self.sum / self.buffer.len() as f64).max(0.0);
+        match self.metric {
+            ErrorMetric::Misclassification => mean,
+            ErrorMetric::Rmsle => mean.sqrt(),
+        }
+    }
+
+    /// Whether the window is fully populated.
+    pub fn is_warm(&self) -> bool {
+        self.buffer.len() == self.window
+    }
+
+    /// Total examples observed (including those that left the window).
+    pub fn total_seen(&self) -> u64 {
+        self.total_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_forgets_old_errors() {
+        let mut w = WindowedError::new(ErrorMetric::Misclassification, 4);
+        // Four wrong predictions…
+        for _ in 0..4 {
+            w.observe(-1.0, 1.0);
+        }
+        assert_eq!(w.error(), 1.0);
+        assert!(w.is_warm());
+        // …then four correct ones: the window fully recovers.
+        for _ in 0..4 {
+            w.observe(1.0, 1.0);
+        }
+        assert_eq!(w.error(), 0.0);
+        assert_eq!(w.total_seen(), 8);
+    }
+
+    #[test]
+    fn partial_window_averages_what_it_has() {
+        let mut w = WindowedError::new(ErrorMetric::Misclassification, 10);
+        w.observe(1.0, 1.0);
+        w.observe(-1.0, 1.0);
+        assert_eq!(w.error(), 0.5);
+        assert!(!w.is_warm());
+    }
+
+    #[test]
+    fn rmsle_window_matches_manual() {
+        let mut w = WindowedError::new(ErrorMetric::Rmsle, 2);
+        w.observe(1.0, 3.0); // (−2)² = 4
+        w.observe(2.0, 2.0); // 0
+        assert!((w.error() - 2.0f64.sqrt()).abs() < 1e-12);
+        w.observe(5.0, 2.0); // 9 replaces the 4
+        assert!((w.error() - (9.0f64 / 2.0 + 0.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_reports_zero() {
+        let w = WindowedError::new(ErrorMetric::Rmsle, 3);
+        assert_eq!(w.error(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-empty")]
+    fn zero_window_panics() {
+        WindowedError::new(ErrorMetric::Misclassification, 0);
+    }
+}

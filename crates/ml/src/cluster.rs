@@ -1,0 +1,209 @@
+//! Mini-batch k-means (Bottou & Bengio, 1995 — the paper's reference 6
+//! for SGD-based clustering).
+//!
+//! Like the linear models, the clusterer exposes a `step(batch)` operation
+//! that is a valid SGD iteration given only the internal state (centroids +
+//! per-centroid counts), so it can be kept fresh by the same proactive
+//! training machinery: each centroid moves toward its assigned points with
+//! a per-centroid learning rate `1/count` that anneals automatically.
+
+use serde::{Deserialize, Serialize};
+
+use cdp_linalg::{DenseVector, Vector};
+
+/// SGD-trained k-means clustering.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MiniBatchKMeans {
+    centroids: Vec<DenseVector>,
+    counts: Vec<u64>,
+    steps: u64,
+}
+
+impl MiniBatchKMeans {
+    /// Initializes `k` centroids from the provided seed points (typically
+    /// the first `k` distinct points of the stream).
+    ///
+    /// # Panics
+    /// Panics when `seeds` is empty or dimensions are inconsistent.
+    pub fn from_seeds(seeds: Vec<DenseVector>) -> Self {
+        assert!(!seeds.is_empty(), "need at least one seed centroid");
+        let dim = seeds[0].dim();
+        assert!(
+            seeds.iter().all(|s| s.dim() == dim),
+            "all seed centroids must share one dimension"
+        );
+        let counts = vec![1; seeds.len()];
+        Self {
+            centroids: seeds,
+            counts,
+            steps: 0,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// The current centroids.
+    pub fn centroids(&self) -> &[DenseVector] {
+        &self.centroids
+    }
+
+    /// SGD iterations performed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Index of the closest centroid to `x`.
+    pub fn assign(&self, x: &Vector) -> usize {
+        let dense = x.to_dense();
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, c) in self.centroids.iter().enumerate() {
+            let d = c.distance_sq(&dense).expect("consistent dimensions");
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// One mini-batch SGD iteration (Bottou–Bengio): assign each point to
+    /// its nearest centroid, then move every touched centroid toward its
+    /// assigned points with rate `1/count`.
+    pub fn step<'a, I>(&mut self, batch: I)
+    where
+        I: IntoIterator<Item = &'a Vector>,
+    {
+        let batch: Vec<&Vector> = batch.into_iter().collect();
+        if batch.is_empty() {
+            return;
+        }
+        let assignments: Vec<usize> = batch.iter().map(|x| self.assign(x)).collect();
+        for (x, &c) in batch.iter().zip(&assignments) {
+            self.counts[c] += 1;
+            let eta = 1.0 / self.counts[c] as f64;
+            // centroid += eta * (x − centroid)
+            let centroid = &mut self.centroids[c];
+            centroid.scale(1.0 - eta);
+            x.axpy_into(eta, centroid).expect("consistent dimensions");
+        }
+        self.steps += 1;
+    }
+
+    /// Mean squared distance of points to their assigned centroids.
+    pub fn inertia<'a, I>(&self, points: I) -> f64
+    where
+        I: IntoIterator<Item = &'a Vector>,
+    {
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for x in points {
+            let c = self.assign(x);
+            total += self.centroids[c]
+                .distance_sq(&x.to_dense())
+                .expect("consistent dimensions");
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn blobs(n: usize, seed: u64) -> Vec<Vector> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers = [(0.0, 0.0), (10.0, 10.0), (-10.0, 10.0)];
+        (0..n)
+            .map(|i| {
+                let (cx, cy) = centers[i % 3];
+                Vector::from(vec![
+                    cx + rng.random_range(-1.0..1.0),
+                    cy + rng.random_range(-1.0..1.0),
+                ])
+            })
+            .collect()
+    }
+
+    fn fit(points: &[Vector], seeds: Vec<DenseVector>, epochs: usize) -> MiniBatchKMeans {
+        let mut km = MiniBatchKMeans::from_seeds(seeds);
+        for _ in 0..epochs {
+            for batch in points.chunks(16) {
+                km.step(batch.iter());
+            }
+        }
+        km
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let points = blobs(300, 1);
+        // Seeds: one point from each blob.
+        let seeds = vec![
+            points[0].to_dense(),
+            points[1].to_dense(),
+            points[2].to_dense(),
+        ];
+        let km = fit(&points, seeds, 5);
+        // Each centroid should be within 1.0 of a true center.
+        let centers = [(0.0, 0.0), (10.0, 10.0), (-10.0, 10.0)];
+        for c in km.centroids() {
+            let close = centers
+                .iter()
+                .any(|&(x, y)| ((c[0] - x).powi(2) + (c[1] - y).powi(2)).sqrt() < 1.0);
+            assert!(close, "centroid {c:?} far from all true centers");
+        }
+        assert!(km.inertia(points.iter()) < 1.0);
+    }
+
+    #[test]
+    fn interleaved_steps_keep_working() {
+        // Proactive-training style: steps at arbitrary times, state carried.
+        let points = blobs(120, 2);
+        let seeds = vec![
+            points[0].to_dense(),
+            points[1].to_dense(),
+            points[2].to_dense(),
+        ];
+        let mut km = MiniBatchKMeans::from_seeds(seeds);
+        let before = km.inertia(points.iter());
+        km.step(points[..30].iter());
+        // ... pause ...
+        km.step(points[30..].iter());
+        assert!(km.inertia(points.iter()) < before);
+        assert_eq!(km.steps(), 2);
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let mut km = MiniBatchKMeans::from_seeds(vec![DenseVector::zeros(2)]);
+        km.step(std::iter::empty());
+        assert_eq!(km.steps(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seeds_panic() {
+        MiniBatchKMeans::from_seeds(vec![]);
+    }
+
+    #[test]
+    fn assign_picks_nearest() {
+        let km = MiniBatchKMeans::from_seeds(vec![
+            DenseVector::new(vec![0.0, 0.0]),
+            DenseVector::new(vec![5.0, 5.0]),
+        ]);
+        assert_eq!(km.assign(&Vector::from(vec![0.5, 0.1])), 0);
+        assert_eq!(km.assign(&Vector::from(vec![4.5, 5.5])), 1);
+    }
+}

@@ -1,0 +1,253 @@
+//! SGD matrix factorization for recommender-style workloads (Koren, Bell &
+//! Volinsky, 2009 — the paper's reference 19 for SGD-trained matrix
+//! factorization).
+//!
+//! `R ≈ P·Qᵀ` with `k` latent factors, trained one rating at a time:
+//! `e = r − p·q`, `p += η(e·q − λp)`, `q += η(e·p − λq)`. As with the other
+//! models, `step(batch)` depends only on the internal state, so the model
+//! can be deployed and kept fresh through the platform's proactive-training
+//! machinery.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use cdp_linalg::DenseVector;
+
+/// One observed user–item interaction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rating {
+    /// User index.
+    pub user: usize,
+    /// Item index.
+    pub item: usize,
+    /// Observed value (e.g. 1–5 stars).
+    pub value: f64,
+}
+
+/// Configuration of the factorization model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MfConfig {
+    /// Latent dimensionality `k`.
+    pub factors: usize,
+    /// Learning rate η.
+    pub learning_rate: f64,
+    /// L2 regularization λ on both factor matrices.
+    pub regularization: f64,
+    /// Initialization scale (factors ~ U(−scale, scale)).
+    pub init_scale: f64,
+    /// Initialization seed.
+    pub seed: u64,
+}
+
+impl Default for MfConfig {
+    fn default() -> Self {
+        Self {
+            factors: 8,
+            learning_rate: 0.02,
+            regularization: 0.02,
+            init_scale: 0.1,
+            seed: 7,
+        }
+    }
+}
+
+/// An SGD-trained latent-factor model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixFactorization {
+    user_factors: Vec<DenseVector>,
+    item_factors: Vec<DenseVector>,
+    global_mean: f64,
+    mean_count: u64,
+    config: MfConfig,
+    steps: u64,
+}
+
+impl MatrixFactorization {
+    /// Creates a model for `users × items` with random factor init.
+    pub fn new(users: usize, items: usize, config: MfConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut init = |n: usize| -> Vec<DenseVector> {
+            (0..n)
+                .map(|_| {
+                    DenseVector::new(
+                        (0..config.factors)
+                            .map(|_| rng.random_range(-config.init_scale..config.init_scale))
+                            .collect(),
+                    )
+                })
+                .collect()
+        };
+        Self {
+            user_factors: init(users),
+            item_factors: init(items),
+            global_mean: 0.0,
+            mean_count: 0,
+            config,
+            steps: 0,
+        }
+    }
+
+    /// Number of users.
+    pub fn users(&self) -> usize {
+        self.user_factors.len()
+    }
+
+    /// Number of items.
+    pub fn items(&self) -> usize {
+        self.item_factors.len()
+    }
+
+    /// SGD iterations performed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Predicted value for `(user, item)`; the global mean for unknown ids.
+    pub fn predict(&self, user: usize, item: usize) -> f64 {
+        match (self.user_factors.get(user), self.item_factors.get(item)) {
+            (Some(p), Some(q)) => self.global_mean + p.dot(q).expect("factors share dimension k"),
+            _ => self.global_mean,
+        }
+    }
+
+    /// One mini-batch SGD iteration over a batch of ratings. Ratings with
+    /// out-of-range ids are skipped.
+    pub fn step(&mut self, batch: &[Rating]) {
+        if batch.is_empty() {
+            return;
+        }
+        let eta = self.config.learning_rate;
+        let lambda = self.config.regularization;
+        for r in batch {
+            if r.user >= self.user_factors.len() || r.item >= self.item_factors.len() {
+                continue;
+            }
+            // Running global mean (incremental statistic).
+            self.mean_count += 1;
+            self.global_mean += (r.value - self.global_mean) / self.mean_count as f64;
+
+            let p = self.user_factors[r.user].clone();
+            let q = &mut self.item_factors[r.item];
+            let err = r.value - self.global_mean - p.dot(q).expect("same k");
+            // q += η(err·p − λq); p += η(err·q_old − λp)
+            let q_old = q.clone();
+            q.scale(1.0 - eta * lambda);
+            q.axpy(eta * err, &p).expect("same k");
+            let p_mut = &mut self.user_factors[r.user];
+            p_mut.scale(1.0 - eta * lambda);
+            p_mut.axpy(eta * err, &q_old).expect("same k");
+        }
+        self.steps += 1;
+    }
+
+    /// Root mean squared error over a set of ratings.
+    pub fn rmse(&self, ratings: &[Rating]) -> f64 {
+        if ratings.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = ratings
+            .iter()
+            .map(|r| {
+                let e = r.value - self.predict(r.user, r.item);
+                e * e
+            })
+            .sum();
+        (sum / ratings.len() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ratings from a rank-2 ground-truth structure plus a global offset.
+    fn synthetic_ratings(users: usize, items: usize, seed: u64) -> Vec<Rating> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let user_taste: Vec<(f64, f64)> = (0..users)
+            .map(|_| (rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)))
+            .collect();
+        let item_traits: Vec<(f64, f64)> = (0..items)
+            .map(|_| (rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)))
+            .collect();
+        let mut ratings = Vec::new();
+        for (u, &(a, b)) in user_taste.iter().enumerate() {
+            for (i, &(c, d)) in item_traits.iter().enumerate() {
+                if rng.random::<f64>() < 0.6 {
+                    ratings.push(Rating {
+                        user: u,
+                        item: i,
+                        value: 3.0 + a * c + b * d,
+                    });
+                }
+            }
+        }
+        ratings
+    }
+
+    #[test]
+    fn learns_low_rank_structure() {
+        let ratings = synthetic_ratings(30, 40, 3);
+        let mut mf = MatrixFactorization::new(30, 40, MfConfig::default());
+        let initial = mf.rmse(&ratings);
+        for _ in 0..60 {
+            for batch in ratings.chunks(64) {
+                mf.step(batch);
+            }
+        }
+        let trained = mf.rmse(&ratings);
+        assert!(trained < initial / 3.0, "rmse {initial} → {trained}");
+        assert!(trained < 0.25, "rmse {trained}");
+    }
+
+    #[test]
+    fn predict_unknown_ids_returns_global_mean() {
+        let ratings = vec![Rating {
+            user: 0,
+            item: 0,
+            value: 4.0,
+        }];
+        let mut mf = MatrixFactorization::new(1, 1, MfConfig::default());
+        mf.step(&ratings);
+        assert_eq!(mf.predict(99, 0), mf.predict(0, 99));
+        assert!((mf.predict(99, 99) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_range_ratings_are_skipped() {
+        let mut mf = MatrixFactorization::new(2, 2, MfConfig::default());
+        let before = mf.clone();
+        mf.step(&[Rating {
+            user: 5,
+            item: 0,
+            value: 1.0,
+        }]);
+        assert_eq!(mf.user_factors, before.user_factors);
+        assert_eq!(mf.steps(), 1);
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let mut mf = MatrixFactorization::new(2, 2, MfConfig::default());
+        mf.step(&[]);
+        assert_eq!(mf.steps(), 0);
+    }
+
+    #[test]
+    fn incremental_training_resumes() {
+        let ratings = synthetic_ratings(10, 10, 4);
+        let mut contiguous = MatrixFactorization::new(10, 10, MfConfig::default());
+        let mut split = MatrixFactorization::new(10, 10, MfConfig::default());
+        for batch in ratings.chunks(16) {
+            contiguous.step(batch);
+        }
+        let batches: Vec<&[Rating]> = ratings.chunks(16).collect();
+        for batch in &batches[..2] {
+            split.step(batch);
+        }
+        for batch in &batches[2..] {
+            split.step(batch);
+        }
+        assert_eq!(contiguous, split);
+    }
+}

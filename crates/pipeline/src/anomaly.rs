@@ -1,0 +1,137 @@
+//! Rule-based anomaly filtering (the Taxi pipeline's "anomaly detector").
+
+use crate::component::RowComponent;
+use crate::row::Row;
+
+/// A single bound on one numeric column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnBound {
+    /// Column index into `Row::nums`.
+    pub col: usize,
+    /// Keep rows with value strictly greater than this (when set).
+    pub min_exclusive: Option<f64>,
+    /// Keep rows with value strictly smaller than this (when set).
+    pub max_exclusive: Option<f64>,
+}
+
+impl ColumnBound {
+    fn admits(&self, row: &Row) -> bool {
+        let Some(&v) = row.nums.get(self.col) else {
+            return false; // missing column: treat as anomalous
+        };
+        if v.is_nan() {
+            return false;
+        }
+        if let Some(min) = self.min_exclusive {
+            if v <= min {
+                return false;
+            }
+        }
+        if let Some(max) = self.max_exclusive {
+            if v >= max {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Drops rows violating any configured bound — a stateless data-cleaning
+/// component. The Taxi instance drops trips longer than 22 hours, shorter
+/// than 10 seconds, or with zero travelled distance (paper §5.1).
+#[derive(Debug, Clone, Default)]
+pub struct AnomalyFilter {
+    bounds: Vec<ColumnBound>,
+    name: String,
+}
+
+impl AnomalyFilter {
+    /// Creates an empty (admit-everything) filter.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            bounds: Vec::new(),
+            name: name.into(),
+        }
+    }
+
+    /// Adds a bound: keep rows with `min < nums[col] < max` (either side
+    /// optional).
+    pub fn bound(
+        mut self,
+        col: usize,
+        min_exclusive: Option<f64>,
+        max_exclusive: Option<f64>,
+    ) -> Self {
+        self.bounds.push(ColumnBound {
+            col,
+            min_exclusive,
+            max_exclusive,
+        });
+        self
+    }
+
+    /// The configured bounds.
+    pub fn bounds(&self) -> &[ColumnBound] {
+        &self.bounds
+    }
+}
+
+impl RowComponent for AnomalyFilter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn transform(&self, mut rows: Vec<Row>) -> Vec<Row> {
+        rows.retain(|row| self.bounds.iter().all(|b| b.admits(row)));
+        rows
+    }
+
+    fn clone_box(&self) -> Box<dyn RowComponent> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filter() -> AnomalyFilter {
+        // keep 10 < col0 < 100, col1 > 0
+        AnomalyFilter::new("test")
+            .bound(0, Some(10.0), Some(100.0))
+            .bound(1, Some(0.0), None)
+    }
+
+    #[test]
+    fn admits_in_range_rows() {
+        let kept = filter().transform(vec![Row::numeric(0.0, vec![50.0, 1.0])]);
+        assert_eq!(kept.len(), 1);
+    }
+
+    #[test]
+    fn drops_out_of_range_rows() {
+        let rows = vec![
+            Row::numeric(0.0, vec![5.0, 1.0]),   // col0 too small
+            Row::numeric(0.0, vec![100.0, 1.0]), // col0 at max (exclusive)
+            Row::numeric(0.0, vec![50.0, 0.0]),  // col1 at min (exclusive)
+            Row::numeric(0.0, vec![50.0, -3.0]), // col1 negative
+        ];
+        assert!(filter().transform(rows).is_empty());
+    }
+
+    #[test]
+    fn drops_rows_with_missing_bound_column() {
+        let rows = vec![
+            Row::numeric(0.0, vec![50.0]),           // col1 absent
+            Row::numeric(0.0, vec![50.0, f64::NAN]), // col1 NaN
+        ];
+        assert!(filter().transform(rows).is_empty());
+    }
+
+    #[test]
+    fn empty_filter_admits_everything() {
+        let f = AnomalyFilter::new("noop");
+        let rows = vec![Row::numeric(0.0, vec![-1e9])];
+        assert_eq!(f.transform(rows).len(), 1);
+    }
+}

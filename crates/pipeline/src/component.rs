@@ -1,0 +1,112 @@
+//! The component contract: `update` + `transform` (paper §4.3).
+
+use crate::row::Row;
+
+/// A pipeline stage operating on parsed rows.
+///
+/// The pipeline manager drives components through exactly two entry points,
+/// matching the paper's deployment contract:
+///
+/// * during **online learning** it calls [`RowComponent::update`] then
+///   [`RowComponent::transform`] on each arriving chunk;
+/// * for **prediction queries** and **re-materialization** it calls only
+///   `transform`, so the exact same preprocessing is applied at training and
+///   serving time (train/serve consistency, §4.3).
+///
+/// Implementations must keep `update` *incremental*: folding a batch into
+/// the statistics must be equivalent to folding its rows one at a time.
+/// Components that would need a full rescan (exact percentiles, PCA) are not
+/// admissible (§3.1) and should report `is_incremental() == false`, which
+/// the pipeline builder rejects.
+pub trait RowComponent: Send + Sync {
+    /// Stable component name for reports and cost attribution.
+    fn name(&self) -> &str;
+
+    /// Incrementally folds a batch into the component statistics.
+    ///
+    /// Stateless components keep the default no-op.
+    fn update(&mut self, _rows: &[Row]) {}
+
+    /// Transforms a batch with the current statistics. May drop rows
+    /// (filters) or change the row width (feature extractors).
+    fn transform(&self, rows: Vec<Row>) -> Vec<Row>;
+
+    /// Whether `update` is an exact incremental computation. Non-incremental
+    /// components are rejected at pipeline construction.
+    fn is_incremental(&self) -> bool {
+        true
+    }
+
+    /// Whether the component keeps statistics at all.
+    fn is_stateful(&self) -> bool {
+        false
+    }
+
+    /// Clones the component with its statistics (pipeline snapshots).
+    fn clone_box(&self) -> Box<dyn RowComponent>;
+}
+
+impl Clone for Box<dyn RowComponent> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// A stateless row filter defined by a predicate function pointer; the
+/// simplest way to express data-cleaning rules (used by tests and examples).
+#[derive(Debug, Clone)]
+pub struct PredicateFilter {
+    name: String,
+    keep: fn(&Row) -> bool,
+}
+
+impl PredicateFilter {
+    /// Creates a filter that keeps rows satisfying `keep`.
+    pub fn new(name: impl Into<String>, keep: fn(&Row) -> bool) -> Self {
+        Self {
+            name: name.into(),
+            keep,
+        }
+    }
+}
+
+impl RowComponent for PredicateFilter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn transform(&self, mut rows: Vec<Row>) -> Vec<Row> {
+        rows.retain(|r| (self.keep)(r));
+        rows
+    }
+
+    fn clone_box(&self) -> Box<dyn RowComponent> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicate_filter_drops_rows() {
+        let filter = PredicateFilter::new("positive-label", |r| r.label > 0.0);
+        let rows = vec![Row::numeric(1.0, vec![]), Row::numeric(-1.0, vec![])];
+        let kept = filter.transform(rows);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].label, 1.0);
+        assert!(filter.is_incremental());
+        assert!(!filter.is_stateful());
+    }
+
+    #[test]
+    fn boxed_clone_preserves_behaviour() {
+        let filter: Box<dyn RowComponent> =
+            Box::new(PredicateFilter::new("f", |r| r.nums.is_empty()));
+        let cloned = filter.clone();
+        assert_eq!(cloned.name(), "f");
+        let rows = vec![Row::numeric(0.0, vec![1.0])];
+        assert!(cloned.transform(rows).is_empty());
+    }
+}

@@ -1,0 +1,362 @@
+//! Final encoders: rows → labeled feature vectors.
+//!
+//! Encoders are the last pipeline stage. [`FeatureHasher`] (the URL
+//! pipeline) and [`OneHotEncoder`] produce *sparse* vectors — the sparse
+//! representation is what keeps materialized feature chunks `O(p)` in the
+//! input size (paper §3.2.1). [`DenseEncoder`] (the Taxi pipeline) emits the
+//! engineered columns densely. All encoders append a constant bias feature
+//! at index 0, so the linear models need no separate intercept.
+
+use std::collections::HashMap;
+
+use cdp_linalg::{DenseVector, SparseBuilder, Vector};
+use cdp_storage::LabeledPoint;
+
+use crate::row::Row;
+
+/// Converts transformed rows into labeled feature vectors.
+pub trait Encoder: Send + Sync {
+    /// Stable name for reports.
+    fn name(&self) -> &str;
+
+    /// Incrementally folds a batch into encoder statistics (e.g. the one-hot
+    /// category table). Stateless encoders keep the default no-op.
+    fn update(&mut self, _rows: &[Row]) {}
+
+    /// Encodes a batch with the current statistics.
+    fn encode(&self, rows: &[Row]) -> Vec<LabeledPoint>;
+
+    /// Current output dimension (may grow for stateful encoders).
+    fn dim(&self) -> usize;
+
+    /// Whether the encoder keeps statistics.
+    fn is_stateful(&self) -> bool {
+        false
+    }
+
+    /// Clones the encoder with its statistics (pipeline snapshots).
+    fn clone_box(&self) -> Box<dyn Encoder>;
+}
+
+impl Clone for Box<dyn Encoder> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// FNV-1a 64-bit hash — small, fast, dependency-free; collisions are part of
+/// the hashing-trick contract.
+#[inline]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The hashing-trick encoder (the URL pipeline's "feature hasher").
+///
+/// Layout: index 0 is the bias, indices `1..=numeric_slots` carry the
+/// numeric columns, and each token hashes into one of `2^bits` buckets after
+/// the reserved region, with a hash-derived ±1 sign (signed hashing keeps
+/// collision noise zero-mean). Stateless: the dimension is fixed up front.
+#[derive(Debug, Clone)]
+pub struct FeatureHasher {
+    bits: u32,
+    numeric_slots: usize,
+}
+
+impl FeatureHasher {
+    /// Creates a hasher with `2^bits` token buckets and room for
+    /// `numeric_slots` numeric columns.
+    pub fn new(bits: u32, numeric_slots: usize) -> Self {
+        assert!(bits <= 30, "hash space of 2^{bits} is unreasonably large");
+        Self {
+            bits,
+            numeric_slots,
+        }
+    }
+
+    /// The first token-bucket index.
+    fn token_base(&self) -> usize {
+        1 + self.numeric_slots
+    }
+
+    /// The bucket and sign for a token.
+    pub fn bucket_of(&self, token: &str) -> (usize, f64) {
+        let h = fnv1a(token.as_bytes());
+        let bucket = (h & ((1u64 << self.bits) - 1)) as usize;
+        let sign = if h >> 63 == 0 { 1.0 } else { -1.0 };
+        (self.token_base() + bucket, sign)
+    }
+}
+
+impl Encoder for FeatureHasher {
+    fn name(&self) -> &str {
+        "feature-hasher"
+    }
+
+    fn encode(&self, rows: &[Row]) -> Vec<LabeledPoint> {
+        let dim = self.dim();
+        rows.iter()
+            .map(|row| {
+                let mut b = SparseBuilder::with_capacity(1 + row.nums.len() + row.tokens.len());
+                b.add(0, 1.0); // bias
+                for (i, &v) in row.nums.iter().take(self.numeric_slots).enumerate() {
+                    if v != 0.0 && !v.is_nan() {
+                        b.add(1 + i, v);
+                    }
+                }
+                for token in &row.tokens {
+                    let (bucket, sign) = self.bucket_of(token);
+                    b.add(bucket, sign);
+                }
+                let features = b.build(dim).expect("hasher indices within dim");
+                LabeledPoint::new(row.label, Vector::Sparse(features))
+            })
+            .collect()
+    }
+
+    fn dim(&self) -> usize {
+        1 + self.numeric_slots + (1usize << self.bits)
+    }
+
+    fn clone_box(&self) -> Box<dyn Encoder> {
+        Box::new(self.clone())
+    }
+}
+
+/// Dense encoder for fully-numeric pipelines (the Taxi pipeline): the
+/// numeric columns with a leading bias, `NaN`s mapped to `0.0` defensively.
+#[derive(Debug, Clone)]
+pub struct DenseEncoder {
+    columns: usize,
+}
+
+impl DenseEncoder {
+    /// Creates an encoder for rows with `columns` numeric columns.
+    pub fn new(columns: usize) -> Self {
+        Self { columns }
+    }
+}
+
+impl Encoder for DenseEncoder {
+    fn name(&self) -> &str {
+        "dense-encoder"
+    }
+
+    fn encode(&self, rows: &[Row]) -> Vec<LabeledPoint> {
+        rows.iter()
+            .map(|row| {
+                let mut values = Vec::with_capacity(self.columns + 1);
+                values.push(1.0); // bias
+                for i in 0..self.columns {
+                    let v = row.nums.get(i).copied().unwrap_or(0.0);
+                    values.push(if v.is_nan() { 0.0 } else { v });
+                }
+                LabeledPoint::new(row.label, Vector::Dense(DenseVector::new(values)))
+            })
+            .collect()
+    }
+
+    fn dim(&self) -> usize {
+        self.columns + 1
+    }
+
+    fn clone_box(&self) -> Box<dyn Encoder> {
+        Box::new(self.clone())
+    }
+}
+
+/// One-hot encoding over the token bag with an *incrementally learned*
+/// category table (the hash-table statistic the paper names in §3.1).
+///
+/// `update` assigns fresh indices to unseen categories, so the output
+/// dimension grows over the deployment — exercising the platform's support
+/// for growing feature spaces. Tokens never seen by `update` are skipped at
+/// encode time (their statistic does not exist yet).
+#[derive(Debug, Clone, Default)]
+pub struct OneHotEncoder {
+    categories: HashMap<String, usize>,
+    numeric_slots: usize,
+}
+
+impl OneHotEncoder {
+    /// Creates an encoder with room for `numeric_slots` numeric columns.
+    pub fn new(numeric_slots: usize) -> Self {
+        Self {
+            categories: HashMap::new(),
+            numeric_slots,
+        }
+    }
+
+    /// Number of categories learned so far.
+    pub fn vocabulary_size(&self) -> usize {
+        self.categories.len()
+    }
+
+    fn token_base(&self) -> usize {
+        1 + self.numeric_slots
+    }
+}
+
+impl Encoder for OneHotEncoder {
+    fn name(&self) -> &str {
+        "one-hot-encoder"
+    }
+
+    fn update(&mut self, rows: &[Row]) {
+        for row in rows {
+            for token in &row.tokens {
+                let next = self.categories.len();
+                self.categories.entry(token.clone()).or_insert(next);
+            }
+        }
+    }
+
+    fn encode(&self, rows: &[Row]) -> Vec<LabeledPoint> {
+        let dim = self.dim();
+        let base = self.token_base();
+        rows.iter()
+            .map(|row| {
+                let mut b = SparseBuilder::with_capacity(1 + row.nums.len() + row.tokens.len());
+                b.add(0, 1.0);
+                for (i, &v) in row.nums.iter().take(self.numeric_slots).enumerate() {
+                    if v != 0.0 && !v.is_nan() {
+                        b.add(1 + i, v);
+                    }
+                }
+                for token in &row.tokens {
+                    if let Some(&idx) = self.categories.get(token) {
+                        b.add(base + idx, 1.0);
+                    }
+                }
+                let features = b.build(dim).expect("one-hot indices within dim");
+                LabeledPoint::new(row.label, Vector::Sparse(features))
+            })
+            .collect()
+    }
+
+    fn dim(&self) -> usize {
+        self.token_base() + self.categories.len()
+    }
+
+    fn is_stateful(&self) -> bool {
+        true
+    }
+
+    fn clone_box(&self) -> Box<dyn Encoder> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hasher_is_deterministic_and_in_range() {
+        let h = FeatureHasher::new(8, 2);
+        let dim = h.dim();
+        assert_eq!(dim, 1 + 2 + 256);
+        for token in ["a", "bb", "com", "login", "xn--test"] {
+            let (b1, s1) = h.bucket_of(token);
+            let (b2, s2) = h.bucket_of(token);
+            assert_eq!((b1, s1), (b2, s2));
+            assert!(b1 >= 3 && b1 < dim);
+            assert!(s1 == 1.0 || s1 == -1.0);
+        }
+    }
+
+    #[test]
+    fn hasher_encodes_bias_nums_tokens() {
+        let h = FeatureHasher::new(4, 2);
+        let rows = vec![Row::with_tokens(1.0, vec![0.5, 0.0], vec!["x".into()])];
+        let points = h.encode(&rows);
+        let v = &points[0].features;
+        assert_eq!(v.get(0), 1.0); // bias
+        assert_eq!(v.get(1), 0.5); // numeric slot 0
+        assert_eq!(v.get(2), 0.0); // exact zero skipped
+        let (bucket, sign) = h.bucket_of("x");
+        assert_eq!(v.get(bucket), sign);
+        assert_eq!(points[0].label, 1.0);
+    }
+
+    #[test]
+    fn hasher_colliding_tokens_sum() {
+        let h = FeatureHasher::new(1, 0); // 2 buckets: collisions guaranteed
+        let rows = vec![Row::with_tokens(
+            0.0,
+            vec![],
+            vec!["t1".into(), "t2".into(), "t3".into(), "t4".into()],
+        )];
+        let points = h.encode(&rows);
+        // All mass lands in buckets 1..3; total |mass| ≤ 4.
+        let total: f64 = points[0]
+            .features
+            .iter_nonzero()
+            .map(|(_, v)| v.abs())
+            .sum();
+        assert!(total <= 1.0 + 4.0);
+    }
+
+    #[test]
+    fn dense_encoder_prepends_bias() {
+        let e = DenseEncoder::new(3);
+        let points = e.encode(&[Row::numeric(2.0, vec![1.0, f64::NAN, 3.0])]);
+        assert_eq!(
+            points[0].features.to_dense().as_slice(),
+            &[1.0, 1.0, 0.0, 3.0]
+        );
+        assert_eq!(e.dim(), 4);
+    }
+
+    #[test]
+    fn dense_encoder_pads_short_rows() {
+        let e = DenseEncoder::new(2);
+        let points = e.encode(&[Row::numeric(0.0, vec![5.0])]);
+        assert_eq!(points[0].features.to_dense().as_slice(), &[1.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn one_hot_learns_incrementally() {
+        let mut e = OneHotEncoder::new(0);
+        assert_eq!(e.dim(), 1);
+        e.update(&[Row::with_tokens(
+            0.0,
+            vec![],
+            vec!["red".into(), "blue".into()],
+        )]);
+        assert_eq!(e.vocabulary_size(), 2);
+        assert_eq!(e.dim(), 3);
+        // Unseen token at encode time is skipped.
+        let points = e.encode(&[Row::with_tokens(
+            1.0,
+            vec![],
+            vec!["red".into(), "green".into()],
+        )]);
+        assert_eq!(points[0].features.nnz(), 2); // bias + red
+                                                 // After another update, "green" gets an index.
+        e.update(&[Row::with_tokens(0.0, vec![], vec!["green".into()])]);
+        assert_eq!(e.dim(), 4);
+        let points = e.encode(&[Row::with_tokens(1.0, vec![], vec!["green".into()])]);
+        assert_eq!(points[0].features.nnz(), 2);
+    }
+
+    #[test]
+    fn one_hot_repeated_update_is_idempotent() {
+        let mut e = OneHotEncoder::new(0);
+        let rows = vec![Row::with_tokens(0.0, vec![], vec!["a".into(), "a".into()])];
+        e.update(&rows);
+        e.update(&rows);
+        assert_eq!(e.vocabulary_size(), 1);
+    }
+
+    #[test]
+    fn fnv_distinguishes_tokens() {
+        assert_ne!(fnv1a(b"abc"), fnv1a(b"abd"));
+        assert_ne!(fnv1a(b""), fnv1a(b"a"));
+    }
+}

@@ -1,0 +1,298 @@
+//! Feature extraction components (paper Table 1: "feature extraction" /
+//! "feature selection").
+
+use crate::component::RowComponent;
+use crate::parser::taxi_cols;
+use crate::row::Row;
+
+/// Mean Earth radius in kilometres.
+const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// Great-circle distance between two `(lat, lon)` points in kilometres
+/// (haversine formula, used by the Taxi pipeline per the Kaggle solutions
+/// the paper bases its pipeline on).
+pub fn haversine_km(lat1: f64, lon1: f64, lat2: f64, lon2: f64) -> f64 {
+    let (phi1, phi2) = (lat1.to_radians(), lat2.to_radians());
+    let d_phi = (lat2 - lat1).to_radians();
+    let d_lambda = (lon2 - lon1).to_radians();
+    let a = (d_phi / 2.0).sin().powi(2) + phi1.cos() * phi2.cos() * (d_lambda / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * a.sqrt().atan2((1.0 - a).sqrt())
+}
+
+/// Initial compass bearing from point 1 to point 2, in degrees `[0, 360)`.
+pub fn bearing_deg(lat1: f64, lon1: f64, lat2: f64, lon2: f64) -> f64 {
+    let (phi1, phi2) = (lat1.to_radians(), lat2.to_radians());
+    let d_lambda = (lon2 - lon1).to_radians();
+    let y = d_lambda.sin() * phi2.cos();
+    let x = phi1.cos() * phi2.sin() - phi1.sin() * phi2.cos() * d_lambda.cos();
+    (y.atan2(x).to_degrees() + 360.0) % 360.0
+}
+
+/// Hour of day `[0, 24)` from epoch seconds.
+pub fn hour_of_day(epoch_secs: f64) -> f64 {
+    ((epoch_secs / 3600.0).floor() % 24.0 + 24.0) % 24.0
+}
+
+/// Day of week with Monday = 0 (1970-01-01 was a Thursday = 3).
+pub fn day_of_week(epoch_secs: f64) -> f64 {
+    let days = (epoch_secs / 86_400.0).floor();
+    (((days + 3.0) % 7.0) + 7.0) % 7.0
+}
+
+/// Output column layout of [`TaxiFeatureExtractor`].
+pub mod taxi_features {
+    /// Haversine distance in km.
+    pub const HAVERSINE_KM: usize = 0;
+    /// Initial bearing in degrees.
+    pub const BEARING_DEG: usize = 1;
+    /// Hour of day.
+    pub const HOUR: usize = 2;
+    /// Day of week (Mon = 0).
+    pub const WEEKDAY: usize = 3;
+    /// 1.0 for Saturday/Sunday.
+    pub const IS_WEEKEND: usize = 4;
+    /// Passenger count.
+    pub const PASSENGERS: usize = 5;
+    /// Pickup longitude.
+    pub const PICKUP_LON: usize = 6;
+    /// Pickup latitude.
+    pub const PICKUP_LAT: usize = 7;
+    /// Dropoff longitude.
+    pub const DROPOFF_LON: usize = 8;
+    /// Dropoff latitude.
+    pub const DROPOFF_LAT: usize = 9;
+    /// Raw trip duration in seconds — consumed by the anomaly detector and
+    /// dropped by [`super::SelectColumns`] before modelling.
+    pub const DURATION_SECS: usize = 10;
+    /// Total column count.
+    pub const WIDTH: usize = 11;
+}
+
+/// The Taxi pipeline's feature extractor (paper §5.1): haversine distance,
+/// bearing, hour of day, and day of week, computed from the parsed trip
+/// columns. Stateless.
+#[derive(Debug, Clone, Default)]
+pub struct TaxiFeatureExtractor;
+
+impl TaxiFeatureExtractor {
+    /// Creates the extractor.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl RowComponent for TaxiFeatureExtractor {
+    fn name(&self) -> &str {
+        "taxi-feature-extractor"
+    }
+
+    fn transform(&self, rows: Vec<Row>) -> Vec<Row> {
+        rows.into_iter()
+            .filter_map(|row| {
+                if row.nums.len() < taxi_cols::WIDTH {
+                    return None; // malformed upstream row
+                }
+                let pickup_secs = row.nums[taxi_cols::PICKUP_SECS];
+                let p_lon = row.nums[taxi_cols::PICKUP_LON];
+                let p_lat = row.nums[taxi_cols::PICKUP_LAT];
+                let d_lon = row.nums[taxi_cols::DROPOFF_LON];
+                let d_lat = row.nums[taxi_cols::DROPOFF_LAT];
+                let weekday = day_of_week(pickup_secs);
+                let nums = vec![
+                    haversine_km(p_lat, p_lon, d_lat, d_lon),
+                    bearing_deg(p_lat, p_lon, d_lat, d_lon),
+                    hour_of_day(pickup_secs),
+                    weekday,
+                    f64::from(weekday >= 5.0),
+                    row.nums[taxi_cols::PASSENGERS],
+                    p_lon,
+                    p_lat,
+                    d_lon,
+                    d_lat,
+                    row.nums[taxi_cols::DURATION_SECS],
+                ];
+                Some(Row {
+                    label: row.label,
+                    nums,
+                    tokens: row.tokens,
+                })
+            })
+            .collect()
+    }
+
+    fn clone_box(&self) -> Box<dyn RowComponent> {
+        Box::new(self.clone())
+    }
+}
+
+/// Keeps only the listed numeric columns, in the given order — a stateless
+/// feature-selection component (paper Table 1). Rows narrower than the
+/// largest requested index are dropped.
+#[derive(Debug, Clone)]
+pub struct SelectColumns {
+    keep: Vec<usize>,
+}
+
+impl SelectColumns {
+    /// Keeps `keep` (by index, output order = slice order).
+    pub fn new(keep: Vec<usize>) -> Self {
+        Self { keep }
+    }
+
+    /// Keeps the first `n` columns.
+    pub fn first(n: usize) -> Self {
+        Self {
+            keep: (0..n).collect(),
+        }
+    }
+}
+
+impl RowComponent for SelectColumns {
+    fn name(&self) -> &str {
+        "select-columns"
+    }
+
+    fn transform(&self, rows: Vec<Row>) -> Vec<Row> {
+        let max = self.keep.iter().copied().max().unwrap_or(0);
+        rows.into_iter()
+            .filter_map(|row| {
+                if row.nums.len() <= max {
+                    return None;
+                }
+                let nums = self.keep.iter().map(|&i| row.nums[i]).collect();
+                Some(Row {
+                    label: row.label,
+                    nums,
+                    tokens: row.tokens,
+                })
+            })
+            .collect()
+    }
+
+    fn clone_box(&self) -> Box<dyn RowComponent> {
+        Box::new(self.clone())
+    }
+}
+
+/// Appends pairwise interaction terms `x_i · x_j` for the given column
+/// pairs — the paper's example of feature extraction that combines existing
+/// features (§3.2.1). Stateless.
+#[derive(Debug, Clone)]
+pub struct InteractionFeatures {
+    pairs: Vec<(usize, usize)>,
+}
+
+impl InteractionFeatures {
+    /// Creates the component for the given column pairs.
+    pub fn new(pairs: Vec<(usize, usize)>) -> Self {
+        Self { pairs }
+    }
+}
+
+impl RowComponent for InteractionFeatures {
+    fn name(&self) -> &str {
+        "interaction-features"
+    }
+
+    fn transform(&self, mut rows: Vec<Row>) -> Vec<Row> {
+        for row in &mut rows {
+            for &(i, j) in &self.pairs {
+                let a = row.nums.get(i).copied().unwrap_or(f64::NAN);
+                let b = row.nums.get(j).copied().unwrap_or(f64::NAN);
+                row.nums.push(a * b);
+            }
+        }
+        rows
+    }
+
+    fn clone_box(&self) -> Box<dyn RowComponent> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haversine_known_distance() {
+        // JFK (40.6413, -73.7781) to LGA (40.7769, -73.8740) ≈ 17 km.
+        let d = haversine_km(40.6413, -73.7781, 40.7769, -73.8740);
+        assert!((d - 17.0).abs() < 1.0, "d = {d}");
+    }
+
+    #[test]
+    fn haversine_zero_for_same_point() {
+        assert_eq!(haversine_km(40.0, -73.0, 40.0, -73.0), 0.0);
+    }
+
+    #[test]
+    fn bearing_cardinal_directions() {
+        // Due north.
+        let north = bearing_deg(40.0, -73.0, 41.0, -73.0);
+        assert!(north.abs() < 1e-6 || (north - 360.0).abs() < 1e-6);
+        // Due east (approximately 90° at small offsets).
+        let east = bearing_deg(0.0, 0.0, 0.0, 1.0);
+        assert!((east - 90.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hour_and_weekday() {
+        // 1970-01-01 00:00 was a Thursday (weekday 3).
+        assert_eq!(hour_of_day(0.0), 0.0);
+        assert_eq!(day_of_week(0.0), 3.0);
+        // +3 days → Sunday (weekday 6), 13:00.
+        let t = 3.0 * 86_400.0 + 13.0 * 3600.0 + 120.0;
+        assert_eq!(hour_of_day(t), 13.0);
+        assert_eq!(day_of_week(t), 6.0);
+    }
+
+    fn parsed_row() -> Row {
+        // pickup at epoch 3 days + 13h, 600 s trip, Manhattan-ish coords.
+        let pickup = 3.0 * 86_400.0 + 13.0 * 3600.0;
+        Row::numeric(
+            601f64.ln(),
+            vec![pickup, -73.98, 40.75, -73.95, 40.78, 2.0, 600.0],
+        )
+    }
+
+    #[test]
+    fn taxi_extractor_layout() {
+        let out = TaxiFeatureExtractor::new().transform(vec![parsed_row()]);
+        assert_eq!(out.len(), 1);
+        let nums = &out[0].nums;
+        assert_eq!(nums.len(), taxi_features::WIDTH);
+        assert!(nums[taxi_features::HAVERSINE_KM] > 0.0);
+        assert_eq!(nums[taxi_features::HOUR], 13.0);
+        assert_eq!(nums[taxi_features::WEEKDAY], 6.0);
+        assert_eq!(nums[taxi_features::IS_WEEKEND], 1.0);
+        assert_eq!(nums[taxi_features::PASSENGERS], 2.0);
+        assert_eq!(nums[taxi_features::DURATION_SECS], 600.0);
+    }
+
+    #[test]
+    fn taxi_extractor_drops_malformed_rows() {
+        let out = TaxiFeatureExtractor::new().transform(vec![Row::numeric(0.0, vec![1.0])]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn select_columns_projects_in_order() {
+        let sel = SelectColumns::new(vec![2, 0]);
+        let out = sel.transform(vec![Row::numeric(0.0, vec![10.0, 20.0, 30.0])]);
+        assert_eq!(out[0].nums, vec![30.0, 10.0]);
+    }
+
+    #[test]
+    fn select_columns_drops_narrow_rows() {
+        let sel = SelectColumns::new(vec![5]);
+        assert!(sel.transform(vec![Row::numeric(0.0, vec![1.0])]).is_empty());
+    }
+
+    #[test]
+    fn interactions_append_products() {
+        let comp = InteractionFeatures::new(vec![(0, 1)]);
+        let out = comp.transform(vec![Row::numeric(0.0, vec![3.0, 4.0])]);
+        assert_eq!(out[0].nums, vec![3.0, 4.0, 12.0]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Missing-value imputation with online mean statistics.
+
+use crate::component::RowComponent;
+use crate::row::Row;
+use crate::stats::ColumnMoments;
+
+/// Replaces missing (`NaN`) numeric values with the column's running mean —
+/// the URL pipeline's "missing value imputer" (paper §5.1).
+///
+/// The mean is an incrementally-computable statistic, so the component
+/// qualifies for online statistics computation: `update` folds arriving rows
+/// into per-column Welford accumulators, and `transform` fills gaps using
+/// whatever the accumulators currently hold (`0.0` before any observation).
+#[derive(Debug, Clone, Default)]
+pub struct MeanImputer {
+    moments: ColumnMoments,
+}
+
+impl MeanImputer {
+    /// Creates an imputer with empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current mean used for column `col`.
+    pub fn mean_for(&self, col: usize) -> f64 {
+        self.moments.col(col).mean()
+    }
+
+    /// Rows-worth of observations folded in so far for column 0 (test aid).
+    pub fn observed(&self) -> u64 {
+        self.moments.col(0).count()
+    }
+}
+
+impl RowComponent for MeanImputer {
+    fn name(&self) -> &str {
+        "mean-imputer"
+    }
+
+    fn update(&mut self, rows: &[Row]) {
+        for row in rows {
+            self.moments.update_row(&row.nums);
+        }
+    }
+
+    fn transform(&self, mut rows: Vec<Row>) -> Vec<Row> {
+        for row in &mut rows {
+            for (i, v) in row.nums.iter_mut().enumerate() {
+                if v.is_nan() {
+                    *v = self.moments.col(i).mean();
+                }
+            }
+        }
+        rows
+    }
+
+    fn is_stateful(&self) -> bool {
+        true
+    }
+
+    fn clone_box(&self) -> Box<dyn RowComponent> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imputes_with_running_mean() {
+        let mut imp = MeanImputer::new();
+        imp.update(&[
+            Row::numeric(0.0, vec![1.0, 10.0]),
+            Row::numeric(0.0, vec![3.0, f64::NAN]),
+        ]);
+        let out = imp.transform(vec![Row::numeric(0.0, vec![f64::NAN, f64::NAN])]);
+        assert_eq!(out[0].nums[0], 2.0); // mean of 1, 3
+        assert_eq!(out[0].nums[1], 10.0); // NaN skipped in stats
+    }
+
+    #[test]
+    fn unseen_column_imputes_zero() {
+        let imp = MeanImputer::new();
+        let out = imp.transform(vec![Row::numeric(0.0, vec![f64::NAN])]);
+        assert_eq!(out[0].nums[0], 0.0);
+    }
+
+    #[test]
+    fn update_then_transform_is_online_statistics() {
+        // Folding chunks one at a time must equal folding them all at once.
+        let rows: Vec<Row> = (0..10).map(|i| Row::numeric(0.0, vec![i as f64])).collect();
+        let mut online = MeanImputer::new();
+        for chunk in rows.chunks(3) {
+            online.update(chunk);
+        }
+        let mut batch = MeanImputer::new();
+        batch.update(&rows);
+        assert!((online.mean_for(0) - batch.mean_for(0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complete_rows_pass_through_unchanged() {
+        let mut imp = MeanImputer::new();
+        imp.update(&[Row::numeric(0.0, vec![5.0])]);
+        let out = imp.transform(vec![Row::numeric(1.0, vec![7.0])]);
+        assert_eq!(out[0].nums[0], 7.0);
+    }
+}

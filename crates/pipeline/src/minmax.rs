@@ -1,0 +1,208 @@
+//! Min–max scaling and winsorization — additional stateful components with
+//! incrementally-computable statistics (running minima/maxima), rounding
+//! out the library beyond the paper's two evaluation pipelines.
+
+use crate::component::RowComponent;
+use crate::row::Row;
+
+/// Per-column running minima and maxima (exact one-pass statistics).
+#[derive(Debug, Clone, Default)]
+struct ColumnRanges {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+impl ColumnRanges {
+    fn update_row(&mut self, nums: &[f64]) {
+        if nums.len() > self.mins.len() {
+            self.mins.resize(nums.len(), f64::INFINITY);
+            self.maxs.resize(nums.len(), f64::NEG_INFINITY);
+        }
+        for (i, &x) in nums.iter().enumerate() {
+            if x.is_nan() {
+                continue;
+            }
+            if x < self.mins[i] {
+                self.mins[i] = x;
+            }
+            if x > self.maxs[i] {
+                self.maxs[i] = x;
+            }
+        }
+    }
+
+    fn range(&self, i: usize) -> Option<(f64, f64)> {
+        match (self.mins.get(i), self.maxs.get(i)) {
+            (Some(&lo), Some(&hi)) if lo <= hi => Some((lo, hi)),
+            _ => None,
+        }
+    }
+}
+
+/// Scales every numeric column into `[0, 1]` using running min/max — the
+/// min and max are incrementally computable, so the component qualifies for
+/// online statistics computation (paper §3.1). Columns not yet observed
+/// pass through unchanged; constant columns map to `0.0`.
+#[derive(Debug, Clone, Default)]
+pub struct MinMaxScaler {
+    ranges: ColumnRanges,
+}
+
+impl MinMaxScaler {
+    /// Creates a scaler with empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current `(min, max)` for column `col`, if observed.
+    pub fn range_for(&self, col: usize) -> Option<(f64, f64)> {
+        self.ranges.range(col)
+    }
+}
+
+impl RowComponent for MinMaxScaler {
+    fn name(&self) -> &str {
+        "min-max-scaler"
+    }
+
+    fn update(&mut self, rows: &[Row]) {
+        for row in rows {
+            self.ranges.update_row(&row.nums);
+        }
+    }
+
+    fn transform(&self, mut rows: Vec<Row>) -> Vec<Row> {
+        for row in &mut rows {
+            for (i, v) in row.nums.iter_mut().enumerate() {
+                if let Some((lo, hi)) = self.ranges.range(i) {
+                    let span = hi - lo;
+                    *v = if span > 1e-12 { (*v - lo) / span } else { 0.0 };
+                }
+            }
+        }
+        rows
+    }
+
+    fn is_stateful(&self) -> bool {
+        true
+    }
+
+    fn clone_box(&self) -> Box<dyn RowComponent> {
+        Box::new(self.clone())
+    }
+}
+
+/// Clamps numeric columns into fixed bounds — a stateless data-cleaning
+/// transformation (softer than dropping rows like the anomaly filter).
+#[derive(Debug, Clone)]
+pub struct Winsorizer {
+    lo: f64,
+    hi: f64,
+}
+
+impl Winsorizer {
+    /// Creates a winsorizer clamping into `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics when `lo > hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "winsorizer bounds must be ordered");
+        Self { lo, hi }
+    }
+}
+
+impl RowComponent for Winsorizer {
+    fn name(&self) -> &str {
+        "winsorizer"
+    }
+
+    fn transform(&self, mut rows: Vec<Row>) -> Vec<Row> {
+        for row in &mut rows {
+            for v in &mut row.nums {
+                if !v.is_nan() {
+                    *v = v.clamp(self.lo, self.hi);
+                }
+            }
+        }
+        rows
+    }
+
+    fn clone_box(&self) -> Box<dyn RowComponent> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(values: &[f64]) -> Vec<Row> {
+        values.iter().map(|&v| Row::numeric(0.0, vec![v])).collect()
+    }
+
+    #[test]
+    fn minmax_maps_observed_range_to_unit_interval() {
+        let mut s = MinMaxScaler::new();
+        s.update(&rows(&[2.0, 6.0, 10.0]));
+        let out = s.transform(rows(&[2.0, 6.0, 10.0]));
+        assert_eq!(out[0].nums[0], 0.0);
+        assert_eq!(out[1].nums[0], 0.5);
+        assert_eq!(out[2].nums[0], 1.0);
+        assert_eq!(s.range_for(0), Some((2.0, 10.0)));
+    }
+
+    #[test]
+    fn minmax_extrapolates_beyond_observed_range() {
+        let mut s = MinMaxScaler::new();
+        s.update(&rows(&[0.0, 10.0]));
+        let out = s.transform(rows(&[20.0, -10.0]));
+        assert_eq!(out[0].nums[0], 2.0);
+        assert_eq!(out[1].nums[0], -1.0);
+    }
+
+    #[test]
+    fn minmax_constant_column_maps_to_zero() {
+        let mut s = MinMaxScaler::new();
+        s.update(&rows(&[5.0, 5.0]));
+        let out = s.transform(rows(&[5.0]));
+        assert_eq!(out[0].nums[0], 0.0);
+    }
+
+    #[test]
+    fn minmax_skips_nan_in_update_and_unseen_columns() {
+        let mut s = MinMaxScaler::new();
+        s.update(&[Row::numeric(0.0, vec![f64::NAN])]);
+        // No observation ⇒ identity transform.
+        let out = s.transform(rows(&[7.0]));
+        assert_eq!(out[0].nums[0], 7.0);
+        assert_eq!(s.range_for(0), None);
+    }
+
+    #[test]
+    fn minmax_incremental_updates_match_batch() {
+        let values = [3.0, -1.0, 8.0, 2.5, 7.0];
+        let mut online = MinMaxScaler::new();
+        for chunk in rows(&values).chunks(2) {
+            online.update(chunk);
+        }
+        let mut batch = MinMaxScaler::new();
+        batch.update(&rows(&values));
+        assert_eq!(online.range_for(0), batch.range_for(0));
+    }
+
+    #[test]
+    fn winsorizer_clamps_only_out_of_bounds() {
+        let w = Winsorizer::new(-1.0, 1.0);
+        let out = w.transform(rows(&[-5.0, 0.5, 5.0]));
+        assert_eq!(out[0].nums[0], -1.0);
+        assert_eq!(out[1].nums[0], 0.5);
+        assert_eq!(out[2].nums[0], 1.0);
+        assert!(!w.is_stateful());
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds must be ordered")]
+    fn winsorizer_rejects_inverted_bounds() {
+        Winsorizer::new(1.0, -1.0);
+    }
+}

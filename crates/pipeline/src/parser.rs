@@ -1,0 +1,339 @@
+//! Input parsers: raw [`Record`]s → typed [`Row`]s.
+//!
+//! Parsers are the first stage of every pipeline. They are stateless and may
+//! reject malformed records (returning `None`), mirroring the paper's "input
+//! parser" components of both evaluation pipelines.
+
+use std::sync::Arc;
+
+use cdp_storage::{Record, Schema, Value};
+
+use crate::row::Row;
+
+/// Parses raw records into rows; the first stage of a pipeline.
+pub trait Parser: Send + Sync {
+    /// Stable name for reports.
+    fn name(&self) -> &str;
+
+    /// Parses one record; `None` drops it (malformed input).
+    fn parse(&self, record: &Record) -> Option<Row>;
+
+    /// Clones the parser (pipeline snapshots).
+    fn clone_box(&self) -> Box<dyn Parser>;
+}
+
+impl Clone for Box<dyn Parser> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Generic schema-driven parser: one label field, a set of numeric fields
+/// (missing → `NaN`), and an optional whitespace-tokenized text field.
+///
+/// This is the URL pipeline's input parser: the label, the numeric lexical
+/// features (some missing), and the tokenized URL string.
+#[derive(Debug, Clone)]
+pub struct SchemaParser {
+    schema: Arc<Schema>,
+    label_idx: usize,
+    num_idx: Vec<usize>,
+    token_idx: Option<usize>,
+}
+
+impl SchemaParser {
+    /// Builds a parser against `schema`.
+    ///
+    /// # Panics
+    /// Panics when a referenced field does not exist in the schema — a
+    /// configuration error that must fail fast at deployment time.
+    pub fn new(
+        schema: Arc<Schema>,
+        label_field: &str,
+        num_fields: &[&str],
+        token_field: Option<&str>,
+    ) -> Self {
+        let label_idx = schema
+            .index_of(label_field)
+            .unwrap_or_else(|| panic!("label field '{label_field}' not in schema"));
+        let num_idx = num_fields
+            .iter()
+            .map(|f| {
+                schema
+                    .index_of(f)
+                    .unwrap_or_else(|| panic!("numeric field '{f}' not in schema"))
+            })
+            .collect();
+        let token_idx = token_field.map(|f| {
+            schema
+                .index_of(f)
+                .unwrap_or_else(|| panic!("token field '{f}' not in schema"))
+        });
+        Self {
+            schema,
+            label_idx,
+            num_idx,
+            token_idx,
+        }
+    }
+
+    /// The schema this parser expects.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+}
+
+impl Parser for SchemaParser {
+    fn name(&self) -> &str {
+        "schema-parser"
+    }
+
+    fn parse(&self, record: &Record) -> Option<Row> {
+        let label = match record.get(self.label_idx)? {
+            Value::Num(x) => *x,
+            Value::Missing => f64::NAN,
+            Value::Text(_) => return None,
+        };
+        let mut nums = Vec::with_capacity(self.num_idx.len());
+        for &i in &self.num_idx {
+            match record.get(i)? {
+                Value::Num(x) => nums.push(*x),
+                Value::Missing => nums.push(f64::NAN),
+                Value::Text(_) => return None,
+            }
+        }
+        let tokens = match self.token_idx {
+            None => Vec::new(),
+            Some(i) => match record.get(i)? {
+                Value::Text(s) => s.split_whitespace().map(str::to_owned).collect(),
+                Value::Missing => Vec::new(),
+                Value::Num(_) => return None,
+            },
+        };
+        Some(Row {
+            label,
+            nums,
+            tokens,
+        })
+    }
+
+    fn clone_box(&self) -> Box<dyn Parser> {
+        Box::new(self.clone())
+    }
+}
+
+/// The Taxi pipeline's input parser (paper §5.1): reads pickup/dropoff
+/// epoch-second fields and computes the actual trip duration as the label
+/// (`log1p(seconds)`, the Kaggle-style RMSLE target), and extracts the trip
+/// coordinate and passenger columns.
+///
+/// Output numeric columns, in order:
+/// `[pickup_secs, pickup_lon, pickup_lat, dropoff_lon, dropoff_lat,
+/// passengers, trip_distance_km_raw]` — downstream components (anomaly
+/// detector, feature extractor) consume these by index.
+#[derive(Debug, Clone)]
+pub struct TaxiParser {
+    schema: Arc<Schema>,
+    idx: TaxiFieldIdx,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TaxiFieldIdx {
+    pickup_time: usize,
+    dropoff_time: usize,
+    pickup_lon: usize,
+    pickup_lat: usize,
+    dropoff_lon: usize,
+    dropoff_lat: usize,
+    passengers: usize,
+}
+
+/// Column positions of the taxi parser output consumed downstream.
+pub mod taxi_cols {
+    /// Pickup time in epoch seconds.
+    pub const PICKUP_SECS: usize = 0;
+    /// Pickup longitude.
+    pub const PICKUP_LON: usize = 1;
+    /// Pickup latitude.
+    pub const PICKUP_LAT: usize = 2;
+    /// Dropoff longitude.
+    pub const DROPOFF_LON: usize = 3;
+    /// Dropoff latitude.
+    pub const DROPOFF_LAT: usize = 4;
+    /// Passenger count.
+    pub const PASSENGERS: usize = 5;
+    /// Raw trip duration in seconds (kept for the anomaly filter; removed by
+    /// the feature extractor).
+    pub const DURATION_SECS: usize = 6;
+    /// Total column count emitted by the parser.
+    pub const WIDTH: usize = 7;
+}
+
+impl TaxiParser {
+    /// Builds a taxi parser against the canonical trip-record schema
+    /// (fields: `pickup_time`, `dropoff_time`, `pickup_lon`, `pickup_lat`,
+    /// `dropoff_lon`, `dropoff_lat`, `passengers`).
+    ///
+    /// # Panics
+    /// Panics when a required field is absent.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        let must = |name: &str| {
+            schema
+                .index_of(name)
+                .unwrap_or_else(|| panic!("taxi field '{name}' not in schema"))
+        };
+        let idx = TaxiFieldIdx {
+            pickup_time: must("pickup_time"),
+            dropoff_time: must("dropoff_time"),
+            pickup_lon: must("pickup_lon"),
+            pickup_lat: must("pickup_lat"),
+            dropoff_lon: must("dropoff_lon"),
+            dropoff_lat: must("dropoff_lat"),
+            passengers: must("passengers"),
+        };
+        Self { schema, idx }
+    }
+
+    /// The schema this parser expects.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+}
+
+impl Parser for TaxiParser {
+    fn name(&self) -> &str {
+        "taxi-parser"
+    }
+
+    fn parse(&self, record: &Record) -> Option<Row> {
+        let num = |i: usize| record.get(i).and_then(Value::as_num);
+        let pickup = num(self.idx.pickup_time)?;
+        let dropoff = num(self.idx.dropoff_time)?;
+        let duration = dropoff - pickup;
+        // The label is log1p(duration): RMSLE on durations is RMSE on this
+        // target. Non-positive durations are kept (the anomaly detector
+        // downstream removes them) with a clamped label.
+        let label = duration.max(0.0).ln_1p();
+        let nums = vec![
+            pickup,
+            num(self.idx.pickup_lon)?,
+            num(self.idx.pickup_lat)?,
+            num(self.idx.dropoff_lon)?,
+            num(self.idx.dropoff_lat)?,
+            num(self.idx.passengers).unwrap_or(1.0),
+            duration,
+        ];
+        Some(Row {
+            label,
+            nums,
+            tokens: Vec::new(),
+        })
+    }
+
+    fn clone_box(&self) -> Box<dyn Parser> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url_schema() -> Arc<Schema> {
+        Schema::new(["label", "lex0", "lex1", "url"])
+    }
+
+    #[test]
+    fn schema_parser_extracts_everything() {
+        let schema = url_schema();
+        let parser = SchemaParser::new(schema, "label", &["lex0", "lex1"], Some("url"));
+        let record = Record::new(vec![
+            Value::Num(1.0),
+            Value::Num(0.5),
+            Value::Missing,
+            Value::Text("com example login".into()),
+        ]);
+        let row = parser.parse(&record).unwrap();
+        assert_eq!(row.label, 1.0);
+        assert_eq!(row.nums[0], 0.5);
+        assert!(row.nums[1].is_nan());
+        assert_eq!(row.tokens, vec!["com", "example", "login"]);
+    }
+
+    #[test]
+    fn schema_parser_rejects_text_label() {
+        let schema = url_schema();
+        let parser = SchemaParser::new(schema, "label", &[], None);
+        let record = Record::new(vec![Value::Text("bad".into())]);
+        assert!(parser.parse(&record).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in schema")]
+    fn schema_parser_panics_on_unknown_field() {
+        SchemaParser::new(url_schema(), "nope", &[], None);
+    }
+
+    fn taxi_schema() -> Arc<Schema> {
+        Schema::new([
+            "pickup_time",
+            "dropoff_time",
+            "pickup_lon",
+            "pickup_lat",
+            "dropoff_lon",
+            "dropoff_lat",
+            "passengers",
+        ])
+    }
+
+    #[test]
+    fn taxi_parser_computes_duration_label() {
+        let parser = TaxiParser::new(taxi_schema());
+        let record = Record::new(vec![
+            Value::Num(1000.0),
+            Value::Num(1600.0), // 600 s trip
+            Value::Num(-73.98),
+            Value::Num(40.75),
+            Value::Num(-73.95),
+            Value::Num(40.78),
+            Value::Num(2.0),
+        ]);
+        let row = parser.parse(&record).unwrap();
+        assert!((row.label - 601f64.ln()).abs() < 1e-12);
+        assert_eq!(row.nums[taxi_cols::DURATION_SECS], 600.0);
+        assert_eq!(row.nums[taxi_cols::PASSENGERS], 2.0);
+        assert_eq!(row.nums.len(), taxi_cols::WIDTH);
+    }
+
+    #[test]
+    fn taxi_parser_clamps_negative_duration_label() {
+        let parser = TaxiParser::new(taxi_schema());
+        let record = Record::new(vec![
+            Value::Num(2000.0),
+            Value::Num(1000.0), // negative duration
+            Value::Num(0.0),
+            Value::Num(0.0),
+            Value::Num(0.0),
+            Value::Num(0.0),
+            Value::Num(1.0),
+        ]);
+        let row = parser.parse(&record).unwrap();
+        assert_eq!(row.label, 0.0);
+        assert_eq!(row.nums[taxi_cols::DURATION_SECS], -1000.0);
+    }
+
+    #[test]
+    fn taxi_parser_rejects_missing_coordinates() {
+        let parser = TaxiParser::new(taxi_schema());
+        let record = Record::new(vec![
+            Value::Num(0.0),
+            Value::Num(1.0),
+            Value::Missing,
+            Value::Num(0.0),
+            Value::Num(0.0),
+            Value::Num(0.0),
+            Value::Num(1.0),
+        ]);
+        assert!(parser.parse(&record).is_none());
+    }
+}

@@ -1,0 +1,394 @@
+//! Pipeline composition: parser → components → encoder.
+
+use cdp_storage::{FeatureChunk, LabeledPoint, RawChunk, Record};
+
+use crate::component::RowComponent;
+use crate::encode::Encoder;
+use crate::parser::Parser;
+use crate::row::Row;
+
+/// Work counters for cost attribution (rows touched per code path).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineCounters {
+    /// Raw records parsed.
+    pub parsed_records: u64,
+    /// Row-stage statistic updates performed (rows × stateful components).
+    pub update_rows: u64,
+    /// Row-stage transformations performed (rows × components).
+    pub transform_rows: u64,
+    /// Feature vectors encoded.
+    pub encoded_points: u64,
+}
+
+/// Errors constructing a pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// A component declared non-incremental statistics; the platform cannot
+    /// deploy it (paper §3.1).
+    NonIncremental {
+        /// The offending component name.
+        component: String,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::NonIncremental { component } => write!(
+                f,
+                "component '{component}' requires non-incremental statistics, \
+                 which the continuous-deployment platform does not support"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// A deployable preprocessing pipeline.
+///
+/// Two processing paths mirror the paper's deployment contract:
+///
+/// * [`Pipeline::fit_transform_chunk`] — *online learning path*: every
+///   stateful stage updates its statistics from the arriving chunk, then
+///   transforms it (online statistics computation, §3.1);
+/// * [`Pipeline::transform_chunk`] — *transform-only path*: used for
+///   prediction queries and for **re-materializing** evicted feature chunks;
+///   statistics are left untouched.
+///
+/// Cloning a pipeline snapshots all component statistics (warm starting).
+#[derive(Clone)]
+pub struct Pipeline {
+    parser: Box<dyn Parser>,
+    components: Vec<Box<dyn RowComponent>>,
+    encoder: Box<dyn Encoder>,
+    counters: PipelineCounters,
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("parser", &self.parser.name())
+            .field(
+                "components",
+                &self.components.iter().map(|c| c.name()).collect::<Vec<_>>(),
+            )
+            .field("encoder", &self.encoder.name())
+            .field("dim", &self.encoder.dim())
+            .finish()
+    }
+}
+
+/// Builder for [`Pipeline`].
+pub struct PipelineBuilder {
+    parser: Box<dyn Parser>,
+    components: Vec<Box<dyn RowComponent>>,
+}
+
+impl PipelineBuilder {
+    /// Starts a pipeline with an input parser.
+    pub fn new(parser: impl Parser + 'static) -> Self {
+        Self {
+            parser: Box::new(parser),
+            components: Vec::new(),
+        }
+    }
+
+    /// Appends a row component.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(mut self, component: impl RowComponent + 'static) -> Self {
+        self.components.push(Box::new(component));
+        self
+    }
+
+    /// Finishes with an encoder.
+    ///
+    /// # Errors
+    /// [`PipelineError::NonIncremental`] when any component declares
+    /// non-incrementally-computable statistics.
+    pub fn encoder(self, encoder: impl Encoder + 'static) -> Result<Pipeline, PipelineError> {
+        for c in &self.components {
+            if !c.is_incremental() {
+                return Err(PipelineError::NonIncremental {
+                    component: c.name().to_owned(),
+                });
+            }
+        }
+        Ok(Pipeline {
+            parser: self.parser,
+            components: self.components,
+            encoder: Box::new(encoder),
+            counters: PipelineCounters::default(),
+        })
+    }
+}
+
+impl Pipeline {
+    /// Parses a batch of raw records, dropping malformed ones.
+    pub fn parse(&mut self, records: &[Record]) -> Vec<Row> {
+        self.counters.parsed_records += records.len() as u64;
+        records
+            .iter()
+            .filter_map(|r| self.parser.parse(r))
+            .collect()
+    }
+
+    /// Parse without counting or mutation (query path helper).
+    fn parse_ref(&self, records: &[Record]) -> Vec<Row> {
+        records
+            .iter()
+            .filter_map(|r| self.parser.parse(r))
+            .collect()
+    }
+
+    /// Online-learning path over parsed rows: update statistics, then
+    /// transform, stage by stage.
+    pub fn fit_transform_rows(&mut self, mut rows: Vec<Row>) -> Vec<LabeledPoint> {
+        for component in &mut self.components {
+            if component.is_stateful() {
+                component.update(&rows);
+                self.counters.update_rows += rows.len() as u64;
+            }
+            self.counters.transform_rows += rows.len() as u64;
+            rows = component.transform(rows);
+        }
+        if self.encoder.is_stateful() {
+            self.encoder.update(&rows);
+            self.counters.update_rows += rows.len() as u64;
+        }
+        self.counters.encoded_points += rows.len() as u64;
+        self.encoder.encode(&rows)
+    }
+
+    /// Transform-only path over parsed rows (statistics untouched).
+    pub fn transform_rows(&mut self, mut rows: Vec<Row>) -> Vec<LabeledPoint> {
+        for component in &self.components {
+            self.counters.transform_rows += rows.len() as u64;
+            rows = component.transform(rows);
+        }
+        self.counters.encoded_points += rows.len() as u64;
+        self.encoder.encode(&rows)
+    }
+
+    /// Online-learning path over a raw chunk; produces the feature chunk to
+    /// store (with the back-reference for dynamic materialization).
+    pub fn fit_transform_chunk(&mut self, chunk: &RawChunk) -> FeatureChunk {
+        let rows = self.parse(&chunk.records);
+        let points = self.fit_transform_rows(rows);
+        FeatureChunk::new(chunk.timestamp, chunk.timestamp, points)
+    }
+
+    /// Transform-only path over a raw chunk — the **re-materialization**
+    /// operation of dynamic materialization (§3.2).
+    pub fn transform_chunk(&mut self, chunk: &RawChunk) -> FeatureChunk {
+        let rows = self.parse(&chunk.records);
+        let points = self.transform_rows(rows);
+        FeatureChunk::new(chunk.timestamp, chunk.timestamp, points)
+    }
+
+    /// Preprocesses one prediction query. Returns `None` when the record is
+    /// malformed or filtered out by a cleaning stage. Does not touch any
+    /// statistics and does not count toward the work counters (queries are
+    /// accounted separately by the cost model).
+    pub fn transform_query(&self, record: &Record) -> Option<LabeledPoint> {
+        let rows = self.parse_ref(std::slice::from_ref(record));
+        let mut rows = rows;
+        for component in &self.components {
+            rows = component.transform(rows);
+            if rows.is_empty() {
+                return None;
+            }
+        }
+        self.encoder.encode(&rows).into_iter().next()
+    }
+
+    /// Current encoder output dimension.
+    pub fn dim(&self) -> usize {
+        self.encoder.dim()
+    }
+
+    /// Component names, parser first, encoder last.
+    pub fn stage_names(&self) -> Vec<&str> {
+        let mut names = vec![self.parser.name()];
+        names.extend(self.components.iter().map(|c| c.name()));
+        names.push(self.encoder.name());
+        names
+    }
+
+    /// Work counters.
+    pub fn counters(&self) -> PipelineCounters {
+        self.counters
+    }
+
+    /// Adds another counter snapshot into this pipeline's counters — used
+    /// when work was executed on cloned pipelines (chunk-parallel
+    /// transformation on the execution engine) and must be attributed to
+    /// the deployed instance for cost accounting.
+    pub fn absorb_counters(&mut self, other: PipelineCounters) {
+        self.counters.parsed_records += other.parsed_records;
+        self.counters.update_rows += other.update_rows;
+        self.counters.transform_rows += other.transform_rows;
+        self.counters.encoded_points += other.encoded_points;
+    }
+
+    /// Resets the work counters.
+    pub fn reset_counters(&mut self) {
+        self.counters = PipelineCounters::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::DenseEncoder;
+    use crate::impute::MeanImputer;
+    use crate::parser::SchemaParser;
+    use crate::row::Row;
+    use crate::scale::StandardScaler;
+    use cdp_storage::{Schema, Timestamp, Value};
+
+    fn sample_pipeline() -> Pipeline {
+        let schema = Schema::new(["y", "a", "b"]);
+        let parser = SchemaParser::new(schema, "y", &["a", "b"], None);
+        PipelineBuilder::new(parser)
+            .add(MeanImputer::new())
+            .add(StandardScaler::new())
+            .encoder(DenseEncoder::new(2))
+            .unwrap()
+    }
+
+    fn chunk(ts: u64, rows: &[(f64, f64, f64)]) -> RawChunk {
+        let records = rows
+            .iter()
+            .map(|&(y, a, b)| Record::new(vec![Value::Num(y), Value::Num(a), Value::Num(b)]))
+            .collect();
+        RawChunk::new(Timestamp(ts), records)
+    }
+
+    #[test]
+    fn fit_transform_produces_feature_chunk() {
+        let mut p = sample_pipeline();
+        let raw = chunk(0, &[(1.0, 2.0, 3.0), (0.0, 4.0, 5.0)]);
+        let fc = p.fit_transform_chunk(&raw);
+        assert_eq!(fc.timestamp, Timestamp(0));
+        assert_eq!(fc.raw_ref, Timestamp(0));
+        assert_eq!(fc.len(), 2);
+        assert_eq!(fc.points[0].features.dim(), 3); // bias + 2 cols
+    }
+
+    #[test]
+    fn rematerialization_reproduces_online_output() {
+        // Core dynamic-materialization invariant: after statistics are
+        // updated online, transform-only on the same raw chunk reproduces
+        // the stored feature chunk bit-for-bit.
+        let mut p = sample_pipeline();
+        let raw = chunk(0, &[(1.0, 2.0, 3.0), (0.0, 4.0, 5.0), (1.0, 6.0, 1.0)]);
+        let stored = p.fit_transform_chunk(&raw);
+        let rematerialized = p.transform_chunk(&raw);
+        assert_eq!(stored, rematerialized);
+    }
+
+    #[test]
+    fn transform_only_does_not_move_statistics() {
+        let mut p = sample_pipeline();
+        p.fit_transform_chunk(&chunk(0, &[(1.0, 2.0, 3.0)]));
+        let before = p.transform_chunk(&chunk(1, &[(0.0, 100.0, -50.0)]));
+        // Repeated transform-only gives identical output: no stats movement.
+        let again = p.transform_chunk(&chunk(2, &[(0.0, 100.0, -50.0)]));
+        assert_eq!(before.points, again.points);
+    }
+
+    #[test]
+    fn query_path_matches_training_path() {
+        // Train/serve consistency: the same record preprocessed via the
+        // query path equals its transform-only training representation.
+        let mut p = sample_pipeline();
+        p.fit_transform_chunk(&chunk(0, &[(1.0, 2.0, 3.0), (0.0, 4.0, 7.0)]));
+        let record = Record::new(vec![Value::Num(1.0), Value::Num(3.0), Value::Num(5.0)]);
+        let query = p.transform_query(&record).unwrap();
+        let training = p.transform_chunk(&RawChunk::new(Timestamp(9), vec![record]));
+        assert_eq!(query, training.points[0]);
+    }
+
+    #[test]
+    fn query_on_malformed_record_is_none() {
+        let p = sample_pipeline();
+        let bad = Record::new(vec![Value::Text("not-a-number".into())]);
+        assert!(p.transform_query(&bad).is_none());
+    }
+
+    #[test]
+    fn counters_track_work() {
+        let mut p = sample_pipeline();
+        p.fit_transform_chunk(&chunk(0, &[(1.0, 2.0, 3.0), (0.0, 4.0, 5.0)]));
+        let c = p.counters();
+        assert_eq!(c.parsed_records, 2);
+        assert_eq!(c.update_rows, 4); // 2 rows × 2 stateful components
+        assert_eq!(c.transform_rows, 4); // 2 rows × 2 components
+        assert_eq!(c.encoded_points, 2);
+        p.reset_counters();
+        assert_eq!(p.counters(), PipelineCounters::default());
+    }
+
+    #[test]
+    fn snapshot_clone_freezes_statistics() {
+        let mut p = sample_pipeline();
+        p.fit_transform_chunk(&chunk(0, &[(1.0, 2.0, 3.0), (0.0, 4.0, 5.0)]));
+        let snapshot = p.clone();
+        // Advance the original's statistics.
+        p.fit_transform_chunk(&chunk(1, &[(1.0, 100.0, 200.0)]));
+        // The snapshot still transforms with the old statistics...
+        let mut snap = snapshot.clone();
+        let from_snapshot = snap.transform_chunk(&chunk(5, &[(0.0, 4.0, 5.0)]));
+        // ... which differ from the advanced pipeline's output.
+        let from_advanced = p.transform_chunk(&chunk(6, &[(0.0, 4.0, 5.0)]));
+        assert_ne!(from_snapshot.points, from_advanced.points);
+    }
+
+    #[test]
+    fn builder_rejects_non_incremental_components() {
+        #[derive(Clone)]
+        struct ExactPercentile;
+        impl RowComponent for ExactPercentile {
+            fn name(&self) -> &str {
+                "exact-percentile"
+            }
+            fn transform(&self, rows: Vec<Row>) -> Vec<Row> {
+                rows
+            }
+            fn is_incremental(&self) -> bool {
+                false
+            }
+            fn clone_box(&self) -> Box<dyn RowComponent> {
+                Box::new(self.clone())
+            }
+        }
+
+        let schema = Schema::new(["y"]);
+        let parser = SchemaParser::new(schema, "y", &[], None);
+        let err = PipelineBuilder::new(parser)
+            .add(ExactPercentile)
+            .encoder(DenseEncoder::new(0))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PipelineError::NonIncremental {
+                component: "exact-percentile".into()
+            }
+        );
+    }
+
+    #[test]
+    fn stage_names_are_ordered() {
+        let p = sample_pipeline();
+        assert_eq!(
+            p.stage_names(),
+            vec![
+                "schema-parser",
+                "mean-imputer",
+                "standard-scaler",
+                "dense-encoder"
+            ]
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! The intermediate row representation flowing between pipeline components.
+
+/// A parsed training example or prediction query.
+///
+/// * `label` — the learning target (`NaN` for unlabeled prediction queries).
+/// * `nums` — numeric feature columns; `NaN` marks a missing value, which
+///   only the missing-value imputer is expected to remove.
+/// * `tokens` — a bag of categorical/text tokens (e.g. tokenized URL parts)
+///   consumed by the feature hasher or the one-hot encoder.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Row {
+    /// Learning target; `NaN` when unknown.
+    pub label: f64,
+    /// Numeric columns (`NaN` = missing).
+    pub nums: Vec<f64>,
+    /// Token bag for hashing/one-hot encoding.
+    pub tokens: Vec<String>,
+}
+
+impl Row {
+    /// A labeled numeric row.
+    pub fn numeric(label: f64, nums: Vec<f64>) -> Self {
+        Self {
+            label,
+            nums,
+            tokens: Vec::new(),
+        }
+    }
+
+    /// A labeled row with tokens.
+    pub fn with_tokens(label: f64, nums: Vec<f64>, tokens: Vec<String>) -> Self {
+        Self {
+            label,
+            nums,
+            tokens,
+        }
+    }
+
+    /// Whether any numeric column is missing.
+    pub fn has_missing(&self) -> bool {
+        self.nums.iter().any(|v| v.is_nan())
+    }
+
+    /// Number of numeric columns.
+    pub fn num_cols(&self) -> usize {
+        self.nums.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_detection() {
+        let complete = Row::numeric(1.0, vec![1.0, 2.0]);
+        let missing = Row::numeric(1.0, vec![1.0, f64::NAN]);
+        assert!(!complete.has_missing());
+        assert!(missing.has_missing());
+    }
+
+    #[test]
+    fn constructors() {
+        let r = Row::with_tokens(0.5, vec![1.0], vec!["a".into()]);
+        assert_eq!(r.label, 0.5);
+        assert_eq!(r.num_cols(), 1);
+        assert_eq!(r.tokens.len(), 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Standard scaling with online mean/variance statistics.
+
+use crate::component::RowComponent;
+use crate::row::Row;
+use crate::stats::ColumnMoments;
+
+/// Standardizes numeric columns to zero mean and unit variance — the paper's
+/// flagship example of a component with incrementally-computable statistics
+/// (mean and standard deviation, §3.1).
+///
+/// `update` folds rows into per-column Welford accumulators; `transform`
+/// applies `(x − mean) / std`. Columns with (near-)zero variance are only
+/// centered, never divided by ~0.
+#[derive(Debug, Clone, Default)]
+pub struct StandardScaler {
+    moments: ColumnMoments,
+}
+
+impl StandardScaler {
+    /// Creates a scaler with empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current `(mean, std)` for column `col`.
+    pub fn stats_for(&self, col: usize) -> (f64, f64) {
+        let m = self.moments.col(col);
+        (m.mean(), m.std_dev())
+    }
+}
+
+impl RowComponent for StandardScaler {
+    fn name(&self) -> &str {
+        "standard-scaler"
+    }
+
+    fn update(&mut self, rows: &[Row]) {
+        for row in rows {
+            self.moments.update_row(&row.nums);
+        }
+    }
+
+    fn transform(&self, mut rows: Vec<Row>) -> Vec<Row> {
+        for row in &mut rows {
+            for (i, v) in row.nums.iter_mut().enumerate() {
+                let m = self.moments.col(i);
+                let std = m.std_dev();
+                *v -= m.mean();
+                if std > 1e-12 {
+                    *v /= std;
+                }
+            }
+        }
+        rows
+    }
+
+    fn is_stateful(&self) -> bool {
+        true
+    }
+
+    fn clone_box(&self) -> Box<dyn RowComponent> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(values: &[f64]) -> Vec<Row> {
+        values.iter().map(|&v| Row::numeric(0.0, vec![v])).collect()
+    }
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_variance() {
+        let mut scaler = StandardScaler::new();
+        let data = rows(&[2.0, 4.0, 6.0, 8.0]);
+        scaler.update(&data);
+        let out = scaler.transform(data);
+        let mean: f64 = out.iter().map(|r| r.nums[0]).sum::<f64>() / out.len() as f64;
+        let var: f64 = out.iter().map(|r| r.nums[0] * r.nums[0]).sum::<f64>() / out.len() as f64;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_column_is_centered_not_divided() {
+        let mut scaler = StandardScaler::new();
+        let data = rows(&[5.0, 5.0, 5.0]);
+        scaler.update(&data);
+        let out = scaler.transform(data);
+        for r in out {
+            assert_eq!(r.nums[0], 0.0);
+        }
+    }
+
+    #[test]
+    fn chunked_updates_match_batch_update() {
+        let values: Vec<f64> = (0..20).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut online = StandardScaler::new();
+        for chunk in rows(&values).chunks(4) {
+            online.update(chunk);
+        }
+        let mut batch = StandardScaler::new();
+        batch.update(&rows(&values));
+        let (m1, s1) = online.stats_for(0);
+        let (m2, s2) = batch.stats_for(0);
+        assert!((m1 - m2).abs() < 1e-12);
+        assert!((s1 - s2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transform_before_any_update_is_identity_shift() {
+        let scaler = StandardScaler::new();
+        let out = scaler.transform(rows(&[3.0]));
+        // mean=0, std=0 => only centering by 0.
+        assert_eq!(out[0].nums[0], 3.0);
+    }
+
+    #[test]
+    fn scaler_is_stateful_and_incremental() {
+        let s = StandardScaler::new();
+        assert!(s.is_stateful());
+        assert!(s.is_incremental());
+    }
+}

@@ -1,0 +1,199 @@
+//! Incrementally-computable statistics (paper §3.1).
+//!
+//! Only statistics with an exact one-pass update rule are provided — that is
+//! the platform's admission criterion for stateful pipeline components.
+
+/// Welford's online algorithm for mean and variance of one column, with
+/// NaN-skipping (missing values must not poison the statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunningMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningMoments {
+    /// Creates empty moments.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one observation in; `NaN` is skipped.
+    #[inline]
+    pub fn update(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Merges another accumulator (Chan et al. parallel combination) —
+    /// lets the engine compute statistics chunk-parallel and combine.
+    pub fn merge(&mut self, other: &RunningMoments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+    }
+
+    /// Observations folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The running mean (`0.0` before any observation).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (`0.0` with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// A fixed-size set of per-column moments that grows with the widest row
+/// seen, for components operating over all numeric columns.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ColumnMoments {
+    cols: Vec<RunningMoments>,
+}
+
+impl ColumnMoments {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds a row of observations in, growing to its width.
+    pub fn update_row(&mut self, nums: &[f64]) {
+        if nums.len() > self.cols.len() {
+            self.cols.resize_with(nums.len(), RunningMoments::new);
+        }
+        for (col, &x) in self.cols.iter_mut().zip(nums) {
+            col.update(x);
+        }
+    }
+
+    /// Per-column accumulators.
+    pub fn columns(&self) -> &[RunningMoments] {
+        &self.cols
+    }
+
+    /// Number of tracked columns.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Moments of column `i` (default moments when the column is unseen).
+    pub fn col(&self, i: usize) -> RunningMoments {
+        self.cols.get(i).copied().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut m = RunningMoments::new();
+        for &x in &data {
+            m.update(x);
+        }
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / data.len() as f64;
+        assert!((m.mean() - mean).abs() < 1e-12);
+        assert!((m.variance() - var).abs() < 1e-12);
+        assert_eq!(m.count(), 8);
+    }
+
+    #[test]
+    fn nan_is_skipped() {
+        let mut m = RunningMoments::new();
+        m.update(1.0);
+        m.update(f64::NAN);
+        m.update(3.0);
+        assert_eq!(m.count(), 2);
+        assert!((m.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let all = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut seq = RunningMoments::new();
+        for &x in &all {
+            seq.update(x);
+        }
+        let mut a = RunningMoments::new();
+        let mut b = RunningMoments::new();
+        for &x in &all[..2] {
+            a.update(x);
+        }
+        for &x in &all[2..] {
+            b.update(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - seq.mean()).abs() < 1e-12);
+        assert!((a.variance() - seq.variance()).abs() < 1e-12);
+        assert_eq!(a.count(), seq.count());
+    }
+
+    #[test]
+    fn merge_with_empty_sides() {
+        let mut a = RunningMoments::new();
+        let mut b = RunningMoments::new();
+        b.update(5.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let empty = RunningMoments::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn column_moments_grow_with_rows() {
+        let mut cm = ColumnMoments::new();
+        cm.update_row(&[1.0, 2.0]);
+        cm.update_row(&[3.0, 4.0, 5.0]);
+        assert_eq!(cm.width(), 3);
+        assert_eq!(cm.col(0).count(), 2);
+        assert_eq!(cm.col(2).count(), 1);
+        assert_eq!(cm.col(9).count(), 0);
+    }
+
+    #[test]
+    fn variance_degenerate_cases() {
+        let mut m = RunningMoments::new();
+        assert_eq!(m.variance(), 0.0);
+        m.update(3.0);
+        assert_eq!(m.variance(), 0.0);
+        assert_eq!(m.std_dev(), 0.0);
+    }
+}

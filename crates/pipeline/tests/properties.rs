@@ -1,0 +1,131 @@
+//! Property-based tests of the pipeline contract: online statistics are
+//! order-insensitive in aggregate, transform-only is pure, and
+//! re-materialization is exact.
+
+use cdp_pipeline::component::RowComponent;
+use cdp_pipeline::encode::{DenseEncoder, Encoder, FeatureHasher};
+use cdp_pipeline::impute::MeanImputer;
+use cdp_pipeline::minmax::MinMaxScaler;
+use cdp_pipeline::parser::SchemaParser;
+use cdp_pipeline::scale::StandardScaler;
+use cdp_pipeline::stats::RunningMoments;
+use cdp_pipeline::{Pipeline, PipelineBuilder, Row};
+use cdp_storage::{RawChunk, Record, Schema, Timestamp, Value};
+use proptest::prelude::*;
+
+fn numeric_pipeline() -> Pipeline {
+    let schema = Schema::new(["y", "a", "b"]);
+    PipelineBuilder::new(SchemaParser::new(schema, "y", &["a", "b"], None))
+        .add(MeanImputer::new())
+        .add(MinMaxScaler::new())
+        .add(StandardScaler::new())
+        .encoder(DenseEncoder::new(2))
+        .expect("incremental components")
+}
+
+fn chunk_of(ts: u64, rows: &[(f64, f64, f64)]) -> RawChunk {
+    RawChunk::new(
+        Timestamp(ts),
+        rows.iter()
+            .map(|&(y, a, b)| Record::new(vec![Value::Num(y), Value::Num(a), Value::Num(b)]))
+            .collect(),
+    )
+}
+
+fn row_strategy() -> impl Strategy<Value = Vec<(f64, f64, f64)>> {
+    prop::collection::vec((-5.0..5.0f64, -100.0..100.0f64, -100.0..100.0f64), 1..20)
+}
+
+proptest! {
+    /// Welford merge is associative-enough: merging any split equals the
+    /// sequential fold.
+    #[test]
+    fn moments_merge_any_split(values in prop::collection::vec(-1e3..1e3f64, 2..50), split in 1usize..49) {
+        let split = split.min(values.len() - 1);
+        let mut seq = RunningMoments::new();
+        for &v in &values {
+            seq.update(v);
+        }
+        let mut left = RunningMoments::new();
+        let mut right = RunningMoments::new();
+        for &v in &values[..split] {
+            left.update(v);
+        }
+        for &v in &values[split..] {
+            right.update(v);
+        }
+        left.merge(&right);
+        prop_assert!((left.mean() - seq.mean()).abs() < 1e-6 * (1.0 + seq.mean().abs()));
+        prop_assert!((left.variance() - seq.variance()).abs() < 1e-6 * (1.0 + seq.variance()));
+    }
+
+    /// Re-materialization invariant: for any data, after the online path
+    /// runs, transform-only on the same raw chunk reproduces the stored
+    /// feature chunk exactly.
+    #[test]
+    fn rematerialization_is_exact(rows in row_strategy()) {
+        let mut pipeline = numeric_pipeline();
+        let raw = chunk_of(0, &rows);
+        let stored = pipeline.fit_transform_chunk(&raw);
+        let rematerialized = pipeline.transform_chunk(&raw);
+        prop_assert_eq!(stored, rematerialized);
+    }
+
+    /// Transform-only is pure: applying it repeatedly yields identical
+    /// output and leaves the statistics untouched.
+    #[test]
+    fn transform_only_is_pure(warm in row_strategy(), probe in row_strategy()) {
+        let mut pipeline = numeric_pipeline();
+        pipeline.fit_transform_chunk(&chunk_of(0, &warm));
+        let a = pipeline.transform_chunk(&chunk_of(1, &probe));
+        let b = pipeline.transform_chunk(&chunk_of(2, &probe));
+        prop_assert_eq!(a.points, b.points);
+    }
+
+    /// Scaled outputs have bounded magnitude relative to the training
+    /// spread: standardization maps warm data into a few standard
+    /// deviations.
+    #[test]
+    fn scaler_bounds_warm_data(rows in prop::collection::vec((-5.0..5.0f64, -100.0..100.0f64), 8..40)) {
+        let mut scaler = StandardScaler::new();
+        let rows: Vec<Row> = rows.into_iter().map(|(y, a)| Row::numeric(y, vec![a])).collect();
+        scaler.update(&rows);
+        let out = scaler.transform(rows);
+        let n = out.len() as f64;
+        let max = out.iter().map(|r| r.nums[0].abs()).fold(0.0, f64::max);
+        // A point can be at most sqrt(n) standard deviations from the mean.
+        prop_assert!(max <= n.sqrt() + 1e-6, "max z-score {max} for n={n}");
+    }
+
+    /// Feature hashing preserves the row count and the bias coordinate for
+    /// arbitrary token bags.
+    #[test]
+    fn hasher_total_mass(tokens in prop::collection::vec("[a-z]{1,8}", 0..20)) {
+        let hasher = FeatureHasher::new(6, 0);
+        let rows = vec![Row::with_tokens(1.0, vec![], tokens.clone())];
+        let points = hasher.encode(&rows);
+        prop_assert_eq!(points.len(), 1);
+        prop_assert_eq!(points[0].features.get(0), 1.0);
+        // Total absolute mass ≤ bias + one unit per token (collisions can
+        // only cancel, never amplify).
+        let mass: f64 = points[0].features.iter_nonzero().map(|(_, v)| v.abs()).sum();
+        prop_assert!(mass <= 1.0 + tokens.len() as f64 + 1e-9);
+    }
+
+    /// The imputer leaves no NaN behind once it has seen at least one
+    /// complete row per column.
+    #[test]
+    fn imputer_fills_every_gap(pattern in prop::collection::vec(prop::bool::ANY, 1..20)) {
+        let mut imputer = MeanImputer::new();
+        imputer.update(&[Row::numeric(0.0, vec![1.0, 2.0])]);
+        let rows: Vec<Row> = pattern
+            .iter()
+            .map(|&missing| {
+                Row::numeric(0.0, if missing { vec![f64::NAN, 3.0] } else { vec![4.0, f64::NAN] })
+            })
+            .collect();
+        for row in imputer.transform(rows) {
+            prop_assert!(!row.has_missing());
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Chunk sampling strategies and the materialization-utilization analysis.
+//!
+//! The data manager offers three sampling strategies (paper §4.2):
+//! **uniform** over all history, **window-based** (uniform over the most
+//! recent `w` chunks), and **time-based** (recency-weighted). The choice
+//! drives both model quality under drift (Experiment 2) and how often a
+//! sampled chunk is still materialized (Experiment 3).
+//!
+//! [`analysis`] implements the paper's §3.2.2 math: the expected number of
+//! materialized chunks in a sample follows a hypergeometric distribution,
+//! and averaging the per-step utilization `μ_n` over the deployment yields
+//! the closed forms of Eq. 4 (uniform, via harmonic numbers) and Eq. 5
+//! (window-based), plus a linear-rank closed-form approximation for the
+//! time-based strategy (the paper only measures that one empirically).
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod strategy;
+
+pub use analysis::{empirical_mu, mu_time_based, mu_uniform, mu_window, MuEstimate};
+pub use strategy::{Sampler, SamplingStrategy};

@@ -1,0 +1,214 @@
+//! Timestamped raw and feature chunks (paper §3, workflow stages 1–2).
+
+use serde::{Deserialize, Serialize};
+
+use cdp_linalg::Vector;
+
+use crate::record::Record;
+
+/// Chunk creation timestamp. Acts as both the unique identifier of a chunk
+/// and the indicator of its recency (paper §3, stage 1).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The timestamp immediately after this one.
+    pub fn next(self) -> Timestamp {
+        Timestamp(self.0 + 1)
+    }
+}
+
+impl std::fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u64> for Timestamp {
+    fn from(v: u64) -> Self {
+        Timestamp(v)
+    }
+}
+
+/// A chunk of raw (unpreprocessed) records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RawChunk {
+    /// Unique identifier and recency indicator.
+    pub timestamp: Timestamp,
+    /// The raw rows.
+    pub records: Vec<Record>,
+}
+
+impl RawChunk {
+    /// Creates a raw chunk.
+    pub fn new(timestamp: Timestamp, records: Vec<Record>) -> Self {
+        Self { timestamp, records }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the chunk has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.records.iter().map(Record::size_bytes).sum()
+    }
+}
+
+/// A single preprocessed training example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledPoint {
+    /// Regression target or classification label (±1 for SVM, 0/1 for
+    /// logistic regression).
+    pub label: f64,
+    /// The transformed feature vector.
+    pub features: Vector,
+}
+
+impl LabeledPoint {
+    /// Creates a labeled example.
+    pub fn new(label: f64, features: Vector) -> Self {
+        Self { label, features }
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<f64>() + self.features.size_bytes()
+    }
+}
+
+/// A chunk of preprocessed features, carrying a reference (`raw_ref`) to the
+/// raw chunk it was materialized from so it can be re-created after eviction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureChunk {
+    /// Same identifier as the originating raw chunk.
+    pub timestamp: Timestamp,
+    /// Reference to the originating raw chunk (paper stage 2).
+    pub raw_ref: Timestamp,
+    /// The transformed examples.
+    pub points: Vec<LabeledPoint>,
+}
+
+impl FeatureChunk {
+    /// Creates a feature chunk derived from raw chunk `raw_ref`.
+    pub fn new(timestamp: Timestamp, raw_ref: Timestamp, points: Vec<LabeledPoint>) -> Self {
+        Self {
+            timestamp,
+            raw_ref,
+            points,
+        }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the chunk has no examples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.points.iter().map(LabeledPoint::size_bytes).sum()
+    }
+}
+
+/// Summary statistics over a chunk, used by drift detection and reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ChunkStats {
+    /// Number of examples.
+    pub count: usize,
+    /// Mean label value.
+    pub label_mean: f64,
+    /// Mean number of non-zero features per example.
+    pub mean_nnz: f64,
+}
+
+impl ChunkStats {
+    /// Computes summary statistics for a feature chunk.
+    pub fn of(chunk: &FeatureChunk) -> Self {
+        if chunk.is_empty() {
+            return Self::default();
+        }
+        let count = chunk.len();
+        let label_mean = chunk.points.iter().map(|p| p.label).sum::<f64>() / count as f64;
+        let mean_nnz = chunk
+            .points
+            .iter()
+            .map(|p| p.features.nnz() as f64)
+            .sum::<f64>()
+            / count as f64;
+        Self {
+            count,
+            label_mean,
+            mean_nnz,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Value;
+    use cdp_linalg::DenseVector;
+
+    #[test]
+    fn timestamp_ordering_and_next() {
+        let a = Timestamp(3);
+        let b = a.next();
+        assert!(b > a);
+        assert_eq!(b, Timestamp(4));
+        assert_eq!(format!("{a}"), "t3");
+    }
+
+    #[test]
+    fn raw_chunk_size_accumulates_records() {
+        let records = vec![
+            Record::new(vec![Value::Num(1.0)]),
+            Record::new(vec![Value::Text("abc".into())]),
+        ];
+        let chunk = RawChunk::new(Timestamp(0), records);
+        assert_eq!(chunk.len(), 2);
+        assert!(chunk.size_bytes() > 0);
+    }
+
+    #[test]
+    fn feature_chunk_tracks_raw_ref() {
+        let points = vec![LabeledPoint::new(
+            1.0,
+            DenseVector::new(vec![1.0, 2.0]).into(),
+        )];
+        let fc = FeatureChunk::new(Timestamp(9), Timestamp(9), points);
+        assert_eq!(fc.raw_ref, fc.timestamp);
+        assert_eq!(fc.len(), 1);
+    }
+
+    #[test]
+    fn chunk_stats_means() {
+        let points = vec![
+            LabeledPoint::new(1.0, DenseVector::new(vec![1.0, 0.0]).into()),
+            LabeledPoint::new(-1.0, DenseVector::new(vec![1.0, 2.0]).into()),
+        ];
+        let fc = FeatureChunk::new(Timestamp(0), Timestamp(0), points);
+        let stats = ChunkStats::of(&fc);
+        assert_eq!(stats.count, 2);
+        assert_eq!(stats.label_mean, 0.0);
+        assert_eq!(stats.mean_nnz, 1.5);
+    }
+
+    #[test]
+    fn chunk_stats_empty_chunk_is_default() {
+        let fc = FeatureChunk::new(Timestamp(0), Timestamp(0), vec![]);
+        assert_eq!(ChunkStats::of(&fc), ChunkStats::default());
+    }
+}

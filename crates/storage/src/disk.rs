@@ -1,0 +1,281 @@
+//! A binary on-disk tier for feature chunks.
+//!
+//! Plays the role HDFS played in the paper's prototype: a place where
+//! feature chunks can be spilled and read back, with real I/O latency, so the
+//! Experiment-3 finding — materialization saves disk round-trips — can be
+//! reproduced against an actual device rather than only the cost model.
+//!
+//! The codec is a small fixed binary layout (no external serialization
+//! dependency beyond `bytes`):
+//!
+//! ```text
+//! magic "CDPF" | version u16 | timestamp u64 | raw_ref u64 | n_points u32
+//! per point: label f64 | tag u8 (0=dense, 1=sparse)
+//!   dense : dim u32 | dim × f64
+//!   sparse: dim u32 | nnz u32 | nnz × u32 | nnz × f64
+//! ```
+
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use cdp_linalg::{DenseVector, SparseVector, Vector};
+
+use crate::chunk::{FeatureChunk, LabeledPoint, Timestamp};
+use crate::StorageError;
+
+const MAGIC: &[u8; 4] = b"CDPF";
+const VERSION: u16 = 1;
+
+/// Encodes a feature chunk into its binary representation.
+pub fn encode_chunk(chunk: &FeatureChunk) -> Bytes {
+    let mut buf = BytesMut::with_capacity(32 + chunk.size_bytes() + chunk.len() * 16);
+    buf.put_slice(MAGIC);
+    buf.put_u16(VERSION);
+    buf.put_u64(chunk.timestamp.0);
+    buf.put_u64(chunk.raw_ref.0);
+    buf.put_u32(chunk.len() as u32);
+    for point in &chunk.points {
+        buf.put_f64(point.label);
+        match &point.features {
+            Vector::Dense(v) => {
+                buf.put_u8(0);
+                buf.put_u32(v.dim() as u32);
+                for &x in v.as_slice() {
+                    buf.put_f64(x);
+                }
+            }
+            Vector::Sparse(v) => {
+                buf.put_u8(1);
+                buf.put_u32(v.dim() as u32);
+                buf.put_u32(v.nnz() as u32);
+                for &i in v.indices() {
+                    buf.put_u32(i);
+                }
+                for &x in v.values() {
+                    buf.put_f64(x);
+                }
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a feature chunk from its binary representation.
+///
+/// # Errors
+/// [`StorageError::Corrupt`] on bad magic, version, tag, or truncation.
+pub fn decode_chunk(mut data: &[u8]) -> Result<FeatureChunk, StorageError> {
+    fn need(data: &[u8], n: usize, what: &str) -> Result<(), StorageError> {
+        if data.remaining() < n {
+            return Err(StorageError::Corrupt(format!("truncated reading {what}")));
+        }
+        Ok(())
+    }
+
+    need(data, 4 + 2 + 8 + 8 + 4, "header")?;
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(StorageError::Corrupt("bad magic".into()));
+    }
+    let version = data.get_u16();
+    if version != VERSION {
+        return Err(StorageError::Corrupt(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let timestamp = Timestamp(data.get_u64());
+    let raw_ref = Timestamp(data.get_u64());
+    let n_points = data.get_u32() as usize;
+
+    let mut points = Vec::with_capacity(n_points);
+    for _ in 0..n_points {
+        need(data, 8 + 1, "point header")?;
+        let label = data.get_f64();
+        let tag = data.get_u8();
+        let features =
+            match tag {
+                0 => {
+                    need(data, 4, "dense dim")?;
+                    let dim = data.get_u32() as usize;
+                    need(data, dim * 8, "dense values")?;
+                    let mut values = Vec::with_capacity(dim);
+                    for _ in 0..dim {
+                        values.push(data.get_f64());
+                    }
+                    Vector::Dense(DenseVector::new(values))
+                }
+                1 => {
+                    need(data, 8, "sparse header")?;
+                    let dim = data.get_u32() as usize;
+                    let nnz = data.get_u32() as usize;
+                    need(data, nnz * (4 + 8), "sparse entries")?;
+                    let mut indices = Vec::with_capacity(nnz);
+                    for _ in 0..nnz {
+                        indices.push(data.get_u32());
+                    }
+                    let mut values = Vec::with_capacity(nnz);
+                    for _ in 0..nnz {
+                        values.push(data.get_f64());
+                    }
+                    Vector::Sparse(SparseVector::new(dim, indices, values).map_err(|e| {
+                        StorageError::Corrupt(format!("invalid sparse vector: {e}"))
+                    })?)
+                }
+                other => return Err(StorageError::Corrupt(format!("unknown vector tag {other}"))),
+            };
+        points.push(LabeledPoint::new(label, features));
+    }
+    Ok(FeatureChunk::new(timestamp, raw_ref, points))
+}
+
+/// A directory of encoded feature chunks, one file per timestamp.
+#[derive(Debug)]
+pub struct DiskTier {
+    dir: PathBuf,
+    /// Bytes written since creation (for I/O accounting).
+    bytes_written: u64,
+    /// Bytes read since creation.
+    bytes_read: u64,
+}
+
+impl DiskTier {
+    /// Opens (creating if needed) a disk tier rooted at `dir`.
+    ///
+    /// # Errors
+    /// I/O errors creating the directory.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StorageError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            bytes_written: 0,
+            bytes_read: 0,
+        })
+    }
+
+    fn path_for(&self, ts: Timestamp) -> PathBuf {
+        self.dir.join(format!("chunk-{:012}.cdpf", ts.0))
+    }
+
+    /// Writes a chunk to disk, replacing any previous version.
+    ///
+    /// # Errors
+    /// I/O errors writing the file.
+    pub fn write(&mut self, chunk: &FeatureChunk) -> Result<(), StorageError> {
+        let encoded = encode_chunk(chunk);
+        let mut file = fs::File::create(self.path_for(chunk.timestamp))?;
+        file.write_all(&encoded)?;
+        self.bytes_written += encoded.len() as u64;
+        Ok(())
+    }
+
+    /// Reads the chunk stored for `ts`, or `Ok(None)` when absent.
+    ///
+    /// # Errors
+    /// I/O errors or a corrupt file.
+    pub fn read(&mut self, ts: Timestamp) -> Result<Option<FeatureChunk>, StorageError> {
+        let path = self.path_for(ts);
+        let mut file = match fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let mut data = Vec::new();
+        file.read_to_end(&mut data)?;
+        self.bytes_read += data.len() as u64;
+        decode_chunk(&data).map(Some)
+    }
+
+    /// Deletes the chunk file for `ts` (no-op when absent).
+    ///
+    /// # Errors
+    /// I/O errors other than "not found".
+    pub fn remove(&mut self, ts: Timestamp) -> Result<(), StorageError> {
+        match fs::remove_file(self.path_for(ts)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Total bytes written since the tier was opened.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Total bytes read since the tier was opened.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdp_linalg::SparseBuilder;
+
+    fn sample_chunk() -> FeatureChunk {
+        let mut b = SparseBuilder::new();
+        b.add(3, 1.5);
+        b.add(100, -2.0);
+        let sparse = b.build(1024).unwrap();
+        FeatureChunk::new(
+            Timestamp(42),
+            Timestamp(42),
+            vec![
+                LabeledPoint::new(1.0, Vector::Sparse(sparse)),
+                LabeledPoint::new(-1.0, DenseVector::new(vec![0.5, 0.25, 0.0]).into()),
+            ],
+        )
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        let chunk = sample_chunk();
+        let encoded = encode_chunk(&chunk);
+        let decoded = decode_chunk(&encoded).unwrap();
+        assert_eq!(chunk, decoded);
+    }
+
+    #[test]
+    fn codec_rejects_bad_magic() {
+        let mut encoded = encode_chunk(&sample_chunk()).to_vec();
+        encoded[0] = b'X';
+        assert!(matches!(
+            decode_chunk(&encoded),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn codec_rejects_truncation() {
+        let encoded = encode_chunk(&sample_chunk());
+        for cut in [3, 10, 30, encoded.len() - 1] {
+            assert!(
+                decode_chunk(&encoded[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn disk_tier_write_read_remove() {
+        let dir = std::env::temp_dir().join(format!("cdpf-test-{}", std::process::id()));
+        let mut tier = DiskTier::open(&dir).unwrap();
+        let chunk = sample_chunk();
+        tier.write(&chunk).unwrap();
+        assert!(tier.bytes_written() > 0);
+        let loaded = tier.read(Timestamp(42)).unwrap().unwrap();
+        assert_eq!(loaded, chunk);
+        assert!(tier.bytes_read() > 0);
+        assert!(tier.read(Timestamp(7)).unwrap().is_none());
+        tier.remove(Timestamp(42)).unwrap();
+        assert!(tier.read(Timestamp(42)).unwrap().is_none());
+        tier.remove(Timestamp(42)).unwrap(); // idempotent
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,65 @@
+//! Data model and storage layer — the paper's **data manager** substrate.
+//!
+//! The platform discretizes the incoming training stream into timestamped
+//! **raw data chunks** ([`RawChunk`]), transforms them through the deployed
+//! pipeline into **feature chunks** ([`FeatureChunk`]), and stores both in a
+//! [`ChunkStore`]. The store enforces a budget on materialized feature chunks
+//! (count- or byte-based): when the budget is exceeded it evicts the *oldest*
+//! feature chunks, keeping only the reference to the originating raw chunk —
+//! exactly the paper's **dynamic materialization** scheme (§3.2). A later
+//! lookup of an evicted chunk reports [`FeatureLookup::Evicted`], signalling
+//! the pipeline manager to re-materialize it by re-applying the pipeline's
+//! `transform` path.
+//!
+//! The paper stored chunks in HDFS and cached features as Spark RDDs; here an
+//! in-memory [`store::ChunkStore`] plus an optional binary [`disk::DiskTier`]
+//! play those roles (see DESIGN.md §2 for the substitution argument).
+
+#![warn(missing_docs)]
+
+pub mod chunk;
+pub mod disk;
+pub mod record;
+pub mod store;
+pub mod tiered;
+
+pub use chunk::{ChunkStats, FeatureChunk, LabeledPoint, RawChunk, Timestamp};
+pub use record::{Record, Schema, Value};
+pub use store::{ChunkStore, FeatureLookup, StorageBudget, StoreStats};
+pub use tiered::{TieredLookup, TieredStats, TieredStore};
+
+/// Errors produced by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// A chunk with the same timestamp was already stored.
+    DuplicateTimestamp(Timestamp),
+    /// A feature chunk referenced a raw chunk that is not in the store.
+    DanglingRawReference(Timestamp),
+    /// An I/O failure in the disk tier.
+    Io(std::io::Error),
+    /// The disk tier found a corrupt or truncated chunk file.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::DuplicateTimestamp(ts) => {
+                write!(f, "duplicate chunk timestamp {}", ts.0)
+            }
+            StorageError::DanglingRawReference(ts) => {
+                write!(f, "feature chunk references missing raw chunk {}", ts.0)
+            }
+            StorageError::Io(e) => write!(f, "disk tier I/O error: {e}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt chunk file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}

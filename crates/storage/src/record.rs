@@ -1,0 +1,223 @@
+//! Raw-record model: what arrives at the platform before the pipeline runs.
+//!
+//! A [`Record`] is a flat row of [`Value`]s described by a shared [`Schema`].
+//! The input-parser component of a pipeline is the only stage that looks at
+//! records; everything downstream works on feature vectors.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// A single field value in a raw record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// A numeric field.
+    Num(f64),
+    /// A textual field (e.g. a raw URL or a space-separated token bag).
+    Text(String),
+    /// An explicitly missing field — the missing-value imputer's input.
+    Missing,
+}
+
+impl Value {
+    /// Numeric view; `None` for text or missing.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Text view; `None` for numbers or missing.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether the field is missing.
+    pub fn is_missing(&self) -> bool {
+        matches!(self, Value::Missing)
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Value::Num(_) => std::mem::size_of::<f64>(),
+            Value::Text(s) => s.len(),
+            Value::Missing => 0,
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Num(x)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+
+/// Field names for a record layout. Shared (`Arc`) by every record of a
+/// stream so each record stores only its values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<String>,
+}
+
+impl Schema {
+    /// Builds a schema from field names. Panics on duplicate names.
+    pub fn new<I, S>(fields: I) -> Arc<Self>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let fields: Vec<String> = fields.into_iter().map(Into::into).collect();
+        for (i, f) in fields.iter().enumerate() {
+            assert!(
+                !fields[..i].contains(f),
+                "duplicate field name in schema: {f}"
+            );
+        }
+        Arc::new(Self { fields })
+    }
+
+    /// Index of `name`, or `None`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f == name)
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Field names in declaration order.
+    pub fn fields(&self) -> &[String] {
+        &self.fields
+    }
+}
+
+/// A raw data row: one value per schema field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    values: Vec<Value>,
+}
+
+impl Record {
+    /// Creates a record from values (must match the schema length the caller
+    /// intends to use; checked at access time via the schema).
+    pub fn new(values: Vec<Value>) -> Self {
+        Self { values }
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the record has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value at positional index.
+    pub fn get(&self, index: usize) -> Option<&Value> {
+        self.values.get(index)
+    }
+
+    /// Value by field name through a schema.
+    pub fn field<'a>(&'a self, schema: &Schema, name: &str) -> Option<&'a Value> {
+        schema.index_of(name).and_then(|i| self.values.get(i))
+    }
+
+    /// Numeric value by field name; `None` when missing/text/unknown.
+    pub fn num(&self, schema: &Schema, name: &str) -> Option<f64> {
+        self.field(schema, name).and_then(Value::as_num)
+    }
+
+    /// Text value by field name.
+    pub fn text<'a>(&'a self, schema: &Schema, name: &str) -> Option<&'a str> {
+        self.field(schema, name).and_then(Value::as_text)
+    }
+
+    /// All values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Mutable access (used by failure-injection tests).
+    pub fn values_mut(&mut self) -> &mut Vec<Value> {
+        &mut self.values
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.values.iter().map(Value::size_bytes).sum::<usize>()
+            + self.values.len() * std::mem::size_of::<Value>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(["label", "amount", "tokens"])
+    }
+
+    #[test]
+    fn schema_index_lookup() {
+        let s = schema();
+        assert_eq!(s.index_of("label"), Some(0));
+        assert_eq!(s.index_of("tokens"), Some(2));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate field")]
+    fn schema_rejects_duplicates() {
+        Schema::new(["a", "b", "a"]);
+    }
+
+    #[test]
+    fn record_field_access_by_name() {
+        let s = schema();
+        let r = Record::new(vec![Value::Num(1.0), Value::Missing, "a b c".into()]);
+        assert_eq!(r.num(&s, "label"), Some(1.0));
+        assert_eq!(r.num(&s, "amount"), None);
+        assert!(r.field(&s, "amount").unwrap().is_missing());
+        assert_eq!(r.text(&s, "tokens"), Some("a b c"));
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(2.5).as_num(), Some(2.5));
+        assert_eq!(Value::from("hi").as_text(), Some("hi"));
+        assert!(Value::Missing.is_missing());
+        assert!(!Value::Num(0.0).is_missing());
+    }
+
+    #[test]
+    fn size_bytes_counts_text_length() {
+        let r = Record::new(vec![Value::Num(0.0), Value::Text("abcd".into())]);
+        assert!(r.size_bytes() >= 8 + 4);
+    }
+}

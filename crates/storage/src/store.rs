@@ -1,0 +1,488 @@
+//! The chunk store: raw history plus a budgeted materialized-feature cache.
+//!
+//! Implements the paper's dynamic-materialization storage semantics (§3.2):
+//!
+//! * raw chunks are (normally) always retained and are the ground truth;
+//! * feature chunks are cached up to a [`StorageBudget`]; when the budget is
+//!   exceeded the *oldest* feature chunks are evicted, leaving only their
+//!   identifier and raw reference behind;
+//! * looking up an evicted chunk yields the raw chunk so the caller can
+//!   re-materialize it through the deployed pipeline.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::chunk::{FeatureChunk, RawChunk, Timestamp};
+use crate::StorageError;
+
+/// Limit on the materialized feature cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StorageBudget {
+    /// Keep at most this many feature chunks materialized (the paper's `m`).
+    MaxChunks(usize),
+    /// Keep at most this many bytes of feature data materialized.
+    MaxBytes(usize),
+    /// Never evict.
+    Unbounded,
+}
+
+impl StorageBudget {
+    /// Whether a cache of `chunks` chunks / `bytes` bytes exceeds the budget.
+    fn exceeded(&self, chunks: usize, bytes: usize) -> bool {
+        match self {
+            StorageBudget::MaxChunks(m) => chunks > *m,
+            StorageBudget::MaxBytes(b) => bytes > *b,
+            StorageBudget::Unbounded => false,
+        }
+    }
+}
+
+/// What the store knows about a requested feature chunk.
+#[derive(Debug, Clone)]
+pub enum FeatureLookup {
+    /// The feature chunk is materialized; use it directly (Figure 2,
+    /// scenario 1).
+    Materialized(Arc<FeatureChunk>),
+    /// The feature chunk was evicted; here is the raw chunk to re-materialize
+    /// from (Figure 2, scenario 2).
+    Evicted(Arc<RawChunk>),
+    /// Neither features nor raw data exist — the chunk cannot participate in
+    /// sampling (paper §3.2: unavailable chunks are ignored).
+    Unavailable,
+}
+
+impl FeatureLookup {
+    /// True when the lookup found materialized features.
+    pub fn is_materialized(&self) -> bool {
+        matches!(self, FeatureLookup::Materialized(_))
+    }
+}
+
+/// What to do with a chunk that was re-materialized on demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RematerializationPolicy {
+    /// Use the re-materialized features once and discard them. Keeps the
+    /// materialized set equal to "the newest `m` chunks", matching the
+    /// paper's analytical model of μ.
+    #[default]
+    Discard,
+    /// Re-insert the re-materialized chunk into the cache (it becomes the
+    /// oldest materialized chunk and the usual eviction applies).
+    Recache,
+}
+
+/// Counters describing the store's behaviour; the basis for the empirical
+/// materialization-utilization-rate (μ) measurements of Experiment 3.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Raw chunks inserted.
+    pub raw_puts: u64,
+    /// Feature chunks inserted (including re-cached ones).
+    pub feature_puts: u64,
+    /// Feature chunks evicted by the budget.
+    pub evictions: u64,
+    /// Bytes released by evictions.
+    pub bytes_evicted: u64,
+    /// Lookups that found materialized features.
+    pub feature_hits: u64,
+    /// Lookups that required re-materialization.
+    pub feature_misses: u64,
+    /// Lookups of chunks with no data at all.
+    pub unavailable: u64,
+}
+
+impl StoreStats {
+    /// Empirical materialization utilization rate: hits / (hits + misses).
+    pub fn utilization_rate(&self) -> f64 {
+        let total = self.feature_hits + self.feature_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.feature_hits as f64 / total as f64
+    }
+}
+
+/// In-memory chunk store (see module docs).
+#[derive(Debug)]
+pub struct ChunkStore {
+    raw: BTreeMap<Timestamp, Arc<RawChunk>>,
+    features: BTreeMap<Timestamp, Arc<FeatureChunk>>,
+    budget: StorageBudget,
+    raw_budget: Option<usize>,
+    feature_bytes: usize,
+    stats: StoreStats,
+}
+
+impl ChunkStore {
+    /// Creates a store with the given feature-cache budget and unlimited raw
+    /// history.
+    pub fn new(budget: StorageBudget) -> Self {
+        Self {
+            raw: BTreeMap::new(),
+            features: BTreeMap::new(),
+            budget,
+            raw_budget: None,
+            feature_bytes: 0,
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// Caps the raw history at `max_chunks` (the paper's `N`): the oldest raw
+    /// chunks are dropped entirely, together with their features.
+    pub fn with_raw_budget(mut self, max_chunks: usize) -> Self {
+        self.raw_budget = Some(max_chunks);
+        self
+    }
+
+    /// Stores a raw chunk.
+    ///
+    /// # Errors
+    /// [`StorageError::DuplicateTimestamp`] when the timestamp is taken.
+    pub fn put_raw(&mut self, chunk: RawChunk) -> Result<(), StorageError> {
+        let ts = chunk.timestamp;
+        if self.raw.contains_key(&ts) {
+            return Err(StorageError::DuplicateTimestamp(ts));
+        }
+        self.raw.insert(ts, Arc::new(chunk));
+        self.stats.raw_puts += 1;
+        if let Some(max) = self.raw_budget {
+            while self.raw.len() > max {
+                let (&oldest, _) = self.raw.iter().next().expect("non-empty raw map");
+                self.raw.remove(&oldest);
+                if let Some(fc) = self.features.remove(&oldest) {
+                    self.feature_bytes -= fc.size_bytes();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Stores a feature chunk, then evicts oldest feature chunks while the
+    /// budget is exceeded. Returns the evicted chunks (oldest first) so a
+    /// tiered store can spill them to a colder medium.
+    ///
+    /// # Errors
+    /// * [`StorageError::DanglingRawReference`] when `raw_ref` is unknown —
+    ///   evicted features could never be re-materialized.
+    /// * [`StorageError::DuplicateTimestamp`] when features for this
+    ///   timestamp are already materialized.
+    pub fn put_feature(
+        &mut self,
+        chunk: FeatureChunk,
+    ) -> Result<Vec<Arc<FeatureChunk>>, StorageError> {
+        if !self.raw.contains_key(&chunk.raw_ref) {
+            return Err(StorageError::DanglingRawReference(chunk.raw_ref));
+        }
+        let ts = chunk.timestamp;
+        if self.features.contains_key(&ts) {
+            return Err(StorageError::DuplicateTimestamp(ts));
+        }
+        self.feature_bytes += chunk.size_bytes();
+        self.features.insert(ts, Arc::new(chunk));
+        self.stats.feature_puts += 1;
+        Ok(self.evict_to_budget())
+    }
+
+    fn evict_to_budget(&mut self) -> Vec<Arc<FeatureChunk>> {
+        let mut evicted = Vec::new();
+        while self
+            .budget
+            .exceeded(self.features.len(), self.feature_bytes)
+            && !self.features.is_empty()
+        {
+            let (&oldest, _) = self.features.iter().next().expect("non-empty feature map");
+            let removed = self.features.remove(&oldest).expect("key just observed");
+            let bytes = removed.size_bytes();
+            self.feature_bytes -= bytes;
+            self.stats.evictions += 1;
+            self.stats.bytes_evicted += bytes as u64;
+            evicted.push(removed);
+        }
+        evicted
+    }
+
+    /// Looks up the features for `ts`, recording hit/miss statistics.
+    pub fn lookup_feature(&mut self, ts: Timestamp) -> FeatureLookup {
+        if let Some(fc) = self.features.get(&ts) {
+            self.stats.feature_hits += 1;
+            return FeatureLookup::Materialized(Arc::clone(fc));
+        }
+        if let Some(raw) = self.raw.get(&ts) {
+            self.stats.feature_misses += 1;
+            return FeatureLookup::Evicted(Arc::clone(raw));
+        }
+        self.stats.unavailable += 1;
+        FeatureLookup::Unavailable
+    }
+
+    /// Non-recording peek used by analyses that must not skew μ statistics.
+    pub fn peek_feature(&self, ts: Timestamp) -> Option<Arc<FeatureChunk>> {
+        self.features.get(&ts).cloned()
+    }
+
+    /// The raw chunk at `ts`, if retained.
+    pub fn raw(&self, ts: Timestamp) -> Option<Arc<RawChunk>> {
+        self.raw.get(&ts).cloned()
+    }
+
+    /// Re-inserts a chunk that was re-materialized on demand, honouring the
+    /// given policy.
+    pub fn restore_feature(&mut self, chunk: FeatureChunk, policy: RematerializationPolicy) {
+        if policy == RematerializationPolicy::Recache
+            && !self.features.contains_key(&chunk.timestamp)
+        {
+            self.feature_bytes += chunk.size_bytes();
+            self.features.insert(chunk.timestamp, Arc::new(chunk));
+            self.stats.feature_puts += 1;
+            self.evict_to_budget();
+        }
+    }
+
+    /// Timestamps of every chunk that can participate in sampling (raw data
+    /// present), oldest first.
+    pub fn sampleable_timestamps(&self) -> Vec<Timestamp> {
+        self.raw.keys().copied().collect()
+    }
+
+    /// Timestamps with materialized features, oldest first.
+    pub fn materialized_timestamps(&self) -> Vec<Timestamp> {
+        self.features.keys().copied().collect()
+    }
+
+    /// Whether features for `ts` are currently materialized.
+    pub fn is_materialized(&self, ts: Timestamp) -> bool {
+        self.features.contains_key(&ts)
+    }
+
+    /// Number of retained raw chunks (the paper's `n`).
+    pub fn raw_count(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Number of materialized feature chunks (≤ the paper's `m`).
+    pub fn materialized_count(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Bytes currently used by materialized features.
+    pub fn feature_bytes(&self) -> usize {
+        self.feature_bytes
+    }
+
+    /// The cache budget.
+    pub fn budget(&self) -> StorageBudget {
+        self.budget
+    }
+
+    /// Replaces the cache budget and immediately applies it, returning any
+    /// chunks evicted by the shrink.
+    pub fn set_budget(&mut self, budget: StorageBudget) -> Vec<Arc<FeatureChunk>> {
+        self.budget = budget;
+        self.evict_to_budget()
+    }
+
+    /// Behaviour counters.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Resets the behaviour counters (e.g. between experiment phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = StoreStats::default();
+    }
+
+    /// Drops a raw chunk and its features — failure injection for the
+    /// "raw data unavailable" path.
+    pub fn drop_chunk(&mut self, ts: Timestamp) {
+        self.raw.remove(&ts);
+        if let Some(fc) = self.features.remove(&ts) {
+            self.feature_bytes -= fc.size_bytes();
+        }
+    }
+}
+
+/// A thread-safe handle to a [`ChunkStore`], shared between the data manager
+/// and the execution engine's workers.
+pub type SharedChunkStore = Arc<RwLock<ChunkStore>>;
+
+/// Wraps a store for sharing across threads.
+pub fn shared(store: ChunkStore) -> SharedChunkStore {
+    Arc::new(RwLock::new(store))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::LabeledPoint;
+    use crate::record::{Record, Value};
+    use cdp_linalg::DenseVector;
+
+    fn raw(ts: u64) -> RawChunk {
+        RawChunk::new(
+            Timestamp(ts),
+            vec![Record::new(vec![Value::Num(ts as f64)])],
+        )
+    }
+
+    fn feat(ts: u64) -> FeatureChunk {
+        FeatureChunk::new(
+            Timestamp(ts),
+            Timestamp(ts),
+            vec![LabeledPoint::new(
+                1.0,
+                DenseVector::new(vec![ts as f64]).into(),
+            )],
+        )
+    }
+
+    fn store_with(n: u64, budget: StorageBudget) -> ChunkStore {
+        let mut s = ChunkStore::new(budget);
+        for t in 0..n {
+            s.put_raw(raw(t)).unwrap();
+            s.put_feature(feat(t)).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn eviction_keeps_newest_m() {
+        let s = store_with(10, StorageBudget::MaxChunks(3));
+        assert_eq!(s.materialized_count(), 3);
+        assert_eq!(
+            s.materialized_timestamps(),
+            vec![Timestamp(7), Timestamp(8), Timestamp(9)]
+        );
+        assert_eq!(s.stats().evictions, 7);
+        assert_eq!(s.raw_count(), 10);
+    }
+
+    #[test]
+    fn lookup_records_hits_and_misses() {
+        let mut s = store_with(10, StorageBudget::MaxChunks(5));
+        assert!(s.lookup_feature(Timestamp(9)).is_materialized());
+        assert!(matches!(
+            s.lookup_feature(Timestamp(0)),
+            FeatureLookup::Evicted(_)
+        ));
+        assert!(matches!(
+            s.lookup_feature(Timestamp(99)),
+            FeatureLookup::Unavailable
+        ));
+        let stats = s.stats();
+        assert_eq!(stats.feature_hits, 1);
+        assert_eq!(stats.feature_misses, 1);
+        assert_eq!(stats.unavailable, 1);
+        assert_eq!(stats.utilization_rate(), 0.5);
+    }
+
+    #[test]
+    fn byte_budget_evicts_by_size() {
+        let mut s = ChunkStore::new(StorageBudget::MaxBytes(40));
+        for t in 0..5 {
+            s.put_raw(raw(t)).unwrap();
+            s.put_feature(feat(t)).unwrap(); // each point ≈ 16 bytes
+        }
+        assert!(s.feature_bytes() <= 40);
+        assert!(s.materialized_count() < 5);
+    }
+
+    #[test]
+    fn dangling_raw_reference_rejected() {
+        let mut s = ChunkStore::new(StorageBudget::Unbounded);
+        let err = s.put_feature(feat(3)).unwrap_err();
+        assert!(matches!(
+            err,
+            StorageError::DanglingRawReference(Timestamp(3))
+        ));
+    }
+
+    #[test]
+    fn duplicate_timestamps_rejected() {
+        let mut s = ChunkStore::new(StorageBudget::Unbounded);
+        s.put_raw(raw(1)).unwrap();
+        assert!(matches!(
+            s.put_raw(raw(1)),
+            Err(StorageError::DuplicateTimestamp(Timestamp(1)))
+        ));
+        s.put_feature(feat(1)).unwrap();
+        assert!(matches!(
+            s.put_feature(feat(1)),
+            Err(StorageError::DuplicateTimestamp(Timestamp(1)))
+        ));
+    }
+
+    #[test]
+    fn restore_discard_leaves_cache_untouched() {
+        let mut s = store_with(10, StorageBudget::MaxChunks(3));
+        s.restore_feature(feat(0), RematerializationPolicy::Discard);
+        assert!(!s.is_materialized(Timestamp(0)));
+        assert_eq!(s.materialized_count(), 3);
+    }
+
+    #[test]
+    fn restore_recache_inserts_and_evicts() {
+        let mut s = store_with(10, StorageBudget::MaxChunks(3));
+        s.restore_feature(feat(0), RematerializationPolicy::Recache);
+        // t0 became the oldest materialized chunk and was evicted right away.
+        assert!(!s.is_materialized(Timestamp(0)));
+        assert_eq!(s.materialized_count(), 3);
+        assert_eq!(s.stats().evictions, 8);
+    }
+
+    #[test]
+    fn raw_budget_drops_oldest_history() {
+        let mut s = ChunkStore::new(StorageBudget::Unbounded).with_raw_budget(4);
+        for t in 0..10 {
+            s.put_raw(raw(t)).unwrap();
+            s.put_feature(feat(t)).unwrap();
+        }
+        assert_eq!(s.raw_count(), 4);
+        assert_eq!(
+            s.sampleable_timestamps(),
+            vec![Timestamp(6), Timestamp(7), Timestamp(8), Timestamp(9)]
+        );
+        // Features of dropped raw chunks are gone too.
+        assert!(matches!(
+            s.lookup_feature(Timestamp(0)),
+            FeatureLookup::Unavailable
+        ));
+    }
+
+    #[test]
+    fn shrinking_budget_applies_immediately() {
+        let mut s = store_with(10, StorageBudget::Unbounded);
+        assert_eq!(s.materialized_count(), 10);
+        s.set_budget(StorageBudget::MaxChunks(2));
+        assert_eq!(s.materialized_count(), 2);
+    }
+
+    #[test]
+    fn drop_chunk_removes_everything() {
+        let mut s = store_with(5, StorageBudget::Unbounded);
+        s.drop_chunk(Timestamp(2));
+        assert!(s.raw(Timestamp(2)).is_none());
+        assert!(matches!(
+            s.lookup_feature(Timestamp(2)),
+            FeatureLookup::Unavailable
+        ));
+        assert_eq!(s.raw_count(), 4);
+    }
+
+    #[test]
+    fn feature_bytes_accounting_balances() {
+        let mut s = ChunkStore::new(StorageBudget::MaxChunks(2));
+        for t in 0..6 {
+            s.put_raw(raw(t)).unwrap();
+            s.put_feature(feat(t)).unwrap();
+        }
+        let expected: usize = s
+            .materialized_timestamps()
+            .iter()
+            .map(|ts| s.peek_feature(*ts).unwrap().size_bytes())
+            .sum();
+        assert_eq!(s.feature_bytes(), expected);
+    }
+}

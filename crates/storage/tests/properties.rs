@@ -1,0 +1,113 @@
+//! Property-based tests of the storage layer: eviction and budget
+//! invariants, and codec round-trips for arbitrary chunks.
+
+use cdp_linalg::{DenseVector, SparseBuilder, Vector};
+use cdp_storage::disk::{decode_chunk, encode_chunk};
+use cdp_storage::{
+    ChunkStore, FeatureChunk, FeatureLookup, LabeledPoint, RawChunk, Record, StorageBudget,
+    Timestamp, Value,
+};
+use proptest::prelude::*;
+
+fn raw(ts: u64) -> RawChunk {
+    RawChunk::new(
+        Timestamp(ts),
+        vec![Record::new(vec![Value::Num(ts as f64)])],
+    )
+}
+
+/// Arbitrary labeled point (dense or sparse) from a compact seed.
+fn point_strategy() -> impl Strategy<Value = LabeledPoint> {
+    let dense = prop::collection::vec(-1e3..1e3f64, 0..12)
+        .prop_map(|v| LabeledPoint::new(1.0, Vector::Dense(DenseVector::new(v))));
+    let sparse = prop::collection::vec((0usize..64, -1e3..1e3f64), 0..12).prop_map(|entries| {
+        let mut b = SparseBuilder::new();
+        for (i, v) in entries {
+            b.add(i, v);
+        }
+        LabeledPoint::new(-1.0, Vector::Sparse(b.build(64).expect("indices < 64")))
+    });
+    prop_oneof![dense, sparse]
+}
+
+proptest! {
+    /// The store's byte accounting always equals the sum over materialized
+    /// chunks, no matter the budget or insertion count.
+    #[test]
+    fn byte_accounting_is_exact(
+        budget in 0usize..20,
+        chunks in prop::collection::vec(prop::collection::vec(point_strategy(), 0..4), 1..30),
+    ) {
+        let mut store = ChunkStore::new(StorageBudget::MaxChunks(budget));
+        for (t, points) in chunks.into_iter().enumerate() {
+            let ts = t as u64;
+            store.put_raw(raw(ts)).expect("unique");
+            store
+                .put_feature(FeatureChunk::new(Timestamp(ts), Timestamp(ts), points))
+                .expect("raw present");
+        }
+        let expected: usize = store
+            .materialized_timestamps()
+            .iter()
+            .map(|ts| store.peek_feature(*ts).expect("listed").size_bytes())
+            .sum();
+        prop_assert_eq!(store.feature_bytes(), expected);
+        prop_assert!(store.materialized_count() <= budget);
+    }
+
+    /// Every lookup lands in exactly one of the three states, and hits +
+    /// misses never exceed the lookups performed.
+    #[test]
+    fn lookup_states_partition(n in 1u64..40, budget in 0usize..40, probes in prop::collection::vec(0u64..60, 1..30)) {
+        let mut store = ChunkStore::new(StorageBudget::MaxChunks(budget));
+        for t in 0..n {
+            store.put_raw(raw(t)).expect("unique");
+            store
+                .put_feature(FeatureChunk::new(
+                    Timestamp(t),
+                    Timestamp(t),
+                    vec![LabeledPoint::new(0.0, Vector::from(vec![1.0]))],
+                ))
+                .expect("raw present");
+        }
+        for &p in &probes {
+            match store.lookup_feature(Timestamp(p)) {
+                FeatureLookup::Materialized(fc) => prop_assert_eq!(fc.timestamp, Timestamp(p)),
+                FeatureLookup::Evicted(rc) => {
+                    prop_assert_eq!(rc.timestamp, Timestamp(p));
+                    prop_assert!(p < n);
+                }
+                FeatureLookup::Unavailable => prop_assert!(p >= n),
+            }
+        }
+        let stats = store.stats();
+        prop_assert_eq!(
+            stats.feature_hits + stats.feature_misses + stats.unavailable,
+            probes.len() as u64
+        );
+    }
+
+    /// The binary codec round-trips arbitrary chunks exactly.
+    #[test]
+    fn codec_round_trip(ts in 0u64..1_000_000, raw_ref in 0u64..1_000_000, points in prop::collection::vec(point_strategy(), 0..10)) {
+        let chunk = FeatureChunk::new(Timestamp(ts), Timestamp(raw_ref), points);
+        let encoded = encode_chunk(&chunk);
+        let decoded = decode_chunk(&encoded).expect("own encoding is valid");
+        prop_assert_eq!(chunk, decoded);
+    }
+
+    /// Decoding never panics on arbitrary prefixes of valid data (graceful
+    /// truncation errors).
+    #[test]
+    fn codec_truncation_is_graceful(points in prop::collection::vec(point_strategy(), 1..5), cut_frac in 0.0..1.0f64) {
+        let chunk = FeatureChunk::new(Timestamp(1), Timestamp(1), points);
+        let encoded = encode_chunk(&chunk);
+        let cut = ((encoded.len() as f64) * cut_frac) as usize;
+        if cut < encoded.len() {
+            // Must return an error, not panic. (A cut at a chunk boundary
+            // with 0 remaining points could decode successfully only if the
+            // header said 0 points, which it does not here.)
+            prop_assert!(decode_chunk(&encoded[..cut]).is_err());
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! The Taxi pipeline end to end, at the component level.
+//!
+//! Walks one chunk of synthetic NYC trip records through every pipeline
+//! stage (parse → extract → anomaly-filter → select → scale → encode),
+//! printing what each stage does, then deploys the pipeline continuously
+//! with a bounded materialization budget and reports μ and cost.
+//!
+//! ```sh
+//! cargo run --release --example taxi_pipeline
+//! ```
+
+use cdpipe::core::report::{fmt_f, fmt_secs, Table};
+use cdpipe::prelude::*;
+use cdpipe::sampling::{mu_time_based, mu_uniform};
+
+fn main() {
+    let (stream, spec) = taxi_spec(SpecScale::Tiny);
+
+    // ---- Stage-by-stage walk of one chunk ----
+    let mut pipeline = spec.build_pipeline();
+    println!("pipeline stages: {:?}", pipeline.stage_names());
+    let chunk = stream.chunk(0);
+    println!("raw chunk: {} trip records", chunk.len());
+    let fc = pipeline.fit_transform_chunk(&chunk);
+    println!(
+        "after pipeline: {} examples ({} anomalous trips filtered), {} features each",
+        fc.len(),
+        chunk.len() - fc.len(),
+        fc.points.first().map_or(0, |p| p.features.dim()),
+    );
+    if let Some(p) = fc.points.first() {
+        println!(
+            "first example: label (log1p duration) = {:.3} → ≈ {:.0} s trip",
+            p.label,
+            p.label.exp() - 1.0
+        );
+    }
+
+    // ---- Deployment with a bounded feature cache ----
+    println!("\n== continuous deployment under a storage budget ==");
+    let total = stream.total_chunks();
+    let mut table = Table::new([
+        "budget (chunks)",
+        "μ measured",
+        "μ theory (time-based)",
+        "cost",
+    ]);
+    for rate in [0.2f64, 0.6, 1.0] {
+        let m = ((total as f64) * rate) as usize;
+        let mut config = DeploymentConfig::continuous(
+            spec.proactive_every,
+            spec.sample_chunks,
+            SamplingStrategy::TimeBased,
+        );
+        config.optimization.budget = StorageBudget::MaxChunks(m);
+        let result = run_deployment(&stream, &spec, &config);
+        let theory = if rate >= 1.0 {
+            1.0
+        } else {
+            mu_time_based(m, total)
+        };
+        table.row([
+            format!("{m} ({rate:.0}% of {total})", rate = rate * 100.0),
+            fmt_f(result.empirical_mu, 3),
+            fmt_f(theory, 3),
+            fmt_secs(result.total_secs),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "uniform-sampling theory at 20%: μ = {:.3} (time-based beats it by construction)",
+        mu_uniform(total / 5, total)
+    );
+}

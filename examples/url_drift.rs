@@ -1,0 +1,97 @@
+//! Concept drift on the URL stream: why time-based sampling wins.
+//!
+//! The synthetic URL stream gradually rotates which tokens indicate a
+//! malicious URL (like the real dataset, whose feature set changes over
+//! 121 days). This example deploys the same continuous configuration with
+//! the three sampling strategies and shows the drift-tracking gap, plus a
+//! drift detector watching the online error stream.
+//!
+//! ```sh
+//! cargo run --release --example url_drift
+//! ```
+
+use cdpipe::core::presets::url_spec_from;
+use cdpipe::core::report::{fmt_f, sparkline, Table};
+use cdpipe::datagen::url::UrlConfig;
+use cdpipe::pipeline::drift::{DriftDetector, DriftStatus};
+use cdpipe::prelude::*;
+
+fn main() {
+    // A fast-drifting URL stream: token/class associations rotate hard so
+    // the strategy gap is visible within a small run.
+    let config = UrlConfig {
+        days: 30,
+        chunks_per_day: 4,
+        rows_per_chunk: 30,
+        base_vocab: 800,
+        vocab_growth_per_day: 30,
+        tokens_per_row: 10,
+        lexical_features: 8,
+        drift_per_day: 0.18,
+        ..UrlConfig::repo_scale()
+    };
+    let (stream, spec) = url_spec_from(config, 10, SpecScale::Tiny);
+
+    println!("== sampling strategies under drift ==");
+    let strategies = [
+        SamplingStrategy::TimeBased,
+        SamplingStrategy::WindowBased {
+            window: stream.total_chunks() / 2,
+        },
+        SamplingStrategy::Uniform,
+    ];
+    let mut table = Table::new(["strategy", "final error", "avg error", "error curve"]);
+    for strategy in strategies {
+        let config =
+            DeploymentConfig::continuous(spec.proactive_every, spec.sample_chunks, strategy);
+        let result = run_deployment(&stream, &spec, &config);
+        table.row([
+            strategy.name().to_owned(),
+            fmt_f(result.final_error, 4),
+            fmt_f(result.average_error, 4),
+            sparkline(&result.error_curve, 24),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!("== drift detector on the online error stream ==");
+    // Feed per-example 0/1 errors of an online-only deployment into the
+    // windowed detector; report the first warning/drift positions.
+    let mut detector = DriftDetector::new(120, 30, 1.5, 2.5);
+    let config = DeploymentConfig::online();
+    let result = run_deployment(&stream, &spec, &config);
+    // The error curve is cumulative; reconstruct approximate per-chunk
+    // error increments to drive the detector.
+    let mut prev = (0u64, 0.0f64);
+    let mut first_warning = None;
+    let mut first_drift = None;
+    for &(count, cum_err) in &result.error_curve {
+        let errors_so_far = cum_err * count as f64;
+        let prev_errors = prev.1 * prev.0 as f64;
+        let fresh = (count - prev.0) as f64;
+        let chunk_err = ((errors_so_far - prev_errors) / fresh.max(1.0)).clamp(0.0, 1.0);
+        prev = (count, cum_err);
+        for _ in 0..fresh as usize {
+            match detector.observe(chunk_err) {
+                DriftStatus::Warning if first_warning.is_none() => {
+                    first_warning = Some(count);
+                }
+                DriftStatus::Drift if first_drift.is_none() => {
+                    first_drift = Some(count);
+                }
+                _ => {}
+            }
+        }
+    }
+    match (first_warning, first_drift) {
+        (Some(w), Some(d)) => {
+            println!("warning at example {w}, drift at example {d}");
+        }
+        (Some(w), None) => println!("warning at example {w}, no full drift signal"),
+        _ => println!("error stream stayed stable under online learning"),
+    }
+    println!(
+        "online-only final error: {} (continuous with time-based sampling tracks drift better)",
+        fmt_f(result.final_error, 4)
+    );
+}
