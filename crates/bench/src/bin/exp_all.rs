@@ -16,6 +16,7 @@ fn main() {
             exp::table4::run(scale, out),
             exp::fig7::run(scale, out),
             exp::fig8::run(scale, out),
+            exp::engine_scaling::run(scale, out),
         ];
         sections.join("\n============================================================\n\n")
     });

@@ -1,0 +1,10 @@
+//! Sweeps engine worker counts over the proactive hot path; see `cdp-bench`
+//! docs for flags. Copies `BENCH_engine.json` to the working directory.
+
+fn main() {
+    cdp_bench::run_binary("exp_engine_scaling", |scale, out| {
+        cdp_bench::experiments::engine_scaling::run(scale, out)
+    });
+    let (_, out) = cdp_bench::parse_args();
+    let _ = std::fs::copy(out.join("BENCH_engine.json"), "BENCH_engine.json");
+}

@@ -11,7 +11,7 @@
 
 use std::path::Path;
 
-use cdp_core::deployment::{run_deployment, DeploymentConfig, DeploymentMode};
+use cdp_core::deployment::{DeploymentConfig, DeploymentMode};
 use cdp_core::presets::{url_spec, SpecScale};
 use cdp_core::report::{fmt_f, fmt_secs, Table};
 use cdp_core::scheduler::Scheduler;
@@ -26,7 +26,7 @@ fn warm_start_ablation(scale: SpecScale, out_dir: &Path) -> String {
             retrain_every: spec.retrain_every,
             warm_start: warm,
         };
-        let r = run_deployment(&stream, &spec, &config);
+        let r = crate::deploy(&stream, &spec, config);
         table.row([
             name.to_owned(),
             fmt_f(r.final_error, 4),
@@ -35,7 +35,7 @@ fn warm_start_ablation(scale: SpecScale, out_dir: &Path) -> String {
             fmt_secs(r.total_secs),
         ]);
     }
-    let _ = table.write_csv(out_dir.join("ablation_warm_start.csv"));
+    crate::write_csv(&table, out_dir.join("ablation_warm_start.csv"));
     format!(
         "Ablation 1: periodical retraining, warm vs cold\n\n{}",
         table.render()
@@ -55,7 +55,7 @@ fn slack_ablation(scale: SpecScale, out_dir: &Path) -> String {
         // Make the accounted training time comparable to the chunk period
         // so Eq. 6 has a regime to work in.
         config.chunk_period_secs = 1e-3;
-        let r = run_deployment(&stream, &spec, &config);
+        let r = crate::deploy(&stream, &spec, config);
         table.row([
             format!("{slack:.0}"),
             r.proactive_runs.to_string(),
@@ -63,7 +63,7 @@ fn slack_ablation(scale: SpecScale, out_dir: &Path) -> String {
             fmt_secs(r.total_secs),
         ]);
     }
-    let _ = table.write_csv(out_dir.join("ablation_slack.csv"));
+    crate::write_csv(&table, out_dir.join("ablation_slack.csv"));
     format!(
         "Ablation 2: dynamic scheduler slack (Eq. 6) — larger S ⇒ fewer trainings\n\n{}",
         table.render()
@@ -76,7 +76,7 @@ fn interval_ablation(scale: SpecScale, out_dir: &Path) -> String {
     for every in [1usize, 2, 5, 10, 20] {
         let config =
             DeploymentConfig::continuous(every, spec.sample_chunks, SamplingStrategy::TimeBased);
-        let r = run_deployment(&stream, &spec, &config);
+        let r = crate::deploy(&stream, &spec, config);
         table.row([
             every.to_string(),
             r.proactive_runs.to_string(),
@@ -84,7 +84,7 @@ fn interval_ablation(scale: SpecScale, out_dir: &Path) -> String {
             fmt_secs(r.total_secs),
         ]);
     }
-    let _ = table.write_csv(out_dir.join("ablation_interval.csv"));
+    crate::write_csv(&table, out_dir.join("ablation_interval.csv"));
     format!(
         "Ablation 3: static proactive-training interval\n\n{}",
         table.render()
@@ -102,7 +102,7 @@ fn sample_size_ablation(scale: SpecScale, out_dir: &Path) -> String {
     for chunks in [1usize, 4, 10, 25] {
         let config =
             DeploymentConfig::continuous(spec.proactive_every, chunks, SamplingStrategy::TimeBased);
-        let r = run_deployment(&stream, &spec, &config);
+        let r = crate::deploy(&stream, &spec, config);
         table.row([
             chunks.to_string(),
             fmt_f(r.final_error, 4),
@@ -110,7 +110,7 @@ fn sample_size_ablation(scale: SpecScale, out_dir: &Path) -> String {
             fmt_secs(r.total_secs),
         ]);
     }
-    let _ = table.write_csv(out_dir.join("ablation_sample_size.csv"));
+    crate::write_csv(&table, out_dir.join("ablation_sample_size.csv"));
     format!(
         "Ablation 4: proactive-training sample size (the SGD sample-size \
          hyperparameter, §2.1)\n\n{}",
@@ -139,7 +139,7 @@ fn drift_scheduler_ablation(scale: SpecScale, out_dir: &Path) -> String {
             sample_chunks: spec.sample_chunks,
             strategy: SamplingStrategy::TimeBased,
         };
-        let r = run_deployment(&stream, &spec, &config);
+        let r = crate::deploy(&stream, &spec, config);
         table.row([
             name.to_owned(),
             r.proactive_runs.to_string(),
@@ -147,7 +147,7 @@ fn drift_scheduler_ablation(scale: SpecScale, out_dir: &Path) -> String {
             fmt_secs(r.total_secs),
         ]);
     }
-    let _ = table.write_csv(out_dir.join("ablation_drift_scheduler.csv"));
+    crate::write_csv(&table, out_dir.join("ablation_drift_scheduler.csv"));
     format!(
         "Ablation 5: drift-adaptive scheduling (paper §7 future work) — the \
          error monitor tightens the training interval under drift\n\n{}",
@@ -170,6 +170,7 @@ pub fn run(scale: SpecScale, out_dir: &Path) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cdp_core::deployment::run_deployment;
 
     #[test]
     fn all_ablations_render() {

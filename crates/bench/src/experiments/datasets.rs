@@ -70,7 +70,7 @@ pub fn run(scale: SpecScale, out_dir: &Path) -> String {
         &format!("{} hourly chunks", taxi.total_chunks() - taxi_initial),
     );
 
-    let _ = table.write_csv(out_dir.join("table2_datasets.csv"));
+    crate::write_csv(&table, out_dir.join("table2_datasets.csv"));
     format!(
         "Table 2: dataset descriptions (synthetic stand-ins, {scale:?} scale)\n\n{}",
         table.render()

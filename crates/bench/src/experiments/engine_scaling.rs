@@ -1,0 +1,176 @@
+//! Engine scaling: wall-clock time of the Continuous-deployment hot path
+//! (proactive training with forced re-materialization) under the sequential
+//! engine vs persistent worker pools of increasing size.
+//!
+//! Deployment results are bit-identical across engines by construction —
+//! the sweep verifies that on every run and records only wall-clock
+//! differences. Speedups are bounded by the host's core count, which is
+//! recorded alongside the measurements.
+
+use std::path::Path;
+
+use cdp_core::deployment::{run_deployment, DeploymentConfig, DeploymentResult};
+use cdp_core::presets::{taxi_spec, url_spec, DeploymentSpec, SpecScale};
+use cdp_core::report::{fmt_f, Table};
+use cdp_datagen::ChunkStream;
+use cdp_engine::ExecutionEngine;
+use cdp_sampling::SamplingStrategy;
+use cdp_storage::StorageBudget;
+
+/// Worker counts swept against the sequential baseline.
+pub const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// One measured deployment run.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Dataset name (`URL` / `Taxi`).
+    pub dataset: String,
+    /// Engine display name.
+    pub engine: String,
+    /// Worker count (0 = sequential).
+    pub workers: usize,
+    /// Real wall-clock seconds for the deployment run.
+    pub wall_secs: f64,
+    /// Sequential wall-clock over this run's wall-clock.
+    pub speedup: f64,
+    /// Whether error curve, weights, and accounted cost matched the
+    /// sequential run bit for bit.
+    pub bit_identical: bool,
+}
+
+/// A proactive workload whose sampled chunks mostly need re-materialization,
+/// so the engine-parallel transform path dominates training work.
+fn workload(spec: &DeploymentSpec) -> DeploymentConfig {
+    let mut config = DeploymentConfig::continuous(
+        spec.proactive_every,
+        spec.sample_chunks,
+        SamplingStrategy::Uniform,
+    );
+    config.optimization.budget = StorageBudget::MaxChunks(8);
+    config
+}
+
+fn identical(a: &DeploymentResult, b: &DeploymentResult) -> bool {
+    a.final_error.to_bits() == b.final_error.to_bits()
+        && a.total_secs.to_bits() == b.total_secs.to_bits()
+        && a.final_weights == b.final_weights
+        && a.error_curve == b.error_curve
+}
+
+fn sweep_dataset(
+    dataset: &str,
+    stream: &dyn ChunkStream,
+    spec: &DeploymentSpec,
+) -> Vec<SweepPoint> {
+    let base = workload(spec);
+    let sequential = run_deployment(stream, spec, &base);
+    let mut points = vec![SweepPoint {
+        dataset: dataset.to_owned(),
+        engine: ExecutionEngine::Sequential.name(),
+        workers: 0,
+        wall_secs: sequential.wall_secs,
+        speedup: 1.0,
+        bit_identical: true,
+    }];
+    for workers in WORKER_SWEEP {
+        let engine = ExecutionEngine::Threaded { workers };
+        let mut config = base;
+        config.engine = engine;
+        let r = run_deployment(stream, spec, &config);
+        points.push(SweepPoint {
+            dataset: dataset.to_owned(),
+            engine: engine.name(),
+            workers,
+            wall_secs: r.wall_secs,
+            speedup: sequential.wall_secs / r.wall_secs.max(1e-9),
+            bit_identical: identical(&sequential, &r),
+        });
+    }
+    points
+}
+
+/// Number of cores the host exposes (the ceiling for any speedup).
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn write_json(points: &[SweepPoint], scale: SpecScale, path: &Path) {
+    let mut runs = String::new();
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            runs.push_str(",\n");
+        }
+        runs.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"engine\": \"{}\", \"workers\": {}, \
+             \"wall_secs\": {:.6}, \"speedup\": {:.3}, \"bit_identical\": {}}}",
+            p.dataset, p.engine, p.workers, p.wall_secs, p.speedup, p.bit_identical
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"engine_scaling\",\n  \"scale\": \"{:?}\",\n  \
+         \"host_parallelism\": {},\n  \"worker_sweep\": {:?},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        scale,
+        host_parallelism(),
+        WORKER_SWEEP,
+        runs
+    );
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let _ = std::fs::write(path, json);
+}
+
+/// Runs the sweep on both pipelines, writing `engine_scaling.csv` and
+/// `BENCH_engine.json` into `out_dir`.
+pub fn run(scale: SpecScale, out_dir: &Path) -> String {
+    let mut points = Vec::new();
+    let (url_stream, url) = url_spec(scale);
+    points.extend(sweep_dataset("URL", &url_stream, &url));
+    let (taxi_stream, taxi) = taxi_spec(scale);
+    points.extend(sweep_dataset("Taxi", &taxi_stream, &taxi));
+
+    let mut table = Table::new(["dataset", "engine", "wall s", "speedup", "bit-identical"]);
+    for p in &points {
+        table.row([
+            p.dataset.clone(),
+            p.engine.clone(),
+            fmt_f(p.wall_secs, 4),
+            format!("{:.2}x", p.speedup),
+            p.bit_identical.to_string(),
+        ]);
+    }
+    crate::write_csv(&table, out_dir.join("engine_scaling.csv"));
+    write_json(&points, scale, &out_dir.join("BENCH_engine.json"));
+
+    let all_identical = points.iter().all(|p| p.bit_identical);
+    format!(
+        "Engine scaling: Continuous deployment, bounded feature cache \
+         (re-materialization-heavy)\nhost parallelism: {} core(s)\n\n{}\n\
+         all runs bit-identical to sequential: {}\n",
+        host_parallelism(),
+        table.render(),
+        all_identical
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_bit_identical_and_writes_artifacts() {
+        let dir = std::env::temp_dir().join(format!("cdp-eng-{}", std::process::id()));
+        let report = run(SpecScale::Tiny, &dir);
+        assert!(report.contains("bit-identical"));
+        assert!(report.contains("all runs bit-identical to sequential: true"));
+        let json = std::fs::read_to_string(dir.join("BENCH_engine.json")).unwrap();
+        assert!(json.contains("\"experiment\": \"engine_scaling\""));
+        assert!(json.contains("\"host_parallelism\""));
+        assert!(json.contains("\"bit_identical\": true"));
+        assert!(!json.contains("\"bit_identical\": false"));
+        assert!(dir.join("engine_scaling.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -9,7 +9,7 @@
 
 use std::path::Path;
 
-use cdp_core::deployment::{run_deployment, DeploymentConfig, DeploymentResult};
+use cdp_core::deployment::{DeploymentConfig, DeploymentResult};
 use cdp_core::presets::{taxi_spec, url_spec, DeploymentSpec, SpecScale};
 use cdp_core::report::{fmt_f, fmt_secs, sparkline, Table};
 use cdp_datagen::ChunkStream;
@@ -41,7 +41,7 @@ pub fn compare(
 ) -> Vec<(&'static str, DeploymentResult)> {
     three_approaches(spec)
         .into_iter()
-        .map(|(name, config)| (name, run_deployment(stream, spec, &config)))
+        .map(|(name, config)| (name, crate::deploy(stream, spec, config)))
         .collect()
 }
 
@@ -70,7 +70,10 @@ fn render(dataset: &str, metric: &str, results: &[(&str, DeploymentResult)], out
             sparkline(&r.cost_curve, 20),
         ]);
     }
-    let _ = table.write_csv(out.join(format!("fig4_{}_summary.csv", dataset.to_lowercase())));
+    crate::write_csv(
+        &table,
+        out.join(format!("fig4_{}_summary.csv", dataset.to_lowercase())),
+    );
 
     // Full curves for external plotting.
     let mut curves = Table::new(["approach", "chunk", "examples", "error", "cost_secs"]);
@@ -90,7 +93,10 @@ fn render(dataset: &str, metric: &str, results: &[(&str, DeploymentResult)], out
             }
         }
     }
-    let _ = curves.write_csv(out.join(format!("fig4_{}_curves.csv", dataset.to_lowercase())));
+    crate::write_csv(
+        &curves,
+        out.join(format!("fig4_{}_curves.csv", dataset.to_lowercase())),
+    );
 
     let periodical = &results[1].1;
     let continuous = &results[2].1;

@@ -57,14 +57,14 @@ pub fn run(scale: SpecScale, out_dir: &Path) -> String {
     let (url_stream, url) = url_spec(scale);
     let url_cells = run_for(&url_stream, &url, 0.01, fraction);
     let t = render("URL", &url_cells, 4);
-    let _ = t.write_csv(out_dir.join("fig5_url.csv"));
+    crate::write_csv(&t, out_dir.join("fig5_url.csv"));
     out.push_str(&t.render());
     out.push_str(&agreement_note(&url_cells));
 
     let (taxi_stream, taxi) = taxi_spec(scale);
     let taxi_cells = run_for(&taxi_stream, &taxi, 0.1, fraction);
     let t = render("Taxi", &taxi_cells, 5);
-    let _ = t.write_csv(out_dir.join("fig5_taxi.csv"));
+    crate::write_csv(&t, out_dir.join("fig5_taxi.csv"));
     out.push_str(&t.render());
     out.push_str(&agreement_note(&taxi_cells));
     out

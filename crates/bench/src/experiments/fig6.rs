@@ -6,7 +6,7 @@
 
 use std::path::Path;
 
-use cdp_core::deployment::{run_deployment, DeploymentConfig, DeploymentResult};
+use cdp_core::deployment::{DeploymentConfig, DeploymentResult};
 use cdp_core::presets::{taxi_spec, url_spec, DeploymentSpec, SpecScale};
 use cdp_core::report::{fmt_f, sparkline, Table};
 use cdp_datagen::ChunkStream;
@@ -27,7 +27,7 @@ pub fn compare(
     .map(|strategy| {
         let config =
             DeploymentConfig::continuous(spec.proactive_every, spec.sample_chunks, strategy);
-        (strategy, run_deployment(stream, spec, &config))
+        (strategy, crate::deploy(stream, spec, config))
     })
     .collect()
 }
@@ -57,7 +57,7 @@ pub fn run(scale: SpecScale, out_dir: &Path) -> String {
     let (url_stream, url) = url_spec(scale);
     let url_results = compare(&url_stream, &url);
     let t = render("URL", "error", &url_results);
-    let _ = t.write_csv(out_dir.join("fig6_url.csv"));
+    crate::write_csv(&t, out_dir.join("fig6_url.csv"));
     out.push_str(&t.render());
     let time = url_results[0].1.average_error;
     let uniform = url_results[2].1.average_error;
@@ -70,7 +70,7 @@ pub fn run(scale: SpecScale, out_dir: &Path) -> String {
     let (taxi_stream, taxi) = taxi_spec(scale);
     let taxi_results = compare(&taxi_stream, &taxi);
     let t = render("Taxi", "RMSLE", &taxi_results);
-    let _ = t.write_csv(out_dir.join("fig6_taxi.csv"));
+    crate::write_csv(&t, out_dir.join("fig6_taxi.csv"));
     out.push_str(&t.render());
     let spread = taxi_results
         .iter()

@@ -8,7 +8,7 @@
 
 use std::path::Path;
 
-use cdp_core::deployment::{run_deployment, DeploymentConfig, DeploymentResult};
+use cdp_core::deployment::{DeploymentConfig, DeploymentResult};
 use cdp_core::presets::{taxi_spec, url_spec, DeploymentSpec, SpecScale};
 use cdp_core::report::{fmt_f, fmt_secs, Table};
 use cdp_datagen::ChunkStream;
@@ -47,7 +47,7 @@ pub fn sweep(stream: &dyn ChunkStream, spec: &DeploymentSpec) -> Vec<CostPoint> 
             } else {
                 StorageBudget::MaxChunks((total as f64 * rate) as usize)
             };
-            let r = run_deployment(stream, spec, &config);
+            let r = crate::deploy(stream, spec, config);
             points.push(CostPoint {
                 label: strategy.name().to_owned(),
                 rate,
@@ -65,7 +65,7 @@ pub fn sweep(stream: &dyn ChunkStream, spec: &DeploymentSpec) -> Vec<CostPoint> 
     );
     config.optimization.online_stats = false;
     config.optimization.budget = StorageBudget::MaxChunks(0);
-    let r: DeploymentResult = run_deployment(stream, spec, &config);
+    let r: DeploymentResult = crate::deploy(stream, spec, config);
     points.push(CostPoint {
         label: "NoOptimization".to_owned(),
         rate: 0.0,
@@ -85,7 +85,10 @@ fn render(name: &str, points: &[CostPoint], out: &Path) -> String {
             fmt_f(p.mu, 2),
         ]);
     }
-    let _ = table.write_csv(out.join(format!("fig7_{}.csv", name.to_lowercase())));
+    crate::write_csv(
+        &table,
+        out.join(format!("fig7_{}.csv", name.to_lowercase())),
+    );
 
     // Headline deltas, as the paper reports them.
     let at = |label: &str, rate: f64| {

@@ -47,7 +47,7 @@ pub fn run(scale: SpecScale, out_dir: &Path) -> String {
         ));
     }
 
-    let _ = table.write_csv(out_dir.join("fig8_tradeoff.csv"));
+    crate::write_csv(&table, out_dir.join("fig8_tradeoff.csv"));
     format!(
         "Figure 8: quality vs deployment-cost trade-off\n\n{}\n{notes}",
         table.render()

@@ -3,6 +3,7 @@
 
 pub mod ablations;
 pub mod datasets;
+pub mod engine_scaling;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;

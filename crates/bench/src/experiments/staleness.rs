@@ -216,7 +216,7 @@ pub fn run(scale: SpecScale, out_dir: &Path) -> String {
             fmt_secs(r.avg_training_secs),
         ]);
     }
-    let _ = table.write_csv(out_dir.join("staleness.csv"));
+    crate::write_csv(&table, out_dir.join("staleness.csv"));
     format!(
         "§5.5 staleness under a non-pausing stream (URL)\n\n{}\
          While periodical retraining runs, the deployed model is frozen and \

@@ -79,7 +79,7 @@ pub fn run(scale: SpecScale, out_dir: &Path) -> String {
     let (url_stream, url) = url_spec(scale);
     let url_cells = grid_for(&url_stream, &url, 0.01);
     let url_table = render("URL", &url_cells, 4, true);
-    let _ = url_table.write_csv(out_dir.join("table3_url.csv"));
+    crate::write_csv(&url_table, out_dir.join("table3_url.csv"));
     out.push_str(&url_table.render());
     if let Some(best) = best_initial(&url_cells) {
         out.push_str(&format!(
@@ -94,7 +94,7 @@ pub fn run(scale: SpecScale, out_dir: &Path) -> String {
     let (taxi_stream, taxi) = taxi_spec(scale);
     let taxi_cells = grid_for(&taxi_stream, &taxi, 0.1);
     let taxi_table = render("Taxi", &taxi_cells, 5, false);
-    let _ = taxi_table.write_csv(out_dir.join("table3_taxi.csv"));
+    crate::write_csv(&taxi_table, out_dir.join("table3_taxi.csv"));
     out.push_str(&taxi_table.render());
     if let Some(best) = best_initial(&taxi_cells) {
         out.push_str(&format!(

@@ -65,7 +65,7 @@ pub fn run(scale: SpecScale, out_dir: &Path) -> String {
     let mut table = Table::new(["dataset", "sampling", "m/n", "empirical μ", "theory μ"]);
     rows_for("URL", n_url, s, &mut table);
     rows_for("Taxi", n_taxi, s, &mut table);
-    let _ = table.write_csv(out_dir.join("table4_mu.csv"));
+    crate::write_csv(&table, out_dir.join("table4_mu.csv"));
     format!(
         "Table 4: empirical vs theoretical μ (w = N/2)\n\n{}\
          paper values at m/n=0.2: uniform 0.52, window 0.58, time 0.65-0.68\n\

@@ -19,18 +19,56 @@
 //! | `exp_table4_mu` | Table 4 (empirical vs theoretical μ) |
 //! | `exp_fig7_materialization_cost` | Figure 7 (optimizations vs cost) |
 //! | `exp_fig8_tradeoff` | Figure 8 (quality/cost trade-off) |
+//! | `exp_engine_scaling` | worker-pool scaling sweep (`BENCH_engine.json`) |
 //! | `exp_all` | everything above, in order |
+//!
+//! All binaries accept `--workers N` to pick the execution engine
+//! (0 = sequential; default: one worker per host core). Engine choice never
+//! changes results — deployments are bit-identical across engines.
 
 #![warn(missing_docs)]
 
 pub mod experiments;
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
 
 use cdp_core::presets::SpecScale;
+use cdp_core::report::Table;
+use cdp_engine::ExecutionEngine;
 
-/// Parses `--scale tiny|repo|paper` from argv (default `repo`) and an
-/// optional `--out <dir>` (default `results/`).
+static ENGINE: OnceLock<ExecutionEngine> = OnceLock::new();
+
+/// The execution engine experiment runs use, set once from `--workers`
+/// (0 = sequential, N = a persistent pool of N workers; default: one worker
+/// per host core). Deployment results are bit-identical across engines, so
+/// the choice only affects wall-clock time.
+pub fn engine() -> ExecutionEngine {
+    *ENGINE.get_or_init(ExecutionEngine::threaded_auto)
+}
+
+/// Runs a deployment on the process-wide [`engine`]. Results are
+/// bit-identical to a sequential run; only wall-clock time changes.
+pub fn deploy(
+    stream: &dyn cdp_datagen::ChunkStream,
+    spec: &cdp_core::presets::DeploymentSpec,
+    mut config: cdp_core::deployment::DeploymentConfig,
+) -> cdp_core::deployment::DeploymentResult {
+    config.engine = engine();
+    cdp_core::deployment::run_deployment(stream, spec, &config)
+}
+
+/// Writes `table` as CSV with a leading `# key: value` comment block that
+/// records which engine produced the artifact.
+pub fn write_csv(table: &Table, path: impl AsRef<Path>) {
+    let name = engine().name();
+    let _ = table.write_csv_with_meta(path, &[("engine", &name)]);
+}
+
+/// Parses `--scale tiny|repo|paper` from argv (default `repo`), an optional
+/// `--out <dir>` (default `results/`), and an optional `--workers N`
+/// (0 = sequential; default: one worker per core), which fixes the engine
+/// returned by [`engine`] for the rest of the process.
 pub fn parse_args() -> (SpecScale, PathBuf) {
     let args: Vec<String> = std::env::args().collect();
     let mut scale = SpecScale::Repo;
@@ -54,6 +92,18 @@ pub fn parse_args() -> (SpecScale, PathBuf) {
                 out = PathBuf::from(&args[i + 1]);
                 i += 2;
             }
+            "--workers" if i + 1 < args.len() => {
+                match args[i + 1].parse::<usize>() {
+                    Ok(0) => {
+                        let _ = ENGINE.set(ExecutionEngine::Sequential);
+                    }
+                    Ok(workers) => {
+                        let _ = ENGINE.set(ExecutionEngine::Threaded { workers });
+                    }
+                    Err(_) => eprintln!("invalid --workers '{}', using one per core", args[i + 1]),
+                }
+                i += 2;
+            }
             other => {
                 eprintln!("ignoring unknown argument '{other}'");
                 i += 1;
@@ -66,7 +116,11 @@ pub fn parse_args() -> (SpecScale, PathBuf) {
 /// Standard binary entry: parse args, run the experiment, print its report.
 pub fn run_binary(name: &str, run: fn(SpecScale, &std::path::Path) -> String) {
     let (scale, out) = parse_args();
-    eprintln!("[{name}] scale = {scale:?}, artifacts → {}", out.display());
+    eprintln!(
+        "[{name}] scale = {scale:?}, engine = {}, artifacts → {}",
+        engine().name(),
+        out.display()
+    );
     let started = std::time::Instant::now();
     let report = run(scale, &out);
     println!("{report}");

@@ -99,9 +99,12 @@ pub struct DeploymentConfig {
     pub cost_model: CostModel,
     /// Seed for the sampler.
     pub seed: u64,
-    /// Execution engine for batch work (periodical retraining's history
-    /// transformation). Accounted cost is engine-independent; a threaded
-    /// engine only reduces wall-clock time.
+    /// Execution engine for all batch work: initial fit, periodical
+    /// retraining's history transformation, proactive re-materialization,
+    /// and sharded gradient computation. One persistent worker pool is
+    /// shared by every deployment mode. Results and accounted cost are
+    /// engine-independent (bit-identical); a threaded engine only reduces
+    /// wall-clock time.
     pub engine: ExecutionEngine,
 }
 
@@ -189,6 +192,9 @@ pub struct DeploymentResult {
     pub queries_answered: u64,
     /// Initial-training report.
     pub initial_report: TrainReport,
+    /// Final model weights (dense). Lets callers verify that two runs —
+    /// e.g. sequential vs threaded — produced bit-identical models.
+    pub final_weights: Vec<f64>,
 }
 
 impl DeploymentResult {
@@ -211,7 +217,8 @@ pub fn run_deployment(
         _ => SamplingStrategy::Uniform,
     };
     let mut dm = DataManager::new(config.optimization.budget, strategy, config.seed);
-    let mut pm = PipelineManager::new(spec.build_pipeline(), &spec.sgd, spec.online_batch);
+    let mut pm = PipelineManager::new(spec.build_pipeline(), &spec.sgd, spec.online_batch)
+        .with_engine(config.engine);
     let mut evaluator = PrequentialEvaluator::new(spec.metric, 0);
     let proactive = if config.optimization.online_stats {
         ProactiveTrainer::new()
@@ -277,14 +284,15 @@ pub fn run_deployment(
                     retrain_runs += 1;
                     let history = dm.full_history();
                     if warm_start {
-                        pm.retrain_warm_on(&history, &spec.sgd, config.engine, &mut ledger);
+                        pm.retrain_warm(&history, &spec.sgd, &mut ledger);
                     } else {
                         // Cold restart: fresh pipeline statistics and model.
                         pm = PipelineManager::new(
                             spec.build_pipeline(),
                             &spec.sgd,
                             spec.online_batch,
-                        );
+                        )
+                        .with_engine(config.engine);
                         let owned: Vec<_> = history.iter().map(|c| (**c).clone()).collect();
                         pm.initial_fit(&owned, &spec.sgd, &mut ledger);
                     }
@@ -343,6 +351,7 @@ pub fn run_deployment(
         empirical_mu: stats.utilization_rate(),
         queries_answered: evaluator.count(),
         initial_report,
+        final_weights: pm.trainer().model().weights().as_slice().to_vec(),
     }
 }
 
@@ -470,14 +479,46 @@ mod tests {
 
     #[test]
     fn threaded_engine_reproduces_sequential_deployment() {
+        // All three deployment modes must be bit-identical across engines:
+        // same prequential error curve, same model weights, same accounted
+        // cost. Parallelism only changes wall-clock time.
         let (stream, spec) = tiny_url();
-        let sequential = run_deployment(&stream, &spec, &DeploymentConfig::periodical(5));
-        let mut threaded_cfg = DeploymentConfig::periodical(5);
-        threaded_cfg.engine = ExecutionEngine::Threaded { workers: 4 };
-        let threaded = run_deployment(&stream, &spec, &threaded_cfg);
-        assert_eq!(sequential.final_error, threaded.final_error);
-        assert_eq!(sequential.total_secs, threaded.total_secs);
-        assert_eq!(sequential.retrain_runs, threaded.retrain_runs);
+        let mut limited_continuous = DeploymentConfig::continuous(2, 3, SamplingStrategy::Uniform);
+        // A bounded cache forces re-materialization through the engine.
+        limited_continuous.optimization.budget = StorageBudget::MaxChunks(5);
+        let configs = [
+            DeploymentConfig::online(),
+            DeploymentConfig::periodical(5),
+            DeploymentConfig::continuous(2, 3, SamplingStrategy::TimeBased),
+            limited_continuous,
+        ];
+        for base in configs {
+            let sequential = run_deployment(&stream, &spec, &base);
+            let mut threaded_cfg = base;
+            threaded_cfg.engine = ExecutionEngine::Threaded { workers: 4 };
+            let threaded = run_deployment(&stream, &spec, &threaded_cfg);
+            let mode = base.mode.name();
+            assert_eq!(
+                sequential.final_error.to_bits(),
+                threaded.final_error.to_bits(),
+                "{mode}: final error"
+            );
+            assert_eq!(
+                sequential.error_curve, threaded.error_curve,
+                "{mode}: error curve"
+            );
+            assert_eq!(
+                sequential.final_weights, threaded.final_weights,
+                "{mode}: model weights"
+            );
+            assert_eq!(
+                sequential.total_secs.to_bits(),
+                threaded.total_secs.to_bits(),
+                "{mode}: accounted cost"
+            );
+            assert_eq!(sequential.retrain_runs, threaded.retrain_runs);
+            assert_eq!(sequential.proactive_runs, threaded.proactive_runs);
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub struct PipelineManager {
     pipeline: Pipeline,
     trainer: SgdTrainer,
     online_batch: usize,
+    engine: ExecutionEngine,
     counters_base: PipelineCounters,
     points_base: u64,
     steps_base: u64,
@@ -33,6 +34,7 @@ impl PipelineManager {
             counters_base: pipeline.counters(),
             pipeline,
             online_batch: online_batch.max(1),
+            engine: ExecutionEngine::Sequential,
             points_base: 0,
             steps_base: 0,
         }
@@ -47,7 +49,22 @@ impl PipelineManager {
             pipeline,
             trainer,
             online_batch: online_batch.max(1),
+            engine: ExecutionEngine::Sequential,
         }
+    }
+
+    /// Runs every batch operation (initial fit, warm retraining, chunk
+    /// re-materialization, sharded gradient steps) on `engine`. All results
+    /// and accounted costs are bit-identical across engines; only wall-clock
+    /// time changes.
+    pub fn with_engine(mut self, engine: ExecutionEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The execution engine batch operations run on.
+    pub fn engine(&self) -> ExecutionEngine {
+        self.engine
     }
 
     /// The deployed pipeline.
@@ -106,7 +123,7 @@ impl PipelineManager {
             .iter()
             .flat_map(|fc| fc.points.iter().cloned())
             .collect();
-        let report = self.trainer.fit(&points, sgd);
+        let report = self.trainer.fit_on(&points, sgd, self.engine);
         self.drain_charges(ledger);
         (report, feature_chunks)
     }
@@ -122,7 +139,7 @@ impl PipelineManager {
         sgd: &SgdConfig,
         ledger: &mut CostLedger,
     ) -> TrainReport {
-        self.retrain_warm_on(history, sgd, ExecutionEngine::Sequential, ledger)
+        self.retrain_warm_on(history, sgd, self.engine, ledger)
     }
 
     /// [`PipelineManager::retrain_warm`] with the history transformation
@@ -170,7 +187,7 @@ impl PipelineManager {
                 points
             }
         };
-        let report = self.trainer.fit(&points, sgd);
+        let report = self.trainer.fit_on(&points, sgd, engine);
         self.drain_charges(ledger);
         report
     }
@@ -197,7 +214,8 @@ impl PipelineManager {
             evaluator.observe(prediction, point.label);
         }
         ledger.charge_predictions(fc.points.len() as u64);
-        self.trainer.online_pass(&fc.points, self.online_batch);
+        self.trainer
+            .online_pass_on(&fc.points, self.online_batch, self.engine);
         self.drain_charges(ledger);
         fc
     }
@@ -225,6 +243,37 @@ impl PipelineManager {
         let fc = self.pipeline.transform_chunk(raw);
         self.drain_charges(ledger);
         fc
+    }
+
+    /// Re-materializes a batch of evicted chunks in one engine-parallel map.
+    ///
+    /// Each chunk is transformed on its own clone of the deployed pipeline
+    /// (transform-only, so the clones never diverge from the deployed
+    /// statistics); counter deltas are absorbed in input order, making the
+    /// accounted cost and the returned chunks independent of the engine and
+    /// of worker scheduling. Output order matches input order.
+    pub fn rematerialize_many(
+        &mut self,
+        raws: &[std::sync::Arc<RawChunk>],
+        ledger: &mut CostLedger,
+    ) -> Vec<FeatureChunk> {
+        if raws.is_empty() {
+            return Vec::new();
+        }
+        let template = self.pipeline.clone();
+        let results = self.engine.map(raws.to_vec(), |raw| {
+            let mut local = template.clone();
+            local.reset_counters();
+            let fc = local.transform_chunk(&raw);
+            (fc, local.counters())
+        });
+        let mut out = Vec::with_capacity(results.len());
+        for (fc, counters) in results {
+            self.pipeline.absorb_counters(counters);
+            out.push(fc);
+        }
+        self.drain_charges(ledger);
+        out
     }
 
     /// Simulates recomputing component statistics by an extra scan over the
@@ -298,6 +347,42 @@ mod tests {
         let stored = pm.process_online_chunk(&raw, &mut ev, &mut ledger);
         let rematerialized = pm.rematerialize(&raw, &mut ledger);
         assert_eq!(stored, rematerialized);
+    }
+
+    #[test]
+    fn rematerialize_many_matches_per_chunk_path_on_every_engine() {
+        let mut ev = PrequentialEvaluator::new(ErrorMetric::Rmsle, 0);
+        let raws: Vec<std::sync::Arc<RawChunk>> = (0..7)
+            .map(|t| {
+                std::sync::Arc::new(chunk(
+                    t,
+                    &[(t as f64, t as f64 * 0.25), (t as f64 + 2.0, t as f64)],
+                ))
+            })
+            .collect();
+
+        let mut base_pm = PipelineManager::new(pipeline(), &sgd(), 8);
+        let mut base_ledger = CostLedger::new(CostModel::commodity());
+        base_pm.process_online_chunk(&raws[0], &mut ev, &mut base_ledger);
+        let expected: Vec<FeatureChunk> = raws
+            .iter()
+            .map(|raw| base_pm.rematerialize(raw, &mut base_ledger))
+            .collect();
+
+        for engine in [
+            ExecutionEngine::Sequential,
+            ExecutionEngine::Threaded { workers: 3 },
+        ] {
+            let mut pm = PipelineManager::new(pipeline(), &sgd(), 8).with_engine(engine);
+            let mut ledger = CostLedger::new(CostModel::commodity());
+            pm.process_online_chunk(&raws[0], &mut ev, &mut ledger);
+            let batched = pm.rematerialize_many(&raws, &mut ledger);
+            assert_eq!(batched, expected, "engine {}", engine.name());
+            assert!(
+                (ledger.total() - base_ledger.total()).abs() < 1e-12,
+                "accounted cost must be engine-independent"
+            );
+        }
     }
 
     #[test]

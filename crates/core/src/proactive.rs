@@ -61,10 +61,12 @@ impl ProactiveTrainer {
         let before = ledger.total();
         let mut materialized = 0usize;
         let mut rematerialized = 0usize;
-        // Owned storage for re-materialized chunks; materialized ones are
-        // borrowed from their Arcs.
-        let mut arcs = Vec::new();
-        let mut owned: Vec<FeatureChunk> = Vec::new();
+        // One slot per sampled chunk, in sample order: cached chunks keep
+        // their Arc; evicted ones stay `None` until the batched
+        // re-materialization below fills them in.
+        let mut slots: Vec<Option<std::sync::Arc<FeatureChunk>>> =
+            Vec::with_capacity(sampled.len());
+        let mut evicted = Vec::new();
 
         for chunk in sampled {
             match chunk {
@@ -72,7 +74,7 @@ impl ProactiveTrainer {
                     // Stage 4 fast path: fetch from the in-memory cache.
                     ledger.charge_memory(fc.size_bytes() as u64);
                     materialized += 1;
-                    arcs.push(fc);
+                    slots.push(Some(fc));
                 }
                 SampledChunk::Materialized(fc) => {
                     // NoOptimization ignores the cache entirely: read raw
@@ -85,29 +87,42 @@ impl ProactiveTrainer {
                     ledger.charge_parse(fc.len() as u64);
                     ledger.charge_stat_updates(fc.len() as u64 * 2);
                     rematerialized += 1;
-                    arcs.push(fc);
+                    slots.push(Some(fc));
                 }
                 SampledChunk::NeedsRematerialization(raw) => {
                     if !self.online_stats {
                         ledger.charge_disk(raw.size_bytes() as u64);
                         pm.charge_statistics_recomputation(&raw, ledger);
                     }
-                    let fc = pm.rematerialize(&raw, ledger);
                     rematerialized += 1;
-                    owned.push(fc);
+                    evicted.push(raw);
+                    slots.push(None);
                 }
             }
         }
 
-        // Union of all sampled feature chunks = the mini-batch (the paper's
-        // context.union before the model update).
-        let batch: Vec<&LabeledPoint> = arcs
+        // All evicted chunks re-materialize in one engine-parallel map
+        // (transform-only over pipeline clones); costs and outputs are
+        // engine-independent.
+        let owned: Vec<FeatureChunk> = pm.rematerialize_many(&evicted, ledger);
+        let mut owned_iter = owned.iter();
+
+        // Union of all sampled feature chunks, in sample order = the
+        // mini-batch (the paper's context.union before the model update).
+        let batch: Vec<&LabeledPoint> = slots
             .iter()
-            .flat_map(|fc| fc.points.iter())
-            .chain(owned.iter().flat_map(|fc| fc.points.iter()))
+            .flat_map(|slot| match slot {
+                Some(fc) => fc.points.iter(),
+                None => owned_iter
+                    .next()
+                    .expect("one re-materialized chunk per evicted slot")
+                    .points
+                    .iter(),
+            })
             .collect();
         let points = batch.len();
-        let batch_loss = pm.trainer_mut().step(batch);
+        let engine = pm.engine();
+        let batch_loss = pm.trainer_mut().step_on(batch, engine);
         pm.drain_charges(ledger);
 
         ProactiveOutcome {

@@ -83,11 +83,27 @@ impl Table {
     /// # Errors
     /// I/O errors creating directories or writing the file.
     pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        self.write_csv_with_meta(path, &[])
+    }
+
+    /// [`Table::write_csv`] with a leading `# key: value` comment block
+    /// (provenance metadata, e.g. which execution engine produced the file).
+    ///
+    /// # Errors
+    /// I/O errors creating directories or writing the file.
+    pub fn write_csv_with_meta(
+        &self,
+        path: impl AsRef<Path>,
+        meta: &[(&str, &str)],
+    ) -> io::Result<()> {
         let path = path.as_ref();
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
         let mut content = String::new();
+        for (key, value) in meta {
+            let _ = writeln!(content, "# {key}: {value}");
+        }
         let escape = |cell: &str| -> String {
             if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
                 format!("\"{}\"", cell.replace('"', "\"\""))

@@ -6,14 +6,135 @@
 //! batch mode and streaming mode is a suitable execution engine"). This
 //! crate is that substrate at laptop scale: an [`ExecutionEngine`] executes
 //! chunk-level data-parallel operations either sequentially or on a
-//! crossbeam-scoped worker pool, preserving input order (the property the
-//! deployment loop relies on when unioning materialized and re-materialized
-//! chunks before a training step).
+//! **persistent worker pool** — threads are created once per worker count
+//! (process-wide) and reused across calls, fed over a crossbeam channel.
+//!
+//! Work is distributed in contiguous shards: each task moves an owned slice
+//! of the input and writes its results through a disjoint `chunks_mut`
+//! window of the output vector, so no per-item locking is needed and input
+//! order is preserved (the property the deployment loop relies on when
+//! unioning materialized and re-materialized chunks before a training step).
+//!
+//! Determinism contract: [`ExecutionEngine::map`] preserves input order,
+//! [`ExecutionEngine::map_reduce`] folds in input order, and [`tree_reduce`]
+//! combines partial results in a fixed shape that depends only on the number
+//! of parts — never on worker count or scheduling — so floating-point
+//! results are bit-identical across engines.
 
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::any::Any;
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use crossbeam::channel::{self, Sender};
+
+/// Contiguous shards handed out per worker in one [`ExecutionEngine::map`]
+/// call: a few per worker so a straggling shard re-balances onto idle
+/// workers without giving up contiguity.
+const SHARDS_PER_WORKER: usize = 4;
+
+/// An erased unit of work queued on the pool.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent pool of worker threads fed over a crossbeam channel.
+///
+/// Pools are process-global, keyed by worker count: the first
+/// `Threaded { workers: w }` call spawns the `w` threads, every later call
+/// with the same count reuses them (they block on the channel when idle).
+struct WorkerPool {
+    sender: Sender<Job>,
+}
+
+/// Completion barrier for one batch of scoped tasks.
+struct Barrier {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    /// First worker panic payload, re-raised on the submitting thread.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl WorkerPool {
+    fn new(workers: usize) -> Self {
+        let (sender, receiver) = channel::unbounded::<Job>();
+        for i in 0..workers {
+            let receiver = receiver.clone();
+            std::thread::Builder::new()
+                .name(format!("cdp-engine-{i}"))
+                .spawn(move || {
+                    // Jobs are pre-wrapped in catch_unwind, so a panicking
+                    // task never kills its worker; the loop only ends if the
+                    // sender side is dropped (process exit).
+                    while let Ok(job) = receiver.recv() {
+                        job();
+                    }
+                })
+                .expect("spawn engine worker");
+        }
+        Self { sender }
+    }
+
+    /// The process-wide pool for `workers` threads (created on first use).
+    fn global(workers: usize) -> Arc<WorkerPool> {
+        static POOLS: OnceLock<Mutex<HashMap<usize, Arc<WorkerPool>>>> = OnceLock::new();
+        let registry = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut registry = registry.lock().expect("pool registry lock");
+        Arc::clone(
+            registry
+                .entry(workers)
+                .or_insert_with(|| Arc::new(WorkerPool::new(workers))),
+        )
+    }
+
+    /// Runs `tasks` on the pool and blocks until every one has finished.
+    ///
+    /// Tasks may borrow from the caller's stack: the completion barrier
+    /// guarantees no task outlives this call, even when one panics. If any
+    /// task panicked, the *first* payload is re-raised here (after all other
+    /// tasks finished), so `panic::catch_unwind` around the call observes
+    /// the original payload.
+    fn run_scoped<'scope>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        let barrier = Arc::new(Barrier {
+            remaining: Mutex::new(tasks.len()),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        for task in tasks {
+            let barrier = Arc::clone(&barrier);
+            let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+                if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(task)) {
+                    let mut slot = barrier.panic.lock().expect("panic slot lock");
+                    slot.get_or_insert(payload);
+                }
+                let mut remaining = barrier.remaining.lock().expect("barrier lock");
+                *remaining -= 1;
+                if *remaining == 0 {
+                    barrier.done.notify_all();
+                }
+            });
+            // SAFETY: this function blocks below until `remaining` hits
+            // zero, i.e. until every queued job has run to completion, so
+            // all borrows captured by the tasks outlive their execution.
+            // The transmute only erases the lifetime; the vtable and layout
+            // of the boxed closure are unchanged.
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
+            self.sender
+                .send(job)
+                .expect("engine workers never disconnect");
+        }
+        let mut remaining = barrier.remaining.lock().expect("barrier lock");
+        while *remaining > 0 {
+            remaining = barrier.done.wait(remaining).expect("barrier wait");
+        }
+        drop(remaining);
+        let payload = barrier.panic.lock().expect("panic slot lock").take();
+        if let Some(payload) = payload {
+            panic::resume_unwind(payload);
+        }
+    }
+}
 
 /// A chunk-parallel execution engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -21,7 +142,7 @@ pub enum ExecutionEngine {
     /// Process items one by one on the calling thread.
     #[default]
     Sequential,
-    /// Process items on `workers` OS threads (crossbeam scoped).
+    /// Process items on a persistent pool of `workers` OS threads.
     Threaded {
         /// Number of worker threads (≥ 1).
         workers: usize,
@@ -46,10 +167,25 @@ impl ExecutionEngine {
         }
     }
 
+    /// Worker-thread count (1 for the sequential engine).
+    pub fn workers(&self) -> usize {
+        match *self {
+            ExecutionEngine::Sequential => 1,
+            ExecutionEngine::Threaded { workers } => workers.max(1),
+        }
+    }
+
     /// Applies `f` to every item, returning outputs in input order.
     ///
-    /// `f` must be `Sync` because workers share it; items are distributed by
-    /// an atomic cursor, so per-item cost imbalance is load-balanced.
+    /// `f` must be `Sync` because workers share it. Items are distributed
+    /// in contiguous shards (a few per worker) pulled from a shared queue,
+    /// so per-item cost imbalance is load-balanced; each shard writes
+    /// through its own disjoint slice of the output, so results need no
+    /// locking and arrive in input order.
+    ///
+    /// # Panics
+    /// If `f` panics on any item, the first worker's payload is re-raised
+    /// on the calling thread once all shards have finished.
     pub fn map<T, U, F>(&self, items: Vec<T>, f: F) -> Vec<U>
     where
         T: Send,
@@ -59,38 +195,43 @@ impl ExecutionEngine {
         match *self {
             ExecutionEngine::Sequential => items.into_iter().map(f).collect(),
             ExecutionEngine::Threaded { workers } => {
-                let workers = workers.max(1).min(items.len().max(1));
                 let n = items.len();
-                // Move items into option slots so workers can take them.
-                let slots: Vec<Mutex<Option<T>>> =
-                    items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-                let outputs: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
-                let cursor = AtomicUsize::new(0);
-                crossbeam::thread::scope(|scope| {
-                    for _ in 0..workers {
-                        scope.spawn(|_| loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            if i >= n {
-                                break;
-                            }
-                            let item = slots[i]
-                                .lock()
-                                .expect("slot lock")
-                                .take()
-                                .expect("each slot taken once");
-                            let out = f(item);
-                            *outputs[i].lock().expect("output lock") = Some(out);
-                        });
+                if n == 0 {
+                    return Vec::new();
+                }
+                let workers = workers.max(1);
+                let pool = WorkerPool::global(workers);
+                let shard_len = n.div_ceil((workers * SHARDS_PER_WORKER).min(n));
+
+                // Move the items into owned contiguous shards.
+                let mut shards: Vec<Vec<T>> = Vec::with_capacity(n.div_ceil(shard_len));
+                let mut iter = items.into_iter();
+                loop {
+                    let shard: Vec<T> = iter.by_ref().take(shard_len).collect();
+                    if shard.is_empty() {
+                        break;
                     }
-                })
-                .expect("worker panicked");
+                    shards.push(shard);
+                }
+
+                let mut outputs: Vec<Option<U>> = Vec::with_capacity(n);
+                outputs.resize_with(n, || None);
+                let f = &f;
+                let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = outputs
+                    .chunks_mut(shard_len)
+                    .zip(shards)
+                    .map(|(out, shard)| {
+                        Box::new(move || {
+                            for (slot, item) in out.iter_mut().zip(shard) {
+                                *slot = Some(f(item));
+                            }
+                        }) as Box<dyn FnOnce() + Send + '_>
+                    })
+                    .collect();
+                pool.run_scoped(tasks);
                 outputs
                     .into_iter()
-                    .map(|m| {
-                        m.into_inner()
-                            .expect("output lock")
-                            .expect("output written")
-                    })
+                    .map(|slot| slot.expect("every shard writes its whole output slice"))
                     .collect()
             }
         }
@@ -109,9 +250,32 @@ impl ExecutionEngine {
     }
 }
 
+/// Reduces `parts` pairwise — adjacent pairs first, then pairs of pairs —
+/// until one value remains.
+///
+/// The reduction tree's shape depends only on `parts.len()`, never on
+/// worker count or timing, so non-associative (floating-point) combines
+/// produce bit-identical results no matter which engine computed the parts.
+/// Returns `None` for an empty input.
+pub fn tree_reduce<U>(mut parts: Vec<U>, mut g: impl FnMut(U, U) -> U) -> Option<U> {
+    while parts.len() > 1 {
+        let mut next = Vec::with_capacity(parts.len().div_ceil(2));
+        let mut iter = parts.into_iter();
+        while let Some(a) = iter.next() {
+            next.push(match iter.next() {
+                Some(b) => g(a, b),
+                None => a,
+            });
+        }
+        parts = next;
+    }
+    parts.pop()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
 
     #[test]
     fn sequential_and_threaded_agree() {
@@ -179,5 +343,69 @@ mod tests {
             ExecutionEngine::Threaded { workers: 3 }.name(),
             "threaded×3"
         );
+        assert_eq!(ExecutionEngine::Sequential.workers(), 1);
+        assert_eq!(ExecutionEngine::Threaded { workers: 3 }.workers(), 3);
+    }
+
+    #[test]
+    fn pool_threads_are_reused_across_calls() {
+        // A spawn-per-call engine would mint fresh thread ids on every map;
+        // the persistent pool serves every call from the same `workers`
+        // threads.
+        let engine = ExecutionEngine::Threaded { workers: 3 };
+        let mut ids = HashSet::new();
+        for _ in 0..8 {
+            for id in engine.map(vec![(); 64], |()| std::thread::current().id()) {
+                ids.insert(id);
+            }
+        }
+        assert!(ids.len() <= 3, "saw {} distinct worker threads", ids.len());
+    }
+
+    #[test]
+    fn worker_panic_propagates_with_payload() {
+        let result = panic::catch_unwind(|| {
+            ExecutionEngine::Threaded { workers: 2 }.map(vec![1u32, 2, 3, 4], |x| {
+                if x == 3 {
+                    panic!("boom {x}");
+                }
+                x
+            })
+        });
+        let payload = result.expect_err("map must propagate the worker panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("panic! with a formatted message carries a String");
+        assert_eq!(msg, "boom 3");
+    }
+
+    #[test]
+    fn pool_survives_worker_panics() {
+        let engine = ExecutionEngine::Threaded { workers: 2 };
+        for round in 0..3 {
+            let result = panic::catch_unwind(|| {
+                engine.map((0..64u64).collect(), |x| {
+                    if x % 16 == 7 {
+                        panic!("round {round}");
+                    }
+                    x
+                })
+            });
+            assert!(result.is_err());
+            // The same pool keeps serving normal work afterwards.
+            let ok = engine.map((0..64u64).collect(), |x| x + 1);
+            assert_eq!(ok, (1..=64).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn tree_reduce_is_fixed_shape() {
+        // ((0+1)+(2+3)) + (4) for 5 parts — verify against the hand-built tree.
+        let parts = vec![0.1f64, 0.2, 0.3, 0.4, 0.5];
+        let reduced = tree_reduce(parts, |a, b| a + b).unwrap();
+        let expected: f64 = ((0.1 + 0.2) + (0.3 + 0.4)) + 0.5;
+        assert_eq!(reduced.to_bits(), expected.to_bits());
+        assert_eq!(tree_reduce(Vec::<f64>::new(), |a, b| a + b), None);
+        assert_eq!(tree_reduce(vec![7], |a, b| a + b), Some(7));
     }
 }

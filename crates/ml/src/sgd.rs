@@ -13,6 +13,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use cdp_engine::{tree_reduce, ExecutionEngine};
 use cdp_linalg::DenseVector;
 use cdp_storage::LabeledPoint;
 
@@ -20,6 +21,25 @@ use crate::loss::{Loss, LossKind};
 use crate::model::LinearModel;
 use crate::optimizer::{AdaptiveRate, OptimizerKind, OptimizerState};
 use crate::regularizer::Regularizer;
+
+/// Minimum points per gradient shard: below this, sharding overhead
+/// (allocating partial gradients) outweighs the parallel win, so a batch
+/// runs in-place on the caller's thread.
+const GRAD_SHARD_MIN_POINTS: usize = 512;
+
+/// Upper bound on gradient shards per step, so the reduction tree stays
+/// shallow and partial-gradient memory stays bounded.
+const MAX_GRAD_SHARDS: usize = 8;
+
+/// Number of gradient shards used for a batch of `n` points.
+///
+/// The count is a function of the batch size **only** — never of the engine
+/// or its worker count — so the floating-point summation tree (and thus the
+/// resulting weights, bit for bit) is identical no matter which engine runs
+/// the shards.
+fn gradient_shards(n: usize) -> usize {
+    (n / GRAD_SHARD_MIN_POINTS).clamp(1, MAX_GRAD_SHARDS)
+}
 
 /// When to stop a multi-epoch `fit`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -160,11 +180,27 @@ impl SgdTrainer {
         self.points_seen
     }
 
-    /// One mini-batch SGD iteration over `batch` (Algorithm 1, lines 3–5).
+    /// One mini-batch SGD iteration over `batch` (Algorithm 1, lines 3–5),
+    /// on the sequential engine. See [`SgdTrainer::step_on`].
+    pub fn step<'a, I>(&mut self, batch: I) -> Option<f64>
+    where
+        I: IntoIterator<Item = &'a LabeledPoint>,
+    {
+        self.step_on(batch, ExecutionEngine::Sequential)
+    }
+
+    /// One mini-batch SGD iteration over `batch` (Algorithm 1, lines 3–5),
+    /// computing the gradient on `engine`.
+    ///
+    /// Large batches are split into [`gradient_shards`] contiguous shards
+    /// whose partial gradients are combined with a fixed-shape
+    /// [`tree_reduce`]; because the shard structure depends only on the
+    /// batch size, every engine produces bit-identical weights. Small
+    /// batches (the online path) accumulate in place with no sharding.
     ///
     /// Returns the mean data loss of the batch *before* the update, or
     /// `None` for an empty batch (no update is performed).
-    pub fn step<'a, I>(&mut self, batch: I) -> Option<f64>
+    pub fn step_on<'a, I>(&mut self, batch: I, engine: ExecutionEngine) -> Option<f64>
     where
         I: IntoIterator<Item = &'a LabeledPoint>,
     {
@@ -183,18 +219,51 @@ impl SgdTrainer {
 
         let loss = self.model.loss();
         let inv_batch = 1.0 / batch.len() as f64;
-        let mut total_loss = 0.0;
-        for point in &batch {
-            let z = self.model.margin_ref(&point.features);
-            total_loss += loss.value(z, point.label);
-            let coeff = loss.dloss_dz(z, point.label) * inv_batch;
-            if coeff != 0.0 {
-                point
-                    .features
-                    .axpy_into(coeff, &mut self.grad)
-                    .expect("gradient covers every row after growth");
+        let shards = gradient_shards(batch.len());
+        let total_loss = if shards == 1 {
+            let mut sum = 0.0;
+            for point in &batch {
+                let z = self.model.margin_ref(&point.features);
+                sum += loss.value(z, point.label);
+                let coeff = loss.dloss_dz(z, point.label) * inv_batch;
+                if coeff != 0.0 {
+                    point
+                        .features
+                        .axpy_into(coeff, &mut self.grad)
+                        .expect("gradient covers every row after growth");
+                }
             }
-        }
+            sum
+        } else {
+            let shard_len = batch.len().div_ceil(shards);
+            let model = &self.model;
+            let shard_inputs: Vec<Vec<&LabeledPoint>> =
+                batch.chunks(shard_len).map(<[_]>::to_vec).collect();
+            let parts = engine.map(shard_inputs, |shard| {
+                let mut grad = DenseVector::zeros(dim);
+                let mut loss_sum = 0.0;
+                for point in shard {
+                    let z = model.margin_ref(&point.features);
+                    loss_sum += loss.value(z, point.label);
+                    let coeff = loss.dloss_dz(z, point.label) * inv_batch;
+                    if coeff != 0.0 {
+                        point
+                            .features
+                            .axpy_into(coeff, &mut grad)
+                            .expect("gradient covers every row after growth");
+                    }
+                }
+                (grad, loss_sum)
+            });
+            let (grad, sum) = tree_reduce(parts, |(mut ga, la), (gb, lb)| {
+                ga.axpy(1.0, &gb)
+                    .expect("shard gradients share the model dimension");
+                (ga, la + lb)
+            })
+            .expect("at least one shard for a non-empty batch");
+            self.grad = grad;
+            sum
+        };
         self.regularizer
             .add_gradient(self.model.weights(), &mut self.grad);
         self.optimizer.apply(self.model.weights_mut(), &self.grad);
@@ -208,6 +277,18 @@ impl SgdTrainer {
     /// Returns the mean pre-update loss over the chunk, or `None` when the
     /// chunk is empty.
     pub fn online_pass(&mut self, points: &[LabeledPoint], batch_size: usize) -> Option<f64> {
+        self.online_pass_on(points, batch_size, ExecutionEngine::Sequential)
+    }
+
+    /// [`SgdTrainer::online_pass`] with gradient computation on `engine`
+    /// (only batches of ≥ 512 points actually shard — see
+    /// [`SgdTrainer::step_on`]).
+    pub fn online_pass_on(
+        &mut self,
+        points: &[LabeledPoint],
+        batch_size: usize,
+        engine: ExecutionEngine,
+    ) -> Option<f64> {
         if points.is_empty() {
             return None;
         }
@@ -215,7 +296,7 @@ impl SgdTrainer {
         let mut total = 0.0;
         let mut count = 0usize;
         for batch in points.chunks(batch_size) {
-            if let Some(loss) = self.step(batch.iter()) {
+            if let Some(loss) = self.step_on(batch.iter(), engine) {
                 total += loss * batch.len() as f64;
                 count += batch.len();
             }
@@ -226,13 +307,25 @@ impl SgdTrainer {
     /// Multi-epoch training to convergence over an in-memory dataset — the
     /// paper's *initial training* and the periodical baseline's *retraining*.
     pub fn fit(&mut self, data: &[LabeledPoint], config: &SgdConfig) -> TrainReport {
+        self.fit_on(data, config, ExecutionEngine::Sequential)
+    }
+
+    /// [`SgdTrainer::fit`] with gradient and objective evaluation on
+    /// `engine`. Shard structure depends only on data/batch sizes, so every
+    /// engine converges through bit-identical weight trajectories.
+    pub fn fit_on(
+        &mut self,
+        data: &[LabeledPoint],
+        config: &SgdConfig,
+        engine: ExecutionEngine,
+    ) -> TrainReport {
         let steps_before = self.optimizer.steps();
         // Rows may be wider than the model when the encoder's feature space
         // grew during preprocessing (one-hot vocabulary growth).
         if let Some(max_dim) = data.iter().map(|p| p.features.dim()).max() {
             self.model.grow_to(max_dim);
         }
-        let initial_loss = self.objective(data);
+        let initial_loss = self.objective_on(data, engine);
         if data.is_empty() {
             return TrainReport {
                 epochs: 0,
@@ -252,7 +345,7 @@ impl SgdTrainer {
             indices.shuffle(&mut rng);
             for batch_idx in indices.chunks(config.batch_size.max(1)) {
                 let batch = batch_idx.iter().map(|&i| &data[i]);
-                self.step(batch);
+                self.step_on(batch, engine);
             }
             let weights_after = self.model.weights();
             let mut delta = weights_after.clone();
@@ -267,24 +360,39 @@ impl SgdTrainer {
             epochs,
             steps: self.optimizer.steps() - steps_before,
             initial_loss,
-            final_loss: self.objective(data),
+            final_loss: self.objective_on(data, engine),
             converged,
         }
     }
 
-    /// Mean data loss plus penalty over a dataset (no update). Rows must
-    /// not be wider than the model; [`SgdTrainer::fit`] grows the model
-    /// before calling this.
+    /// Mean data loss plus penalty over a dataset (no update), on the
+    /// sequential engine. See [`SgdTrainer::objective_on`].
     pub fn objective(&self, data: &[LabeledPoint]) -> f64 {
+        self.objective_on(data, ExecutionEngine::Sequential)
+    }
+
+    /// Mean data loss plus penalty over a dataset (no update), evaluated on
+    /// `engine`. Rows must not be wider than the model;
+    /// [`SgdTrainer::fit_on`] grows the model before calling this.
+    ///
+    /// Per-shard loss sums are combined with a fixed-shape [`tree_reduce`]
+    /// whose structure depends only on `data.len()`, so the value is
+    /// bit-identical across engines.
+    pub fn objective_on(&self, data: &[LabeledPoint], engine: ExecutionEngine) -> f64 {
         if data.is_empty() {
             return self.regularizer.penalty(self.model.weights());
         }
         let loss = self.model.loss();
-        let mean: f64 = data
-            .iter()
-            .map(|p| loss.value(self.model.margin_ref(&p.features), p.label))
-            .sum::<f64>()
-            / data.len() as f64;
+        let model = &self.model;
+        let shards = gradient_shards(data.len());
+        let shard_len = data.len().div_ceil(shards);
+        let sums: Vec<f64> = engine.map(data.chunks(shard_len).collect(), |shard| {
+            shard
+                .iter()
+                .map(|p| loss.value(model.margin_ref(&p.features), p.label))
+                .sum::<f64>()
+        });
+        let mean = tree_reduce(sums, |a, b| a + b).unwrap_or(0.0) / data.len() as f64;
         mean + self.regularizer.penalty(self.model.weights())
     }
 
@@ -474,6 +582,68 @@ mod tests {
         assert!(report.epochs >= 1);
         assert!(report.steps >= report.epochs as u64);
         assert!(report.final_loss <= report.initial_loss);
+    }
+
+    #[test]
+    fn sharded_step_is_bit_identical_across_engines() {
+        // 2000 points force the sharded gradient path (≥ 512 per shard).
+        let data = blobs(2000, 11);
+        let config = make_config(LossKind::Logistic);
+        let mut sequential = SgdTrainer::new(3, &config);
+        let seq_loss = sequential
+            .step_on(data.iter(), ExecutionEngine::Sequential)
+            .expect("non-empty batch");
+        for workers in [1, 2, 3, 7] {
+            let mut threaded = SgdTrainer::new(3, &config);
+            let thr_loss = threaded
+                .step_on(data.iter(), ExecutionEngine::Threaded { workers })
+                .expect("non-empty batch");
+            assert_eq!(
+                sequential.model().weights(),
+                threaded.model().weights(),
+                "weights diverged at workers={workers}"
+            );
+            assert_eq!(seq_loss.to_bits(), thr_loss.to_bits());
+        }
+    }
+
+    #[test]
+    fn fit_is_bit_identical_across_engines() {
+        let data = linear_data(1500, 12);
+        let mut config = make_config(LossKind::Squared);
+        config.batch_size = 600; // large enough to shard every step
+        config.convergence.max_epochs = 5;
+        let mut sequential = SgdTrainer::new(3, &config);
+        let report_seq = sequential.fit_on(&data, &config, ExecutionEngine::Sequential);
+        let mut threaded = SgdTrainer::new(3, &config);
+        let report_thr = threaded.fit_on(&data, &config, ExecutionEngine::Threaded { workers: 4 });
+        assert_eq!(sequential.model().weights(), threaded.model().weights());
+        assert_eq!(
+            report_seq.final_loss.to_bits(),
+            report_thr.final_loss.to_bits()
+        );
+        assert_eq!(
+            report_seq.initial_loss.to_bits(),
+            report_thr.initial_loss.to_bits()
+        );
+        assert_eq!(report_seq.epochs, report_thr.epochs);
+    }
+
+    #[test]
+    fn objective_is_bit_identical_across_engines() {
+        let data = blobs(3000, 13);
+        let config = make_config(LossKind::Hinge);
+        let mut trainer = SgdTrainer::new(3, &config);
+        trainer.online_pass(&data[..200], 32);
+        let seq = trainer.objective_on(&data, ExecutionEngine::Sequential);
+        for workers in [1, 2, 5] {
+            let thr = trainer.objective_on(&data, ExecutionEngine::Threaded { workers });
+            assert_eq!(
+                seq.to_bits(),
+                thr.to_bits(),
+                "objective diverged at workers={workers}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! Property: the execution engine is an implementation detail. A Continuous
+//! deployment run on a persistent worker pool of any size must be
+//! bit-identical — prequential error, model weights, accounted cost — to
+//! the sequential run, on both paper pipelines.
+
+use cdpipe::core::deployment::{run_deployment, DeploymentConfig, DeploymentResult};
+use cdpipe::core::presets::{taxi_spec, url_spec, SpecScale};
+use cdpipe::engine::ExecutionEngine;
+use cdpipe::sampling::SamplingStrategy;
+use cdpipe::storage::StorageBudget;
+use proptest::prelude::*;
+
+fn continuous_config(bounded_cache: bool) -> DeploymentConfig {
+    let mut config = DeploymentConfig::continuous(2, 3, SamplingStrategy::TimeBased);
+    if bounded_cache {
+        // Force sampled chunks through engine-parallel re-materialization.
+        config.optimization.budget = StorageBudget::MaxChunks(5);
+    }
+    config
+}
+
+fn run_on(url: bool, config: &DeploymentConfig) -> DeploymentResult {
+    if url {
+        let (stream, spec) = url_spec(SpecScale::Tiny);
+        run_deployment(&stream, &spec, config)
+    } else {
+        let (stream, spec) = taxi_spec(SpecScale::Tiny);
+        run_deployment(&stream, &spec, config)
+    }
+}
+
+proptest! {
+    /// Continuous deployment with `Threaded { workers ∈ 1..8 }` reproduces
+    /// the sequential run bit for bit on the URL and Taxi presets.
+    #[test]
+    fn threaded_continuous_deployment_is_bit_identical(
+        workers in 1usize..8,
+        url in prop::bool::ANY,
+        bounded_cache in prop::bool::ANY,
+    ) {
+        let sequential = run_on(url, &continuous_config(bounded_cache));
+        let mut threaded_cfg = continuous_config(bounded_cache);
+        threaded_cfg.engine = ExecutionEngine::Threaded { workers };
+        let threaded = run_on(url, &threaded_cfg);
+
+        // Prequential error, at every checkpoint and at the end.
+        prop_assert_eq!(
+            sequential.final_error.to_bits(),
+            threaded.final_error.to_bits()
+        );
+        prop_assert_eq!(&sequential.error_curve, &threaded.error_curve);
+        // Model weights.
+        prop_assert_eq!(&sequential.final_weights, &threaded.final_weights);
+        // Cost-ledger totals.
+        prop_assert_eq!(
+            sequential.total_secs.to_bits(),
+            threaded.total_secs.to_bits()
+        );
+        prop_assert_eq!(
+            sequential.training_secs.to_bits(),
+            threaded.training_secs.to_bits()
+        );
+        prop_assert_eq!(sequential.proactive_runs, threaded.proactive_runs);
+    }
+}

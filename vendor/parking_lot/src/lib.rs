@@ -1,0 +1,91 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The build environment has no crates.io mirror, so the workspace patches
+//! `parking_lot` to thin wrappers over `std::sync` primitives exposing
+//! parking_lot's API shape (guards returned directly, no `Result`). Poison
+//! is treated the way parking_lot treats it — it doesn't exist: a poisoned
+//! std lock here means a thread panicked while holding the guard, and we
+//! propagate that as a panic rather than silently continuing.
+
+use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// A reader-writer lock with parking_lot's panic-free API shape.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates an unlocked lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().expect("lock poisoned")
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking until available.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().expect("lock poisoned")
+    }
+
+    /// Acquires exclusive write access, blocking until available.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().expect("lock poisoned")
+    }
+
+    /// Mutable access without locking (the `&mut` proves uniqueness).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().expect("lock poisoned")
+    }
+}
+
+/// A mutual-exclusion lock with parking_lot's panic-free API shape.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates an unlocked mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().expect("lock poisoned")
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().expect("lock poisoned")
+    }
+
+    /// Mutable access without locking (the `&mut` proves uniqueness).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().expect("lock poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rwlock_read_write() {
+        let lock = RwLock::new(5);
+        assert_eq!(*lock.read(), 5);
+        *lock.write() += 1;
+        assert_eq!(*lock.read(), 6);
+    }
+
+    #[test]
+    fn mutex_round_trip() {
+        let m = Mutex::new(vec![1, 2]);
+        m.lock().push(3);
+        assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io mirror, so the workspace patches
+//! `serde` to this shim. The codebase only ever *derives*
+//! `Serialize`/`Deserialize` (no serializer backend such as `serde_json` is
+//! present), so marker traits with blanket impls plus no-op derive macros
+//! are behaviorally complete: every `#[derive(Serialize, Deserialize)]` and
+//! `#[serde(...)]` attribute compiles, and nothing can call a
+//! (nonexistent) serializer. If a future change adds a real wire format,
+//! replace this shim with a vendored copy of upstream serde.
+
+/// Marker for types declared serializable.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types declared deserializable.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
