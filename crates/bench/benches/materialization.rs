@@ -115,7 +115,7 @@ fn bench_spill_vs_recompute(c: &mut Criterion) {
     let mut group = c.benchmark_group("store/spill_vs_recompute");
     group.bench_function("disk_read(spilled)", |b| {
         b.iter(|| {
-            let looked = tiered.lookup(Timestamp(0)).expect("disk tier healthy");
+            let looked = tiered.lookup(Timestamp(0));
             assert!(matches!(looked, TieredLookup::Disk(_)));
             black_box(looked)
         });

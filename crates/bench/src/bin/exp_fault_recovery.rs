@@ -1,0 +1,8 @@
+//! Sweeps fault-injection plans over the Continuous deployment and records
+//! recovery accounting; see `cdp-bench` docs for flags.
+
+fn main() {
+    cdp_bench::run_binary("exp_fault_recovery", |scale, out| {
+        cdp_bench::experiments::fault_recovery::run(scale, out)
+    });
+}

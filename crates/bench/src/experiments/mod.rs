@@ -4,6 +4,7 @@
 pub mod ablations;
 pub mod datasets;
 pub mod engine_scaling;
+pub mod fault_recovery;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;

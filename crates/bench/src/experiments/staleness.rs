@@ -55,8 +55,8 @@ fn run_periodical_realtime(
     let initial = stream.initial();
     let (_, fcs) = pm.initial_fit(&initial, &spec.sgd, &mut ledger);
     for (raw, fc) in initial.into_iter().zip(fcs) {
-        dm.ingest_raw(raw);
-        dm.store_features(fc);
+        dm.ingest_raw(raw).expect("unique timestamps");
+        dm.store_features(fc).expect("raw chunk present");
     }
 
     let mut frozen_chunks = 0usize;
@@ -70,7 +70,7 @@ fn run_periodical_realtime(
 
     for idx in stream.deployment_range() {
         let raw = stream.chunk(idx);
-        dm.ingest_raw(raw.clone());
+        dm.ingest_raw(raw.clone()).expect("unique timestamps");
 
         if freeze_left > 0 {
             // Retraining in progress: the frozen model answers queries;
@@ -87,7 +87,7 @@ fn run_periodical_realtime(
         }
 
         let fc = pm.process_online_chunk(&raw, &mut evaluator, &mut ledger);
-        dm.store_features(fc);
+        dm.store_features(fc).expect("raw chunk present");
         since_retrain += 1;
 
         if since_retrain >= retrain_every {
@@ -141,8 +141,8 @@ fn run_continuous_realtime(
     let initial = stream.initial();
     let (_, fcs) = pm.initial_fit(&initial, &spec.sgd, &mut ledger);
     for (raw, fc) in initial.into_iter().zip(fcs) {
-        dm.ingest_raw(raw);
-        dm.store_features(fc);
+        dm.ingest_raw(raw).expect("unique timestamps");
+        dm.store_features(fc).expect("raw chunk present");
     }
 
     let mut frozen_chunks = 0usize;
@@ -153,7 +153,7 @@ fn run_continuous_realtime(
 
     for idx in stream.deployment_range() {
         let raw = stream.chunk(idx);
-        dm.ingest_raw(raw.clone());
+        dm.ingest_raw(raw.clone()).expect("unique timestamps");
         if freeze_left > 0 {
             pm.answer_queries(&raw, &mut evaluator, &mut ledger);
             frozen_chunks += 1;
@@ -161,7 +161,7 @@ fn run_continuous_realtime(
             continue;
         }
         let fc = pm.process_online_chunk(&raw, &mut evaluator, &mut ledger);
-        dm.store_features(fc);
+        dm.store_features(fc).expect("raw chunk present");
         since += 1;
         if since >= spec.proactive_every {
             since = 0;

@@ -1,26 +1,33 @@
 //! The data manager (paper §4.2): chunk ingestion, feature storage with
-//! dynamic materialization, and sampling for proactive training.
+//! dynamic materialization (optionally backed by a disk spill tier), and
+//! sampling for proactive training.
 
 use std::sync::Arc;
 
+use cdp_faults::{FaultHook, RetryPolicy};
 use cdp_sampling::{Sampler, SamplingStrategy};
 use cdp_storage::{
-    ChunkStore, FeatureChunk, FeatureLookup, RawChunk, StorageBudget, StoreStats, Timestamp,
+    ChunkStore, FeatureChunk, RawChunk, StorageBudget, StorageError, StoreStats, TieredLookup,
+    TieredStats, TieredStore, Timestamp,
 };
 
-/// One sampled chunk, as handed to the pipeline manager: either ready-to-use
-/// materialized features or the raw chunk that must be re-materialized.
+/// One sampled chunk, as handed to the pipeline manager: ready-to-use
+/// features (from memory or read back from the disk tier) or the raw chunk
+/// that must be re-materialized.
 #[derive(Debug, Clone)]
 pub enum SampledChunk {
-    /// Features were materialized (Figure 2, scenario 1).
+    /// Features were materialized in memory (Figure 2, scenario 1).
     Materialized(Arc<FeatureChunk>),
-    /// Features were evicted; re-materialize from this raw chunk
-    /// (Figure 2, scenario 2).
+    /// Features were evicted but their spill file was readable: used
+    /// directly after paying the disk read.
+    Spilled(Arc<FeatureChunk>),
+    /// Features were evicted (and any spill was absent or unreadable);
+    /// re-materialize from this raw chunk (Figure 2, scenario 2).
     NeedsRematerialization(Arc<RawChunk>),
 }
 
 impl SampledChunk {
-    /// True for the materialized variant.
+    /// True for the in-memory materialized variant.
     pub fn is_materialized(&self) -> bool {
         matches!(self, SampledChunk::Materialized(_))
     }
@@ -28,93 +35,143 @@ impl SampledChunk {
     /// The chunk's timestamp.
     pub fn timestamp(&self) -> Timestamp {
         match self {
-            SampledChunk::Materialized(fc) => fc.timestamp,
+            SampledChunk::Materialized(fc) | SampledChunk::Spilled(fc) => fc.timestamp,
             SampledChunk::NeedsRematerialization(raw) => raw.timestamp,
         }
     }
 }
 
-/// The data manager: storage plus sampling (see module docs).
+/// The data manager: tiered storage plus sampling (see module docs).
+///
+/// When constructed with a spill directory, the manager owns that directory
+/// and removes it on drop.
 #[derive(Debug)]
 pub struct DataManager {
-    store: ChunkStore,
+    store: TieredStore,
     sampler: Sampler,
+    owned_spill_dir: Option<std::path::PathBuf>,
 }
 
 impl DataManager {
-    /// Creates a data manager with the given feature-cache budget and
-    /// sampling strategy.
+    /// Creates a memory-only data manager with the given feature-cache
+    /// budget and sampling strategy (evictions recompute, the paper's pure
+    /// dynamic materialization).
     pub fn new(budget: StorageBudget, strategy: SamplingStrategy, seed: u64) -> Self {
         Self {
-            store: ChunkStore::new(budget),
+            store: TieredStore::memory_only(budget),
             sampler: Sampler::new(strategy, seed),
+            owned_spill_dir: None,
         }
+    }
+
+    /// Creates a data manager whose evictions spill into `spill_dir`, with
+    /// all disk I/O consulting `hook` per attempt. The directory is owned:
+    /// it is deleted when the manager drops.
+    ///
+    /// # Errors
+    /// I/O errors creating the spill directory.
+    pub fn with_spill(
+        budget: StorageBudget,
+        strategy: SamplingStrategy,
+        seed: u64,
+        spill_dir: impl Into<std::path::PathBuf>,
+        hook: Arc<dyn FaultHook>,
+        retry: RetryPolicy,
+    ) -> Result<Self, StorageError> {
+        let spill_dir = spill_dir.into();
+        Ok(Self {
+            store: TieredStore::open_with_hook(budget, &spill_dir, hook, retry)?,
+            sampler: Sampler::new(strategy, seed),
+            owned_spill_dir: Some(spill_dir),
+        })
     }
 
     /// Stores an arriving raw chunk (workflow stage 1).
     ///
-    /// # Panics
-    /// Panics on duplicate timestamps — the deployment loop assigns unique
-    /// ones, so a duplicate is a driver bug.
-    pub fn ingest_raw(&mut self, chunk: RawChunk) {
-        self.store
-            .put_raw(chunk)
-            .expect("deployment loop assigns unique timestamps");
+    /// # Errors
+    /// [`StorageError::DuplicateTimestamp`] — the deployment loop assigns
+    /// unique timestamps, so a duplicate is a driver bug surfaced as a typed
+    /// error rather than a panic.
+    pub fn ingest_raw(&mut self, chunk: RawChunk) -> Result<(), StorageError> {
+        self.store.put_raw(chunk)
     }
 
     /// Stores the preprocessed features of a chunk (workflow stage 2),
-    /// evicting the oldest features if over budget.
+    /// evicting (and, with a disk tier, spilling) the oldest features if
+    /// over budget. Spill-write failures are absorbed by the tiered store —
+    /// the chunk stays recomputable — so they are not errors here.
     ///
-    /// # Panics
-    /// Panics when the raw chunk is missing or features already exist.
-    pub fn store_features(&mut self, chunk: FeatureChunk) {
-        self.store
-            .put_feature(chunk)
-            .expect("features stored once, after their raw chunk");
+    /// # Errors
+    /// [`StorageError::DuplicateTimestamp`] or
+    /// [`StorageError::DanglingRawReference`] (logic errors).
+    pub fn store_features(&mut self, chunk: FeatureChunk) -> Result<(), StorageError> {
+        self.store.put_feature(chunk)
+    }
+
+    /// Resolves the features for one timestamp, with typed failure for a
+    /// chunk absent from every tier.
+    ///
+    /// # Errors
+    /// [`StorageError::MissingChunk`] when neither features (memory or
+    /// disk) nor raw data exist for `ts`.
+    pub fn feature_chunk(&mut self, ts: Timestamp) -> Result<SampledChunk, StorageError> {
+        match self.store.lookup(ts) {
+            TieredLookup::Memory(fc) => Ok(SampledChunk::Materialized(fc)),
+            TieredLookup::Disk(fc) => Ok(SampledChunk::Spilled(Arc::new(fc))),
+            TieredLookup::Recompute(raw) => Ok(SampledChunk::NeedsRematerialization(raw)),
+            TieredLookup::Unavailable => Err(StorageError::MissingChunk(ts)),
+        }
     }
 
     /// Samples `sample_chunks` chunks for proactive training (workflow
-    /// stage 3), resolving each to materialized features or a raw chunk for
-    /// re-materialization (stage 4 decision).
+    /// stage 3), resolving each to features (memory or disk) or a raw chunk
+    /// for re-materialization (stage 4 decision).
     pub fn sample(&mut self, sample_chunks: usize) -> Vec<SampledChunk> {
-        let available = self.store.sampleable_timestamps();
+        let available = self.store.memory().sampleable_timestamps();
         let picked = self.sampler.sample(&available, sample_chunks);
+        // A missing chunk (raw data gone) is ignored by sampling (paper
+        // §3.2) — `sampleable_timestamps` should already exclude it, but a
+        // concurrent drop is tolerated.
         picked
             .into_iter()
-            .filter_map(|ts| match self.store.lookup_feature(ts) {
-                FeatureLookup::Materialized(fc) => Some(SampledChunk::Materialized(fc)),
-                FeatureLookup::Evicted(raw) => Some(SampledChunk::NeedsRematerialization(raw)),
-                // Raw data gone: the chunk is ignored by sampling (paper
-                // §3.2) — `sampleable_timestamps` should already exclude it,
-                // but a concurrent drop is tolerated.
-                FeatureLookup::Unavailable => None,
-            })
+            .filter_map(|ts| self.feature_chunk(ts).ok())
             .collect()
     }
 
     /// All raw chunks, oldest first — the periodical baseline's retraining
     /// input ("the entire historical data").
     pub fn full_history(&self) -> Vec<Arc<RawChunk>> {
-        self.store
+        let store = self.store.memory();
+        store
             .sampleable_timestamps()
             .into_iter()
-            .filter_map(|ts| self.store.raw(ts))
+            .filter_map(|ts| store.raw(ts))
             .collect()
     }
 
     /// Number of chunks available for sampling (the paper's `n`).
     pub fn chunk_count(&self) -> usize {
-        self.store.raw_count()
+        self.store.memory().raw_count()
     }
 
     /// Number of currently materialized feature chunks.
     pub fn materialized_count(&self) -> usize {
-        self.store.materialized_count()
+        self.store.memory().materialized_count()
     }
 
     /// Storage behaviour counters (hits/misses/evictions).
     pub fn stats(&self) -> StoreStats {
+        self.store.memory().stats()
+    }
+
+    /// Tier-level counters (spills, disk hits, recovery fallbacks).
+    pub fn tiered_stats(&self) -> TieredStats {
         self.store.stats()
+    }
+
+    /// Whether a disk spill tier backs this manager.
+    pub fn has_disk(&self) -> bool {
+        self.store.has_disk()
     }
 
     /// The sampling strategy in use.
@@ -124,12 +181,20 @@ impl DataManager {
 
     /// Direct store access (failure injection and inspection in tests).
     pub fn store_mut(&mut self) -> &mut ChunkStore {
-        &mut self.store
+        self.store.memory_mut()
     }
 
     /// Direct store access (read-only).
     pub fn store(&self) -> &ChunkStore {
-        &self.store
+        self.store.memory()
+    }
+}
+
+impl Drop for DataManager {
+    fn drop(&mut self) {
+        if let Some(dir) = self.owned_spill_dir.take() {
+            let _ = std::fs::remove_dir_all(dir);
+        }
     }
 }
 
@@ -160,8 +225,8 @@ mod tests {
     fn manager(n: u64, m: usize, strategy: SamplingStrategy) -> DataManager {
         let mut dm = DataManager::new(StorageBudget::MaxChunks(m), strategy, 9);
         for t in 0..n {
-            dm.ingest_raw(raw(t));
-            dm.store_features(feat(t));
+            dm.ingest_raw(raw(t)).expect("unique timestamps");
+            dm.store_features(feat(t)).expect("raw chunk present");
         }
         dm
     }
@@ -177,6 +242,7 @@ mod tests {
             match s {
                 SampledChunk::Materialized(fc) => assert!(fc.timestamp.0 >= 15),
                 SampledChunk::NeedsRematerialization(r) => assert!(r.timestamp.0 < 15),
+                SampledChunk::Spilled(_) => panic!("memory-only manager cannot spill"),
             }
         }
     }
@@ -208,6 +274,45 @@ mod tests {
         assert_eq!(stats.feature_hits, 5);
         assert_eq!(stats.feature_misses, 5);
         assert!((stats.utilization_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spill_backed_manager_serves_evictions_from_disk() {
+        let dir = std::env::temp_dir().join(format!("cdp-dm-spill-{}", std::process::id()));
+        {
+            let mut dm = match DataManager::with_spill(
+                StorageBudget::MaxChunks(2),
+                SamplingStrategy::Uniform,
+                9,
+                &dir,
+                Arc::new(cdp_faults::NoFaults),
+                cdp_faults::RetryPolicy::default(),
+            ) {
+                Ok(dm) => dm,
+                Err(e) => panic!("temp dir is writable: {e}"),
+            };
+            assert!(dm.has_disk());
+            for t in 0..6 {
+                dm.ingest_raw(raw(t)).expect("unique timestamps");
+                dm.store_features(feat(t)).expect("raw chunk present");
+            }
+            // Chunks 0..4 were evicted and spilled; they resolve from disk,
+            // not recomputation.
+            for t in 0..4 {
+                match dm.feature_chunk(Timestamp(t)) {
+                    Ok(SampledChunk::Spilled(fc)) => assert_eq!(fc.timestamp, Timestamp(t)),
+                    other => panic!("chunk {t} must be served from disk, got {other:?}"),
+                }
+            }
+            assert_eq!(dm.tiered_stats().spills, 4);
+            assert_eq!(dm.tiered_stats().disk_hits, 4);
+            assert!(matches!(
+                dm.feature_chunk(Timestamp(99)),
+                Err(StorageError::MissingChunk(Timestamp(99)))
+            ));
+        }
+        // Dropping the manager removes its owned spill directory.
+        assert!(!dir.exists());
     }
 
     #[test]

@@ -12,15 +12,19 @@
 //!   mini-batch SGD iteration over a sample of the history, served from the
 //!   materialized-feature cache when possible.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use cdp_datagen::ChunkStream;
-use cdp_engine::ExecutionEngine;
+use cdp_engine::{EngineError, ExecutionEngine};
 use cdp_eval::cost::Stopwatch;
 use cdp_eval::prequential::average_of_curve;
 use cdp_eval::{CostLedger, CostModel, Phase, PrequentialEvaluator};
+use cdp_faults::{FaultHook, FaultInjector, FaultPlan, FaultStats, NoFaults, RetryPolicy};
 use cdp_ml::TrainReport;
 use cdp_pipeline::drift::{DriftDetector, DriftStatus};
 use cdp_sampling::SamplingStrategy;
-use cdp_storage::{StorageBudget, StoreStats};
+use cdp_storage::{StorageBudget, StorageError, StoreStats, TieredStats};
 use serde::{Deserialize, Serialize};
 
 use crate::data_manager::DataManager;
@@ -106,6 +110,17 @@ pub struct DeploymentConfig {
     /// engine-independent (bit-identical); a threaded engine only reduces
     /// wall-clock time.
     pub engine: ExecutionEngine,
+    /// Deterministic fault-injection plan. [`FaultPlan::none`] (the
+    /// default) injects nothing and adds no overhead; an active plan
+    /// injects disk errors, chunk corruption, worker panics, and latency
+    /// keyed purely by `(seed, site, key, attempt)` — identical across
+    /// reruns and worker counts.
+    pub faults: FaultPlan,
+    /// Spill evicted feature chunks to a run-private temporary directory
+    /// (removed when the run ends) instead of dropping them. Gives disk
+    /// faults a real surface; lookups fall back to re-materialization when
+    /// a spill read fails beyond the retry budget.
+    pub spill_to_disk: bool,
 }
 
 impl DeploymentConfig {
@@ -118,6 +133,8 @@ impl DeploymentConfig {
             cost_model: CostModel::commodity(),
             seed: 17,
             engine: ExecutionEngine::Sequential,
+            faults: FaultPlan::none(),
+            spill_to_disk: false,
         }
     }
 
@@ -195,6 +212,10 @@ pub struct DeploymentResult {
     /// Final model weights (dense). Lets callers verify that two runs —
     /// e.g. sequential vs threaded — produced bit-identical models.
     pub final_weights: Vec<f64>,
+    /// Injected-fault and recovery counters (all zero without a fault plan).
+    pub fault_stats: FaultStats,
+    /// Storage-tier counters: spills, disk hits, read fallbacks.
+    pub tiered_stats: TieredStats,
 }
 
 impl DeploymentResult {
@@ -204,21 +225,106 @@ impl DeploymentResult {
     }
 }
 
+/// A deployment run failed beyond the platform's recovery budget.
+#[derive(Debug)]
+pub enum DeploymentError {
+    /// A storage-layer failure (duplicate timestamp, unrecoverable I/O).
+    Storage(StorageError),
+    /// An engine-layer failure (worker dead beyond the restart budget).
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for DeploymentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeploymentError::Storage(e) => write!(f, "storage failure: {e}"),
+            DeploymentError::Engine(e) => write!(f, "engine failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeploymentError {}
+
+impl From<StorageError> for DeploymentError {
+    fn from(e: StorageError) -> Self {
+        DeploymentError::Storage(e)
+    }
+}
+
+impl From<EngineError> for DeploymentError {
+    fn from(e: EngineError) -> Self {
+        DeploymentError::Engine(e)
+    }
+}
+
+/// Monotonic discriminator for run-private spill directories, so concurrent
+/// runs in one process never collide.
+static SPILL_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn private_spill_dir() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "cdp-spill-{}-{}",
+        std::process::id(),
+        SPILL_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
 /// Runs one deployment end to end: initial training on the stream's initial
 /// chunks, then the arrival loop over the deployment range.
+///
+/// # Panics
+/// Panics when the run fails beyond the platform's recovery budget; use
+/// [`try_run_deployment`] for a typed error instead.
 pub fn run_deployment(
     stream: &dyn ChunkStream,
     spec: &DeploymentSpec,
     config: &DeploymentConfig,
 ) -> DeploymentResult {
+    match try_run_deployment(stream, spec, config) {
+        Ok(result) => result,
+        Err(e) => panic!("deployment failed: {e}"),
+    }
+}
+
+/// [`run_deployment`] with failures surfaced as typed errors.
+///
+/// Recovery happens below this level — disk retries in the storage tier,
+/// fall-through re-materialization for lost spills, worker restarts in the
+/// engine — so an `Err` here means the fault budget was genuinely
+/// exhausted (or a logic error such as a duplicate timestamp).
+///
+/// # Errors
+/// [`DeploymentError::Storage`] or [`DeploymentError::Engine`].
+pub fn try_run_deployment(
+    stream: &dyn ChunkStream,
+    spec: &DeploymentSpec,
+    config: &DeploymentConfig,
+) -> Result<DeploymentResult, DeploymentError> {
     let wall = Stopwatch::start();
     let strategy = match config.mode {
         DeploymentMode::Continuous { strategy, .. } => strategy,
         _ => SamplingStrategy::Uniform,
     };
-    let mut dm = DataManager::new(config.optimization.budget, strategy, config.seed);
+    let hook: Arc<dyn FaultHook> = if config.faults.is_active() {
+        Arc::new(FaultInjector::new(config.faults))
+    } else {
+        Arc::new(NoFaults)
+    };
+    let mut dm = if config.spill_to_disk {
+        DataManager::with_spill(
+            config.optimization.budget,
+            strategy,
+            config.seed,
+            private_spill_dir(),
+            Arc::clone(&hook),
+            RetryPolicy::default(),
+        )?
+    } else {
+        DataManager::new(config.optimization.budget, strategy, config.seed)
+    };
     let mut pm = PipelineManager::new(spec.build_pipeline(), &spec.sgd, spec.online_batch)
-        .with_engine(config.engine);
+        .with_engine(config.engine)
+        .with_fault_hook(Arc::clone(&hook));
     let mut evaluator = PrequentialEvaluator::new(spec.metric, 0);
     let proactive = if config.optimization.online_stats {
         ProactiveTrainer::new()
@@ -232,8 +338,8 @@ pub fn run_deployment(
     let initial: Vec<_> = stream.initial();
     let (initial_report, feature_chunks) = pm.initial_fit(&initial, &spec.sgd, &mut initial_ledger);
     for (raw, fc) in initial.into_iter().zip(feature_chunks) {
-        dm.ingest_raw(raw);
-        dm.store_features(fc);
+        dm.ingest_raw(raw)?;
+        dm.store_features(fc)?;
     }
     dm.store_mut().reset_stats();
 
@@ -254,10 +360,10 @@ pub fn run_deployment(
     for idx in stream.deployment_range() {
         let raw = stream.chunk(idx);
         // Stage 1: discretized arrival into the store (raw history).
-        dm.ingest_raw(raw.clone());
+        dm.ingest_raw(raw.clone())?;
         // Stages 2 + prequential evaluation + online learning.
         let fc = pm.process_online_chunk(&raw, &mut evaluator, &mut ledger);
-        dm.store_features(fc);
+        dm.store_features(fc)?;
         chunks_since_training += 1;
 
         // Feed this chunk's mean error into the drift monitor.
@@ -292,7 +398,8 @@ pub fn run_deployment(
                             &spec.sgd,
                             spec.online_batch,
                         )
-                        .with_engine(config.engine);
+                        .with_engine(config.engine)
+                        .with_fault_hook(Arc::clone(&hook));
                         let owned: Vec<_> = history.iter().map(|c| (**c).clone()).collect();
                         pm.initial_fit(&owned, &spec.sgd, &mut ledger);
                     }
@@ -315,7 +422,7 @@ pub fn run_deployment(
                 if scheduler.should_fire(&ctx) {
                     chunks_since_training = 0;
                     let sampled = dm.sample(sample_chunks);
-                    let outcome = proactive.execute(&mut pm, sampled, &mut ledger);
+                    let outcome = proactive.try_execute(&mut pm, sampled, &mut ledger)?;
                     last_training_secs = outcome.accounted_secs;
                     proactive_secs_sum += outcome.accounted_secs;
                     proactive_runs += 1;
@@ -328,7 +435,7 @@ pub fn run_deployment(
     }
 
     let stats = dm.stats();
-    DeploymentResult {
+    Ok(DeploymentResult {
         approach: config.mode.name().to_owned(),
         final_error: evaluator.error(),
         average_error: average_of_curve(evaluator.curve()),
@@ -352,7 +459,9 @@ pub fn run_deployment(
         queries_answered: evaluator.count(),
         initial_report,
         final_weights: pm.trainer().model().weights().as_slice().to_vec(),
-    }
+        fault_stats: hook.snapshot(),
+        tiered_stats: dm.tiered_stats(),
+    })
 }
 
 #[cfg(test)]

@@ -2,8 +2,11 @@
 //! processes training data and prediction queries, and re-materializes
 //! evicted feature chunks.
 
-use cdp_engine::ExecutionEngine;
+use std::sync::Arc;
+
+use cdp_engine::{EngineError, ExecutionEngine};
 use cdp_eval::{CostLedger, PrequentialEvaluator};
+use cdp_faults::{FaultHook, NoFaults};
 use cdp_ml::{SgdConfig, SgdTrainer, TrainReport};
 use cdp_pipeline::{Pipeline, PipelineCounters};
 use cdp_storage::{FeatureChunk, RawChunk};
@@ -20,6 +23,7 @@ pub struct PipelineManager {
     trainer: SgdTrainer,
     online_batch: usize,
     engine: ExecutionEngine,
+    hook: Arc<dyn FaultHook>,
     counters_base: PipelineCounters,
     points_base: u64,
     steps_base: u64,
@@ -35,6 +39,7 @@ impl PipelineManager {
             pipeline,
             online_batch: online_batch.max(1),
             engine: ExecutionEngine::Sequential,
+            hook: Arc::new(NoFaults),
             points_base: 0,
             steps_base: 0,
         }
@@ -50,6 +55,7 @@ impl PipelineManager {
             trainer,
             online_batch: online_batch.max(1),
             engine: ExecutionEngine::Sequential,
+            hook: Arc::new(NoFaults),
         }
     }
 
@@ -59,6 +65,13 @@ impl PipelineManager {
     /// time changes.
     pub fn with_engine(mut self, engine: ExecutionEngine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Routes engine-level fault decisions (injected worker panics, delays)
+    /// through `hook`. The default hook injects nothing.
+    pub fn with_fault_hook(mut self, hook: Arc<dyn FaultHook>) -> Self {
+        self.hook = hook;
         self
     }
 
@@ -257,23 +270,50 @@ impl PipelineManager {
         raws: &[std::sync::Arc<RawChunk>],
         ledger: &mut CostLedger,
     ) -> Vec<FeatureChunk> {
+        match self.try_rematerialize_many(raws, ledger) {
+            Ok(out) => out,
+            Err(e) => panic!("rematerialization failed: {e}"),
+        }
+    }
+
+    /// [`PipelineManager::rematerialize_many`] with engine faults surfaced
+    /// as typed errors. Injected worker panics within the restart budget are
+    /// recovered transparently (results stay bit-identical); an exhausted
+    /// restart budget or a genuine worker panic returns
+    /// [`EngineError::WorkerPanic`].
+    ///
+    /// # Errors
+    /// [`EngineError::WorkerPanic`] when a worker dies beyond recovery.
+    pub fn try_rematerialize_many(
+        &mut self,
+        raws: &[std::sync::Arc<RawChunk>],
+        ledger: &mut CostLedger,
+    ) -> Result<Vec<FeatureChunk>, EngineError> {
+        // Early return BEFORE drawing a worker order: the fault epoch
+        // sequence must depend only on deployment logic, not engine calls
+        // that would be no-ops.
         if raws.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let template = self.pipeline.clone();
-        let results = self.engine.map(raws.to_vec(), |raw| {
-            let mut local = template.clone();
-            local.reset_counters();
-            let fc = local.transform_chunk(&raw);
-            (fc, local.counters())
-        });
+        let hook = Arc::clone(&self.hook);
+        let results = self.engine.try_map_with_hook(
+            raws.to_vec(),
+            |raw| {
+                let mut local = template.clone();
+                local.reset_counters();
+                let fc = local.transform_chunk(&raw);
+                (fc, local.counters())
+            },
+            &*hook,
+        )?;
         let mut out = Vec::with_capacity(results.len());
         for (fc, counters) in results {
             self.pipeline.absorb_counters(counters);
             out.push(fc);
         }
         self.drain_charges(ledger);
-        out
+        Ok(out)
     }
 
     /// Simulates recomputing component statistics by an extra scan over the

@@ -1,6 +1,7 @@
 //! The proactive trainer (paper §3.3, §4.4): one mini-batch SGD iteration
 //! over a sample of the historical data.
 
+use cdp_engine::EngineError;
 use cdp_eval::CostLedger;
 use cdp_storage::{FeatureChunk, LabeledPoint};
 
@@ -12,6 +13,8 @@ use crate::pipeline_manager::PipelineManager;
 pub struct ProactiveOutcome {
     /// Sampled chunks that were materialized (used directly).
     pub materialized_chunks: usize,
+    /// Sampled chunks served from the disk spill tier.
+    pub spilled_chunks: usize,
     /// Sampled chunks that had to be re-materialized through the pipeline.
     pub rematerialized_chunks: usize,
     /// Training examples in the mini-batch.
@@ -52,14 +55,37 @@ impl ProactiveTrainer {
     }
 
     /// Runs one proactive-training instance over `sampled` chunks.
+    ///
+    /// # Panics
+    /// Panics when re-materialization fails beyond recovery; use
+    /// [`ProactiveTrainer::try_execute`] for a typed error.
     pub fn execute(
         &self,
         pm: &mut PipelineManager,
         sampled: Vec<SampledChunk>,
         ledger: &mut CostLedger,
     ) -> ProactiveOutcome {
+        match self.try_execute(pm, sampled, ledger) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("proactive training failed: {e}"),
+        }
+    }
+
+    /// Runs one proactive-training instance, surfacing unrecoverable engine
+    /// faults during batched re-materialization as typed errors.
+    ///
+    /// # Errors
+    /// [`EngineError::WorkerPanic`] when a worker dies beyond the restart
+    /// budget during re-materialization.
+    pub fn try_execute(
+        &self,
+        pm: &mut PipelineManager,
+        sampled: Vec<SampledChunk>,
+        ledger: &mut CostLedger,
+    ) -> Result<ProactiveOutcome, EngineError> {
         let before = ledger.total();
         let mut materialized = 0usize;
+        let mut spilled = 0usize;
         let mut rematerialized = 0usize;
         // One slot per sampled chunk, in sample order: cached chunks keep
         // their Arc; evicted ones stay `None` until the batched
@@ -89,6 +115,17 @@ impl ProactiveTrainer {
                     rematerialized += 1;
                     slots.push(Some(fc));
                 }
+                SampledChunk::Spilled(fc) => {
+                    // Evicted from memory but recovered from the disk spill
+                    // tier: pay the disk read, skip the re-transformation.
+                    ledger.charge_disk(fc.size_bytes() as u64);
+                    if !self.online_stats {
+                        ledger.charge_parse(fc.len() as u64);
+                        ledger.charge_stat_updates(fc.len() as u64 * 2);
+                    }
+                    spilled += 1;
+                    slots.push(Some(fc));
+                }
                 SampledChunk::NeedsRematerialization(raw) => {
                     if !self.online_stats {
                         ledger.charge_disk(raw.size_bytes() as u64);
@@ -104,34 +141,41 @@ impl ProactiveTrainer {
         // All evicted chunks re-materialize in one engine-parallel map
         // (transform-only over pipeline clones); costs and outputs are
         // engine-independent.
-        let owned: Vec<FeatureChunk> = pm.rematerialize_many(&evicted, ledger);
+        let owned: Vec<FeatureChunk> = pm.try_rematerialize_many(&evicted, ledger)?;
         let mut owned_iter = owned.iter();
 
         // Union of all sampled feature chunks, in sample order = the
         // mini-batch (the paper's context.union before the model update).
-        let batch: Vec<&LabeledPoint> = slots
-            .iter()
-            .flat_map(|slot| match slot {
-                Some(fc) => fc.points.iter(),
-                None => owned_iter
-                    .next()
-                    .expect("one re-materialized chunk per evicted slot")
-                    .points
-                    .iter(),
-            })
-            .collect();
+        // `rematerialize_many` returns exactly one chunk per evicted slot,
+        // in order, so the pairing below cannot run dry.
+        let mut batch: Vec<&LabeledPoint> = Vec::new();
+        for slot in &slots {
+            match slot {
+                Some(fc) => batch.extend(fc.points.iter()),
+                None => match owned_iter.next() {
+                    Some(fc) => batch.extend(fc.points.iter()),
+                    None => {
+                        return Err(EngineError::WorkerPanic(
+                            "re-materialization returned fewer chunks than evicted slots"
+                                .to_string(),
+                        ))
+                    }
+                },
+            }
+        }
         let points = batch.len();
         let engine = pm.engine();
         let batch_loss = pm.trainer_mut().step_on(batch, engine);
         pm.drain_charges(ledger);
 
-        ProactiveOutcome {
+        Ok(ProactiveOutcome {
             materialized_chunks: materialized,
+            spilled_chunks: spilled,
             rematerialized_chunks: rematerialized,
             points,
             batch_loss,
             accounted_secs: ledger.total() - before,
-        }
+        })
     }
 }
 

@@ -25,9 +25,11 @@
 
 use std::any::Any;
 use std::collections::HashMap;
+use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, Once, OnceLock};
 
+use cdp_faults::{FaultHook, InjectedWorkerPanic, NoFaults, WorkerOrder, MAX_WORKER_RESTARTS};
 use crossbeam::channel::{self, Sender};
 
 /// Contiguous shards handed out per worker in one [`ExecutionEngine::map`]
@@ -136,6 +138,79 @@ impl WorkerPool {
     }
 }
 
+/// A worker failure the engine could not recover from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A worker panicked and (for injected panics) exhausted its restart
+    /// budget; carries the panic message.
+    WorkerPanic(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::WorkerPanic(msg) => write!(f, "worker panic: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl EngineError {
+    fn from_payload(payload: Box<dyn Any + Send>) -> Self {
+        if payload.downcast_ref::<InjectedWorkerPanic>().is_some() {
+            EngineError::WorkerPanic("injected worker panic exhausted restarts".to_owned())
+        } else if let Some(msg) = payload.downcast_ref::<String>() {
+            EngineError::WorkerPanic(msg.clone())
+        } else if let Some(msg) = payload.downcast_ref::<&str>() {
+            EngineError::WorkerPanic((*msg).to_owned())
+        } else {
+            EngineError::WorkerPanic("non-string panic payload".to_owned())
+        }
+    }
+}
+
+/// Installs (once, process-wide) a panic hook that silences injected worker
+/// panics — they are part of normal fault-injection operation and would
+/// otherwise spam stderr with backtrace headers — while forwarding every
+/// other panic to the previously installed hook.
+fn install_quiet_panic_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info
+                .payload()
+                .downcast_ref::<InjectedWorkerPanic>()
+                .is_none()
+            {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Physically acts out the retryable part of a worker-fault order: each
+/// injected panic is a *real* `panic_any` unwind caught right here, exactly
+/// what a supervisor restarting a crashed worker observes. Returns `Err`
+/// when the order exceeds the restart budget (the fatal case).
+///
+/// Injected panics always fire at shard entry — before any input item has
+/// been consumed — so a restart re-runs the shard from scratch with no
+/// items lost; this is what keeps results identical to the fault-free run.
+fn act_injected_panics(panics: u32) -> Result<(), EngineError> {
+    for _ in 0..panics.min(MAX_WORKER_RESTARTS) {
+        let unwound = panic::catch_unwind(|| panic::panic_any(InjectedWorkerPanic));
+        debug_assert!(unwound.is_err());
+    }
+    if panics > MAX_WORKER_RESTARTS {
+        return Err(EngineError::WorkerPanic(
+            "injected worker panic exhausted restarts".to_owned(),
+        ));
+    }
+    Ok(())
+}
+
 /// A chunk-parallel execution engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecutionEngine {
@@ -234,6 +309,158 @@ impl ExecutionEngine {
                     .map(|slot| slot.expect("every shard writes its whole output slice"))
                     .collect()
             }
+        }
+    }
+
+    /// Like [`ExecutionEngine::map`], but converts worker panics into
+    /// [`EngineError`] instead of unwinding the calling thread.
+    pub fn try_map<T, U, F>(&self, items: Vec<T>, f: F) -> Result<Vec<U>, EngineError>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        self.try_map_with_hook(items, f, &NoFaults)
+    }
+
+    /// Like [`ExecutionEngine::map`], but consults `hook` for a
+    /// [`WorkerOrder`] first and acts it out: the targeted shard suffers the
+    /// ordered injected panics (real unwinds, restarted in place up to
+    /// [`MAX_WORKER_RESTARTS`] times) and latency before producing its
+    /// outputs.
+    ///
+    /// # Panics
+    /// If the order is fatal (panics beyond the restart budget) or `f`
+    /// itself panics.
+    pub fn map_with_hook<T, U, F>(&self, items: Vec<T>, f: F, hook: &dyn FaultHook) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        match self.try_map_with_hook(items, f, hook) {
+            Ok(out) => out,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Fallible, fault-aware map: draws one [`WorkerOrder`] from `hook`
+    /// (exactly one per call, so injected counts are independent of worker
+    /// count), acts it out on the targeted shard, and converts any
+    /// unrecovered worker panic — injected-fatal or genuine — into
+    /// [`EngineError`].
+    ///
+    /// The order's decisions and accounting both live in the hook; the
+    /// engine only *performs* them, which is what keeps results and
+    /// [`cdp_faults::FaultStats`] bit-identical across `Sequential` and any
+    /// `Threaded` worker count for the same fault seed.
+    pub fn try_map_with_hook<T, U, F>(
+        &self,
+        items: Vec<T>,
+        f: F,
+        hook: &dyn FaultHook,
+    ) -> Result<Vec<U>, EngineError>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        let order = hook.next_worker_order();
+        if order.panics > 0 {
+            install_quiet_panic_hook();
+        }
+        match *self {
+            ExecutionEngine::Sequential => {
+                act_injected_panics(order.panics)?;
+                if !order.delay.is_zero() {
+                    std::thread::sleep(order.delay);
+                }
+                panic::catch_unwind(AssertUnwindSafe(|| items.into_iter().map(f).collect()))
+                    .map_err(EngineError::from_payload)
+            }
+            ExecutionEngine::Threaded { workers } => {
+                self.threaded_map_with_order(items, f, workers.max(1), order)
+            }
+        }
+    }
+
+    /// Threaded map body shared by the fault-aware entry points: one shard
+    /// (selected by `order.target`) acts out the injected panics/latency,
+    /// all shards run under `catch_unwind` so both injected-fatal and
+    /// genuine panics surface as [`EngineError`].
+    fn threaded_map_with_order<T, U, F>(
+        &self,
+        items: Vec<T>,
+        f: F,
+        workers: usize,
+        order: WorkerOrder,
+    ) -> Result<Vec<U>, EngineError>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            // No shard exists to act the order on; a fatal order still
+            // cannot lose work, so an empty map simply succeeds.
+            return if order.panics > MAX_WORKER_RESTARTS {
+                act_injected_panics(order.panics).map(|()| Vec::new())
+            } else {
+                Ok(Vec::new())
+            };
+        }
+        let pool = WorkerPool::global(workers);
+        let shard_len = n.div_ceil((workers * SHARDS_PER_WORKER).min(n));
+
+        let mut shards: Vec<Vec<T>> = Vec::with_capacity(n.div_ceil(shard_len));
+        let mut iter = items.into_iter();
+        loop {
+            let shard: Vec<T> = iter.by_ref().take(shard_len).collect();
+            if shard.is_empty() {
+                break;
+            }
+            shards.push(shard);
+        }
+        let shard_count = shards.len();
+        let target = (order.target % shard_count as u64) as usize;
+
+        let mut outputs: Vec<Option<U>> = Vec::with_capacity(n);
+        outputs.resize_with(n, || None);
+        let f = &f;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = outputs
+            .chunks_mut(shard_len)
+            .zip(shards)
+            .enumerate()
+            .map(|(idx, (out, shard))| {
+                let ordered_panics = if idx == target { order.panics } else { 0 };
+                let delay = if idx == target {
+                    order.delay
+                } else {
+                    std::time::Duration::ZERO
+                };
+                Box::new(move || {
+                    if let Err(_fatal) = act_injected_panics(ordered_panics) {
+                        // Propagate the fatal injected panic through the
+                        // pool's barrier so the submitting thread sees it.
+                        panic::panic_any(InjectedWorkerPanic);
+                    }
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                    for (slot, item) in out.iter_mut().zip(shard) {
+                        *slot = Some(f(item));
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        let run = panic::catch_unwind(AssertUnwindSafe(|| pool.run_scoped(tasks)));
+        match run {
+            Ok(()) => Ok(outputs
+                .into_iter()
+                .map(|slot| slot.expect("every shard writes its whole output slice"))
+                .collect()),
+            Err(payload) => Err(EngineError::from_payload(payload)),
         }
     }
 
@@ -396,6 +623,83 @@ mod tests {
             let ok = engine.map((0..64u64).collect(), |x| x + 1);
             assert_eq!(ok, (1..=64).collect::<Vec<u64>>());
         }
+    }
+
+    #[test]
+    fn try_map_converts_genuine_panics_to_errors() {
+        let err = ExecutionEngine::Threaded { workers: 2 }
+            .try_map((0..16u32).collect(), |x| {
+                if x == 9 {
+                    panic!("kaput {x}");
+                }
+                x
+            })
+            .expect_err("panicking task must error");
+        assert_eq!(err, EngineError::WorkerPanic("kaput 9".to_owned()));
+
+        let ok = ExecutionEngine::Sequential.try_map(vec![1, 2, 3], |x| x * 2);
+        assert_eq!(ok, Ok(vec![2, 4, 6]));
+    }
+
+    /// Hook ordering a fixed number of injected panics at a fixed target.
+    #[derive(Debug)]
+    struct PanicOrder(u32);
+
+    impl cdp_faults::FaultHook for PanicOrder {
+        fn next_worker_order(&self) -> WorkerOrder {
+            WorkerOrder {
+                panics: self.0,
+                target: 5,
+                delay: std::time::Duration::ZERO,
+            }
+        }
+    }
+
+    #[test]
+    fn injected_panics_are_restarted_without_changing_results() {
+        let items: Vec<u64> = (0..200).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        for engine in [
+            ExecutionEngine::Sequential,
+            ExecutionEngine::Threaded { workers: 2 },
+            ExecutionEngine::Threaded { workers: 5 },
+        ] {
+            let out = engine
+                .try_map_with_hook(items.clone(), |x| x * 3, &PanicOrder(MAX_WORKER_RESTARTS))
+                .expect("restartable order must recover");
+            assert_eq!(out, expected, "engine {}", engine.name());
+        }
+    }
+
+    #[test]
+    fn fatal_injected_order_is_an_error_not_a_process_panic() {
+        for engine in [
+            ExecutionEngine::Sequential,
+            ExecutionEngine::Threaded { workers: 3 },
+        ] {
+            let err = engine
+                .try_map_with_hook(
+                    (0..64u64).collect(),
+                    |x| x,
+                    &PanicOrder(MAX_WORKER_RESTARTS + 1),
+                )
+                .expect_err("order beyond the restart budget is fatal");
+            assert!(matches!(err, EngineError::WorkerPanic(_)));
+            // The pool keeps serving afterwards.
+            assert_eq!(engine.map(vec![1, 2], |x| x + 1), vec![2, 3]);
+        }
+    }
+
+    #[test]
+    fn map_with_hook_noop_hook_matches_map() {
+        let items: Vec<u64> = (0..50).collect();
+        let plain = ExecutionEngine::Threaded { workers: 4 }.map(items.clone(), |x| x + 7);
+        let hooked = ExecutionEngine::Threaded { workers: 4 }.map_with_hook(
+            items,
+            |x| x + 7,
+            &cdp_faults::NoFaults,
+        );
+        assert_eq!(plain, hooked);
     }
 
     #[test]

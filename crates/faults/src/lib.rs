@@ -1,0 +1,636 @@
+//! Deterministic, seeded fault injection for the storage and engine layers.
+//!
+//! The paper's platform (§4) assumes the data manager can always
+//! re-materialize evicted feature chunks through the pipeline; a production
+//! deployment additionally sees disk-read errors, torn/corrupt spill files,
+//! slow devices, and worker crashes. This crate provides the injection
+//! substrate that makes those failure modes *testable*:
+//!
+//! * a [`FaultPlan`] — per-site probabilities plus a seed — describing which
+//!   faults to inject;
+//! * a [`FaultHook`] trait consulted at every fault site ([`DiskOp::Read`],
+//!   [`DiskOp::Write`], and the execution engine's worker shards), with a
+//!   zero-cost [`NoFaults`] default;
+//! * a [`FaultInjector`] implementing the hook: every decision is a pure
+//!   function of `(seed, site, key, attempt)` — **not** a draw from a shared
+//!   sequential RNG — so decisions are independent of thread scheduling and
+//!   identical across engines and worker counts;
+//! * [`FaultStats`] counters (injected vs recovered vs fatal, retries,
+//!   fall-through re-materializations) that the recovery sites record into
+//!   and deployments snapshot into their results.
+//!
+//! Determinism contract: with the same [`FaultPlan`], two runs of the same
+//! deployment inject the same faults at the same sites and recover the same
+//! way, producing bit-identical results; worker-fault orders are drawn per
+//! engine *call* (not per physical shard), so the counters are identical
+//! across worker counts too.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum in-place restarts the engine grants an injected worker panic
+/// before the panic is allowed to propagate (fatal).
+pub const MAX_WORKER_RESTARTS: u32 = 3;
+
+/// Payload type of engine-injected worker panics. The engine's restart loop
+/// (and its quiet panic hook) recognizes injected panics by downcasting to
+/// this type; genuine worker panics carry other payloads and still propagate.
+#[derive(Debug, Clone, Copy)]
+pub struct InjectedWorkerPanic;
+
+/// Which disk operation a fault decision applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskOp {
+    /// Reading a spilled chunk file.
+    Read,
+    /// Writing (spilling) a chunk file.
+    Write,
+}
+
+/// The outcome of consulting the hook at a disk fault site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFault {
+    /// No fault: perform the operation normally.
+    Proceed,
+    /// Fail the attempt with an injected I/O error.
+    Fail,
+    /// Perform the read, then flip one byte of the buffer before decoding
+    /// (read sites only; a checksummed codec must detect this).
+    Corrupt,
+    /// Sleep this long, then proceed (slow-chunk latency; wall-clock only,
+    /// never accounted cost).
+    Delay(Duration),
+}
+
+/// Worker faults for one engine `map` call, drawn once per call so the
+/// injected counts do not depend on how many shards the worker count
+/// produces.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerOrder {
+    /// Consecutive injected panics the targeted shard must suffer before it
+    /// is allowed to succeed. `> MAX_WORKER_RESTARTS` means the panic
+    /// propagates (fatal).
+    pub panics: u32,
+    /// Selects which shard acts the order (`target % shard_count`).
+    pub target: u64,
+    /// Injected latency for the targeted shard (zero = none).
+    pub delay: Duration,
+}
+
+/// Bounded retry-with-exponential-backoff parameters for disk operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first failed attempt (so `max_retries + 1` attempts
+    /// total).
+    pub max_retries: u32,
+    /// Backoff before retry `k` is `base_backoff << k` (zero disables
+    /// sleeping; the attempt counter still advances).
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            base_backoff: Duration::from_micros(100),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Sleeps the exponential backoff for retry number `attempt` (0-based).
+    pub fn sleep(&self, attempt: u32) {
+        if self.base_backoff.is_zero() {
+            return;
+        }
+        let factor = 1u32 << attempt.min(10);
+        std::thread::sleep(self.base_backoff * factor);
+    }
+}
+
+/// A seeded description of which faults to inject where.
+///
+/// All probabilities are per *attempt* and evaluated independently per
+/// `(site, key, attempt)` triple, so retrying a failed operation re-rolls
+/// the fault — injected disk faults are transient by construction unless the
+/// probability is high enough that `max_retries + 1` consecutive rolls hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed all decisions derive from.
+    pub seed: u64,
+    /// P(injected I/O error) per disk-read attempt.
+    pub disk_read_error: f64,
+    /// P(injected I/O error) per disk-write attempt.
+    pub disk_write_error: f64,
+    /// P(single-byte buffer corruption) per disk-read attempt.
+    pub read_corruption: f64,
+    /// P(an engine map call receives an injected worker panic), re-rolled
+    /// per restart attempt.
+    pub worker_panic: f64,
+    /// P(slow-chunk latency) per disk-read attempt.
+    pub slow_chunk: f64,
+    /// Injected latency when `slow_chunk` fires, in milliseconds.
+    pub slow_chunk_ms: u64,
+}
+
+impl FaultPlan {
+    /// The inactive plan: no faults, ever.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            disk_read_error: 0.0,
+            disk_write_error: 0.0,
+            read_corruption: 0.0,
+            worker_panic: 0.0,
+            slow_chunk: 0.0,
+            slow_chunk_ms: 0,
+        }
+    }
+
+    /// A moderate all-sites plan: every fault kind fires occasionally but
+    /// transiently (single-attempt probabilities low enough that bounded
+    /// retry almost always recovers).
+    pub fn chaos(seed: u64) -> Self {
+        Self {
+            seed,
+            disk_read_error: 0.15,
+            disk_write_error: 0.15,
+            read_corruption: 0.10,
+            worker_panic: 0.25,
+            slow_chunk: 0.05,
+            slow_chunk_ms: 1,
+        }
+    }
+
+    /// Reads a plan from the environment: `CDP_FAULT_SEED` activates
+    /// [`FaultPlan::chaos`] with that seed; the optional variables
+    /// `CDP_FAULT_READ_ERR`, `CDP_FAULT_WRITE_ERR`, `CDP_FAULT_CORRUPT`,
+    /// `CDP_FAULT_WORKER_PANIC`, and `CDP_FAULT_SLOW` override individual
+    /// probabilities. Returns `None` when `CDP_FAULT_SEED` is unset, empty,
+    /// or unparsable.
+    pub fn from_env() -> Option<Self> {
+        let seed: u64 = std::env::var("CDP_FAULT_SEED").ok()?.trim().parse().ok()?;
+        let mut plan = Self::chaos(seed);
+        let prob = |name: &str, slot: &mut f64| {
+            if let Some(p) = std::env::var(name)
+                .ok()
+                .and_then(|v| v.trim().parse::<f64>().ok())
+            {
+                *slot = p.clamp(0.0, 1.0);
+            }
+        };
+        prob("CDP_FAULT_READ_ERR", &mut plan.disk_read_error);
+        prob("CDP_FAULT_WRITE_ERR", &mut plan.disk_write_error);
+        prob("CDP_FAULT_CORRUPT", &mut plan.read_corruption);
+        prob("CDP_FAULT_WORKER_PANIC", &mut plan.worker_panic);
+        prob("CDP_FAULT_SLOW", &mut plan.slow_chunk);
+        Some(plan)
+    }
+
+    /// Whether any fault kind has a non-zero probability.
+    pub fn is_active(&self) -> bool {
+        self.disk_read_error > 0.0
+            || self.disk_write_error > 0.0
+            || self.read_corruption > 0.0
+            || self.worker_panic > 0.0
+            || self.slow_chunk > 0.0
+    }
+}
+
+/// Counters describing injected faults and how the platform recovered.
+///
+/// All counters are recorded through atomics and are order-independent
+/// sums, so snapshots are identical across engines and worker counts for
+/// the same [`FaultPlan`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Injected disk-read I/O errors.
+    pub injected_disk_read: u64,
+    /// Injected disk-write I/O errors.
+    pub injected_disk_write: u64,
+    /// Injected read-buffer corruptions.
+    pub injected_corruption: u64,
+    /// Injected worker panics (one per restart attempt).
+    pub injected_worker_panics: u64,
+    /// Injected slow-chunk delays.
+    pub injected_delays: u64,
+    /// Retry attempts performed by recovery sites (disk backoff retries and
+    /// worker-shard restarts).
+    pub retries: u64,
+    /// Operations that failed at least once and then succeeded (retry or
+    /// restart recovery).
+    pub recovered: u64,
+    /// Lookups whose disk tier was lost/corrupt beyond retry and fell
+    /// through to pipeline re-materialization.
+    pub fallback_rematerializations: u64,
+    /// Spill writes abandoned after exhausting retries (the chunk stays
+    /// recomputable from raw data).
+    pub lost_spills: u64,
+    /// Faults that exhausted every recovery path and propagated.
+    pub fatal: u64,
+}
+
+impl FaultStats {
+    /// Total injected faults across all kinds.
+    pub fn injected_total(&self) -> u64 {
+        self.injected_disk_read
+            + self.injected_disk_write
+            + self.injected_corruption
+            + self.injected_worker_panics
+            + self.injected_delays
+    }
+}
+
+impl fmt::Display for FaultStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "injected {} (read {}, write {}, corrupt {}, panic {}, slow {}), \
+             retries {}, recovered {}, fallback-remat {}, lost-spills {}, fatal {}",
+            self.injected_total(),
+            self.injected_disk_read,
+            self.injected_disk_write,
+            self.injected_corruption,
+            self.injected_worker_panics,
+            self.injected_delays,
+            self.retries,
+            self.recovered,
+            self.fallback_rematerializations,
+            self.lost_spills,
+            self.fatal
+        )
+    }
+}
+
+/// A fault-site oracle plus recovery-accounting sink, threaded through
+/// `DiskTier`, `TieredStore`, `ExecutionEngine`, and `DataManager`.
+///
+/// Every method has a no-op default, so [`NoFaults`] (and any custom test
+/// hook) implements only what it needs; the release hot path pays one
+/// dynamic call that immediately returns [`DiskFault::Proceed`].
+pub trait FaultHook: Send + Sync + fmt::Debug {
+    /// Decision for one disk attempt (`key` is the chunk timestamp).
+    fn decide_disk(&self, _op: DiskOp, _key: u64, _attempt: u32) -> DiskFault {
+        DiskFault::Proceed
+    }
+
+    /// Worker faults for the next engine map call. Implementations that
+    /// inject must also account the order's injections/retries/outcome here
+    /// (the engine only acts the order out physically), keeping stats
+    /// identical across engines and worker counts.
+    fn next_worker_order(&self) -> WorkerOrder {
+        WorkerOrder::default()
+    }
+
+    /// Records one recovery retry (disk backoff retry).
+    fn note_retry(&self) {}
+
+    /// Records an operation that succeeded after at least one failure.
+    fn note_recovered(&self) {}
+
+    /// Records a lookup that fell through to pipeline re-materialization.
+    fn note_fallback_rematerialization(&self) {}
+
+    /// Records a spill write abandoned after exhausting retries.
+    fn note_lost_spill(&self) {}
+
+    /// Records a fault that exhausted every recovery path.
+    fn note_fatal(&self) {}
+
+    /// Current counter snapshot.
+    fn snapshot(&self) -> FaultStats {
+        FaultStats::default()
+    }
+}
+
+/// The default hook: never injects, never counts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultHook for NoFaults {}
+
+/// SplitMix64 finalizer — the per-event mixing function.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform `[0, 1)` from a hash word.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Site discriminants folded into the event hash.
+const SITE_DISK_READ: u64 = 0x01;
+const SITE_DISK_WRITE: u64 = 0x02;
+const SITE_WORKER: u64 = 0x03;
+const SITE_CORRUPT_BYTE: u64 = 0x04;
+
+/// Pure per-event hash: depends only on the plan seed and the event
+/// coordinates, never on call order.
+fn event_hash(seed: u64, site: u64, key: u64, attempt: u64) -> u64 {
+    mix(seed ^ mix(site ^ mix(key ^ mix(attempt))))
+}
+
+/// Deterministic index of the byte an injected corruption flips.
+pub fn corrupt_byte_index(seed: u64, key: u64, len: usize) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    (event_hash(seed, SITE_CORRUPT_BYTE, key, 0) % len as u64) as usize
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    injected_disk_read: AtomicU64,
+    injected_disk_write: AtomicU64,
+    injected_corruption: AtomicU64,
+    injected_worker_panics: AtomicU64,
+    injected_delays: AtomicU64,
+    retries: AtomicU64,
+    recovered: AtomicU64,
+    fallback_rematerializations: AtomicU64,
+    lost_spills: AtomicU64,
+    fatal: AtomicU64,
+}
+
+/// The standard [`FaultHook`]: injects per a [`FaultPlan`] and counts both
+/// injections and recoveries.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    /// Worker orders are keyed by a call epoch. The engine is only invoked
+    /// from the (single-threaded) deployment driver, so the epoch sequence
+    /// is deterministic for a fixed configuration.
+    epoch: AtomicU64,
+    c: Counters,
+}
+
+impl FaultInjector {
+    /// Creates an injector for `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            epoch: AtomicU64::new(0),
+            c: Counters::default(),
+        }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+}
+
+impl FaultHook for FaultInjector {
+    fn decide_disk(&self, op: DiskOp, key: u64, attempt: u32) -> DiskFault {
+        let site = match op {
+            DiskOp::Read => SITE_DISK_READ,
+            DiskOp::Write => SITE_DISK_WRITE,
+        };
+        let r = unit(event_hash(self.plan.seed, site, key, u64::from(attempt)));
+        match op {
+            DiskOp::Write => {
+                if r < self.plan.disk_write_error {
+                    self.c.injected_disk_write.fetch_add(1, Ordering::Relaxed);
+                    DiskFault::Fail
+                } else {
+                    DiskFault::Proceed
+                }
+            }
+            DiskOp::Read => {
+                let p_err = self.plan.disk_read_error;
+                let p_corrupt = p_err + self.plan.read_corruption;
+                let p_slow = p_corrupt + self.plan.slow_chunk;
+                if r < p_err {
+                    self.c.injected_disk_read.fetch_add(1, Ordering::Relaxed);
+                    DiskFault::Fail
+                } else if r < p_corrupt {
+                    self.c.injected_corruption.fetch_add(1, Ordering::Relaxed);
+                    DiskFault::Corrupt
+                } else if r < p_slow {
+                    self.c.injected_delays.fetch_add(1, Ordering::Relaxed);
+                    DiskFault::Delay(Duration::from_millis(self.plan.slow_chunk_ms))
+                } else {
+                    DiskFault::Proceed
+                }
+            }
+        }
+    }
+
+    fn next_worker_order(&self) -> WorkerOrder {
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed);
+        // Re-roll the panic per restart attempt: `panics` is the number of
+        // consecutive per-attempt hits, capped one past the restart budget
+        // (at which point the panic is fatal anyway).
+        let mut panics = 0u32;
+        while panics <= MAX_WORKER_RESTARTS
+            && unit(event_hash(
+                self.plan.seed,
+                SITE_WORKER,
+                epoch,
+                u64::from(panics),
+            )) < self.plan.worker_panic
+        {
+            panics += 1;
+        }
+        if panics > 0 {
+            self.c
+                .injected_worker_panics
+                .fetch_add(u64::from(panics), Ordering::Relaxed);
+            self.c.retries.fetch_add(
+                u64::from(panics.min(MAX_WORKER_RESTARTS)),
+                Ordering::Relaxed,
+            );
+            if panics <= MAX_WORKER_RESTARTS {
+                self.c.recovered.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.c.fatal.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        WorkerOrder {
+            panics,
+            target: event_hash(self.plan.seed, SITE_WORKER, epoch, u64::MAX),
+            delay: Duration::ZERO,
+        }
+    }
+
+    fn note_retry(&self) {
+        self.c.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_recovered(&self) {
+        self.c.recovered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_fallback_rematerialization(&self) {
+        self.c
+            .fallback_rematerializations
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_lost_spill(&self) {
+        self.c.lost_spills.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_fatal(&self) {
+        self.c.fatal.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> FaultStats {
+        FaultStats {
+            injected_disk_read: self.c.injected_disk_read.load(Ordering::Relaxed),
+            injected_disk_write: self.c.injected_disk_write.load(Ordering::Relaxed),
+            injected_corruption: self.c.injected_corruption.load(Ordering::Relaxed),
+            injected_worker_panics: self.c.injected_worker_panics.load(Ordering::Relaxed),
+            injected_delays: self.c.injected_delays.load(Ordering::Relaxed),
+            retries: self.c.retries.load(Ordering::Relaxed),
+            recovered: self.c.recovered.load(Ordering::Relaxed),
+            fallback_rematerializations: self.c.fallback_rematerializations.load(Ordering::Relaxed),
+            lost_spills: self.c.lost_spills.load(Ordering::Relaxed),
+            fatal: self.c.fatal.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_order_free() {
+        let a = FaultInjector::new(FaultPlan::chaos(42));
+        let b = FaultInjector::new(FaultPlan::chaos(42));
+        // Same events in different orders: identical decisions.
+        let events: Vec<(DiskOp, u64, u32)> = (0..200)
+            .map(|i| {
+                (
+                    if i % 2 == 0 {
+                        DiskOp::Read
+                    } else {
+                        DiskOp::Write
+                    },
+                    i / 2,
+                    (i % 3) as u32,
+                )
+            })
+            .collect();
+        let fwd: Vec<DiskFault> = events
+            .iter()
+            .map(|&(op, k, at)| a.decide_disk(op, k, at))
+            .collect();
+        let rev: Vec<DiskFault> = events
+            .iter()
+            .rev()
+            .map(|&(op, k, at)| b.decide_disk(op, k, at))
+            .collect();
+        let rev_fwd: Vec<DiskFault> = rev.into_iter().rev().collect();
+        assert_eq!(fwd, rev_fwd);
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert!(a.snapshot().injected_total() > 0, "chaos plan must fire");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultInjector::new(FaultPlan::chaos(1));
+        let b = FaultInjector::new(FaultPlan::chaos(2));
+        let da: Vec<DiskFault> = (0..300)
+            .map(|k| a.decide_disk(DiskOp::Read, k, 0))
+            .collect();
+        let db: Vec<DiskFault> = (0..300)
+            .map(|k| b.decide_disk(DiskOp::Read, k, 0))
+            .collect();
+        assert_ne!(da, db);
+    }
+
+    #[test]
+    fn none_plan_never_fires() {
+        let inj = FaultInjector::new(FaultPlan::none());
+        assert!(!inj.plan().is_active());
+        for k in 0..500 {
+            assert_eq!(inj.decide_disk(DiskOp::Read, k, 0), DiskFault::Proceed);
+            assert_eq!(inj.decide_disk(DiskOp::Write, k, 0), DiskFault::Proceed);
+        }
+        assert_eq!(inj.next_worker_order().panics, 0);
+        assert_eq!(inj.snapshot(), FaultStats::default());
+    }
+
+    #[test]
+    fn worker_orders_account_recovery_and_fatality() {
+        let mut plan = FaultPlan::none();
+        plan.worker_panic = 1.0; // every attempt panics ⇒ always fatal
+        plan.seed = 9;
+        let inj = FaultInjector::new(plan);
+        let order = inj.next_worker_order();
+        assert_eq!(order.panics, MAX_WORKER_RESTARTS + 1);
+        let stats = inj.snapshot();
+        assert_eq!(stats.fatal, 1);
+        assert_eq!(stats.recovered, 0);
+
+        let mut recoverable = FaultPlan::none();
+        recoverable.worker_panic = 0.4;
+        recoverable.seed = 3;
+        let inj = FaultInjector::new(recoverable);
+        let mut recovered_some = false;
+        for _ in 0..200 {
+            inj.next_worker_order();
+        }
+        let stats = inj.snapshot();
+        if stats.recovered > 0 {
+            recovered_some = true;
+        }
+        assert!(recovered_some, "p=0.4 over 200 orders must recover some");
+        assert!(stats.injected_worker_panics > 0);
+        assert_eq!(stats.retries, stats.injected_worker_panics - stats.fatal);
+    }
+
+    #[test]
+    fn stats_display_and_totals() {
+        let stats = FaultStats {
+            injected_disk_read: 2,
+            injected_corruption: 1,
+            recovered: 3,
+            ..FaultStats::default()
+        };
+        assert_eq!(stats.injected_total(), 3);
+        let s = stats.to_string();
+        assert!(s.contains("injected 3"));
+        assert!(s.contains("recovered 3"));
+    }
+
+    #[test]
+    fn corrupt_index_is_stable_and_in_bounds() {
+        let i = corrupt_byte_index(7, 100, 64);
+        assert_eq!(i, corrupt_byte_index(7, 100, 64));
+        assert!(i < 64);
+        assert_eq!(corrupt_byte_index(7, 100, 0), 0);
+    }
+
+    #[test]
+    fn noop_hook_defaults() {
+        let hook = NoFaults;
+        assert_eq!(hook.decide_disk(DiskOp::Read, 1, 0), DiskFault::Proceed);
+        assert_eq!(hook.next_worker_order(), WorkerOrder::default());
+        hook.note_retry();
+        hook.note_recovered();
+        assert_eq!(hook.snapshot(), FaultStats::default());
+    }
+
+    #[test]
+    fn retry_policy_backoff_is_bounded() {
+        let p = RetryPolicy {
+            max_retries: 2,
+            base_backoff: Duration::ZERO,
+        };
+        p.sleep(0); // must not sleep with a zero base
+        p.sleep(31); // shift amount is clamped
+        assert_eq!(RetryPolicy::default().max_retries, 3);
+    }
+}

@@ -39,6 +39,8 @@ pub enum StorageError {
     Io(std::io::Error),
     /// The disk tier found a corrupt or truncated chunk file.
     Corrupt(String),
+    /// No tier holds the chunk: features gone and raw data gone too.
+    MissingChunk(Timestamp),
 }
 
 impl std::fmt::Display for StorageError {
@@ -52,6 +54,9 @@ impl std::fmt::Display for StorageError {
             }
             StorageError::Io(e) => write!(f, "disk tier I/O error: {e}"),
             StorageError::Corrupt(msg) => write!(f, "corrupt chunk file: {msg}"),
+            StorageError::MissingChunk(ts) => {
+                write!(f, "chunk {} is absent from every storage tier", ts.0)
+            }
         }
     }
 }

@@ -150,7 +150,9 @@ impl ChunkStore {
         self.stats.raw_puts += 1;
         if let Some(max) = self.raw_budget {
             while self.raw.len() > max {
-                let (&oldest, _) = self.raw.iter().next().expect("non-empty raw map");
+                let Some((&oldest, _)) = self.raw.iter().next() else {
+                    break;
+                };
                 self.raw.remove(&oldest);
                 if let Some(fc) = self.features.remove(&oldest) {
                     self.feature_bytes -= fc.size_bytes();
@@ -193,8 +195,12 @@ impl ChunkStore {
             .exceeded(self.features.len(), self.feature_bytes)
             && !self.features.is_empty()
         {
-            let (&oldest, _) = self.features.iter().next().expect("non-empty feature map");
-            let removed = self.features.remove(&oldest).expect("key just observed");
+            let Some((&oldest, _)) = self.features.iter().next() else {
+                break;
+            };
+            let Some(removed) = self.features.remove(&oldest) else {
+                break;
+            };
             let bytes = removed.size_bytes();
             self.feature_bytes -= bytes;
             self.stats.evictions += 1;
@@ -320,6 +326,22 @@ mod tests {
     use crate::record::{Record, Value};
     use cdp_linalg::DenseVector;
 
+    /// Result extractor without `unwrap`/`expect`: this module's hot path
+    /// must stay free of those tokens end to end.
+    fn ok<T, E: std::fmt::Debug>(r: Result<T, E>) -> T {
+        match r {
+            Ok(v) => v,
+            Err(e) => panic!("unexpected error: {e:?}"),
+        }
+    }
+
+    fn some<T>(o: Option<T>) -> T {
+        match o {
+            Some(v) => v,
+            None => panic!("unexpected None"),
+        }
+    }
+
     fn raw(ts: u64) -> RawChunk {
         RawChunk::new(
             Timestamp(ts),
@@ -341,8 +363,8 @@ mod tests {
     fn store_with(n: u64, budget: StorageBudget) -> ChunkStore {
         let mut s = ChunkStore::new(budget);
         for t in 0..n {
-            s.put_raw(raw(t)).unwrap();
-            s.put_feature(feat(t)).unwrap();
+            ok(s.put_raw(raw(t)));
+            ok(s.put_feature(feat(t)));
         }
         s
     }
@@ -382,8 +404,8 @@ mod tests {
     fn byte_budget_evicts_by_size() {
         let mut s = ChunkStore::new(StorageBudget::MaxBytes(40));
         for t in 0..5 {
-            s.put_raw(raw(t)).unwrap();
-            s.put_feature(feat(t)).unwrap(); // each point ≈ 16 bytes
+            ok(s.put_raw(raw(t)));
+            ok(s.put_feature(feat(t))); // each point ≈ 16 bytes
         }
         assert!(s.feature_bytes() <= 40);
         assert!(s.materialized_count() < 5);
@@ -392,22 +414,21 @@ mod tests {
     #[test]
     fn dangling_raw_reference_rejected() {
         let mut s = ChunkStore::new(StorageBudget::Unbounded);
-        let err = s.put_feature(feat(3)).unwrap_err();
         assert!(matches!(
-            err,
-            StorageError::DanglingRawReference(Timestamp(3))
+            s.put_feature(feat(3)),
+            Err(StorageError::DanglingRawReference(Timestamp(3)))
         ));
     }
 
     #[test]
     fn duplicate_timestamps_rejected() {
         let mut s = ChunkStore::new(StorageBudget::Unbounded);
-        s.put_raw(raw(1)).unwrap();
+        ok(s.put_raw(raw(1)));
         assert!(matches!(
             s.put_raw(raw(1)),
             Err(StorageError::DuplicateTimestamp(Timestamp(1)))
         ));
-        s.put_feature(feat(1)).unwrap();
+        ok(s.put_feature(feat(1)));
         assert!(matches!(
             s.put_feature(feat(1)),
             Err(StorageError::DuplicateTimestamp(Timestamp(1)))
@@ -436,8 +457,8 @@ mod tests {
     fn raw_budget_drops_oldest_history() {
         let mut s = ChunkStore::new(StorageBudget::Unbounded).with_raw_budget(4);
         for t in 0..10 {
-            s.put_raw(raw(t)).unwrap();
-            s.put_feature(feat(t)).unwrap();
+            ok(s.put_raw(raw(t)));
+            ok(s.put_feature(feat(t)));
         }
         assert_eq!(s.raw_count(), 4);
         assert_eq!(
@@ -475,13 +496,13 @@ mod tests {
     fn feature_bytes_accounting_balances() {
         let mut s = ChunkStore::new(StorageBudget::MaxChunks(2));
         for t in 0..6 {
-            s.put_raw(raw(t)).unwrap();
-            s.put_feature(feat(t)).unwrap();
+            ok(s.put_raw(raw(t)));
+            ok(s.put_feature(feat(t)));
         }
         let expected: usize = s
             .materialized_timestamps()
             .iter()
-            .map(|ts| s.peek_feature(*ts).unwrap().size_bytes())
+            .map(|ts| some(s.peek_feature(*ts)).size_bytes())
             .sum();
         assert_eq!(s.feature_bytes(), expected);
     }

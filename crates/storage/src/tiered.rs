@@ -11,6 +11,8 @@
 
 use std::sync::Arc;
 
+use cdp_faults::{FaultHook, NoFaults, RetryPolicy};
+
 use crate::chunk::{FeatureChunk, RawChunk, Timestamp};
 use crate::disk::DiskTier;
 use crate::store::{ChunkStore, FeatureLookup, StorageBudget};
@@ -42,7 +44,7 @@ impl TieredLookup {
 }
 
 /// Counters for the tiered store.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct TieredStats {
     /// Lookups served from memory.
     pub memory_hits: u64,
@@ -52,13 +54,28 @@ pub struct TieredStats {
     pub recomputes: u64,
     /// Chunks spilled to disk on eviction.
     pub spills: u64,
+    /// Lookups whose spilled chunk was unreadable past every retry and fell
+    /// through to recomputation instead of erroring.
+    pub read_fallbacks: u64,
+    /// Evictions whose spill write failed past every retry; the chunk stays
+    /// recomputable from its raw data, so the failure is absorbed.
+    pub lost_spills: u64,
 }
 
-/// An in-memory [`ChunkStore`] whose evictions spill to a [`DiskTier`].
+/// An in-memory [`ChunkStore`] whose evictions spill to an optional
+/// [`DiskTier`].
+///
+/// The store never lets a disk failure escape a lookup: an unreadable or
+/// corrupt spill (past the tier's retry budget) falls through to
+/// [`TieredLookup::Recompute`] — the raw chunk is the ground truth, so the
+/// pipeline can always re-materialize — and a failed spill write is absorbed
+/// the same way. Both are counted in [`TieredStats`] and reported to the
+/// [`FaultHook`] so recovery is observable, not silent.
 #[derive(Debug)]
 pub struct TieredStore {
     memory: ChunkStore,
-    disk: DiskTier,
+    disk: Option<DiskTier>,
+    hook: Arc<dyn FaultHook>,
     stats: TieredStats,
 }
 
@@ -72,11 +89,57 @@ impl TieredStore {
         budget: StorageBudget,
         disk_dir: impl AsRef<std::path::Path>,
     ) -> Result<Self, StorageError> {
+        Self::open_with_hook(budget, disk_dir, Arc::new(NoFaults), RetryPolicy::default())
+    }
+
+    /// Creates a tiered store whose disk I/O consults `hook` per attempt.
+    ///
+    /// # Errors
+    /// I/O errors creating the disk directory.
+    pub fn open_with_hook(
+        budget: StorageBudget,
+        disk_dir: impl AsRef<std::path::Path>,
+        hook: Arc<dyn FaultHook>,
+        retry: RetryPolicy,
+    ) -> Result<Self, StorageError> {
         Ok(Self {
             memory: ChunkStore::new(budget),
-            disk: DiskTier::open(disk_dir)?,
+            disk: Some(DiskTier::open_with_hook(
+                disk_dir,
+                Arc::clone(&hook),
+                retry,
+            )?),
+            hook,
             stats: TieredStats::default(),
         })
+    }
+
+    /// Creates a store with no disk tier: evicted chunks are dropped and
+    /// later lookups recompute them — the paper's pure dynamic
+    /// materialization (§3.2).
+    pub fn memory_only(budget: StorageBudget) -> Self {
+        Self::memory_only_with_hook(budget, Arc::new(NoFaults))
+    }
+
+    /// Disk-less store sharing `hook` for recovery accounting.
+    pub fn memory_only_with_hook(budget: StorageBudget, hook: Arc<dyn FaultHook>) -> Self {
+        Self {
+            memory: ChunkStore::new(budget),
+            disk: None,
+            hook,
+            stats: TieredStats::default(),
+        }
+    }
+
+    /// Caps the raw history (the paper's `N`), dropping oldest chunks.
+    pub fn with_raw_budget(mut self, max_chunks: usize) -> Self {
+        self.memory = self.memory.with_raw_budget(max_chunks);
+        self
+    }
+
+    /// Whether a disk tier backs this store.
+    pub fn has_disk(&self) -> bool {
+        self.disk.is_some()
     }
 
     /// Stores a raw chunk (memory tier keeps all raw history).
@@ -87,40 +150,58 @@ impl TieredStore {
         self.memory.put_raw(chunk)
     }
 
-    /// Stores features; chunks evicted from memory are spilled to disk.
+    /// Stores features; chunks evicted from memory are spilled to disk when
+    /// a disk tier exists (spill failures past the retry budget are absorbed
+    /// as lost spills — the raw data still covers the chunk).
     ///
     /// # Errors
-    /// Storage or disk I/O errors.
+    /// Duplicate timestamps or dangling raw references (logic errors, never
+    /// absorbed).
     pub fn put_feature(&mut self, chunk: FeatureChunk) -> Result<(), StorageError> {
         let evicted = self.memory.put_feature(chunk)?;
-        for old in evicted {
-            self.disk.write(&old)?;
-            self.stats.spills += 1;
+        if let Some(disk) = self.disk.as_mut() {
+            for old in evicted {
+                match disk.write(&old) {
+                    Ok(()) => self.stats.spills += 1,
+                    Err(_) => {
+                        self.stats.lost_spills += 1;
+                        self.hook.note_lost_spill();
+                    }
+                }
+            }
         }
         Ok(())
     }
 
     /// Looks features up: memory, then disk, then raw-for-recompute.
     ///
-    /// # Errors
-    /// Disk I/O errors (a corrupt spill file is an error, not a fallthrough,
-    /// so data problems surface instead of silently costing recomputes).
-    pub fn lookup(&mut self, ts: Timestamp) -> Result<TieredLookup, StorageError> {
+    /// A disk failure that outlives the retry budget is *not* an error: the
+    /// lookup degrades to [`TieredLookup::Recompute`] (counted as a read
+    /// fallback), because the raw chunk can always re-materialize the
+    /// features. Only a chunk absent from every tier including raw history
+    /// yields [`TieredLookup::Unavailable`].
+    pub fn lookup(&mut self, ts: Timestamp) -> TieredLookup {
         match self.memory.lookup_feature(ts) {
             FeatureLookup::Materialized(fc) => {
                 self.stats.memory_hits += 1;
-                Ok(TieredLookup::Memory(fc))
+                TieredLookup::Memory(fc)
             }
-            FeatureLookup::Evicted(raw) => {
-                if let Some(chunk) = self.disk.read(ts)? {
+            FeatureLookup::Evicted(raw) => match self.disk.as_mut().map(|d| d.read(ts)) {
+                Some(Ok(Some(chunk))) => {
                     self.stats.disk_hits += 1;
-                    Ok(TieredLookup::Disk(chunk))
-                } else {
-                    self.stats.recomputes += 1;
-                    Ok(TieredLookup::Recompute(raw))
+                    TieredLookup::Disk(chunk)
                 }
-            }
-            FeatureLookup::Unavailable => Ok(TieredLookup::Unavailable),
+                Some(Err(_)) => {
+                    self.stats.read_fallbacks += 1;
+                    self.hook.note_fallback_rematerialization();
+                    TieredLookup::Recompute(raw)
+                }
+                Some(Ok(None)) | None => {
+                    self.stats.recomputes += 1;
+                    TieredLookup::Recompute(raw)
+                }
+            },
+            FeatureLookup::Unavailable => TieredLookup::Unavailable,
         }
     }
 
@@ -129,14 +210,20 @@ impl TieredStore {
         &self.memory
     }
 
-    /// Bytes written to the disk tier so far.
-    pub fn disk_bytes_written(&self) -> u64 {
-        self.disk.bytes_written()
+    /// Mutable access to the in-memory tier (budget changes, failure
+    /// injection in tests).
+    pub fn memory_mut(&mut self) -> &mut ChunkStore {
+        &mut self.memory
     }
 
-    /// Bytes read back from the disk tier so far.
+    /// Bytes written to the disk tier so far (0 without one).
+    pub fn disk_bytes_written(&self) -> u64 {
+        self.disk.as_ref().map_or(0, DiskTier::bytes_written)
+    }
+
+    /// Bytes read back from the disk tier so far (0 without one).
     pub fn disk_bytes_read(&self) -> u64 {
-        self.disk.bytes_read()
+        self.disk.as_ref().map_or(0, DiskTier::bytes_read)
     }
 
     /// Tier-level counters.
@@ -149,7 +236,17 @@ impl TieredStore {
 mod tests {
     use super::*;
     use crate::record::{Record, Value};
+    use cdp_faults::{FaultInjector, FaultPlan};
     use cdp_linalg::DenseVector;
+
+    /// Result extractor without `unwrap`/`expect`: this module's hot path
+    /// must stay free of those tokens end to end.
+    fn ok<T, E: std::fmt::Debug>(r: Result<T, E>) -> T {
+        match r {
+            Ok(v) => v,
+            Err(e) => panic!("unexpected error: {e:?}"),
+        }
+    }
 
     fn raw(ts: u64) -> RawChunk {
         RawChunk::new(
@@ -176,21 +273,22 @@ mod tests {
     #[test]
     fn evictions_spill_and_disk_serves_them() {
         let dir = tmp_dir("spill");
-        let mut store = TieredStore::open(StorageBudget::MaxChunks(3), &dir).unwrap();
+        let mut store = ok(TieredStore::open(StorageBudget::MaxChunks(3), &dir));
+        assert!(store.has_disk());
         for t in 0..10 {
-            store.put_raw(raw(t)).unwrap();
-            store.put_feature(feat(t)).unwrap();
+            ok(store.put_raw(raw(t)));
+            ok(store.put_feature(feat(t)));
         }
         assert_eq!(store.stats().spills, 7);
         assert!(store.disk_bytes_written() > 0);
 
         // Newest chunks come from memory…
         assert!(matches!(
-            store.lookup(Timestamp(9)).unwrap(),
+            store.lookup(Timestamp(9)),
             TieredLookup::Memory(_)
         ));
         // …older ones from disk, byte-identical.
-        match store.lookup(Timestamp(0)).unwrap() {
+        match store.lookup(Timestamp(0)) {
             TieredLookup::Disk(chunk) => assert_eq!(chunk, feat(0)),
             other => panic!("expected disk hit, got {}", other.tier()),
         }
@@ -205,15 +303,15 @@ mod tests {
     #[test]
     fn missing_spill_falls_back_to_recompute() {
         let dir = tmp_dir("fallback");
-        let mut store = TieredStore::open(StorageBudget::MaxChunks(1), &dir).unwrap();
-        store.put_raw(raw(0)).unwrap();
-        store.put_feature(feat(0)).unwrap();
-        store.put_raw(raw(1)).unwrap();
-        store.put_feature(feat(1)).unwrap(); // evicts + spills t0
-                                             // Simulate a lost spill file.
+        let mut store = ok(TieredStore::open(StorageBudget::MaxChunks(1), &dir));
+        ok(store.put_raw(raw(0)));
+        ok(store.put_feature(feat(0)));
+        ok(store.put_raw(raw(1)));
+        ok(store.put_feature(feat(1))); // evicts + spills t0
+                                        // Simulate a lost spill file.
         let path = dir.join("chunk-000000000000.cdpf");
-        std::fs::remove_file(path).unwrap();
-        match store.lookup(Timestamp(0)).unwrap() {
+        ok(std::fs::remove_file(path));
+        match store.lookup(Timestamp(0)) {
             TieredLookup::Recompute(raw_chunk) => assert_eq!(raw_chunk.timestamp, Timestamp(0)),
             other => panic!("expected recompute, got {}", other.tier()),
         }
@@ -222,11 +320,129 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_spill_falls_back_to_recompute_not_error() {
+        let dir = tmp_dir("corrupt");
+        let mut store = ok(TieredStore::open(StorageBudget::MaxChunks(1), &dir));
+        ok(store.put_raw(raw(0)));
+        ok(store.put_feature(feat(0)));
+        ok(store.put_raw(raw(1)));
+        ok(store.put_feature(feat(1))); // evicts + spills t0
+                                        // Scribble over the spill file: genuinely corrupt, every retry
+                                        // re-reads the same bad bytes.
+        let path = dir.join("chunk-000000000000.cdpf");
+        ok(std::fs::write(&path, b"CDPFgarbage"));
+        match store.lookup(Timestamp(0)) {
+            TieredLookup::Recompute(raw_chunk) => assert_eq!(raw_chunk.timestamp, Timestamp(0)),
+            other => panic!("expected recompute, got {}", other.tier()),
+        }
+        assert_eq!(store.stats().read_fallbacks, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_read_faults_degrade_to_recompute_with_accounting() {
+        let dir = tmp_dir("inject");
+        let hook = Arc::new(FaultInjector::new(FaultPlan {
+            seed: 21,
+            disk_read_error: 0.6,
+            ..FaultPlan::none()
+        }));
+        let retry = RetryPolicy {
+            max_retries: 1,
+            base_backoff: std::time::Duration::ZERO,
+        };
+        let mut store = ok(TieredStore::open_with_hook(
+            StorageBudget::MaxChunks(1),
+            &dir,
+            Arc::clone(&hook) as _,
+            retry,
+        ));
+        for t in 0..30 {
+            ok(store.put_raw(raw(t)));
+            ok(store.put_feature(feat(t)));
+        }
+        // Every lookup must resolve — disk faults degrade, never propagate.
+        for t in 0..29 {
+            match store.lookup(Timestamp(t)) {
+                TieredLookup::Disk(chunk) => assert_eq!(chunk.timestamp, Timestamp(t)),
+                TieredLookup::Recompute(raw_chunk) => {
+                    assert_eq!(raw_chunk.timestamp, Timestamp(t));
+                }
+                other => panic!("chunk {t}: unexpected {}", other.tier()),
+            }
+        }
+        let stats = store.stats();
+        assert!(
+            stats.read_fallbacks > 0,
+            "p=0.6 with one retry must exhaust some reads: {stats:?}"
+        );
+        assert!(stats.disk_hits > 0, "and recover others: {stats:?}");
+        let snap = hook.snapshot();
+        assert_eq!(snap.fallback_rematerializations, stats.read_fallbacks);
+        assert!(snap.recovered > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exhausted_spill_writes_are_lost_not_fatal() {
+        let dir = tmp_dir("lost-spill");
+        let hook = Arc::new(FaultInjector::new(FaultPlan {
+            seed: 13,
+            disk_write_error: 1.0, // every attempt fails ⇒ every spill lost
+            ..FaultPlan::none()
+        }));
+        let retry = RetryPolicy {
+            max_retries: 1,
+            base_backoff: std::time::Duration::ZERO,
+        };
+        let mut store = ok(TieredStore::open_with_hook(
+            StorageBudget::MaxChunks(1),
+            &dir,
+            Arc::clone(&hook) as _,
+            retry,
+        ));
+        for t in 0..5 {
+            ok(store.put_raw(raw(t)));
+            ok(store.put_feature(feat(t))); // never errors despite dead disk
+        }
+        assert_eq!(store.stats().spills, 0);
+        assert_eq!(store.stats().lost_spills, 4);
+        assert_eq!(hook.snapshot().lost_spills, 4);
+        // Lost chunks remain recomputable.
+        assert!(matches!(
+            store.lookup(Timestamp(0)),
+            TieredLookup::Recompute(_)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memory_only_recomputes_evictions() {
+        let mut store = TieredStore::memory_only(StorageBudget::MaxChunks(2));
+        assert!(!store.has_disk());
+        for t in 0..5 {
+            ok(store.put_raw(raw(t)));
+            ok(store.put_feature(feat(t)));
+        }
+        assert!(matches!(
+            store.lookup(Timestamp(0)),
+            TieredLookup::Recompute(_)
+        ));
+        assert!(matches!(
+            store.lookup(Timestamp(4)),
+            TieredLookup::Memory(_)
+        ));
+        assert_eq!(store.disk_bytes_written(), 0);
+        assert_eq!(store.stats().spills, 0);
+        assert_eq!(store.stats().recomputes, 1);
+    }
+
+    #[test]
     fn unavailable_when_everything_is_gone() {
         let dir = tmp_dir("gone");
-        let mut store = TieredStore::open(StorageBudget::Unbounded, &dir).unwrap();
+        let mut store = ok(TieredStore::open(StorageBudget::Unbounded, &dir));
         assert!(matches!(
-            store.lookup(Timestamp(7)).unwrap(),
+            store.lookup(Timestamp(7)),
             TieredLookup::Unavailable
         ));
         let _ = std::fs::remove_dir_all(&dir);
@@ -235,11 +451,11 @@ mod tests {
     #[test]
     fn tier_names() {
         let dir = tmp_dir("names");
-        let mut store = TieredStore::open(StorageBudget::Unbounded, &dir).unwrap();
-        store.put_raw(raw(0)).unwrap();
-        store.put_feature(feat(0)).unwrap();
-        assert_eq!(store.lookup(Timestamp(0)).unwrap().tier(), "memory");
-        assert_eq!(store.lookup(Timestamp(5)).unwrap().tier(), "unavailable");
+        let mut store = ok(TieredStore::open(StorageBudget::Unbounded, &dir));
+        ok(store.put_raw(raw(0)));
+        ok(store.put_feature(feat(0)));
+        assert_eq!(store.lookup(Timestamp(0)).tier(), "memory");
+        assert_eq!(store.lookup(Timestamp(5)).tier(), "unavailable");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -5,7 +5,7 @@ use cdp_linalg::{DenseVector, SparseBuilder, Vector};
 use cdp_storage::disk::{decode_chunk, encode_chunk};
 use cdp_storage::{
     ChunkStore, FeatureChunk, FeatureLookup, LabeledPoint, RawChunk, Record, StorageBudget,
-    Timestamp, Value,
+    StorageError, Timestamp, Value,
 };
 use proptest::prelude::*;
 
@@ -94,6 +94,32 @@ proptest! {
         let encoded = encode_chunk(&chunk);
         let decoded = decode_chunk(&encoded).expect("own encoding is valid");
         prop_assert_eq!(chunk, decoded);
+    }
+
+    /// Flipping any single bit of any byte of a valid encoding always yields
+    /// a typed [`StorageError::Corrupt`] — never a panic and never a
+    /// silently-wrong chunk. This is the guarantee the CRC-32 trailer
+    /// (codec v2) exists for: without it, a flip inside an `f64` payload
+    /// decodes "successfully" to different numbers.
+    #[test]
+    fn single_byte_corruption_always_errors(
+        points in prop::collection::vec(point_strategy(), 0..6),
+        byte_frac in 0.0..1.0f64,
+        flip_bit in 0u32..8,
+    ) {
+        let chunk = FeatureChunk::new(Timestamp(7), Timestamp(7), points);
+        let mut encoded = encode_chunk(&chunk).to_vec();
+        let idx = (((encoded.len() - 1) as f64) * byte_frac) as usize;
+        encoded[idx] ^= 1u8 << flip_bit;
+        let result = decode_chunk(&encoded);
+        prop_assert!(
+            matches!(result, Err(StorageError::Corrupt(_))),
+            "flip of bit {} at byte {}/{} must be a Corrupt error, got {:?}",
+            flip_bit,
+            idx,
+            encoded.len(),
+            result.map(|c| c.timestamp)
+        );
     }
 
     /// Decoding never panics on arbitrary prefixes of valid data (graceful

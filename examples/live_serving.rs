@@ -30,8 +30,8 @@ fn main() {
     let initial = stream.initial();
     let (_, fcs) = pm.initial_fit(&initial, &spec.sgd, &mut ledger);
     for (raw, fc) in initial.into_iter().zip(fcs) {
-        dm.ingest_raw(raw);
-        dm.store_features(fc);
+        dm.ingest_raw(raw).expect("unique timestamps");
+        dm.store_features(fc).expect("raw chunk present");
     }
     let (pipeline0, trainer0) = pm.snapshot();
     let server = ModelServer::new(pipeline0, trainer0.model().clone());
@@ -73,9 +73,9 @@ fn main() {
     let mut publishes = 0u64;
     for idx in stream.deployment_range() {
         let raw = stream.chunk(idx);
-        dm.ingest_raw(raw.clone());
+        dm.ingest_raw(raw.clone()).expect("unique timestamps");
         let fc = pm.process_online_chunk(&raw, &mut evaluator, &mut ledger);
-        dm.store_features(fc);
+        dm.store_features(fc).expect("raw chunk present");
         since += 1;
         if since >= spec.proactive_every {
             since = 0;

@@ -51,6 +51,7 @@ pub use cdp_core as core;
 pub use cdp_datagen as datagen;
 pub use cdp_engine as engine;
 pub use cdp_eval as eval;
+pub use cdp_faults as faults;
 pub use cdp_linalg as linalg;
 pub use cdp_ml as ml;
 pub use cdp_pipeline as pipeline;
@@ -60,12 +61,14 @@ pub use cdp_storage as storage;
 /// The most common imports for platform users.
 pub mod prelude {
     pub use cdp_core::deployment::{
-        run_deployment, DeploymentConfig, DeploymentMode, DeploymentResult, OptimizationConfig,
+        run_deployment, try_run_deployment, DeploymentConfig, DeploymentError, DeploymentMode,
+        DeploymentResult, OptimizationConfig,
     };
     pub use cdp_core::presets::{taxi_spec, url_spec, DeploymentSpec, SpecScale};
     pub use cdp_core::scheduler::Scheduler;
     pub use cdp_datagen::ChunkStream;
     pub use cdp_eval::ErrorMetric;
+    pub use cdp_faults::{FaultPlan, FaultStats};
     pub use cdp_ml::{LossKind, OptimizerKind, Regularizer, SgdConfig};
     pub use cdp_sampling::SamplingStrategy;
     pub use cdp_storage::StorageBudget;

@@ -3,9 +3,12 @@
 //! bit-identical — prequential error, model weights, accounted cost — to
 //! the sequential run, on both paper pipelines.
 
-use cdpipe::core::deployment::{run_deployment, DeploymentConfig, DeploymentResult};
+use cdpipe::core::deployment::{
+    run_deployment, try_run_deployment, DeploymentConfig, DeploymentError, DeploymentResult,
+};
 use cdpipe::core::presets::{taxi_spec, url_spec, SpecScale};
 use cdpipe::engine::ExecutionEngine;
+use cdpipe::faults::FaultPlan;
 use cdpipe::sampling::SamplingStrategy;
 use cdpipe::storage::StorageBudget;
 use proptest::prelude::*;
@@ -26,6 +29,16 @@ fn run_on(url: bool, config: &DeploymentConfig) -> DeploymentResult {
     } else {
         let (stream, spec) = taxi_spec(SpecScale::Tiny);
         run_deployment(&stream, &spec, config)
+    }
+}
+
+fn try_run_on(url: bool, config: &DeploymentConfig) -> Result<DeploymentResult, DeploymentError> {
+    if url {
+        let (stream, spec) = url_spec(SpecScale::Tiny);
+        try_run_deployment(&stream, &spec, config)
+    } else {
+        let (stream, spec) = taxi_spec(SpecScale::Tiny);
+        try_run_deployment(&stream, &spec, config)
     }
 }
 
@@ -61,5 +74,62 @@ proptest! {
             threaded.training_secs.to_bits()
         );
         prop_assert_eq!(sequential.proactive_runs, threaded.proactive_runs);
+    }
+
+    /// Seeded worker-panic injection does not break engine equivalence:
+    /// with the same fault seed, a threaded run under injected panics is
+    /// bit-identical to the sequential run under the same plan — and both
+    /// report the exact same fault accounting. Panic decisions are keyed by
+    /// a per-call epoch, not by worker identity, so worker count cannot
+    /// change what is injected; restarts happen before any input is
+    /// consumed, so they cannot change the results.
+    #[test]
+    fn injected_worker_panics_preserve_bit_identity(
+        workers in 1usize..8,
+        fault_seed in 0u64..1_000,
+        url in prop::bool::ANY,
+    ) {
+        let mut base = continuous_config(true);
+        base.faults = FaultPlan {
+            seed: fault_seed,
+            worker_panic: 0.35,
+            ..FaultPlan::none()
+        };
+
+        let sequential = try_run_on(url, &base);
+        let mut threaded_cfg = base;
+        threaded_cfg.engine = ExecutionEngine::Threaded { workers };
+        let threaded = try_run_on(url, &threaded_cfg);
+
+        match (sequential, threaded) {
+            (Ok(sequential), Ok(threaded)) => {
+                prop_assert_eq!(
+                    sequential.final_error.to_bits(),
+                    threaded.final_error.to_bits()
+                );
+                prop_assert_eq!(&sequential.error_curve, &threaded.error_curve);
+                prop_assert_eq!(&sequential.final_weights, &threaded.final_weights);
+                prop_assert_eq!(
+                    sequential.total_secs.to_bits(),
+                    threaded.total_secs.to_bits()
+                );
+                prop_assert_eq!(sequential.fault_stats, threaded.fault_stats);
+
+                // The plan contains only recoverable worker faults, so the
+                // run also matches the fault-free model exactly.
+                let clean = run_on(url, &continuous_config(true));
+                prop_assert_eq!(&clean.final_weights, &sequential.final_weights);
+            }
+            // A seed whose panic streak exhausts the restart budget is fatal
+            // on *every* engine or on none: the decision is epoch-keyed, not
+            // worker-keyed.
+            (Err(_), Err(_)) => {}
+            (s, t) => prop_assert!(
+                false,
+                "engines disagree on fatality: sequential ok={}, threaded ok={}",
+                s.is_ok(),
+                t.is_ok()
+            ),
+        }
     }
 }

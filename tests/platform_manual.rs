@@ -23,17 +23,17 @@ fn manual_loop_with_chunk_loss() {
     let initial = stream.initial();
     let (_, fcs) = pm.initial_fit(&initial, &spec.sgd, &mut ledger);
     for (raw, fc) in initial.into_iter().zip(fcs) {
-        dm.ingest_raw(raw);
-        dm.store_features(fc);
+        dm.ingest_raw(raw).expect("unique timestamps");
+        dm.store_features(fc).expect("raw chunk present");
     }
 
     let mut chunks_since = 0usize;
     let mut proactive_runs = 0usize;
     for idx in stream.deployment_range() {
         let raw = stream.chunk(idx);
-        dm.ingest_raw(raw.clone());
+        dm.ingest_raw(raw.clone()).expect("unique timestamps");
         let fc = pm.process_online_chunk(&raw, &mut evaluator, &mut ledger);
-        dm.store_features(fc);
+        dm.store_features(fc).expect("raw chunk present");
         chunks_since += 1;
 
         // Failure injection: every 4th chunk, an *old* raw chunk vanishes
@@ -116,9 +116,9 @@ fn rematerialized_sample_feeds_valid_training_step() {
 
     for idx in 0..stream.initial_chunks() + 6 {
         let raw = stream.chunk(idx);
-        dm.ingest_raw(raw.clone());
+        dm.ingest_raw(raw.clone()).expect("unique timestamps");
         let fc = pm.process_online_chunk(&raw, &mut evaluator, &mut ledger);
-        dm.store_features(fc);
+        dm.store_features(fc).expect("raw chunk present");
     }
     assert_eq!(dm.materialized_count(), 0);
     let sampled = dm.sample(4);

@@ -133,11 +133,7 @@ pub mod channel {
                 if inner.senders == 0 {
                     return Err(RecvError);
                 }
-                inner = self
-                    .shared
-                    .ready
-                    .wait(inner)
-                    .expect("channel poisoned");
+                inner = self.shared.ready.wait(inner).expect("channel poisoned");
             }
         }
 

@@ -204,11 +204,7 @@ pub mod seq {
         ///
         /// # Panics
         /// If `amount > length`.
-        pub fn sample<R: RngCore + ?Sized>(
-            rng: &mut R,
-            length: usize,
-            amount: usize,
-        ) -> IndexVec {
+        pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
             assert!(
                 amount <= length,
                 "cannot sample {amount} indices from a pool of {length}"
