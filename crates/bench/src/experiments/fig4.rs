@@ -41,7 +41,13 @@ pub fn compare(
 ) -> Vec<(&'static str, DeploymentResult)> {
     three_approaches(spec)
         .into_iter()
-        .map(|(name, config)| (name, crate::deploy(stream, spec, config)))
+        .map(|(name, mut config)| {
+            // Metrics never perturb results (weights, curves, and accounted
+            // cost stay bit-identical), so the artifacts always include the
+            // observability snapshot.
+            config.collect_metrics = true;
+            (name, crate::deploy(stream, spec, config))
+        })
         .collect()
 }
 
@@ -98,6 +104,14 @@ fn render(dataset: &str, metric: &str, results: &[(&str, DeploymentResult)], out
         out.join(format!("fig4_{}_curves.csv", dataset.to_lowercase())),
     );
 
+    // Observability snapshot for the paper's approach (engine / storage /
+    // scheduler / trainer counters and latency histograms).
+    if let Some((_, r)) = results.iter().find(|(name, _)| *name == "Continuous") {
+        let stem = format!("fig4_{}_metrics", dataset.to_lowercase());
+        let _ = r.metrics.write_csv(out.join(format!("{stem}.csv")));
+        let _ = r.metrics.write_json(out.join(format!("{stem}.json")));
+    }
+
     let periodical = &results[1].1;
     let continuous = &results[2].1;
     format!(
@@ -137,6 +151,13 @@ mod tests {
         assert!(report.contains("-- Taxi --"));
         assert!(report.contains("cost ratio"));
         assert!(dir.join("fig4_url_curves.csv").exists());
+        let metrics_csv = match std::fs::read_to_string(dir.join("fig4_url_metrics.csv")) {
+            Ok(s) => s,
+            Err(e) => panic!("metrics csv must exist: {e}"),
+        };
+        assert!(metrics_csv.contains("scheduler.fires"));
+        assert!(metrics_csv.contains("proactive.runs"));
+        assert!(dir.join("fig4_url_metrics.json").exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -5,6 +5,7 @@
 use std::sync::Arc;
 
 use cdp_faults::{FaultHook, RetryPolicy};
+use cdp_obs::Metrics;
 use cdp_sampling::{Sampler, SamplingStrategy};
 use cdp_storage::{
     ChunkStore, FeatureChunk, RawChunk, StorageBudget, StorageError, StoreStats, TieredLookup,
@@ -84,6 +85,12 @@ impl DataManager {
             sampler: Sampler::new(strategy, seed),
             owned_spill_dir: Some(spill_dir),
         })
+    }
+
+    /// Records storage behaviour (hits, spills, recomputes, disk latency)
+    /// into `metrics`. The default handle is disabled and adds no overhead.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.store.set_metrics(metrics);
     }
 
     /// Stores an arriving raw chunk (workflow stage 1).

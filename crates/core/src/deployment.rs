@@ -22,8 +22,10 @@ use cdp_eval::prequential::average_of_curve;
 use cdp_eval::{CostLedger, CostModel, Phase, PrequentialEvaluator};
 use cdp_faults::{FaultHook, FaultInjector, FaultPlan, FaultStats, NoFaults, RetryPolicy};
 use cdp_ml::TrainReport;
+use cdp_obs::{Clock, Metrics, MetricsSnapshot, VirtualClock};
 use cdp_pipeline::drift::{DriftDetector, DriftStatus};
-use cdp_sampling::SamplingStrategy;
+use cdp_pipeline::PipelineError;
+use cdp_sampling::{mu_uniform, mu_window, SamplingStrategy};
 use cdp_storage::{StorageBudget, StorageError, StoreStats, TieredStats};
 use serde::{Deserialize, Serialize};
 
@@ -121,6 +123,12 @@ pub struct DeploymentConfig {
     /// faults a real surface; lookups fall back to re-materialization when
     /// a spill read fails beyond the retry budget.
     pub spill_to_disk: bool,
+    /// Collect runtime metrics (counters, gauges, latency histograms,
+    /// event log) into [`DeploymentResult::metrics`]. Off by default: the
+    /// disabled handle adds no locking, allocation, or clock reads to the
+    /// hot path. For an injected clock or a shared registry use
+    /// [`try_run_deployment_observed`] instead.
+    pub collect_metrics: bool,
 }
 
 impl DeploymentConfig {
@@ -135,6 +143,7 @@ impl DeploymentConfig {
             engine: ExecutionEngine::Sequential,
             faults: FaultPlan::none(),
             spill_to_disk: false,
+            collect_metrics: false,
         }
     }
 
@@ -216,6 +225,11 @@ pub struct DeploymentResult {
     pub fault_stats: FaultStats,
     /// Storage-tier counters: spills, disk hits, read fallbacks.
     pub tiered_stats: TieredStats,
+    /// Uniform observability snapshot spanning engine, storage, scheduler,
+    /// and trainer (empty unless [`DeploymentConfig::collect_metrics`] is
+    /// set or a [`Metrics`] handle was passed to
+    /// [`try_run_deployment_observed`]).
+    pub metrics: MetricsSnapshot,
 }
 
 impl DeploymentResult {
@@ -232,6 +246,10 @@ pub enum DeploymentError {
     Storage(StorageError),
     /// An engine-layer failure (worker dead beyond the restart budget).
     Engine(EngineError),
+    /// The spec's pipeline factory failed (e.g. a non-incremental
+    /// component) — a configuration error, surfaced typed instead of
+    /// panicking inside the deployment loop.
+    Pipeline(PipelineError),
 }
 
 impl std::fmt::Display for DeploymentError {
@@ -239,6 +257,7 @@ impl std::fmt::Display for DeploymentError {
         match self {
             DeploymentError::Storage(e) => write!(f, "storage failure: {e}"),
             DeploymentError::Engine(e) => write!(f, "engine failure: {e}"),
+            DeploymentError::Pipeline(e) => write!(f, "pipeline construction failure: {e}"),
         }
     }
 }
@@ -254,6 +273,12 @@ impl From<StorageError> for DeploymentError {
 impl From<EngineError> for DeploymentError {
     fn from(e: EngineError) -> Self {
         DeploymentError::Engine(e)
+    }
+}
+
+impl From<PipelineError> for DeploymentError {
+    fn from(e: PipelineError) -> Self {
+        DeploymentError::Pipeline(e)
     }
 }
 
@@ -300,6 +325,32 @@ pub fn try_run_deployment(
     spec: &DeploymentSpec,
     config: &DeploymentConfig,
 ) -> Result<DeploymentResult, DeploymentError> {
+    let metrics = if config.collect_metrics {
+        Metrics::collecting()
+    } else {
+        Metrics::disabled()
+    };
+    try_run_deployment_observed(stream, spec, config, metrics)
+}
+
+/// [`try_run_deployment`] recording runtime metrics into an explicit
+/// [`Metrics`] handle — pass `Metrics::with_clock(...)` to stamp events and
+/// spans against an injected (e.g. virtual) clock, or a shared handle to
+/// aggregate several runs into one registry. The handle overrides
+/// [`DeploymentConfig::collect_metrics`].
+///
+/// Metrics never feed back into results: weights, error curves, and
+/// accounted cost are bit-identical with and without collection (only
+/// wall-clock overhead differs, and the disabled handle's is zero).
+///
+/// # Errors
+/// Same as [`try_run_deployment`].
+pub fn try_run_deployment_observed(
+    stream: &dyn ChunkStream,
+    spec: &DeploymentSpec,
+    config: &DeploymentConfig,
+    metrics: Metrics,
+) -> Result<DeploymentResult, DeploymentError> {
     let wall = Stopwatch::start();
     let strategy = match config.mode {
         DeploymentMode::Continuous { strategy, .. } => strategy,
@@ -322,9 +373,11 @@ pub fn try_run_deployment(
     } else {
         DataManager::new(config.optimization.budget, strategy, config.seed)
     };
-    let mut pm = PipelineManager::new(spec.build_pipeline(), &spec.sgd, spec.online_batch)
+    dm.set_metrics(metrics.clone());
+    let mut pm = PipelineManager::new(spec.try_build_pipeline()?, &spec.sgd, spec.online_batch)
         .with_engine(config.engine)
-        .with_fault_hook(Arc::clone(&hook));
+        .with_fault_hook(Arc::clone(&hook))
+        .with_metrics(metrics.clone());
     let mut evaluator = PrequentialEvaluator::new(spec.metric, 0);
     let proactive = if config.optimization.online_stats {
         ProactiveTrainer::new()
@@ -347,6 +400,11 @@ pub fn try_run_deployment(
     let mut ledger = CostLedger::new(config.cost_model);
     let mut chunks_since_training = 0usize;
     let mut last_training_secs = 0.0f64;
+    // Simulated deployment clock: advances by exactly one chunk period per
+    // arriving chunk, independent of wall time, so scheduling decisions stay
+    // deterministic (the bit-identical-across-engines contract).
+    let sim = VirtualClock::new();
+    let mut last_training_at_secs = 0.0f64;
     let mut proactive_runs = 0u64;
     let mut proactive_secs_sum = 0.0f64;
     let mut retrain_runs = 0u64;
@@ -359,6 +417,8 @@ pub fn try_run_deployment(
 
     for idx in stream.deployment_range() {
         let raw = stream.chunk(idx);
+        sim.advance_secs(config.chunk_period_secs);
+        metrics.counter("deployment.chunks").inc();
         // Stage 1: discretized arrival into the store (raw history).
         dm.ingest_raw(raw.clone())?;
         // Stages 2 + prequential evaluation + online learning.
@@ -372,11 +432,19 @@ pub fn try_run_deployment(
             let chunk_error = (evaluator.raw_accumulator() - prev_acc) / fresh as f64;
             prev_acc = evaluator.raw_accumulator();
             prev_count = evaluator.count();
-            drift_level = match drift_monitor.observe(chunk_error) {
+            let observed = match drift_monitor.observe(chunk_error) {
                 DriftStatus::Drift => 2,
                 DriftStatus::Warning => 1,
                 DriftStatus::Stable | DriftStatus::Warmup => 0,
             };
+            if observed != drift_level {
+                metrics.event(
+                    "drift.level_change",
+                    format!("chunk {idx}: {drift_level} -> {observed}"),
+                );
+            }
+            drift_level = observed;
+            metrics.gauge("drift.level").set(f64::from(drift_level));
         }
 
         match config.mode {
@@ -387,22 +455,27 @@ pub fn try_run_deployment(
             } => {
                 if chunks_since_training >= retrain_every.max(1) {
                     chunks_since_training = 0;
+                    last_training_at_secs = sim.now_secs();
                     retrain_runs += 1;
+                    metrics.counter("deployment.retrains").inc();
+                    let retrain_span = metrics.span("deployment.retrain_secs");
                     let history = dm.full_history();
                     if warm_start {
                         pm.retrain_warm(&history, &spec.sgd, &mut ledger);
                     } else {
                         // Cold restart: fresh pipeline statistics and model.
                         pm = PipelineManager::new(
-                            spec.build_pipeline(),
+                            spec.try_build_pipeline()?,
                             &spec.sgd,
                             spec.online_batch,
                         )
                         .with_engine(config.engine)
-                        .with_fault_hook(Arc::clone(&hook));
+                        .with_fault_hook(Arc::clone(&hook))
+                        .with_metrics(metrics.clone());
                         let owned: Vec<_> = history.iter().map(|c| (**c).clone()).collect();
                         pm.initial_fit(&owned, &spec.sgd, &mut ledger);
                     }
+                    retrain_span.finish();
                 }
             }
             DeploymentMode::Continuous {
@@ -416,16 +489,60 @@ pub fn try_run_deployment(
                     last_training_secs,
                     avg_prediction_latency: ledger.phase(Phase::Prediction) / queries as f64,
                     prediction_rate: queries as f64 / ((idx + 1) as f64 * config.chunk_period_secs),
+                    elapsed_secs: sim.now_secs() - last_training_at_secs,
                     chunks_since_last: chunks_since_training,
                     drift_level,
                 };
+                metrics
+                    .gauge("scheduler.t_secs")
+                    .set(ctx.last_training_secs);
+                metrics.gauge("scheduler.pr").set(ctx.prediction_rate);
+                metrics
+                    .gauge("scheduler.pl")
+                    .set(ctx.avg_prediction_latency);
                 if scheduler.should_fire(&ctx) {
+                    metrics.counter("scheduler.fires").inc();
+                    // How long past the Eq. 6 interval the platform waited
+                    // before firing (0 = fired exactly on schedule).
+                    if let Scheduler::Dynamic { slack } = scheduler {
+                        let interval = Scheduler::dynamic_interval_secs(slack, &ctx);
+                        if interval.is_finite() {
+                            metrics
+                                .histogram_with_bounds(
+                                    "scheduler.fire_margin_secs",
+                                    &[0.0, 1.0, 10.0, 60.0, 600.0, 3600.0],
+                                )
+                                .observe(ctx.elapsed_secs - interval);
+                        }
+                    }
                     chunks_since_training = 0;
+                    last_training_at_secs = sim.now_secs();
                     let sampled = dm.sample(sample_chunks);
                     let outcome = proactive.try_execute(&mut pm, sampled, &mut ledger)?;
+                    metrics.counter("proactive.runs").inc();
+                    metrics
+                        .counter("proactive.materialized_chunks")
+                        .add(outcome.materialized_chunks as u64);
+                    metrics
+                        .counter("proactive.spilled_chunks")
+                        .add(outcome.spilled_chunks as u64);
+                    metrics
+                        .counter("proactive.rematerialized_chunks")
+                        .add(outcome.rematerialized_chunks as u64);
+                    metrics
+                        .counter("proactive.points")
+                        .add(outcome.points as u64);
+                    if let Some(loss) = outcome.batch_loss {
+                        metrics.gauge("proactive.batch_loss").set(loss);
+                    }
+                    metrics
+                        .histogram("proactive.accounted_secs")
+                        .observe(outcome.accounted_secs);
                     last_training_secs = outcome.accounted_secs;
                     proactive_secs_sum += outcome.accounted_secs;
                     proactive_runs += 1;
+                } else {
+                    metrics.counter("scheduler.skips").inc();
                 }
             }
         }
@@ -435,6 +552,31 @@ pub fn try_run_deployment(
     }
 
     let stats = dm.stats();
+    if metrics.is_enabled() {
+        metrics.counter("deployment.queries").add(evaluator.count());
+        metrics
+            .gauge("pm.mu_observed")
+            .set(stats.utilization_rate());
+        // Analytical μ predictions (paper Eqs. 4/5) next to the observed
+        // rate: the gap quantifies how far the run's access pattern departs
+        // from the closed-form model. `MaxBytes` has no closed form in
+        // chunks, so only the chunk-count budgets get a prediction.
+        let total_n = dm.chunk_count();
+        let capacity_m = match config.optimization.budget {
+            StorageBudget::MaxChunks(m) => Some(m.min(total_n)),
+            StorageBudget::Unbounded => Some(total_n),
+            StorageBudget::MaxBytes(_) => None,
+        };
+        if let Some(m) = capacity_m {
+            metrics.gauge("pm.mu_uniform").set(mu_uniform(m, total_n));
+            if let SamplingStrategy::WindowBased { window } = strategy {
+                if total_n > 0 {
+                    let w = window.clamp(1, total_n);
+                    metrics.gauge("pm.mu_window").set(mu_window(m, w, total_n));
+                }
+            }
+        }
+    }
     Ok(DeploymentResult {
         approach: config.mode.name().to_owned(),
         final_error: evaluator.error(),
@@ -461,6 +603,7 @@ pub fn try_run_deployment(
         final_weights: pm.trainer().model().weights().as_slice().to_vec(),
         fault_stats: hook.snapshot(),
         tiered_stats: dm.tiered_stats(),
+        metrics: metrics.snapshot(),
     })
 }
 

@@ -8,6 +8,7 @@ use cdp_engine::{EngineError, ExecutionEngine};
 use cdp_eval::{CostLedger, PrequentialEvaluator};
 use cdp_faults::{FaultHook, NoFaults};
 use cdp_ml::{SgdConfig, SgdTrainer, TrainReport};
+use cdp_obs::Metrics;
 use cdp_pipeline::{Pipeline, PipelineCounters};
 use cdp_storage::{FeatureChunk, RawChunk};
 
@@ -24,6 +25,7 @@ pub struct PipelineManager {
     online_batch: usize,
     engine: ExecutionEngine,
     hook: Arc<dyn FaultHook>,
+    metrics: Metrics,
     counters_base: PipelineCounters,
     points_base: u64,
     steps_base: u64,
@@ -40,6 +42,7 @@ impl PipelineManager {
             online_batch: online_batch.max(1),
             engine: ExecutionEngine::Sequential,
             hook: Arc::new(NoFaults),
+            metrics: Metrics::disabled(),
             points_base: 0,
             steps_base: 0,
         }
@@ -56,6 +59,7 @@ impl PipelineManager {
             online_batch: online_batch.max(1),
             engine: ExecutionEngine::Sequential,
             hook: Arc::new(NoFaults),
+            metrics: Metrics::disabled(),
         }
     }
 
@@ -72,6 +76,14 @@ impl PipelineManager {
     /// through `hook`. The default hook injects nothing.
     pub fn with_fault_hook(mut self, hook: Arc<dyn FaultHook>) -> Self {
         self.hook = hook;
+        self
+    }
+
+    /// Records engine behaviour (map calls, task counts, worker restarts,
+    /// map latency) for every batch operation into `metrics`. The default
+    /// handle is disabled and adds no overhead.
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = metrics;
         self
     }
 
@@ -183,15 +195,19 @@ impl PipelineManager {
                     .map(<[std::sync::Arc<RawChunk>]>::to_vec)
                     .collect();
                 let template = self.pipeline.clone();
-                let results = engine.map(groups, |group| {
-                    let mut local = template.clone();
-                    local.reset_counters();
-                    let mut points = Vec::new();
-                    for chunk in &group {
-                        points.extend(local.transform_chunk(chunk).points);
-                    }
-                    (points, local.counters())
-                });
+                let results = engine.map_observed(
+                    groups,
+                    |group| {
+                        let mut local = template.clone();
+                        local.reset_counters();
+                        let mut points = Vec::new();
+                        for chunk in &group {
+                            points.extend(local.transform_chunk(chunk).points);
+                        }
+                        (points, local.counters())
+                    },
+                    &self.metrics,
+                );
                 let mut points = Vec::new();
                 for (group_points, counters) in results {
                     points.extend(group_points);
@@ -297,7 +313,7 @@ impl PipelineManager {
         }
         let template = self.pipeline.clone();
         let hook = Arc::clone(&self.hook);
-        let results = self.engine.try_map_with_hook(
+        let results = self.engine.try_map_with_hook_observed(
             raws.to_vec(),
             |raw| {
                 let mut local = template.clone();
@@ -306,6 +322,7 @@ impl PipelineManager {
                 (fc, local.counters())
             },
             &*hook,
+            &self.metrics,
         )?;
         let mut out = Vec::with_capacity(results.len());
         for (fc, counters) in results {

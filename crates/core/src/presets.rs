@@ -20,7 +20,7 @@ use cdp_pipeline::extract::{taxi_features, SelectColumns, TaxiFeatureExtractor};
 use cdp_pipeline::impute::MeanImputer;
 use cdp_pipeline::parser::{SchemaParser, TaxiParser};
 use cdp_pipeline::scale::StandardScaler;
-use cdp_pipeline::{Pipeline, PipelineBuilder};
+use cdp_pipeline::{Pipeline, PipelineBuilder, PipelineError};
 
 /// How large a preset experiment should be.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,7 +56,7 @@ pub struct DeploymentSpec {
     pub retrain_every: usize,
     /// Simulated chunk arrival period in seconds.
     pub chunk_period_secs: f64,
-    factory: Arc<dyn Fn() -> Pipeline + Send + Sync>,
+    factory: Arc<dyn Fn() -> Result<Pipeline, PipelineError> + Send + Sync>,
 }
 
 impl std::fmt::Debug for DeploymentSpec {
@@ -80,7 +80,7 @@ impl DeploymentSpec {
         sgd: SgdConfig,
         online_batch: usize,
         sample_chunks: usize,
-        factory: Arc<dyn Fn() -> Pipeline + Send + Sync>,
+        factory: Arc<dyn Fn() -> Result<Pipeline, PipelineError> + Send + Sync>,
     ) -> Self {
         Self {
             name: name.into(),
@@ -96,8 +96,27 @@ impl DeploymentSpec {
     }
 
     /// Builds a fresh (statistics-empty) instance of the pipeline.
-    pub fn build_pipeline(&self) -> Pipeline {
+    ///
+    /// # Errors
+    /// [`PipelineError`] when the factory's components violate the builder's
+    /// invariants (e.g. a non-incremental component). The deployment drivers
+    /// surface this as a typed [`DeploymentError`](crate::DeploymentError)
+    /// instead of panicking.
+    pub fn try_build_pipeline(&self) -> Result<Pipeline, PipelineError> {
         (self.factory)()
+    }
+
+    /// Builds a fresh (statistics-empty) instance of the pipeline.
+    ///
+    /// # Panics
+    /// When the factory fails; use
+    /// [`try_build_pipeline`](Self::try_build_pipeline) in deployment-facing
+    /// code.
+    pub fn build_pipeline(&self) -> Pipeline {
+        match self.try_build_pipeline() {
+            Ok(pipeline) => pipeline,
+            Err(e) => panic!("pipeline factory for {} failed: {e}", self.name),
+        }
     }
 
     /// Returns a copy with a different SGD configuration (used by the
@@ -150,7 +169,6 @@ pub fn url_spec_from(
             .add(MeanImputer::new())
             .add(StandardScaler::new())
             .encoder(FeatureHasher::new(hash_bits, lexical))
-            .expect("URL pipeline components are incremental")
     });
     let sgd = SgdConfig {
         loss: LossKind::Hinge,
@@ -218,7 +236,6 @@ pub fn taxi_spec(scale: SpecScale) -> (TaxiGenerator, DeploymentSpec) {
             .add(SelectColumns::first(taxi_features::DURATION_SECS))
             .add(StandardScaler::new())
             .encoder(DenseEncoder::new(taxi_features::DURATION_SECS))
-            .expect("Taxi pipeline components are incremental")
     });
     let sgd = SgdConfig {
         loss: LossKind::Squared,

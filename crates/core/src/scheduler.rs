@@ -13,6 +13,9 @@ pub struct SchedulerContext {
     pub avg_prediction_latency: f64,
     /// `pr`: average prediction queries per second.
     pub prediction_rate: f64,
+    /// Simulated seconds elapsed since the last proactive training (the
+    /// deployment clock, advanced by `chunk_period_secs` per chunk).
+    pub elapsed_secs: f64,
     /// Chunks that arrived since the last proactive training.
     pub chunks_since_last: usize,
     /// Concept-drift pressure from the error monitor: `0` stable, `1`
@@ -58,14 +61,23 @@ impl Scheduler {
         match *self {
             Scheduler::Static { every_chunks } => ctx.chunks_since_last >= every_chunks.max(1),
             Scheduler::Dynamic { slack } => {
-                let next_delay = slack
-                    * ctx.last_training_secs
-                    * ctx.prediction_rate
-                    * ctx.avg_prediction_latency;
+                let next_delay = Self::dynamic_interval_secs(slack, ctx);
+                // A pathological measurement (NaN or ∞ leaking into T, pr,
+                // or pl) must never disable training forever: clamp the
+                // interval to zero, i.e. fire at the next opportunity.
+                let next_delay = if next_delay.is_finite() {
+                    next_delay
+                } else {
+                    0.0
+                };
                 // Never fire more than once per chunk; before the first
-                // training (T = 0) fire on the first opportunity.
-                let elapsed = ctx.chunks_since_last as f64 * ctx.chunk_period_secs;
-                ctx.chunks_since_last >= 1 && elapsed >= next_delay
+                // training (T = 0) fire on the first opportunity. When
+                // `T·pr·pl` underflows the chunk period — routine in fast
+                // synthetic runs with microsecond trainings — Eq. 6
+                // degenerates *by design* to firing every chunk
+                // (`Static { every_chunks: 1 }`): the training debt is
+                // repaid before the next chunk even arrives.
+                ctx.chunks_since_last >= 1 && ctx.elapsed_secs >= next_delay
             }
             Scheduler::DriftAdaptive { every_chunks } => {
                 let every = match ctx.drift_level {
@@ -95,6 +107,7 @@ mod tests {
             last_training_secs: 0.2,
             avg_prediction_latency: 1e-3,
             prediction_rate: 1000.0,
+            elapsed_secs: chunks_since_last as f64 * 60.0,
             chunks_since_last,
             drift_level: 0,
         }
@@ -132,15 +145,18 @@ mod tests {
             last_training_secs: 30.0,
             avg_prediction_latency: 1.0,
             prediction_rate: 10.0,
+            elapsed_secs: 0.0,
             chunks_since_last: 0,
             drift_level: 0,
         };
         let s = Scheduler::Dynamic { slack: 4.0 };
         assert!(!s.should_fire(&SchedulerContext {
+            elapsed_secs: 19.0 * 60.0,
             chunks_since_last: 19,
             ..slow
         }));
         assert!(s.should_fire(&SchedulerContext {
+            elapsed_secs: 20.0 * 60.0,
             chunks_since_last: 20,
             ..slow
         }));
@@ -154,10 +170,34 @@ mod tests {
         };
         assert!(Scheduler::Dynamic { slack: 2.0 }.should_fire(&fresh));
         let zero = SchedulerContext {
+            elapsed_secs: 0.0,
             chunks_since_last: 0,
             ..fresh
         };
         assert!(!Scheduler::Dynamic { slack: 2.0 }.should_fire(&zero));
+    }
+
+    #[test]
+    fn dynamic_clamps_non_finite_intervals_to_fire() {
+        // A NaN or infinite measurement must degrade to "train at the next
+        // opportunity", never to "never train again".
+        for bad in [f64::NAN, f64::INFINITY] {
+            let c = SchedulerContext {
+                last_training_secs: bad,
+                ..ctx(1)
+            };
+            assert!(
+                Scheduler::Dynamic { slack: 2.0 }.should_fire(&c),
+                "T = {bad} must not disable training"
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_sub_period_interval_degenerates_to_every_chunk() {
+        // T·pr·pl far below the chunk period: documented Static{1} behaviour.
+        let c = ctx(1); // interval = 2·0.2·1000·1e-3 = 0.4 s ≪ 60 s period
+        assert!(Scheduler::Dynamic { slack: 2.0 }.should_fire(&c));
     }
 
     #[test]
@@ -195,6 +235,7 @@ mod tests {
             last_training_secs: 2.0,
             avg_prediction_latency: 0.5,
             prediction_rate: 4.0,
+            elapsed_secs: 5.0,
             chunks_since_last: 5,
             drift_level: 0,
         };

@@ -124,10 +124,13 @@ mod tests {
 
     fn pipeline() -> Pipeline {
         let schema = Schema::new(["y", "x"]);
-        PipelineBuilder::new(SchemaParser::new(schema, "y", &["x"], None))
+        let built = PipelineBuilder::new(SchemaParser::new(schema, "y", &["x"], None))
             .add(StandardScaler::new())
-            .encoder(DenseEncoder::new(1))
-            .expect("incremental components")
+            .encoder(DenseEncoder::new(1));
+        match built {
+            Ok(p) => p,
+            Err(e) => panic!("components are incremental: {e}"),
+        }
     }
 
     fn warmed_pipeline() -> Pipeline {

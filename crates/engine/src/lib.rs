@@ -27,10 +27,23 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, Once, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once, OnceLock, PoisonError};
 
 use cdp_faults::{FaultHook, InjectedWorkerPanic, NoFaults, WorkerOrder, MAX_WORKER_RESTARTS};
+use cdp_obs::Metrics;
 use crossbeam::channel::{self, Sender};
+
+/// Locks `mutex`, recovering from poisoning.
+///
+/// Every engine mutex guards simple scalar state (a registry map, a
+/// countdown, a panic slot) that stays consistent even when the holder
+/// unwinds mid-critical-section, so poisoning carries no information here.
+/// Propagating it instead (the old `.expect(...)`) crashed the deployment
+/// thread on the very fault PR 2's worker-restart machinery exists to
+/// absorb.
+fn lock_ignore_poison<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Contiguous shards handed out per worker in one [`ExecutionEngine::map`]
 /// call: a few per worker so a straggling shard re-balances onto idle
@@ -81,7 +94,7 @@ impl WorkerPool {
     fn global(workers: usize) -> Arc<WorkerPool> {
         static POOLS: OnceLock<Mutex<HashMap<usize, Arc<WorkerPool>>>> = OnceLock::new();
         let registry = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
-        let mut registry = registry.lock().expect("pool registry lock");
+        let mut registry = lock_ignore_poison(registry);
         Arc::clone(
             registry
                 .entry(workers)
@@ -96,7 +109,7 @@ impl WorkerPool {
     /// task panicked, the *first* payload is re-raised here (after all other
     /// tasks finished), so `panic::catch_unwind` around the call observes
     /// the original payload.
-    fn run_scoped<'scope>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+    fn run_scoped<'scope>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>, metrics: &Metrics) {
         let barrier = Arc::new(Barrier {
             remaining: Mutex::new(tasks.len()),
             done: Condvar::new(),
@@ -106,10 +119,25 @@ impl WorkerPool {
             let barrier = Arc::clone(&barrier);
             let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
                 if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(task)) {
-                    let mut slot = barrier.panic.lock().expect("panic slot lock");
-                    slot.get_or_insert(payload);
+                    // Keep the first payload; any later one is dropped
+                    // *outside* the slot lock and behind its own
+                    // catch_unwind: a payload whose Drop panics while the
+                    // lock is held would kill this worker before the
+                    // decrement below and deadlock the barrier.
+                    let extra = {
+                        let mut slot = lock_ignore_poison(&barrier.panic);
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                            None
+                        } else {
+                            Some(payload)
+                        }
+                    };
+                    if let Some(extra) = extra {
+                        let _ = panic::catch_unwind(AssertUnwindSafe(move || drop(extra)));
+                    }
                 }
-                let mut remaining = barrier.remaining.lock().expect("barrier lock");
+                let mut remaining = lock_ignore_poison(&barrier.remaining);
                 *remaining -= 1;
                 if *remaining == 0 {
                     barrier.done.notify_all();
@@ -126,12 +154,17 @@ impl WorkerPool {
                 .send(job)
                 .expect("engine workers never disconnect");
         }
-        let mut remaining = barrier.remaining.lock().expect("barrier lock");
+        let wait_span = metrics.span("engine.barrier_wait_secs");
+        let mut remaining = lock_ignore_poison(&barrier.remaining);
         while *remaining > 0 {
-            remaining = barrier.done.wait(remaining).expect("barrier wait");
+            remaining = barrier
+                .done
+                .wait(remaining)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         drop(remaining);
-        let payload = barrier.panic.lock().expect("panic slot lock").take();
+        wait_span.finish();
+        let payload = lock_ignore_poison(&barrier.panic).take();
         if let Some(payload) = payload {
             panic::resume_unwind(payload);
         }
@@ -267,8 +300,25 @@ impl ExecutionEngine {
         U: Send,
         F: Fn(T) -> U + Sync,
     {
+        self.map_observed(items, f, &Metrics::disabled())
+    }
+
+    /// [`ExecutionEngine::map`] with engine metrics recorded into
+    /// `metrics`: `engine.map_calls`, `engine.tasks` (shards submitted),
+    /// `engine.map_secs`, and (threaded) `engine.barrier_wait_secs`.
+    pub fn map_observed<T, U, F>(&self, items: Vec<T>, f: F, metrics: &Metrics) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        let _map_span = metrics.span("engine.map_secs");
+        metrics.counter("engine.map_calls").inc();
         match *self {
-            ExecutionEngine::Sequential => items.into_iter().map(f).collect(),
+            ExecutionEngine::Sequential => {
+                metrics.counter("engine.tasks").add(1);
+                items.into_iter().map(f).collect()
+            }
             ExecutionEngine::Threaded { workers } => {
                 let n = items.len();
                 if n == 0 {
@@ -303,7 +353,8 @@ impl ExecutionEngine {
                         }) as Box<dyn FnOnce() + Send + '_>
                     })
                     .collect();
-                pool.run_scoped(tasks);
+                metrics.counter("engine.tasks").add(tasks.len() as u64);
+                pool.run_scoped(tasks, metrics);
                 outputs
                     .into_iter()
                     .map(|slot| slot.expect("every shard writes its whole output slice"))
@@ -365,12 +416,42 @@ impl ExecutionEngine {
         U: Send,
         F: Fn(T) -> U + Sync,
     {
+        self.try_map_with_hook_observed(items, f, hook, &Metrics::disabled())
+    }
+
+    /// [`ExecutionEngine::try_map_with_hook`] with engine metrics recorded
+    /// into `metrics`. On top of the `map_observed` counters this tracks
+    /// `engine.worker_restarts` — the number of in-place restarts actually
+    /// performed for the drawn order (matching the retry accounting of
+    /// [`cdp_faults::FaultStats`]).
+    pub fn try_map_with_hook_observed<T, U, F>(
+        &self,
+        items: Vec<T>,
+        f: F,
+        hook: &dyn FaultHook,
+        metrics: &Metrics,
+    ) -> Result<Vec<U>, EngineError>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        let _map_span = metrics.span("engine.map_secs");
+        metrics.counter("engine.map_calls").inc();
         let order = hook.next_worker_order();
         if order.panics > 0 {
             install_quiet_panic_hook();
+            metrics
+                .counter("engine.worker_restarts")
+                .add(u64::from(order.panics.min(MAX_WORKER_RESTARTS)));
+            metrics.event(
+                "engine.worker_panic",
+                format!("injected panics: {}", order.panics),
+            );
         }
         match *self {
             ExecutionEngine::Sequential => {
+                metrics.counter("engine.tasks").add(1);
                 act_injected_panics(order.panics)?;
                 if !order.delay.is_zero() {
                     std::thread::sleep(order.delay);
@@ -379,7 +460,7 @@ impl ExecutionEngine {
                     .map_err(EngineError::from_payload)
             }
             ExecutionEngine::Threaded { workers } => {
-                self.threaded_map_with_order(items, f, workers.max(1), order)
+                self.threaded_map_with_order(items, f, workers.max(1), order, metrics)
             }
         }
     }
@@ -394,6 +475,7 @@ impl ExecutionEngine {
         f: F,
         workers: usize,
         order: WorkerOrder,
+        metrics: &Metrics,
     ) -> Result<Vec<U>, EngineError>
     where
         T: Send,
@@ -454,7 +536,8 @@ impl ExecutionEngine {
                 }) as Box<dyn FnOnce() + Send + '_>
             })
             .collect();
-        let run = panic::catch_unwind(AssertUnwindSafe(|| pool.run_scoped(tasks)));
+        metrics.counter("engine.tasks").add(tasks.len() as u64);
+        let run = panic::catch_unwind(AssertUnwindSafe(|| pool.run_scoped(tasks, metrics)));
         match run {
             Ok(()) => Ok(outputs
                 .into_iter()
@@ -700,6 +783,70 @@ mod tests {
             &cdp_faults::NoFaults,
         );
         assert_eq!(plain, hooked);
+    }
+
+    /// A panic payload whose `Drop` panics — the worst case for the pool's
+    /// panic-slot bookkeeping: dropping a second payload while holding the
+    /// slot lock would poison it *and* kill the worker before the barrier
+    /// decrement, deadlocking `run_scoped` forever.
+    struct BoomOnDrop;
+
+    impl Drop for BoomOnDrop {
+        fn drop(&mut self) {
+            if !std::thread::panicking() {
+                panic!("payload drop bomb");
+            }
+        }
+    }
+
+    #[test]
+    fn panic_inside_barrier_critical_section_does_not_poison_the_pool() {
+        install_quiet_panic_hook();
+        let engine = ExecutionEngine::Threaded { workers: 4 };
+        // Every shard panics with a drop-bomb payload: the first payload is
+        // stashed and re-raised here, all the extra ones detonate inside the
+        // workers' critical-section cleanup. Pre-fix this deadlocked (extra
+        // payload dropped under the panic-slot lock killed the worker before
+        // its barrier decrement); post-fix the barrier completes and the
+        // first payload surfaces.
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            engine.map((0..64u64).collect(), |_| -> u64 {
+                panic::panic_any(BoomOnDrop);
+            })
+        }));
+        let payload = result.expect_err("map must re-raise the first panic");
+        assert!(payload.downcast_ref::<BoomOnDrop>().is_some());
+        // Never drop the re-raised bomb on this thread.
+        std::mem::forget(payload);
+
+        // The same pool (and its locks) keeps serving normal work.
+        for _ in 0..3 {
+            let ok = engine.map((0..64u64).collect(), |x| x + 1);
+            assert_eq!(ok, (1..=64).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn observed_map_records_engine_metrics() {
+        let metrics = Metrics::collecting();
+        let engine = ExecutionEngine::Threaded { workers: 2 };
+        let out = engine.map_observed((0..32u64).collect(), |x| x * 2, &metrics);
+        assert_eq!(out.len(), 32);
+        let ok = engine.try_map_with_hook_observed(
+            (0..32u64).collect(),
+            |x| x,
+            &PanicOrder(2),
+            &metrics,
+        );
+        assert!(ok.is_ok());
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("engine.map_calls"), 2);
+        assert!(snap.counter("engine.tasks") >= 2);
+        assert_eq!(snap.counter("engine.worker_restarts"), 2);
+        let waits = snap.histogram("engine.barrier_wait_secs");
+        assert!(waits.is_some_and(|h| h.count == 2));
+        let spans = snap.histogram("engine.map_secs");
+        assert!(spans.is_some_and(|h| h.count == 2));
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Point-in-time exports of a metrics registry: the [`MetricsSnapshot`]
+//! attached to deployment results, with hand-rolled CSV and JSON encoders
+//! (the workspace intentionally has no serialization dependency).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One structured event from the bounded event log.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Event {
+    /// Clock seconds (since the registry clock's epoch) when logged.
+    pub at_secs: f64,
+    /// Event name, dot-namespaced like metric names.
+    pub name: String,
+    /// Free-form detail string.
+    pub detail: String,
+}
+
+/// Exported state of one histogram.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds (inclusive), ascending.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; the final slot is the overflow bucket.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (0.0 when empty).
+    pub min: f64,
+    /// Largest observation (0.0 when empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of every metric in a registry.
+///
+/// Serde-serializable; additionally exports itself as CSV (one row per
+/// metric) or JSON without any external encoder.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-value gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// The retained tail of the structured event log, oldest first.
+    pub events: Vec<Event>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value by name (0.0 when absent).
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Number of distinct named metrics (counters + gauges + histograms).
+    pub fn metric_count(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// True when nothing was recorded (e.g. metrics were disabled).
+    pub fn is_empty(&self) -> bool {
+        self.metric_count() == 0 && self.events.is_empty()
+    }
+
+    /// CSV export: `kind,name,count,sum,mean,min,max`, one row per metric,
+    /// sorted by kind then name.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,count,sum,mean,min,max\n");
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "counter,{name},{value},{value},,,");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "gauge,{name},,{value},,,");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "histogram,{name},{},{},{},{},{}",
+                h.count,
+                h.sum,
+                h.mean(),
+                h.min,
+                h.max
+            );
+        }
+        out
+    }
+
+    /// JSON export of counters, gauges, histograms, and events.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        push_entries(&mut out, self.counters.iter(), |out, (name, value)| {
+            let _ = write!(out, "\"{}\": {}", escape_json(name), value);
+        });
+        out.push_str("},\n  \"gauges\": {");
+        push_entries(&mut out, self.gauges.iter(), |out, (name, value)| {
+            let _ = write!(out, "\"{}\": {}", escape_json(name), json_num(*value));
+        });
+        out.push_str("},\n  \"histograms\": {");
+        push_entries(&mut out, self.histograms.iter(), |out, (name, h)| {
+            let _ = write!(
+                out,
+                "\"{}\": {{\"count\": {}, \"sum\": {}, \"mean\": {}, \"min\": {}, \"max\": {}}}",
+                escape_json(name),
+                h.count,
+                json_num(h.sum),
+                json_num(h.mean()),
+                json_num(h.min),
+                json_num(h.max)
+            );
+        });
+        out.push_str("},\n  \"events\": [");
+        push_entries(&mut out, self.events.iter(), |out, event| {
+            let _ = write!(
+                out,
+                "{{\"at_secs\": {}, \"name\": \"{}\", \"detail\": \"{}\"}}",
+                json_num(event.at_secs),
+                escape_json(&event.name),
+                escape_json(&event.detail)
+            );
+        });
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Writes [`to_csv`](Self::to_csv) to `path`.
+    ///
+    /// # Errors
+    /// I/O errors creating or writing the file.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+
+    /// Writes [`to_json`](Self::to_json) to `path`.
+    ///
+    /// # Errors
+    /// I/O errors creating or writing the file.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+fn push_entries<T>(
+    out: &mut String,
+    entries: impl Iterator<Item = T>,
+    write_one: impl Fn(&mut String, T),
+) {
+    for (i, entry) in entries.enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_one(out, entry);
+    }
+}
+
+/// JSON has no NaN/Infinity literals; encode them as null.
+fn json_num(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        String::from("null")
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}

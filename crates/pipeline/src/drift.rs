@@ -43,7 +43,10 @@ impl DriftDetector {
     /// Creates a detector with window sizes and sensitivity factors.
     ///
     /// # Panics
-    /// Panics when a window length is zero or factors are not increasing.
+    /// Panics when a window length is zero, a factor is not finite (a NaN
+    /// factor would make every threshold comparison false and silently
+    /// disable detection), or the factors are not strictly increasing
+    /// (`warn_factor < drift_factor`).
     pub fn new(
         baseline_len: usize,
         recent_len: usize,
@@ -55,8 +58,12 @@ impl DriftDetector {
             "windows must be non-empty"
         );
         assert!(
-            warn_factor <= drift_factor,
-            "warning threshold must not exceed drift threshold"
+            warn_factor.is_finite() && drift_factor.is_finite(),
+            "sensitivity factors must be finite"
+        );
+        assert!(
+            warn_factor < drift_factor,
+            "factors must be strictly increasing (warn < drift)"
         );
         Self {
             baseline: VecDeque::with_capacity(baseline_len),
@@ -172,5 +179,23 @@ mod tests {
     #[should_panic(expected = "windows must be non-empty")]
     fn zero_window_panics() {
         DriftDetector::new(0, 5, 2.0, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "factors must be finite")]
+    fn nan_factor_panics_instead_of_disabling_detection() {
+        DriftDetector::new(20, 5, f64::NAN, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "factors must be finite")]
+    fn infinite_factor_panics() {
+        DriftDetector::new(20, 5, 2.0, f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn equal_factors_panic_as_documented() {
+        DriftDetector::new(20, 5, 3.0, 3.0);
     }
 }

@@ -42,5 +42,5 @@ pub mod stats;
 
 pub use component::RowComponent;
 pub use encode::Encoder;
-pub use pipeline::{Pipeline, PipelineBuilder, PipelineCounters};
+pub use pipeline::{Pipeline, PipelineBuilder, PipelineCounters, PipelineError};
 pub use row::Row;

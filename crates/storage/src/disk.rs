@@ -36,6 +36,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use cdp_faults::{corrupt_byte_index, DiskFault, DiskOp, FaultHook, NoFaults, RetryPolicy};
 use cdp_linalg::{DenseVector, SparseVector, Vector};
+use cdp_obs::Metrics;
 
 use crate::chunk::{FeatureChunk, LabeledPoint, Timestamp};
 use crate::StorageError;
@@ -192,6 +193,8 @@ pub struct DiskTier {
     dir: PathBuf,
     hook: Arc<dyn FaultHook>,
     retry: RetryPolicy,
+    /// Observability handle (disabled by default).
+    metrics: Metrics,
     /// Bytes written since creation (for I/O accounting).
     bytes_written: u64,
     /// Bytes read since creation.
@@ -222,9 +225,16 @@ impl DiskTier {
             dir,
             hook,
             retry,
+            metrics: Metrics::disabled(),
             bytes_written: 0,
             bytes_read: 0,
         })
+    }
+
+    /// Routes this tier's I/O counters and latency histograms
+    /// (`store.disk_*`) into `metrics`.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
     }
 
     fn path_for(&self, ts: Timestamp) -> PathBuf {
@@ -251,6 +261,7 @@ impl DiskTier {
         let encoded = encode_chunk(chunk);
         let ts = chunk.timestamp;
         let path = self.path_for(ts);
+        let span = self.metrics.span("store.disk_write_secs");
         let mut attempt = 0u32;
         let mut failed = false;
         loop {
@@ -261,6 +272,11 @@ impl DiskTier {
                         self.hook.note_recovered();
                     }
                     self.bytes_written += encoded.len() as u64;
+                    self.metrics.counter("store.disk_writes").inc();
+                    self.metrics
+                        .counter("store.disk_bytes_written")
+                        .add(encoded.len() as u64);
+                    span.finish();
                     return Ok(());
                 }
                 Err(err) => {
@@ -269,6 +285,7 @@ impl DiskTier {
                         return Err(err);
                     }
                     self.hook.note_retry();
+                    self.metrics.counter("store.disk_retries").inc();
                     self.retry.sleep(attempt);
                     attempt += 1;
                 }
@@ -302,6 +319,7 @@ impl DiskTier {
     /// never an error and is never retried.
     pub fn read(&mut self, ts: Timestamp) -> Result<Option<FeatureChunk>, StorageError> {
         let path = self.path_for(ts);
+        let span = self.metrics.span("store.disk_read_secs");
         let mut attempt = 0u32;
         let mut failed = false;
         loop {
@@ -313,8 +331,12 @@ impl DiskTier {
                     }
                     if let Some((chunk, len)) = outcome {
                         self.bytes_read += len;
+                        self.metrics.counter("store.disk_reads").inc();
+                        self.metrics.counter("store.disk_bytes_read").add(len);
+                        span.finish();
                         return Ok(Some(chunk));
                     }
+                    span.finish();
                     return Ok(None);
                 }
                 Err(err) => {
@@ -323,6 +345,7 @@ impl DiskTier {
                         return Err(err);
                     }
                     self.hook.note_retry();
+                    self.metrics.counter("store.disk_retries").inc();
                     self.retry.sleep(attempt);
                     attempt += 1;
                 }

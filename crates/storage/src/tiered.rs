@@ -12,6 +12,7 @@
 use std::sync::Arc;
 
 use cdp_faults::{FaultHook, NoFaults, RetryPolicy};
+use cdp_obs::Metrics;
 
 use crate::chunk::{FeatureChunk, RawChunk, Timestamp};
 use crate::disk::DiskTier;
@@ -77,6 +78,7 @@ pub struct TieredStore {
     disk: Option<DiskTier>,
     hook: Arc<dyn FaultHook>,
     stats: TieredStats,
+    metrics: Metrics,
 }
 
 impl TieredStore {
@@ -111,6 +113,7 @@ impl TieredStore {
             )?),
             hook,
             stats: TieredStats::default(),
+            metrics: Metrics::disabled(),
         })
     }
 
@@ -128,7 +131,18 @@ impl TieredStore {
             disk: None,
             hook,
             stats: TieredStats::default(),
+            metrics: Metrics::disabled(),
         }
+    }
+
+    /// Routes the store's tier counters (`store.*`) — and, when a disk tier
+    /// exists, its I/O counters and latency histograms — into `metrics`.
+    /// [`TieredStats`] keeps accumulating independently.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        if let Some(disk) = self.disk.as_mut() {
+            disk.set_metrics(metrics.clone());
+        }
+        self.metrics = metrics;
     }
 
     /// Caps the raw history (the paper's `N`), dropping oldest chunks.
@@ -162,10 +176,16 @@ impl TieredStore {
         if let Some(disk) = self.disk.as_mut() {
             for old in evicted {
                 match disk.write(&old) {
-                    Ok(()) => self.stats.spills += 1,
+                    Ok(()) => {
+                        self.stats.spills += 1;
+                        self.metrics.counter("store.spills").inc();
+                    }
                     Err(_) => {
                         self.stats.lost_spills += 1;
                         self.hook.note_lost_spill();
+                        self.metrics.counter("store.lost_spills").inc();
+                        self.metrics
+                            .event("store.lost_spill", format!("chunk {}", old.timestamp.0));
                     }
                 }
             }
@@ -184,20 +204,26 @@ impl TieredStore {
         match self.memory.lookup_feature(ts) {
             FeatureLookup::Materialized(fc) => {
                 self.stats.memory_hits += 1;
+                self.metrics.counter("store.memory_hits").inc();
                 TieredLookup::Memory(fc)
             }
             FeatureLookup::Evicted(raw) => match self.disk.as_mut().map(|d| d.read(ts)) {
                 Some(Ok(Some(chunk))) => {
                     self.stats.disk_hits += 1;
+                    self.metrics.counter("store.disk_hits").inc();
                     TieredLookup::Disk(chunk)
                 }
                 Some(Err(_)) => {
                     self.stats.read_fallbacks += 1;
                     self.hook.note_fallback_rematerialization();
+                    self.metrics.counter("store.read_fallbacks").inc();
+                    self.metrics
+                        .event("store.read_fallback", format!("chunk {}", ts.0));
                     TieredLookup::Recompute(raw)
                 }
                 Some(Ok(None)) | None => {
                     self.stats.recomputes += 1;
+                    self.metrics.counter("store.recomputes").inc();
                     TieredLookup::Recompute(raw)
                 }
             },
@@ -297,6 +323,40 @@ mod tests {
         assert_eq!(stats.disk_hits, 1);
         assert_eq!(stats.recomputes, 0);
         assert!(store.disk_bytes_read() > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_mirror_tier_stats() {
+        let dir = tmp_dir("metrics");
+        let mut store = ok(TieredStore::open(StorageBudget::MaxChunks(3), &dir));
+        let metrics = Metrics::collecting();
+        store.set_metrics(metrics.clone());
+        for t in 0..10 {
+            ok(store.put_raw(raw(t)));
+            ok(store.put_feature(feat(t)));
+        }
+        let _ = store.lookup(Timestamp(9)); // memory
+        let _ = store.lookup(Timestamp(0)); // disk
+        let snap = metrics.snapshot();
+        let stats = store.stats();
+        assert_eq!(snap.counter("store.spills"), stats.spills);
+        assert_eq!(snap.counter("store.memory_hits"), stats.memory_hits);
+        assert_eq!(snap.counter("store.disk_hits"), stats.disk_hits);
+        assert_eq!(
+            snap.counter("store.disk_bytes_written"),
+            store.disk_bytes_written()
+        );
+        assert_eq!(
+            snap.counter("store.disk_bytes_read"),
+            store.disk_bytes_read()
+        );
+        assert!(snap
+            .histogram("store.disk_write_secs")
+            .is_some_and(|h| h.count == stats.spills));
+        assert!(snap
+            .histogram("store.disk_read_secs")
+            .is_some_and(|h| h.count >= 1));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

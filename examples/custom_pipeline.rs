@@ -130,11 +130,13 @@ fn main() {
                 &["amount", "hour"],
                 Some("merchant"),
             );
+            // The factory returns the builder's Result directly: a
+            // non-incremental component surfaces as a typed
+            // `DeploymentError::Pipeline` instead of a panic.
             PipelineBuilder::new(parser)
                 .add(LogAmounts)
                 .add(StandardScaler::new())
                 .encoder(OneHotEncoder::new(2))
-                .expect("all components incremental")
         }
     };
 

@@ -43,6 +43,7 @@
 //! | [`engine`] | `cdp-engine` | sequential / threaded chunk-parallel execution |
 //! | [`eval`] | `cdp-eval` | prequential error, deployment-cost ledger |
 //! | [`datagen`] | `cdp-datagen` | synthetic URL & Taxi streams |
+//! | [`obs`] | `cdp-obs` | metrics, spans, event log, injectable clock |
 //! | [`core`] | `cdp-core` | the platform: managers, scheduler, deployment drivers |
 
 #![warn(missing_docs)]
@@ -54,6 +55,7 @@ pub use cdp_eval as eval;
 pub use cdp_faults as faults;
 pub use cdp_linalg as linalg;
 pub use cdp_ml as ml;
+pub use cdp_obs as obs;
 pub use cdp_pipeline as pipeline;
 pub use cdp_sampling as sampling;
 pub use cdp_storage as storage;
@@ -61,8 +63,8 @@ pub use cdp_storage as storage;
 /// The most common imports for platform users.
 pub mod prelude {
     pub use cdp_core::deployment::{
-        run_deployment, try_run_deployment, DeploymentConfig, DeploymentError, DeploymentMode,
-        DeploymentResult, OptimizationConfig,
+        run_deployment, try_run_deployment, try_run_deployment_observed, DeploymentConfig,
+        DeploymentError, DeploymentMode, DeploymentResult, OptimizationConfig,
     };
     pub use cdp_core::presets::{taxi_spec, url_spec, DeploymentSpec, SpecScale};
     pub use cdp_core::scheduler::Scheduler;
@@ -70,6 +72,7 @@ pub mod prelude {
     pub use cdp_eval::ErrorMetric;
     pub use cdp_faults::{FaultPlan, FaultStats};
     pub use cdp_ml::{LossKind, OptimizerKind, Regularizer, SgdConfig};
+    pub use cdp_obs::{Metrics, MetricsSnapshot, VirtualClock, WallClock};
     pub use cdp_sampling::SamplingStrategy;
     pub use cdp_storage::StorageBudget;
 }

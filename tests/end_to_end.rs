@@ -279,6 +279,148 @@ fn recoverable_only_faults_match_fault_free_model() {
 }
 
 #[test]
+fn metrics_snapshot_spans_all_subsystems() {
+    // A continuous run with a bounded cache exercises every instrumented
+    // layer: engine (re-materialization maps), storage (hits/spills/
+    // recomputes), scheduler (fire decisions), trainer (proactive runs).
+    let (stream, spec) = small_url();
+    let mut config = DeploymentConfig::continuous(2, 6, SamplingStrategy::Uniform);
+    config.optimization.budget = StorageBudget::MaxChunks(5);
+    config.collect_metrics = true;
+    let result = run_deployment(&stream, &spec, &config);
+    let snap = &result.metrics;
+
+    assert!(
+        snap.metric_count() >= 12,
+        "snapshot must span the platform: {} metrics",
+        snap.metric_count()
+    );
+    let deployment_chunks = (stream.total_chunks() - stream.initial_chunks()) as u64;
+    // Deployment driver.
+    assert_eq!(snap.counter("deployment.chunks"), deployment_chunks);
+    assert_eq!(snap.counter("deployment.queries"), result.queries_answered);
+    // Engine: the bounded cache forces engine-parallel re-materialization.
+    assert!(snap.counter("engine.map_calls") > 0);
+    assert!(snap.counter("engine.tasks") > 0);
+    assert!(snap.histogram("engine.map_secs").is_some());
+    // Storage mirrors the tier counters exactly.
+    assert_eq!(
+        snap.counter("store.memory_hits"),
+        result.tiered_stats.memory_hits
+    );
+    assert_eq!(
+        snap.counter("store.recomputes"),
+        result.tiered_stats.recomputes
+    );
+    assert!(snap.counter("store.recomputes") > 0, "budget 5 must evict");
+    // Scheduler: one decision per chunk.
+    assert_eq!(
+        snap.counter("scheduler.fires") + snap.counter("scheduler.skips"),
+        deployment_chunks
+    );
+    assert_eq!(snap.counter("scheduler.fires"), result.proactive_runs);
+    // Trainer.
+    assert_eq!(snap.counter("proactive.runs"), result.proactive_runs);
+    assert!(snap
+        .histogram("proactive.accounted_secs")
+        .is_some_and(|h| h.count == result.proactive_runs));
+    // μ: observed matches the result, alongside the Eq. 4 prediction.
+    assert_eq!(snap.gauge("pm.mu_observed"), result.empirical_mu);
+    let predicted = snap.gauge("pm.mu_uniform");
+    assert!(predicted > 0.0 && predicted < 1.0);
+
+    // Metrics never feed back into results: identical run without them.
+    let mut silent = config;
+    silent.collect_metrics = false;
+    let baseline = run_deployment(&stream, &spec, &silent);
+    assert!(baseline.metrics.is_empty());
+    assert_eq!(baseline.final_weights, result.final_weights);
+    assert_eq!(baseline.error_curve, result.error_curve);
+    assert_eq!(baseline.total_secs.to_bits(), result.total_secs.to_bits());
+}
+
+#[test]
+fn dynamic_scheduler_cadence_matches_eq6_under_virtual_clock() {
+    // The deployment clock is virtual (it advances by exactly one chunk
+    // period per chunk), so Eq. 6 cadence is exactly checkable end to end.
+    let (stream, spec) = small_url();
+    let deployment_chunks = (stream.total_chunks() - stream.initial_chunks()) as u64;
+
+    // Degenerate cadence: a huge chunk period dwarfs any T·pr·pl interval,
+    // so dynamic scheduling fires every chunk (the documented Static{1}
+    // degeneration).
+    let mut every_chunk = DeploymentConfig::online();
+    every_chunk.mode = DeploymentMode::Continuous {
+        scheduler: Scheduler::Dynamic { slack: 2.0 },
+        sample_chunks: 4,
+        strategy: SamplingStrategy::TimeBased,
+    };
+    every_chunk.chunk_period_secs = 1e6;
+    every_chunk.collect_metrics = true;
+    let result = run_deployment(&stream, &spec, &every_chunk);
+    assert_eq!(result.proactive_runs, deployment_chunks);
+
+    // A meaningful period: trainings must still never fire before the
+    // Eq. 6 interval has elapsed — the fire margin (elapsed − T·S·pr·pl at
+    // fire time) is non-negative on every firing.
+    let mut tight = every_chunk;
+    tight.chunk_period_secs = 1e-4;
+    tight.mode = DeploymentMode::Continuous {
+        scheduler: Scheduler::Dynamic { slack: 1000.0 },
+        sample_chunks: 4,
+        strategy: SamplingStrategy::TimeBased,
+    };
+    let tight_result = run_deployment(&stream, &spec, &tight);
+    let margin = tight_result
+        .metrics
+        .histogram("scheduler.fire_margin_secs")
+        .expect("dynamic fires record their margin");
+    assert_eq!(margin.count, tight_result.proactive_runs);
+    assert!(
+        margin.min >= 0.0,
+        "a training fired before its Eq. 6 interval: min margin {}",
+        margin.min
+    );
+    assert!(
+        tight_result.proactive_runs < deployment_chunks,
+        "slack 1000 at a 100 µs period must skip some chunks"
+    );
+}
+
+#[test]
+fn fault_injected_run_exposes_recovery_through_metrics() {
+    // The observability layer must agree with the fault injector's own
+    // accounting: every recovery (worker restart, disk retry, lookup
+    // fallback) surfaces in the snapshot.
+    let (stream, spec) = small_url();
+    let mut config = faulted_continuous();
+    config.collect_metrics = true;
+    let result = try_run_deployment(&stream, &spec, &config).expect("recoverable plan");
+    let snap = &result.metrics;
+
+    assert_eq!(result.fault_stats.fatal, 0);
+    assert_eq!(
+        snap.counter("engine.worker_restarts") + snap.counter("store.disk_retries"),
+        result.fault_stats.retries,
+        "metrics retries must match fault accounting: {}",
+        result.fault_stats
+    );
+    assert_eq!(
+        snap.counter("store.read_fallbacks"),
+        result.tiered_stats.read_fallbacks
+    );
+    assert_eq!(
+        snap.counter("store.lost_spills"),
+        result.tiered_stats.lost_spills
+    );
+    assert_eq!(snap.counter("store.spills"), result.tiered_stats.spills);
+    assert!(
+        snap.counter("store.disk_retries") > 0,
+        "disk faults must retry"
+    );
+}
+
+#[test]
 fn deployment_results_serialize() {
     // Results feed the experiment harness; they must round-trip through
     // serde for CSV/JSON artifact generation.

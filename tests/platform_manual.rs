@@ -48,6 +48,7 @@ fn manual_loop_with_chunk_loss() {
             last_training_secs: 0.0,
             avg_prediction_latency: 1e-6,
             prediction_rate: 1.0,
+            elapsed_secs: chunks_since as f64 * 60.0,
             chunks_since_last: chunks_since,
             drift_level: 0,
         };
@@ -86,6 +87,7 @@ fn drift_adaptive_scheduler_fires_more_under_pressure() {
                 last_training_secs: 0.1,
                 avg_prediction_latency: 1e-6,
                 prediction_rate: 1.0,
+                elapsed_secs: since as f64 * 60.0,
                 chunks_since_last: since,
                 drift_level,
             };
