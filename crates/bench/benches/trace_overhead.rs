@@ -1,0 +1,46 @@
+//! Tracing overhead: the disabled `Tracer` must keep every span call down
+//! to a single branch (no ids drawn, no clock reads, no locking), and the
+//! collecting handle's open-close cost should stay well under a
+//! microsecond so span trees stay affordable inside the deployment loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cdp_obs::Tracer;
+
+fn bench_disabled(c: &mut Criterion) {
+    let tracer = Tracer::disabled();
+    let mut group = c.benchmark_group("trace/disabled");
+    group.bench_function("root_span", |b| {
+        b.iter(|| black_box(&tracer).root(black_box("engine.map")));
+    });
+    group.bench_function("child_of_none", |b| {
+        b.iter(|| black_box(&tracer).child_of(black_box("engine.task"), black_box(None)));
+    });
+    group.bench_function("nested_pair", |b| {
+        b.iter(|| {
+            let parent = black_box(&tracer).root(black_box("engine.map"));
+            black_box(&tracer).child_of(black_box("engine.task"), parent.context())
+        });
+    });
+    group.finish();
+}
+
+fn bench_collecting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace/collecting");
+    group.bench_function("root_span", |b| {
+        let tracer = Tracer::collecting();
+        b.iter(|| black_box(&tracer).root(black_box("engine.map")));
+    });
+    group.bench_function("nested_pair", |b| {
+        let tracer = Tracer::collecting();
+        b.iter(|| {
+            let parent = black_box(&tracer).root(black_box("engine.map"));
+            black_box(&tracer).child_of(black_box("engine.task"), parent.context())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_disabled, bench_collecting);
+criterion_main!(benches);

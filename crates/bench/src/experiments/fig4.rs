@@ -42,10 +42,11 @@ pub fn compare(
     three_approaches(spec)
         .into_iter()
         .map(|(name, mut config)| {
-            // Metrics never perturb results (weights, curves, and accounted
-            // cost stay bit-identical), so the artifacts always include the
-            // observability snapshot.
+            // Metrics and traces never perturb results (weights, curves,
+            // and accounted cost stay bit-identical), so the artifacts
+            // always include the observability snapshot and span tree.
             config.collect_metrics = true;
+            config.collect_traces = true;
             (name, crate::deploy(stream, spec, config))
         })
         .collect()
@@ -110,6 +111,15 @@ fn render(dataset: &str, metric: &str, results: &[(&str, DeploymentResult)], out
         let stem = format!("fig4_{}_metrics", dataset.to_lowercase());
         let _ = r.metrics.write_csv(out.join(format!("{stem}.csv")));
         let _ = r.metrics.write_json(out.join(format!("{stem}.json")));
+        // Causal span tree of the same run, loadable in chrome://tracing
+        // (and as flamegraph-folded stacks for inferno et al.).
+        let ds = dataset.to_lowercase();
+        let _ = r
+            .trace
+            .write_chrome_trace(out.join(format!("fig4_{ds}_trace.json")));
+        let _ = r
+            .trace
+            .write_folded_stacks(out.join(format!("fig4_{ds}_trace.folded")));
     }
 
     let periodical = &results[1].1;
@@ -158,6 +168,17 @@ mod tests {
         assert!(metrics_csv.contains("scheduler.fires"));
         assert!(metrics_csv.contains("proactive.runs"));
         assert!(dir.join("fig4_url_metrics.json").exists());
+        // The trace artifact must be chrome://tracing-loadable and span
+        // the worker pool (engine tasks on threads other than the driver).
+        let trace_json = match std::fs::read_to_string(dir.join("fig4_url_trace.json")) {
+            Ok(s) => s,
+            Err(e) => panic!("trace json must exist: {e}"),
+        };
+        match cdp_obs::validate_chrome_trace(&trace_json) {
+            Ok(events) => assert!(events > 0, "trace must contain events"),
+            Err(e) => panic!("invalid chrome trace: {e}"),
+        }
+        assert!(dir.join("fig4_url_trace.folded").exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

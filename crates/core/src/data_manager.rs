@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use cdp_faults::{FaultHook, RetryPolicy};
-use cdp_obs::Metrics;
+use cdp_obs::{LineageEventKind, Metrics};
 use cdp_sampling::{Sampler, SamplingStrategy};
 use cdp_storage::{
     ChunkStore, FeatureChunk, RawChunk, StorageBudget, StorageError, StoreStats, TieredLookup,
@@ -51,6 +51,7 @@ pub struct DataManager {
     store: TieredStore,
     sampler: Sampler,
     owned_spill_dir: Option<std::path::PathBuf>,
+    metrics: Metrics,
 }
 
 impl DataManager {
@@ -62,6 +63,7 @@ impl DataManager {
             store: TieredStore::memory_only(budget),
             sampler: Sampler::new(strategy, seed),
             owned_spill_dir: None,
+            metrics: Metrics::disabled(),
         }
     }
 
@@ -84,13 +86,15 @@ impl DataManager {
             store: TieredStore::open_with_hook(budget, &spill_dir, hook, retry)?,
             sampler: Sampler::new(strategy, seed),
             owned_spill_dir: Some(spill_dir),
+            metrics: Metrics::disabled(),
         })
     }
 
     /// Records storage behaviour (hits, spills, recomputes, disk latency)
     /// into `metrics`. The default handle is disabled and adds no overhead.
     pub fn set_metrics(&mut self, metrics: Metrics) {
-        self.store.set_metrics(metrics);
+        self.store.set_metrics(metrics.clone());
+        self.metrics = metrics;
     }
 
     /// Stores an arriving raw chunk (workflow stage 1).
@@ -139,10 +143,15 @@ impl DataManager {
         // A missing chunk (raw data gone) is ignored by sampling (paper
         // §3.2) — `sampleable_timestamps` should already exclude it, but a
         // concurrent drop is tolerated.
-        picked
+        let sampled: Vec<SampledChunk> = picked
             .into_iter()
             .filter_map(|ts| self.feature_chunk(ts).ok())
-            .collect()
+            .collect();
+        for chunk in &sampled {
+            self.metrics
+                .lineage(chunk.timestamp().0, LineageEventKind::SampledForTraining);
+        }
+        sampled
     }
 
     /// All raw chunks, oldest first — the periodical baseline's retraining

@@ -22,7 +22,9 @@ use cdp_eval::prequential::average_of_curve;
 use cdp_eval::{CostLedger, CostModel, Phase, PrequentialEvaluator};
 use cdp_faults::{FaultHook, FaultInjector, FaultPlan, FaultStats, NoFaults, RetryPolicy};
 use cdp_ml::TrainReport;
-use cdp_obs::{Clock, Metrics, MetricsSnapshot, VirtualClock};
+use cdp_obs::{
+    Alert, AlertMonitor, Clock, Metrics, MetricsSnapshot, TraceSnapshot, Tracer, VirtualClock,
+};
 use cdp_pipeline::drift::{DriftDetector, DriftStatus};
 use cdp_pipeline::PipelineError;
 use cdp_sampling::{mu_uniform, mu_window, SamplingStrategy};
@@ -129,6 +131,12 @@ pub struct DeploymentConfig {
     /// hot path. For an injected clock or a shared registry use
     /// [`try_run_deployment_observed`] instead.
     pub collect_metrics: bool,
+    /// Collect a causal span tree (deployment phases → engine maps →
+    /// per-worker tasks) into [`DeploymentResult::trace`]. Off by default:
+    /// the disabled tracer's per-span cost is a single branch. Tracing
+    /// never perturbs results — weights, curves, accounted cost, and the
+    /// metrics snapshot are bit-identical with and without it.
+    pub collect_traces: bool,
 }
 
 impl DeploymentConfig {
@@ -144,6 +152,7 @@ impl DeploymentConfig {
             faults: FaultPlan::none(),
             spill_to_disk: false,
             collect_metrics: false,
+            collect_traces: false,
         }
     }
 
@@ -230,6 +239,16 @@ pub struct DeploymentResult {
     /// set or a [`Metrics`] handle was passed to
     /// [`try_run_deployment_observed`]).
     pub metrics: MetricsSnapshot,
+    /// Causal span tree across all deployment phases and worker threads
+    /// (empty unless [`DeploymentConfig::collect_traces`] is set or a
+    /// [`Tracer`] handle was passed to [`try_run_deployment_traced`]).
+    /// Export with [`TraceSnapshot::to_chrome_trace`] or
+    /// [`TraceSnapshot::to_folded_stacks`].
+    pub trace: TraceSnapshot,
+    /// SLA alerts fired by the default [`AlertMonitor`] over the final
+    /// metrics snapshot (empty unless metrics were collected). Each fired
+    /// alert is also appended to the event log as `alert.fired`.
+    pub alerts: Vec<Alert>,
 }
 
 impl DeploymentResult {
@@ -351,7 +370,37 @@ pub fn try_run_deployment_observed(
     config: &DeploymentConfig,
     metrics: Metrics,
 ) -> Result<DeploymentResult, DeploymentError> {
+    let tracer = if config.collect_traces {
+        Tracer::collecting()
+    } else {
+        Tracer::disabled()
+    };
+    try_run_deployment_traced(stream, spec, config, metrics, tracer)
+}
+
+/// [`try_run_deployment_observed`] recording causal spans into an explicit
+/// [`Tracer`] handle — pass `Tracer::with_clock(...)` for an injected clock
+/// or a shared handle to merge several runs into one span buffer. The
+/// handle overrides [`DeploymentConfig::collect_traces`].
+///
+/// The span tree is rooted at `deployment.run`; initial training, each
+/// arriving chunk, periodical retrainings, and proactive-training instances
+/// open child spans, and engine maps dispatched inside them parent their
+/// per-worker `engine.task` spans across threads. Like metrics, traces
+/// never feed back into results.
+///
+/// # Errors
+/// Same as [`try_run_deployment`].
+pub fn try_run_deployment_traced(
+    stream: &dyn ChunkStream,
+    spec: &DeploymentSpec,
+    config: &DeploymentConfig,
+    metrics: Metrics,
+    tracer: Tracer,
+) -> Result<DeploymentResult, DeploymentError> {
     let wall = Stopwatch::start();
+    let run_span = tracer.root("deployment.run");
+    let run_ctx = run_span.context();
     let strategy = match config.mode {
         DeploymentMode::Continuous { strategy, .. } => strategy,
         _ => SamplingStrategy::Uniform,
@@ -377,7 +426,8 @@ pub fn try_run_deployment_observed(
     let mut pm = PipelineManager::new(spec.try_build_pipeline()?, &spec.sgd, spec.online_batch)
         .with_engine(config.engine)
         .with_fault_hook(Arc::clone(&hook))
-        .with_metrics(metrics.clone());
+        .with_metrics(metrics.clone())
+        .with_tracer(tracer.clone());
     let mut evaluator = PrequentialEvaluator::new(spec.metric, 0);
     let proactive = if config.optimization.online_stats {
         ProactiveTrainer::new()
@@ -389,7 +439,11 @@ pub fn try_run_deployment_observed(
     // paper's Table 2 split) ----
     let mut initial_ledger = CostLedger::new(config.cost_model);
     let initial: Vec<_> = stream.initial();
+    let fit_span = tracer.child_of("deployment.initial_fit", run_ctx);
+    pm.set_trace_scope(fit_span.context());
     let (initial_report, feature_chunks) = pm.initial_fit(&initial, &spec.sgd, &mut initial_ledger);
+    pm.set_trace_scope(None);
+    fit_span.finish();
     for (raw, fc) in initial.into_iter().zip(feature_chunks) {
         dm.ingest_raw(raw)?;
         dm.store_features(fc)?;
@@ -418,6 +472,9 @@ pub fn try_run_deployment_observed(
     for idx in stream.deployment_range() {
         let raw = stream.chunk(idx);
         sim.advance_secs(config.chunk_period_secs);
+        let chunk_span = tracer.child_of("deployment.chunk", run_ctx);
+        let chunk_ctx = chunk_span.context();
+        pm.set_trace_scope(chunk_ctx);
         metrics.counter("deployment.chunks").inc();
         // Stage 1: discretized arrival into the store (raw history).
         dm.ingest_raw(raw.clone())?;
@@ -459,6 +516,8 @@ pub fn try_run_deployment_observed(
                     retrain_runs += 1;
                     metrics.counter("deployment.retrains").inc();
                     let retrain_span = metrics.span("deployment.retrain_secs");
+                    let retrain_trace = tracer.child_of("deployment.retrain", chunk_ctx);
+                    pm.set_trace_scope(retrain_trace.context());
                     let history = dm.full_history();
                     if warm_start {
                         pm.retrain_warm(&history, &spec.sgd, &mut ledger);
@@ -471,10 +530,14 @@ pub fn try_run_deployment_observed(
                         )
                         .with_engine(config.engine)
                         .with_fault_hook(Arc::clone(&hook))
-                        .with_metrics(metrics.clone());
+                        .with_metrics(metrics.clone())
+                        .with_tracer(tracer.clone());
+                        pm.set_trace_scope(retrain_trace.context());
                         let owned: Vec<_> = history.iter().map(|c| (**c).clone()).collect();
                         pm.initial_fit(&owned, &spec.sgd, &mut ledger);
                     }
+                    pm.set_trace_scope(chunk_ctx);
+                    retrain_trace.finish();
                     retrain_span.finish();
                 }
             }
@@ -517,8 +580,15 @@ pub fn try_run_deployment_observed(
                     }
                     chunks_since_training = 0;
                     last_training_at_secs = sim.now_secs();
+                    let fire_span = tracer.child_of("proactive.fire", chunk_ctx);
+                    let fire_ctx = fire_span.context();
+                    let sample_span = tracer.child_of("dm.sample", fire_ctx);
                     let sampled = dm.sample(sample_chunks);
+                    sample_span.finish();
+                    pm.set_trace_scope(fire_ctx);
                     let outcome = proactive.try_execute(&mut pm, sampled, &mut ledger)?;
+                    pm.set_trace_scope(chunk_ctx);
+                    fire_span.finish();
                     metrics.counter("proactive.runs").inc();
                     metrics
                         .counter("proactive.materialized_chunks")
@@ -549,6 +619,8 @@ pub fn try_run_deployment_observed(
 
         evaluator.checkpoint();
         ledger.checkpoint(idx as u64);
+        pm.set_trace_scope(None);
+        chunk_span.finish();
     }
 
     let stats = dm.stats();
@@ -577,6 +649,20 @@ pub fn try_run_deployment_observed(
             }
         }
     }
+    // SLA alerting runs over the metrics snapshot alone, so the fired set
+    // (and the `alert.fired` events it appends) is identical with tracing
+    // on or off.
+    let alerts = if metrics.is_enabled() {
+        let monitor = AlertMonitor::deployment_defaults(config.chunk_period_secs);
+        let fired = monitor.evaluate(&metrics.snapshot(), sim.now_secs());
+        for alert in &fired {
+            metrics.event("alert.fired", alert.message());
+        }
+        fired
+    } else {
+        Vec::new()
+    };
+    run_span.finish();
     Ok(DeploymentResult {
         approach: config.mode.name().to_owned(),
         final_error: evaluator.error(),
@@ -604,6 +690,8 @@ pub fn try_run_deployment_observed(
         fault_stats: hook.snapshot(),
         tiered_stats: dm.tiered_stats(),
         metrics: metrics.snapshot(),
+        trace: tracer.snapshot(),
+        alerts,
     })
 }
 

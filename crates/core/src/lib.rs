@@ -34,8 +34,8 @@ pub mod tuning;
 
 pub use data_manager::{DataManager, SampledChunk};
 pub use deployment::{
-    run_deployment, try_run_deployment, try_run_deployment_observed, DeploymentConfig,
-    DeploymentError, DeploymentMode, DeploymentResult, OptimizationConfig,
+    run_deployment, try_run_deployment, try_run_deployment_observed, try_run_deployment_traced,
+    DeploymentConfig, DeploymentError, DeploymentMode, DeploymentResult, OptimizationConfig,
 };
 pub use pipeline_manager::PipelineManager;
 pub use presets::{taxi_spec, url_spec, DeploymentSpec, SpecScale};

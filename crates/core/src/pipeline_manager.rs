@@ -8,9 +8,9 @@ use cdp_engine::{EngineError, ExecutionEngine};
 use cdp_eval::{CostLedger, PrequentialEvaluator};
 use cdp_faults::{FaultHook, NoFaults};
 use cdp_ml::{SgdConfig, SgdTrainer, TrainReport};
-use cdp_obs::Metrics;
+use cdp_obs::{LineageEventKind, Metrics, SpanContext, Tracer};
 use cdp_pipeline::{Pipeline, PipelineCounters};
-use cdp_storage::{FeatureChunk, RawChunk};
+use cdp_storage::{FeatureChunk, LabeledPoint, RawChunk};
 
 /// Pipeline + model + online learner, with cost attribution.
 ///
@@ -26,6 +26,8 @@ pub struct PipelineManager {
     engine: ExecutionEngine,
     hook: Arc<dyn FaultHook>,
     metrics: Metrics,
+    tracer: Tracer,
+    trace_scope: Option<SpanContext>,
     counters_base: PipelineCounters,
     points_base: u64,
     steps_base: u64,
@@ -43,6 +45,8 @@ impl PipelineManager {
             engine: ExecutionEngine::Sequential,
             hook: Arc::new(NoFaults),
             metrics: Metrics::disabled(),
+            tracer: Tracer::disabled(),
+            trace_scope: None,
             points_base: 0,
             steps_base: 0,
         }
@@ -60,6 +64,8 @@ impl PipelineManager {
             engine: ExecutionEngine::Sequential,
             hook: Arc::new(NoFaults),
             metrics: Metrics::disabled(),
+            tracer: Tracer::disabled(),
+            trace_scope: None,
         }
     }
 
@@ -85,6 +91,22 @@ impl PipelineManager {
     pub fn with_metrics(mut self, metrics: Metrics) -> Self {
         self.metrics = metrics;
         self
+    }
+
+    /// Records causal spans for every batch operation into `tracer`: engine
+    /// maps, their per-worker tasks, and sharded gradient steps all become
+    /// children of the manager's current trace scope. The default tracer is
+    /// disabled and adds no overhead.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Sets the span all subsequent batch operations are parented under
+    /// (e.g. the deployment driver's per-chunk span). `None` detaches:
+    /// operations become roots of their own traces.
+    pub fn set_trace_scope(&mut self, scope: Option<SpanContext>) {
+        self.trace_scope = scope;
     }
 
     /// The execution engine batch operations run on.
@@ -142,13 +164,17 @@ impl PipelineManager {
     ) -> (TrainReport, Vec<FeatureChunk>) {
         let mut feature_chunks = Vec::with_capacity(chunks.len());
         for chunk in chunks {
+            self.metrics
+                .lineage(chunk.timestamp.0, LineageEventKind::Transform);
             feature_chunks.push(self.pipeline.fit_transform_chunk(chunk));
         }
         let points: Vec<_> = feature_chunks
             .iter()
             .flat_map(|fc| fc.points.iter().cloned())
             .collect();
-        let report = self.trainer.fit_on(&points, sgd, self.engine);
+        let report =
+            self.trainer
+                .fit_on_traced(&points, sgd, self.engine, &self.tracer, self.trace_scope);
         self.drain_charges(ledger);
         (report, feature_chunks)
     }
@@ -195,7 +221,7 @@ impl PipelineManager {
                     .map(<[std::sync::Arc<RawChunk>]>::to_vec)
                     .collect();
                 let template = self.pipeline.clone();
-                let results = engine.map_observed(
+                let results = engine.map_traced(
                     groups,
                     |group| {
                         let mut local = template.clone();
@@ -207,6 +233,8 @@ impl PipelineManager {
                         (points, local.counters())
                     },
                     &self.metrics,
+                    &self.tracer,
+                    self.trace_scope,
                 );
                 let mut points = Vec::new();
                 for (group_points, counters) in results {
@@ -216,7 +244,9 @@ impl PipelineManager {
                 points
             }
         };
-        let report = self.trainer.fit_on(&points, sgd, engine);
+        let report =
+            self.trainer
+                .fit_on_traced(&points, sgd, engine, &self.tracer, self.trace_scope);
         self.drain_charges(ledger);
         report
     }
@@ -236,6 +266,8 @@ impl PipelineManager {
         evaluator: &mut PrequentialEvaluator,
         ledger: &mut CostLedger,
     ) -> FeatureChunk {
+        self.metrics
+            .lineage(raw.timestamp.0, LineageEventKind::Transform);
         let fc = self.pipeline.fit_transform_chunk(raw);
         // Test-then-train: predictions are made before the online update.
         for point in &fc.points {
@@ -313,7 +345,7 @@ impl PipelineManager {
         }
         let template = self.pipeline.clone();
         let hook = Arc::clone(&self.hook);
-        let results = self.engine.try_map_with_hook_observed(
+        let results = self.engine.try_map_with_hook_traced(
             raws.to_vec(),
             |raw| {
                 let mut local = template.clone();
@@ -323,6 +355,8 @@ impl PipelineManager {
             },
             &*hook,
             &self.metrics,
+            &self.tracer,
+            self.trace_scope,
         )?;
         let mut out = Vec::with_capacity(results.len());
         for (fc, counters) in results {
@@ -331,6 +365,15 @@ impl PipelineManager {
         }
         self.drain_charges(ledger);
         Ok(out)
+    }
+
+    /// One proactive mini-batch SGD step over `batch`, parented under the
+    /// manager's current trace scope (the deployment driver's
+    /// `proactive.fire` span) so sharded gradient tasks on worker threads
+    /// join the deployment's span tree.
+    pub fn proactive_step(&mut self, batch: Vec<&LabeledPoint>) -> Option<f64> {
+        self.trainer
+            .step_on_traced(batch, self.engine, &self.tracer, self.trace_scope)
     }
 
     /// Simulates recomputing component statistics by an extra scan over the

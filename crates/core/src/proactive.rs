@@ -164,8 +164,7 @@ impl ProactiveTrainer {
             }
         }
         let points = batch.len();
-        let engine = pm.engine();
-        let batch_loss = pm.trainer_mut().step_on(batch, engine);
+        let batch_loss = pm.proactive_step(batch);
         pm.drain_charges(ledger);
 
         Ok(ProactiveOutcome {

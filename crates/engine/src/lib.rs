@@ -30,7 +30,7 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once, OnceLock, PoisonError};
 
 use cdp_faults::{FaultHook, InjectedWorkerPanic, NoFaults, WorkerOrder, MAX_WORKER_RESTARTS};
-use cdp_obs::Metrics;
+use cdp_obs::{Metrics, SpanContext, Tracer};
 use crossbeam::channel::{self, Sender};
 
 /// Locks `mutex`, recovering from poisoning.
@@ -312,11 +312,34 @@ impl ExecutionEngine {
         U: Send,
         F: Fn(T) -> U + Sync,
     {
-        let _map_span = metrics.span("engine.map_secs");
+        self.map_traced(items, f, metrics, &Tracer::disabled(), None)
+    }
+
+    /// [`ExecutionEngine::map_observed`] with causal spans: opens an
+    /// `engine.map` span under `parent` and one `engine.task` child per
+    /// shard *on the worker thread executing it*, so the trace tree spans
+    /// threads ([`SpanContext`] is `Copy` and crosses into pool tasks).
+    pub fn map_traced<T, U, F>(
+        &self,
+        items: Vec<T>,
+        f: F,
+        metrics: &Metrics,
+        tracer: &Tracer,
+        parent: Option<SpanContext>,
+    ) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        let map_span = tracer.child_of("engine.map", parent);
+        let map_ctx = map_span.context();
+        let _map_span_secs = metrics.span("engine.map_secs");
         metrics.counter("engine.map_calls").inc();
         match *self {
             ExecutionEngine::Sequential => {
                 metrics.counter("engine.tasks").add(1);
+                let _task_span = tracer.child_of("engine.task", map_ctx);
                 items.into_iter().map(f).collect()
             }
             ExecutionEngine::Threaded { workers } => {
@@ -347,6 +370,7 @@ impl ExecutionEngine {
                     .zip(shards)
                     .map(|(out, shard)| {
                         Box::new(move || {
+                            let _task_span = tracer.child_of("engine.task", map_ctx);
                             for (slot, item) in out.iter_mut().zip(shard) {
                                 *slot = Some(f(item));
                             }
@@ -436,7 +460,30 @@ impl ExecutionEngine {
         U: Send,
         F: Fn(T) -> U + Sync,
     {
-        let _map_span = metrics.span("engine.map_secs");
+        self.try_map_with_hook_traced(items, f, hook, metrics, &Tracer::disabled(), None)
+    }
+
+    /// [`ExecutionEngine::try_map_with_hook_observed`] with causal spans:
+    /// like [`ExecutionEngine::map_traced`], plus an `engine.restart` span
+    /// under the targeted shard's `engine.task` covering the acted-out
+    /// injected panics, so recoveries are visible in the trace tree.
+    pub fn try_map_with_hook_traced<T, U, F>(
+        &self,
+        items: Vec<T>,
+        f: F,
+        hook: &dyn FaultHook,
+        metrics: &Metrics,
+        tracer: &Tracer,
+        parent: Option<SpanContext>,
+    ) -> Result<Vec<U>, EngineError>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        let map_span = tracer.child_of("engine.map", parent);
+        let map_ctx = map_span.context();
+        let _map_span_secs = metrics.span("engine.map_secs");
         metrics.counter("engine.map_calls").inc();
         let order = hook.next_worker_order();
         if order.panics > 0 {
@@ -452,16 +499,26 @@ impl ExecutionEngine {
         match *self {
             ExecutionEngine::Sequential => {
                 metrics.counter("engine.tasks").add(1);
-                act_injected_panics(order.panics)?;
+                let task_span = tracer.child_of("engine.task", map_ctx);
+                if order.panics > 0 {
+                    let _restart_span = tracer.child_of("engine.restart", task_span.context());
+                    act_injected_panics(order.panics)?;
+                }
                 if !order.delay.is_zero() {
                     std::thread::sleep(order.delay);
                 }
                 panic::catch_unwind(AssertUnwindSafe(|| items.into_iter().map(f).collect()))
                     .map_err(EngineError::from_payload)
             }
-            ExecutionEngine::Threaded { workers } => {
-                self.threaded_map_with_order(items, f, workers.max(1), order, metrics)
-            }
+            ExecutionEngine::Threaded { workers } => self.threaded_map_with_order(
+                items,
+                f,
+                workers.max(1),
+                order,
+                metrics,
+                tracer,
+                map_ctx,
+            ),
         }
     }
 
@@ -469,6 +526,7 @@ impl ExecutionEngine {
     /// (selected by `order.target`) acts out the injected panics/latency,
     /// all shards run under `catch_unwind` so both injected-fatal and
     /// genuine panics surface as [`EngineError`].
+    #[allow(clippy::too_many_arguments)]
     fn threaded_map_with_order<T, U, F>(
         &self,
         items: Vec<T>,
@@ -476,6 +534,8 @@ impl ExecutionEngine {
         workers: usize,
         order: WorkerOrder,
         metrics: &Metrics,
+        tracer: &Tracer,
+        map_ctx: Option<SpanContext>,
     ) -> Result<Vec<U>, EngineError>
     where
         T: Send,
@@ -522,10 +582,14 @@ impl ExecutionEngine {
                     std::time::Duration::ZERO
                 };
                 Box::new(move || {
-                    if let Err(_fatal) = act_injected_panics(ordered_panics) {
-                        // Propagate the fatal injected panic through the
-                        // pool's barrier so the submitting thread sees it.
-                        panic::panic_any(InjectedWorkerPanic);
+                    let task_span = tracer.child_of("engine.task", map_ctx);
+                    if ordered_panics > 0 {
+                        let _restart_span = tracer.child_of("engine.restart", task_span.context());
+                        if let Err(_fatal) = act_injected_panics(ordered_panics) {
+                            // Propagate the fatal injected panic through the
+                            // pool's barrier so the submitting thread sees it.
+                            panic::panic_any(InjectedWorkerPanic);
+                        }
                     }
                     if !delay.is_zero() {
                         std::thread::sleep(delay);
@@ -847,6 +911,74 @@ mod tests {
         assert!(waits.is_some_and(|h| h.count == 2));
         let spans = snap.histogram("engine.map_secs");
         assert!(spans.is_some_and(|h| h.count == 2));
+    }
+
+    #[test]
+    fn traced_map_builds_cross_thread_span_tree() {
+        let tracer = Tracer::collecting();
+        let root = tracer.root("caller");
+        let out = ExecutionEngine::Threaded { workers: 2 }.map_traced(
+            (0..64u64).collect(),
+            |x| x + 1,
+            &Metrics::disabled(),
+            &tracer,
+            root.context(),
+        );
+        assert_eq!(out, (1..=64).collect::<Vec<u64>>());
+        root.finish();
+
+        let snap = tracer.snapshot();
+        snap.validate().unwrap();
+        assert_eq!(snap.span_count("caller"), 1);
+        assert_eq!(snap.span_count("engine.map"), 1);
+        assert!(snap.span_count("engine.task") >= 2);
+        for task in snap.spans.iter().filter(|s| s.name == "engine.task") {
+            assert_eq!(snap.parent_name(task), Some("engine.map"));
+        }
+        // Tasks executed on pool threads, the map call on this one: the
+        // single trace tree spans threads.
+        assert!(snap.crosses_threads());
+    }
+
+    #[test]
+    fn injected_restarts_appear_as_restart_spans() {
+        let tracer = Tracer::collecting();
+        for engine in [
+            ExecutionEngine::Sequential,
+            ExecutionEngine::Threaded { workers: 2 },
+        ] {
+            let out = engine
+                .try_map_with_hook_traced(
+                    (0..32u64).collect(),
+                    |x| x,
+                    &PanicOrder(2),
+                    &Metrics::disabled(),
+                    &tracer,
+                    None,
+                )
+                .expect("restartable order must recover");
+            assert_eq!(out.len(), 32);
+        }
+        let snap = tracer.snapshot();
+        snap.validate().unwrap();
+        assert_eq!(snap.span_count("engine.restart"), 2);
+        for restart in snap.spans.iter().filter(|s| s.name == "engine.restart") {
+            assert_eq!(snap.parent_name(restart), Some("engine.task"));
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_map_matches_plain_map() {
+        let items: Vec<u64> = (0..100).collect();
+        let plain = ExecutionEngine::Threaded { workers: 3 }.map(items.clone(), |x| x * x);
+        let traced = ExecutionEngine::Threaded { workers: 3 }.map_traced(
+            items,
+            |x| x * x,
+            &Metrics::disabled(),
+            &Tracer::disabled(),
+            None,
+        );
+        assert_eq!(plain, traced);
     }
 
     #[test]

@@ -1,8 +1,24 @@
 //! Property-based tests: the threaded engine is observationally equivalent
-//! to the sequential engine on arbitrary workloads.
+//! to the sequential engine on arbitrary workloads, and its span trees
+//! stay well-formed even while injected worker panics force restarts.
 
 use cdp_engine::ExecutionEngine;
+use cdp_faults::{FaultInjector, FaultPlan};
+use cdp_obs::{Metrics, TraceSnapshot, Tracer};
 use proptest::prelude::*;
+
+/// Order-independent structural fingerprint of a span tree: the sorted
+/// multiset of `(name, parent name)` edges. Thread assignment and record
+/// order may differ between reruns; causal structure must not.
+fn structure(snap: &TraceSnapshot) -> Vec<(String, Option<String>)> {
+    let mut edges: Vec<(String, Option<String>)> = snap
+        .spans
+        .iter()
+        .map(|s| (s.name.clone(), snap.parent_name(s).map(str::to_owned)))
+        .collect();
+    edges.sort();
+    edges
+}
 
 proptest! {
     #[test]
@@ -37,5 +53,80 @@ proptest! {
         let items: Vec<usize> = (0..n).collect();
         let out = ExecutionEngine::Threaded { workers }.map(items, |i| i);
         prop_assert_eq!(out, (0..n).collect::<Vec<usize>>());
+    }
+}
+
+proptest! {
+    #[test]
+    fn span_trees_survive_injected_worker_panics(
+        n in 1usize..64,
+        workers in 1usize..4,
+        seed in 0u64..1_000,
+        panic_p in 0.0f64..0.6,
+    ) {
+        let plan = FaultPlan {
+            seed,
+            worker_panic: panic_p,
+            ..FaultPlan::none()
+        };
+        // A fresh injector per run resets the fault epoch, so the same
+        // plan replays the same panic schedule.
+        let run = |engine: &ExecutionEngine| {
+            let hook = FaultInjector::new(plan);
+            let tracer = Tracer::collecting();
+            let out = engine.try_map_with_hook_traced(
+                (0..n as u64).collect(),
+                |x| x.wrapping_mul(2654435761),
+                &hook,
+                &Metrics::disabled(),
+                &tracer,
+                None,
+            );
+            (out, tracer.snapshot())
+        };
+
+        for engine in [
+            ExecutionEngine::Sequential,
+            ExecutionEngine::Threaded { workers },
+        ] {
+            let (first, snap) = run(&engine);
+
+            // Well-formed even mid-panic: no orphans, children inside
+            // parents, every task under its map, restarts under tasks.
+            prop_assert_eq!(snap.dropped_spans, 0);
+            if let Err(e) = snap.validate() {
+                prop_assert!(false, "malformed span tree: {}", e);
+            }
+            prop_assert!(snap.span_count("engine.map") >= 1);
+            for span in &snap.spans {
+                match span.name.as_str() {
+                    "engine.map" => {
+                        prop_assert_eq!(snap.parent_name(span), None)
+                    }
+                    "engine.task" => {
+                        prop_assert_eq!(snap.parent_name(span), Some("engine.map"))
+                    }
+                    "engine.restart" => {
+                        prop_assert_eq!(snap.parent_name(span), Some("engine.task"))
+                    }
+                    other => prop_assert!(false, "unexpected span {:?}", other),
+                }
+            }
+
+            // Rerun-identical under the fixed seed: same outcome, same
+            // results, same causal structure.
+            let (second, resnap) = run(&engine);
+            match (&first, &second) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                (Err(_), Err(_)) => {}
+                (a, b) => prop_assert!(
+                    false,
+                    "rerun diverged: first ok={}, second ok={}",
+                    a.is_ok(),
+                    b.is_ok()
+                ),
+            }
+            prop_assert_eq!(structure(&snap), structure(&resnap));
+        }
     }
 }

@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 
 use cdp_engine::{tree_reduce, ExecutionEngine};
 use cdp_linalg::DenseVector;
+use cdp_obs::{Metrics, SpanContext, Tracer};
 use cdp_storage::LabeledPoint;
 
 use crate::loss::{Loss, LossKind};
@@ -204,6 +205,24 @@ impl SgdTrainer {
     where
         I: IntoIterator<Item = &'a LabeledPoint>,
     {
+        self.step_on_traced(batch, engine, &Tracer::disabled(), None)
+    }
+
+    /// [`SgdTrainer::step_on`] with causal spans: a sharded step opens a
+    /// `trainer.step` span under `parent` whose `engine.map` → `engine.task`
+    /// children land on the worker threads computing partial gradients.
+    /// Unsharded (small-batch) steps run inline and record nothing — they
+    /// involve no engine dispatch to explain.
+    pub fn step_on_traced<'a, I>(
+        &mut self,
+        batch: I,
+        engine: ExecutionEngine,
+        tracer: &Tracer,
+        parent: Option<SpanContext>,
+    ) -> Option<f64>
+    where
+        I: IntoIterator<Item = &'a LabeledPoint>,
+    {
         let batch: Vec<&LabeledPoint> = batch.into_iter().collect();
         if batch.is_empty() {
             return None;
@@ -235,26 +254,33 @@ impl SgdTrainer {
             }
             sum
         } else {
+            let step_span = tracer.child_of("trainer.step", parent);
             let shard_len = batch.len().div_ceil(shards);
             let model = &self.model;
             let shard_inputs: Vec<Vec<&LabeledPoint>> =
                 batch.chunks(shard_len).map(<[_]>::to_vec).collect();
-            let parts = engine.map(shard_inputs, |shard| {
-                let mut grad = DenseVector::zeros(dim);
-                let mut loss_sum = 0.0;
-                for point in shard {
-                    let z = model.margin_ref(&point.features);
-                    loss_sum += loss.value(z, point.label);
-                    let coeff = loss.dloss_dz(z, point.label) * inv_batch;
-                    if coeff != 0.0 {
-                        point
-                            .features
-                            .axpy_into(coeff, &mut grad)
-                            .expect("gradient covers every row after growth");
+            let parts = engine.map_traced(
+                shard_inputs,
+                |shard| {
+                    let mut grad = DenseVector::zeros(dim);
+                    let mut loss_sum = 0.0;
+                    for point in shard {
+                        let z = model.margin_ref(&point.features);
+                        loss_sum += loss.value(z, point.label);
+                        let coeff = loss.dloss_dz(z, point.label) * inv_batch;
+                        if coeff != 0.0 {
+                            point
+                                .features
+                                .axpy_into(coeff, &mut grad)
+                                .expect("gradient covers every row after growth");
+                        }
                     }
-                }
-                (grad, loss_sum)
-            });
+                    (grad, loss_sum)
+                },
+                &Metrics::disabled(),
+                tracer,
+                step_span.context(),
+            );
             let (grad, sum) = tree_reduce(parts, |(mut ga, la), (gb, lb)| {
                 ga.axpy(1.0, &gb)
                     .expect("shard gradients share the model dimension");
@@ -319,13 +345,32 @@ impl SgdTrainer {
         config: &SgdConfig,
         engine: ExecutionEngine,
     ) -> TrainReport {
+        self.fit_on_traced(data, config, engine, &Tracer::disabled(), None)
+    }
+
+    /// [`SgdTrainer::fit_on`] with causal spans: the whole fit runs under a
+    /// `trainer.fit` span (child of `parent`), and both objective
+    /// evaluations plus every sharded step hang their `engine.map` trees
+    /// off it. Because [`SgdTrainer::objective_on`] always dispatches
+    /// through the engine, a traced fit on a threaded engine yields a
+    /// cross-thread span tree at any data size.
+    pub fn fit_on_traced(
+        &mut self,
+        data: &[LabeledPoint],
+        config: &SgdConfig,
+        engine: ExecutionEngine,
+        tracer: &Tracer,
+        parent: Option<SpanContext>,
+    ) -> TrainReport {
+        let fit_span = tracer.child_of("trainer.fit", parent);
+        let fit_ctx = fit_span.context();
         let steps_before = self.optimizer.steps();
         // Rows may be wider than the model when the encoder's feature space
         // grew during preprocessing (one-hot vocabulary growth).
         if let Some(max_dim) = data.iter().map(|p| p.features.dim()).max() {
             self.model.grow_to(max_dim);
         }
-        let initial_loss = self.objective_on(data, engine);
+        let initial_loss = self.objective_on_traced(data, engine, tracer, fit_ctx);
         if data.is_empty() {
             return TrainReport {
                 epochs: 0,
@@ -345,7 +390,7 @@ impl SgdTrainer {
             indices.shuffle(&mut rng);
             for batch_idx in indices.chunks(config.batch_size.max(1)) {
                 let batch = batch_idx.iter().map(|&i| &data[i]);
-                self.step_on(batch, engine);
+                self.step_on_traced(batch, engine, tracer, fit_ctx);
             }
             let weights_after = self.model.weights();
             let mut delta = weights_after.clone();
@@ -360,7 +405,7 @@ impl SgdTrainer {
             epochs,
             steps: self.optimizer.steps() - steps_before,
             initial_loss,
-            final_loss: self.objective_on(data, engine),
+            final_loss: self.objective_on_traced(data, engine, tracer, fit_ctx),
             converged,
         }
     }
@@ -379,6 +424,20 @@ impl SgdTrainer {
     /// whose structure depends only on `data.len()`, so the value is
     /// bit-identical across engines.
     pub fn objective_on(&self, data: &[LabeledPoint], engine: ExecutionEngine) -> f64 {
+        self.objective_on_traced(data, engine, &Tracer::disabled(), None)
+    }
+
+    /// [`SgdTrainer::objective_on`] with causal spans: the engine dispatch
+    /// appears as an `engine.map` (with per-shard `engine.task` children)
+    /// under `parent`. Unlike gradient steps this *always* goes through the
+    /// engine, regardless of data size.
+    pub fn objective_on_traced(
+        &self,
+        data: &[LabeledPoint],
+        engine: ExecutionEngine,
+        tracer: &Tracer,
+        parent: Option<SpanContext>,
+    ) -> f64 {
         if data.is_empty() {
             return self.regularizer.penalty(self.model.weights());
         }
@@ -386,12 +445,18 @@ impl SgdTrainer {
         let model = &self.model;
         let shards = gradient_shards(data.len());
         let shard_len = data.len().div_ceil(shards);
-        let sums: Vec<f64> = engine.map(data.chunks(shard_len).collect(), |shard| {
-            shard
-                .iter()
-                .map(|p| loss.value(model.margin_ref(&p.features), p.label))
-                .sum::<f64>()
-        });
+        let sums: Vec<f64> = engine.map_traced(
+            data.chunks(shard_len).collect(),
+            |shard| {
+                shard
+                    .iter()
+                    .map(|p| loss.value(model.margin_ref(&p.features), p.label))
+                    .sum::<f64>()
+            },
+            &Metrics::disabled(),
+            tracer,
+            parent,
+        );
         let mean = tree_reduce(sums, |a, b| a + b).unwrap_or(0.0) / data.len() as f64;
         mean + self.regularizer.penalty(self.model.weights())
     }
@@ -643,6 +708,42 @@ mod tests {
                 thr.to_bits(),
                 "objective diverged at workers={workers}"
             );
+        }
+    }
+
+    #[test]
+    fn traced_fit_is_bit_identical_and_builds_a_span_tree() {
+        let data = linear_data(1500, 14);
+        let mut config = make_config(LossKind::Squared);
+        config.batch_size = 1100; // ≥ 2·GRAD_SHARD_MIN_POINTS ⇒ sharded steps
+        config.convergence.max_epochs = 3;
+        let engine = ExecutionEngine::Threaded { workers: 2 };
+
+        let mut plain = SgdTrainer::new(3, &config);
+        let report_plain = plain.fit_on(&data, &config, engine);
+
+        let tracer = Tracer::collecting();
+        let mut traced = SgdTrainer::new(3, &config);
+        let report_traced = traced.fit_on_traced(&data, &config, engine, &tracer, None);
+
+        // Tracing must not perturb training in any way.
+        assert_eq!(plain.model().weights(), traced.model().weights());
+        assert_eq!(
+            report_plain.final_loss.to_bits(),
+            report_traced.final_loss.to_bits()
+        );
+
+        let snap = tracer.snapshot();
+        snap.validate().unwrap();
+        assert_eq!(snap.span_count("trainer.fit"), 1);
+        assert!(snap.span_count("trainer.step") >= 1);
+        // Two objective maps plus one per sharded step.
+        assert!(snap.span_count("engine.map") >= 3);
+        assert!(snap.crosses_threads());
+        let fit = snap.roots()[0];
+        assert_eq!(fit.name, "trainer.fit");
+        for step in snap.spans.iter().filter(|s| s.name == "trainer.step") {
+            assert_eq!(snap.parent_name(step), Some("trainer.fit"));
         }
     }
 

@@ -1,0 +1,304 @@
+//! Rule-based SLA alerting over a [`MetricsSnapshot`].
+//!
+//! An [`AlertMonitor`] holds threshold rules over the metrics the platform
+//! already exports — gauges, counters, counter ratios, histogram minima and
+//! quantiles — and evaluates them against a snapshot, producing typed
+//! [`Alert`]s. The deployment loop appends fired alerts to the structured
+//! event log and to `DeploymentResult`, so SLA violations (a negative Eq. 6
+//! fire margin, a climbing disk-retry rate, observed utilization μ drifting
+//! from the uniform prediction of Eq. 5) surface without log spelunking.
+//!
+//! Rules over metrics that were never recorded simply do not fire — a rule
+//! set is safe to evaluate against any snapshot.
+
+use crate::snapshot::MetricsSnapshot;
+
+/// What a rule measures, read from a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlertSignal {
+    /// A counter's value (absent ⇒ no reading).
+    Counter(String),
+    /// A gauge's value (absent ⇒ no reading).
+    Gauge(String),
+    /// The smallest observation of a histogram (empty ⇒ no reading).
+    HistogramMin(String),
+    /// An upper bound on a histogram quantile (see
+    /// [`HistogramSnapshot::quantile`](crate::HistogramSnapshot::quantile)).
+    HistogramQuantile {
+        /// Histogram name.
+        name: String,
+        /// Quantile in `[0, 1]`, e.g. `0.99`.
+        q: f64,
+    },
+    /// `numerator / denominator` over two counters (denominator 0 ⇒ no
+    /// reading — a rate over nothing is not an SLA violation).
+    CounterRatio {
+        /// Numerator counter name.
+        numerator: String,
+        /// Denominator counter name.
+        denominator: String,
+    },
+    /// `|a - b|` over two gauges (either absent ⇒ no reading).
+    GaugeGap {
+        /// First gauge name.
+        a: String,
+        /// Second gauge name.
+        b: String,
+    },
+}
+
+impl AlertSignal {
+    /// Reads the signal from `snap`; `None` when the underlying metrics are
+    /// absent or the signal is undefined.
+    pub fn read(&self, snap: &MetricsSnapshot) -> Option<f64> {
+        match self {
+            AlertSignal::Counter(name) => snap.counters.get(name).map(|v| *v as f64),
+            AlertSignal::Gauge(name) => snap.gauges.get(name).copied(),
+            AlertSignal::HistogramMin(name) => {
+                snap.histogram(name).filter(|h| h.count > 0).map(|h| h.min)
+            }
+            AlertSignal::HistogramQuantile { name, q } => {
+                snap.histogram(name).and_then(|h| h.quantile(*q))
+            }
+            AlertSignal::CounterRatio {
+                numerator,
+                denominator,
+            } => {
+                let den = snap.counters.get(denominator).copied().unwrap_or(0);
+                (den > 0).then(|| snap.counter(numerator) as f64 / den as f64)
+            }
+            AlertSignal::GaugeGap { a, b } => match (snap.gauges.get(a), snap.gauges.get(b)) {
+                (Some(x), Some(y)) => Some((x - y).abs()),
+                _ => None,
+            },
+        }
+    }
+}
+
+/// Direction of a threshold breach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertOp {
+    /// Fire when the signal is strictly above the threshold.
+    Above,
+    /// Fire when the signal is strictly below the threshold.
+    Below,
+}
+
+/// One named threshold rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertRule {
+    /// Stable rule name, dot-namespaced (becomes the alert's name).
+    pub name: String,
+    /// What to measure.
+    pub signal: AlertSignal,
+    /// Breach direction.
+    pub op: AlertOp,
+    /// Threshold value.
+    pub threshold: f64,
+}
+
+impl AlertRule {
+    /// Evaluates the rule, returning an alert when it fires.
+    pub fn check(&self, snap: &MetricsSnapshot, at_secs: f64) -> Option<Alert> {
+        let value = self.signal.read(snap)?;
+        let fired = match self.op {
+            AlertOp::Above => value > self.threshold,
+            AlertOp::Below => value < self.threshold,
+        };
+        fired.then(|| Alert {
+            rule: self.name.clone(),
+            value,
+            threshold: self.threshold,
+            at_secs,
+        })
+    }
+}
+
+/// One fired alert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// Name of the rule that fired.
+    pub rule: String,
+    /// The signal value that breached.
+    pub value: f64,
+    /// The rule's threshold.
+    pub threshold: f64,
+    /// Clock seconds when the evaluation ran.
+    pub at_secs: f64,
+}
+
+impl Alert {
+    /// Human-readable one-liner, used as event-log detail.
+    pub fn message(&self) -> String {
+        format!(
+            "{}: value {} breaches threshold {}",
+            self.rule, self.value, self.threshold
+        )
+    }
+}
+
+/// A set of threshold rules evaluated together.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AlertMonitor {
+    rules: Vec<AlertRule>,
+}
+
+impl AlertMonitor {
+    /// An empty monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a rule (builder style).
+    #[must_use]
+    pub fn with_rule(mut self, rule: AlertRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// The configured rules.
+    pub fn rules(&self) -> &[AlertRule] {
+        &self.rules
+    }
+
+    /// Evaluates every rule against `snap`; fired alerts in rule order.
+    pub fn evaluate(&self, snap: &MetricsSnapshot, at_secs: f64) -> Vec<Alert> {
+        self.rules
+            .iter()
+            .filter_map(|r| r.check(snap, at_secs))
+            .collect()
+    }
+
+    /// The deployment loop's default SLA rules over metrics exported since
+    /// PR 3:
+    ///
+    /// - `scheduler.fire_margin_negative` — a proactive fire happened
+    ///   *later* than the Eq. 6 interval asked for (margin below zero).
+    /// - `store.disk_retry_rate` — more than 20% of disk reads needed
+    ///   retries.
+    /// - `pm.mu_divergence` — observed materialization utilization μ
+    ///   (Eq. 4) diverges from the uniform-assumption prediction (Eq. 5) by
+    ///   more than 0.25.
+    /// - `store.lost_spills` — any spill was lost past the retry budget.
+    /// - `proactive.overrun` — the p99 accounted proactive-training cost
+    ///   exceeds the chunk period, i.e. training no longer fits between
+    ///   chunk arrivals.
+    pub fn deployment_defaults(chunk_period_secs: f64) -> Self {
+        Self::new()
+            .with_rule(AlertRule {
+                name: "scheduler.fire_margin_negative".into(),
+                signal: AlertSignal::HistogramMin("scheduler.fire_margin_secs".into()),
+                op: AlertOp::Below,
+                threshold: 0.0,
+            })
+            .with_rule(AlertRule {
+                name: "store.disk_retry_rate".into(),
+                signal: AlertSignal::CounterRatio {
+                    numerator: "store.disk_retries".into(),
+                    denominator: "store.disk_reads".into(),
+                },
+                op: AlertOp::Above,
+                threshold: 0.2,
+            })
+            .with_rule(AlertRule {
+                name: "pm.mu_divergence".into(),
+                signal: AlertSignal::GaugeGap {
+                    a: "pm.mu_observed".into(),
+                    b: "pm.mu_uniform".into(),
+                },
+                op: AlertOp::Above,
+                threshold: 0.25,
+            })
+            .with_rule(AlertRule {
+                name: "store.lost_spills".into(),
+                signal: AlertSignal::Counter("store.lost_spills".into()),
+                op: AlertOp::Above,
+                threshold: 0.0,
+            })
+            .with_rule(AlertRule {
+                name: "proactive.overrun".into(),
+                signal: AlertSignal::HistogramQuantile {
+                    name: "proactive.accounted_secs".into(),
+                    q: 0.99,
+                },
+                op: AlertOp::Above,
+                threshold: chunk_period_secs,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Metrics;
+
+    #[test]
+    fn rules_over_absent_metrics_do_not_fire() {
+        let monitor = AlertMonitor::deployment_defaults(1.0);
+        let alerts = monitor.evaluate(&MetricsSnapshot::default(), 0.0);
+        assert!(alerts.is_empty());
+    }
+
+    #[test]
+    fn each_default_rule_fires_on_a_breaching_snapshot() {
+        let metrics = Metrics::collecting();
+        metrics
+            .histogram_with_bounds("scheduler.fire_margin_secs", &[0.0, 1.0])
+            .observe(-0.5);
+        metrics.counter("store.disk_reads").add(10);
+        metrics.counter("store.disk_retries").add(5);
+        metrics.gauge("pm.mu_observed").set(0.4);
+        metrics.gauge("pm.mu_uniform").set(0.9);
+        metrics.counter("store.lost_spills").inc();
+        metrics
+            .histogram_with_bounds("proactive.accounted_secs", &[10.0])
+            .observe(7.5);
+
+        let monitor = AlertMonitor::deployment_defaults(1.0);
+        let alerts = monitor.evaluate(&metrics.snapshot(), 42.0);
+        let names: Vec<&str> = alerts.iter().map(|a| a.rule.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "scheduler.fire_margin_negative",
+                "store.disk_retry_rate",
+                "pm.mu_divergence",
+                "store.lost_spills",
+                "proactive.overrun",
+            ]
+        );
+        for a in &alerts {
+            assert!((a.at_secs - 42.0).abs() < 1e-12);
+            assert!(a.message().contains(&a.rule));
+        }
+    }
+
+    #[test]
+    fn healthy_snapshot_fires_nothing() {
+        let metrics = Metrics::collecting();
+        metrics
+            .histogram_with_bounds("scheduler.fire_margin_secs", &[0.0, 1.0])
+            .observe(0.3);
+        metrics.counter("store.disk_reads").add(100);
+        metrics.counter("store.disk_retries").add(2);
+        metrics.gauge("pm.mu_observed").set(0.8);
+        metrics.gauge("pm.mu_uniform").set(0.85);
+        metrics
+            .histogram_with_bounds("proactive.accounted_secs", &[0.5])
+            .observe(0.25);
+
+        let monitor = AlertMonitor::deployment_defaults(1.0);
+        assert!(monitor.evaluate(&metrics.snapshot(), 0.0).is_empty());
+    }
+
+    #[test]
+    fn ratio_with_zero_denominator_reads_nothing() {
+        let metrics = Metrics::collecting();
+        metrics.counter("store.disk_retries").add(3);
+        let signal = AlertSignal::CounterRatio {
+            numerator: "store.disk_retries".into(),
+            denominator: "store.disk_reads".into(),
+        };
+        assert_eq!(signal.read(&metrics.snapshot()), None);
+    }
+}

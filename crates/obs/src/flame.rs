@@ -1,0 +1,107 @@
+//! Flamegraph export: folded-stack lines (`root;child;leaf <self-µs>`)
+//! consumable by `flamegraph.pl` / `inferno-flamegraph`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::trace::{SpanRecord, TraceSnapshot};
+
+impl TraceSnapshot {
+    /// Renders the span forest as folded stacks: one line per distinct
+    /// root-to-span path, weighted by the span's *self* time (duration
+    /// minus child durations, clamped at zero) in integer microseconds.
+    /// Identical paths aggregate; zero-weight lines are omitted.
+    ///
+    /// Spans whose parent record is missing (possible only after buffer
+    /// overflow) are treated as roots so no recorded time disappears.
+    pub fn to_folded_stacks(&self) -> String {
+        let by_id: BTreeMap<u64, &SpanRecord> = self.spans.iter().map(|s| (s.id.0, s)).collect();
+        let mut children: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+        let mut roots: Vec<&SpanRecord> = Vec::new();
+        for s in &self.spans {
+            match s.parent {
+                Some(p) if by_id.contains_key(&p.0) => {
+                    children.entry(p.0).or_default().push(s);
+                }
+                _ => roots.push(s),
+            }
+        }
+        let mut weights: BTreeMap<String, u64> = BTreeMap::new();
+        // Iterative DFS carrying the folded path prefix.
+        let mut stack: Vec<(&SpanRecord, String)> =
+            roots.into_iter().map(|s| (s, s.name.clone())).collect();
+        while let Some((span, path)) = stack.pop() {
+            let kids = children.get(&span.id.0);
+            let child_secs: f64 = kids
+                .map(|ks| ks.iter().map(|k| k.duration_secs()).sum())
+                .unwrap_or(0.0);
+            let self_us = ((span.duration_secs() - child_secs).max(0.0) * 1e6).round() as u64;
+            if self_us > 0 {
+                *weights.entry(path.clone()).or_insert(0) += self_us;
+            }
+            if let Some(ks) = kids {
+                for k in ks {
+                    stack.push((k, format!("{path};{}", k.name)));
+                }
+            }
+        }
+        let mut out = String::new();
+        for (path, weight) in weights {
+            let _ = writeln!(out, "{path} {weight}");
+        }
+        out
+    }
+
+    /// Writes [`to_folded_stacks`](Self::to_folded_stacks) to `path`.
+    ///
+    /// # Errors
+    /// I/O errors creating or writing the file.
+    pub fn write_folded_stacks(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_folded_stacks())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::clock::VirtualClock;
+    use crate::trace::Tracer;
+    use std::sync::Arc;
+
+    #[test]
+    fn folded_stacks_attribute_self_time_per_path() {
+        let clock = Arc::new(VirtualClock::new());
+        let tracer = Tracer::with_clock(clock.clone());
+        let root = tracer.root("run");
+        {
+            let step = tracer.child_of("step", root.context());
+            {
+                let _inner = tracer.child_of("grad", step.context());
+                clock.advance_secs(0.001); // 1000µs in run;step;grad
+            }
+            clock.advance_secs(0.002); // 2000µs self in run;step
+            step.finish();
+        }
+        clock.advance_secs(0.004); // 4000µs self in run
+        root.finish();
+
+        let folded = tracer.snapshot().to_folded_stacks();
+        let lines: Vec<&str> = folded.lines().collect();
+        assert!(lines.contains(&"run 4000"), "{folded}");
+        assert!(lines.contains(&"run;step 2000"), "{folded}");
+        assert!(lines.contains(&"run;step;grad 1000"), "{folded}");
+        assert_eq!(lines.len(), 3, "{folded}");
+    }
+
+    #[test]
+    fn repeated_paths_aggregate() {
+        let clock = Arc::new(VirtualClock::new());
+        let tracer = Tracer::with_clock(clock.clone());
+        for _ in 0..3 {
+            let root = tracer.root("run");
+            clock.advance_secs(0.001);
+            root.finish();
+        }
+        let folded = tracer.snapshot().to_folded_stacks();
+        assert_eq!(folded.trim(), "run 3000");
+    }
+}

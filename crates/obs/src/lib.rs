@@ -33,13 +33,25 @@
 
 #![warn(missing_docs)]
 
+mod alerts;
+mod chrome;
 mod clock;
+mod flame;
+mod lineage;
 mod registry;
 mod snapshot;
+mod trace;
 
+pub use alerts::{Alert, AlertMonitor, AlertOp, AlertRule, AlertSignal};
+pub use chrome::validate_chrome_trace;
 pub use clock::{Clock, VirtualClock, WallClock};
+pub use lineage::{LineageEntry, LineageEventKind, LINEAGE_CAPACITY};
 pub use registry::{Counter, Gauge, Histogram, Span, EVENT_LOG_CAPACITY, LATENCY_BOUNDS};
 pub use snapshot::{Event, HistogramSnapshot, MetricsSnapshot};
+pub use trace::{
+    SpanContext, SpanId, SpanRecord, TraceId, TraceSnapshot, TraceSpan, Tracer,
+    SPAN_BUFFER_CAPACITY,
+};
 
 use registry::Registry;
 use std::sync::Arc;
@@ -108,10 +120,19 @@ impl Metrics {
     }
 
     /// Appends a structured event (clock-stamped); the log keeps the most
-    /// recent [`EVENT_LOG_CAPACITY`] entries.
+    /// recent [`EVENT_LOG_CAPACITY`] entries and counts evictions in
+    /// [`MetricsSnapshot::dropped_events`].
     pub fn event(&self, name: &str, detail: impl Into<String>) {
         if let Some(r) = &self.0 {
             r.push_event(name, detail.into());
+        }
+    }
+
+    /// Appends a clock-stamped lineage event to chunk `chunk_ts`'s log
+    /// (retained up to [`LINEAGE_CAPACITY`] entries across all chunks).
+    pub fn lineage(&self, chunk_ts: u64, kind: LineageEventKind) {
+        if let Some(r) = &self.0 {
+            r.record_lineage(chunk_ts, kind);
         }
     }
 
@@ -198,12 +219,26 @@ mod tests {
             Some(h) => h,
             None => panic!("histogram must exist"),
         };
-        // NaN/Inf dropped; 0.05 and 0.1 (inclusive bound) in bucket 0, 0.5
-        // in bucket 1, 2.0 in the overflow bucket.
+        // NaN/Inf counted as dropped; 0.05 and 0.1 (inclusive bound) in
+        // bucket 0, 0.5 in bucket 1, 2.0 in the overflow bucket.
         assert_eq!(hist.count, 4);
         assert_eq!(hist.buckets, vec![2, 1, 1]);
+        assert_eq!(hist.dropped, 2);
         assert!((hist.min - 0.05).abs() < 1e-12);
         assert!((hist.max - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_boundary_value_lands_in_exactly_one_bucket() {
+        let metrics = Metrics::collecting();
+        let h = metrics.histogram_with_bounds("edge", &[0.1, 1.0]);
+        h.observe(0.1); // exactly on the first upper bound
+        h.observe(1.0); // exactly on the second upper bound
+        let snap = metrics.snapshot();
+        let hist = snap.histogram("edge").unwrap();
+        assert_eq!(hist.buckets.iter().sum::<u64>(), hist.count);
+        assert_eq!(hist.buckets, vec![1, 1, 0]);
+        assert_eq!(hist.dropped, 0);
     }
 
     #[test]
@@ -216,7 +251,8 @@ mod tests {
         }
         let snap = metrics.snapshot();
         assert_eq!(snap.events.len(), EVENT_LOG_CAPACITY);
-        // Oldest entries were dropped; the tail survives with its stamps.
+        // Oldest entries were dropped — visibly, via the counter.
+        assert_eq!(snap.dropped_events, 10);
         assert_eq!(snap.events[0].detail, "10");
         let last = &snap.events[EVENT_LOG_CAPACITY - 1];
         assert_eq!(last.detail, format!("{}", EVENT_LOG_CAPACITY + 9));
@@ -239,10 +275,38 @@ mod tests {
         metrics.histogram_with_bounds("io", &[1.0]).observe(0.25);
         let csv = metrics.snapshot().to_csv();
         let mut lines = csv.lines();
-        assert_eq!(lines.next(), Some("kind,name,count,sum,mean,min,max"));
-        assert!(csv.contains("counter,store.spills,3,3,,,"));
-        assert!(csv.contains("gauge,scheduler.t_secs,,0.5,,,"));
-        assert!(csv.contains("histogram,io,1,0.25,0.25,0.25,0.25"));
+        assert_eq!(
+            lines.next(),
+            Some("kind,name,count,sum,mean,min,max,dropped")
+        );
+        assert!(csv.contains("counter,store.spills,3,3,,,,"));
+        assert!(csv.contains("gauge,scheduler.t_secs,,0.5,,,,"));
+        assert!(csv.contains("histogram,io,1,0.25,0.25,0.25,0.25,0"));
+    }
+
+    #[test]
+    fn lineage_is_recorded_per_chunk_and_bounded() {
+        let clock = Arc::new(VirtualClock::new());
+        let metrics = Metrics::with_clock(clock.clone());
+        metrics.lineage(5, LineageEventKind::Arrival);
+        clock.advance(Duration::from_secs(1));
+        metrics.lineage(5, LineageEventKind::Materialize);
+        metrics.lineage(9, LineageEventKind::Arrival);
+
+        let snap = metrics.snapshot();
+        assert_eq!(snap.chunk_lineage(5).len(), 2);
+        assert_eq!(snap.chunk_lineage(5)[0].kind, LineageEventKind::Arrival);
+        assert_eq!(snap.chunk_lineage(5)[1].kind, LineageEventKind::Materialize);
+        assert!((snap.chunk_lineage(5)[1].at_secs - 1.0).abs() < 1e-9);
+        assert_eq!(snap.lineage_count(LineageEventKind::Arrival), 2);
+        assert_eq!(snap.chunk_lineage(42), &[]);
+        assert_eq!(snap.dropped_lineage, 0);
+        assert!(!snap.is_empty());
+
+        // Disabled handles record nothing.
+        let disabled = Metrics::disabled();
+        disabled.lineage(1, LineageEventKind::Spill);
+        assert!(disabled.snapshot().lineage.is_empty());
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Chunk lineage: the life story of every data chunk, recorded as a
+//! bounded per-chunk event log.
+//!
+//! The paper's workflow moves each chunk through a fixed set of stations —
+//! arrival (§4.2 stage 1), preprocessing/transform (stage 2), feature
+//! materialization, eviction under a cache budget (§3.2), optional spill to
+//! the disk tier, re-materialization through the pipeline, and finally
+//! sampling for proactive training (§3.3). A [`LineageEntry`] records one
+//! such station visit with a clock stamp; the full log is exported on
+//! [`MetricsSnapshot`](crate::MetricsSnapshot) and reconciles exactly with
+//! the tiered-store counters (every spill increments both `store.spills`
+//! and the chunk's [`LineageEventKind::Spill`] count).
+
+/// Upper bound on retained lineage entries across all chunks; entries past
+/// it are counted in `dropped_lineage` instead of recorded.
+pub const LINEAGE_CAPACITY: usize = 1 << 16;
+
+/// One station of a chunk's lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LineageEventKind {
+    /// The raw chunk arrived and was ingested into the store.
+    Arrival,
+    /// The chunk was preprocessed through the deployed pipeline (with
+    /// statistic updates — the online path).
+    Transform,
+    /// The chunk's features were stored in the materialized cache.
+    Materialize,
+    /// The features were evicted from the in-memory cache (budget pressure).
+    Evict,
+    /// The evicted features were spilled to the disk tier.
+    Spill,
+    /// A spill-write for this chunk failed past every retry; the chunk
+    /// stays recomputable from raw data.
+    LostSpill,
+    /// A lookup served the features from the disk spill tier.
+    SpillRead,
+    /// A lookup fell through to re-materialization (no spill existed).
+    Rematerialize,
+    /// A lookup found an unreadable/corrupt spill past the retry budget and
+    /// fell through to re-materialization.
+    SpillReadFallback,
+    /// The chunk was sampled into a proactive-training mini-batch.
+    SampledForTraining,
+}
+
+impl LineageEventKind {
+    /// Stable lower-snake name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            LineageEventKind::Arrival => "arrival",
+            LineageEventKind::Transform => "transform",
+            LineageEventKind::Materialize => "materialize",
+            LineageEventKind::Evict => "evict",
+            LineageEventKind::Spill => "spill",
+            LineageEventKind::LostSpill => "lost_spill",
+            LineageEventKind::SpillRead => "spill_read",
+            LineageEventKind::Rematerialize => "rematerialize",
+            LineageEventKind::SpillReadFallback => "spill_read_fallback",
+            LineageEventKind::SampledForTraining => "sampled_for_training",
+        }
+    }
+}
+
+/// One clock-stamped lineage event of a chunk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineageEntry {
+    /// Clock seconds (registry clock epoch) when the event was recorded.
+    pub at_secs: f64,
+    /// Which station of the lifecycle this was.
+    pub kind: LineageEventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_are_unique() {
+        let kinds = [
+            LineageEventKind::Arrival,
+            LineageEventKind::Transform,
+            LineageEventKind::Materialize,
+            LineageEventKind::Evict,
+            LineageEventKind::Spill,
+            LineageEventKind::LostSpill,
+            LineageEventKind::SpillRead,
+            LineageEventKind::Rematerialize,
+            LineageEventKind::SpillReadFallback,
+            LineageEventKind::SampledForTraining,
+        ];
+        let names: std::collections::BTreeSet<_> = kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), kinds.len());
+    }
+}

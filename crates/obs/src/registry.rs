@@ -7,6 +7,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::clock::Clock;
+use crate::lineage::{LineageEntry, LineageEventKind, LINEAGE_CAPACITY};
 use crate::snapshot::{Event, HistogramSnapshot, MetricsSnapshot};
 
 /// Upper bound on retained events; older entries are dropped first.
@@ -20,7 +21,7 @@ pub const LATENCY_BOUNDS: &[f64] = &[
 
 /// Recovers from mutex poisoning: observability locks guard plain counters,
 /// so a panicking observer must never take the registry down with it.
-fn lock_ignore_poison<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_ignore_poison<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -37,6 +38,8 @@ pub(crate) struct HistogramCell {
     sum_bits: AtomicU64,
     min_bits: AtomicU64,
     max_bits: AtomicU64,
+    /// Non-finite observations, counted instead of silently skipped.
+    dropped: AtomicU64,
 }
 
 impl HistogramCell {
@@ -48,11 +51,13 @@ impl HistogramCell {
             sum_bits: AtomicU64::new(0f64.to_bits()),
             min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
             max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            dropped: AtomicU64::new(0),
         }
     }
 
     fn observe(&self, value: f64) {
         if !value.is_finite() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
         let idx = self
@@ -99,8 +104,16 @@ impl HistogramCell {
             } else {
                 f64::from_bits(self.max_bits.load(Ordering::Relaxed))
             },
+            dropped: self.dropped.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Bounded per-chunk lineage log (`total` counts entries across all chunks).
+#[derive(Debug, Default)]
+struct LineageLog {
+    entries: BTreeMap<u64, Vec<LineageEntry>>,
+    total: usize,
 }
 
 /// The shared state behind an enabled metrics handle.
@@ -112,6 +125,9 @@ pub(crate) struct Registry {
     gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     histograms: Mutex<BTreeMap<String, Arc<HistogramCell>>>,
     events: Mutex<VecDeque<Event>>,
+    dropped_events: AtomicU64,
+    lineage: Mutex<LineageLog>,
+    dropped_lineage: AtomicU64,
 }
 
 impl Registry {
@@ -122,6 +138,9 @@ impl Registry {
             gauges: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
             events: Mutex::new(VecDeque::new()),
+            dropped_events: AtomicU64::new(0),
+            lineage: Mutex::new(LineageLog::default()),
+            dropped_lineage: AtomicU64::new(0),
         }
     }
 
@@ -158,12 +177,27 @@ impl Registry {
         let mut log = lock_ignore_poison(&self.events);
         if log.len() >= EVENT_LOG_CAPACITY {
             log.pop_front();
+            self.dropped_events.fetch_add(1, Ordering::Relaxed);
         }
         log.push_back(Event {
             at_secs,
             name: name.to_string(),
             detail,
         });
+    }
+
+    pub(crate) fn record_lineage(&self, chunk_ts: u64, kind: LineageEventKind) {
+        let at_secs = self.clock.now_secs();
+        let mut log = lock_ignore_poison(&self.lineage);
+        if log.total >= LINEAGE_CAPACITY {
+            self.dropped_lineage.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        log.total += 1;
+        log.entries
+            .entry(chunk_ts)
+            .or_default()
+            .push(LineageEntry { at_secs, kind });
     }
 
     pub(crate) fn snapshot(&self) -> MetricsSnapshot {
@@ -180,11 +214,15 @@ impl Registry {
             .map(|(name, cell)| (name.clone(), cell.snapshot()))
             .collect();
         let events = lock_ignore_poison(&self.events).iter().cloned().collect();
+        let lineage = lock_ignore_poison(&self.lineage).entries.clone();
         MetricsSnapshot {
             counters,
             gauges,
             histograms,
             events,
+            dropped_events: self.dropped_events.load(Ordering::Relaxed),
+            lineage,
+            dropped_lineage: self.dropped_lineage.load(Ordering::Relaxed),
         }
     }
 }

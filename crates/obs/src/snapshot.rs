@@ -6,6 +6,8 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::Path;
 
+use crate::lineage::{LineageEntry, LineageEventKind};
+
 /// One structured event from the bounded event log.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Event {
@@ -32,6 +34,8 @@ pub struct HistogramSnapshot {
     pub min: f64,
     /// Largest observation (0.0 when empty).
     pub max: f64,
+    /// Non-finite observations that were counted-and-dropped.
+    pub dropped: u64,
 }
 
 impl HistogramSnapshot {
@@ -42,6 +46,29 @@ impl HistogramSnapshot {
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// Upper bound on the `q`-quantile from the bucket counts: the bound of
+    /// the first bucket whose cumulative count reaches `ceil(q * count)`
+    /// (the recorded `max` for the overflow bucket). `None` when the
+    /// histogram is empty or `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket;
+            if cumulative >= target {
+                return Some(if i < self.bounds.len() {
+                    self.bounds[i].min(self.max)
+                } else {
+                    self.max
+                });
+            }
+        }
+        Some(self.max)
     }
 }
 
@@ -59,6 +86,13 @@ pub struct MetricsSnapshot {
     pub histograms: BTreeMap<String, HistogramSnapshot>,
     /// The retained tail of the structured event log, oldest first.
     pub events: Vec<Event>,
+    /// Events evicted from the bounded log (truncation is visible, not
+    /// silent: `dropped_events + events.len()` is the true event total).
+    pub dropped_events: u64,
+    /// Per-chunk lineage logs keyed by chunk timestamp.
+    pub lineage: BTreeMap<u64, Vec<LineageEntry>>,
+    /// Lineage entries discarded because the lineage log was full.
+    pub dropped_lineage: u64,
 }
 
 impl MetricsSnapshot {
@@ -84,34 +118,52 @@ impl MetricsSnapshot {
 
     /// True when nothing was recorded (e.g. metrics were disabled).
     pub fn is_empty(&self) -> bool {
-        self.metric_count() == 0 && self.events.is_empty()
+        self.metric_count() == 0 && self.events.is_empty() && self.lineage.is_empty()
     }
 
-    /// CSV export: `kind,name,count,sum,mean,min,max`, one row per metric,
-    /// sorted by kind then name.
+    /// The lineage log of chunk `chunk_ts`, oldest event first.
+    pub fn chunk_lineage(&self, chunk_ts: u64) -> &[LineageEntry] {
+        self.lineage.get(&chunk_ts).map_or(&[], Vec::as_slice)
+    }
+
+    /// Total lineage events of `kind` across every chunk.
+    pub fn lineage_count(&self, kind: LineageEventKind) -> u64 {
+        self.lineage
+            .values()
+            .flatten()
+            .filter(|e| e.kind == kind)
+            .count() as u64
+    }
+
+    /// CSV export: `kind,name,count,sum,mean,min,max,dropped`, one row per
+    /// metric, sorted by kind then name. Names containing commas, quotes,
+    /// or newlines are RFC 4180-quoted.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("kind,name,count,sum,mean,min,max\n");
+        let mut out = String::from("kind,name,count,sum,mean,min,max,dropped\n");
         for (name, value) in &self.counters {
-            let _ = writeln!(out, "counter,{name},{value},{value},,,");
+            let _ = writeln!(out, "counter,{},{value},{value},,,,", escape_csv(name));
         }
         for (name, value) in &self.gauges {
-            let _ = writeln!(out, "gauge,{name},,{value},,,");
+            let _ = writeln!(out, "gauge,{},,{value},,,,", escape_csv(name));
         }
         for (name, h) in &self.histograms {
             let _ = writeln!(
                 out,
-                "histogram,{name},{},{},{},{},{}",
+                "histogram,{},{},{},{},{},{},{}",
+                escape_csv(name),
                 h.count,
                 h.sum,
                 h.mean(),
                 h.min,
-                h.max
+                h.max,
+                h.dropped
             );
         }
         out
     }
 
-    /// JSON export of counters, gauges, histograms, and events.
+    /// JSON export of counters, gauges, histograms, events, lineage, and
+    /// drop accounting.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"counters\": {");
         push_entries(&mut out, self.counters.iter(), |out, (name, value)| {
@@ -125,13 +177,14 @@ impl MetricsSnapshot {
         push_entries(&mut out, self.histograms.iter(), |out, (name, h)| {
             let _ = write!(
                 out,
-                "\"{}\": {{\"count\": {}, \"sum\": {}, \"mean\": {}, \"min\": {}, \"max\": {}}}",
+                "\"{}\": {{\"count\": {}, \"sum\": {}, \"mean\": {}, \"min\": {}, \"max\": {}, \"dropped\": {}}}",
                 escape_json(name),
                 h.count,
                 json_num(h.sum),
                 json_num(h.mean()),
                 json_num(h.min),
-                json_num(h.max)
+                json_num(h.max),
+                h.dropped
             );
         });
         out.push_str("},\n  \"events\": [");
@@ -144,7 +197,24 @@ impl MetricsSnapshot {
                 escape_json(&event.detail)
             );
         });
-        out.push_str("]\n}\n");
+        out.push_str("],\n  \"lineage\": {");
+        push_entries(&mut out, self.lineage.iter(), |out, (chunk_ts, entries)| {
+            let _ = write!(out, "\"{chunk_ts}\": [");
+            push_entries(out, entries.iter(), |out, e| {
+                let _ = write!(
+                    out,
+                    "{{\"at_secs\": {}, \"kind\": \"{}\"}}",
+                    json_num(e.at_secs),
+                    e.kind.name()
+                );
+            });
+            out.push(']');
+        });
+        let _ = write!(
+            out,
+            "}},\n  \"dropped_events\": {},\n  \"dropped_lineage\": {}\n}}\n",
+            self.dropped_events, self.dropped_lineage
+        );
         out
     }
 
@@ -175,6 +245,16 @@ fn push_entries<T>(
             out.push_str(", ");
         }
         write_one(out, entry);
+    }
+}
+
+/// RFC 4180 field quoting: wrap in quotes (doubling embedded quotes) when
+/// the value contains a comma, quote, or line break.
+fn escape_csv(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
     }
 }
 

@@ -12,7 +12,7 @@
 use std::sync::Arc;
 
 use cdp_faults::{FaultHook, NoFaults, RetryPolicy};
-use cdp_obs::Metrics;
+use cdp_obs::{LineageEventKind, Metrics};
 
 use crate::chunk::{FeatureChunk, RawChunk, Timestamp};
 use crate::disk::DiskTier;
@@ -161,7 +161,10 @@ impl TieredStore {
     /// # Errors
     /// Duplicate timestamps.
     pub fn put_raw(&mut self, chunk: RawChunk) -> Result<(), StorageError> {
-        self.memory.put_raw(chunk)
+        let ts = chunk.timestamp.0;
+        self.memory.put_raw(chunk)?;
+        self.metrics.lineage(ts, LineageEventKind::Arrival);
+        Ok(())
     }
 
     /// Stores features; chunks evicted from memory are spilled to disk when
@@ -172,13 +175,19 @@ impl TieredStore {
     /// Duplicate timestamps or dangling raw references (logic errors, never
     /// absorbed).
     pub fn put_feature(&mut self, chunk: FeatureChunk) -> Result<(), StorageError> {
+        let ts = chunk.timestamp.0;
         let evicted = self.memory.put_feature(chunk)?;
+        self.metrics.lineage(ts, LineageEventKind::Materialize);
         if let Some(disk) = self.disk.as_mut() {
             for old in evicted {
+                self.metrics
+                    .lineage(old.timestamp.0, LineageEventKind::Evict);
                 match disk.write(&old) {
                     Ok(()) => {
                         self.stats.spills += 1;
                         self.metrics.counter("store.spills").inc();
+                        self.metrics
+                            .lineage(old.timestamp.0, LineageEventKind::Spill);
                     }
                     Err(_) => {
                         self.stats.lost_spills += 1;
@@ -186,8 +195,15 @@ impl TieredStore {
                         self.metrics.counter("store.lost_spills").inc();
                         self.metrics
                             .event("store.lost_spill", format!("chunk {}", old.timestamp.0));
+                        self.metrics
+                            .lineage(old.timestamp.0, LineageEventKind::LostSpill);
                     }
                 }
+            }
+        } else {
+            for old in evicted {
+                self.metrics
+                    .lineage(old.timestamp.0, LineageEventKind::Evict);
             }
         }
         Ok(())
@@ -211,6 +227,7 @@ impl TieredStore {
                 Some(Ok(Some(chunk))) => {
                     self.stats.disk_hits += 1;
                     self.metrics.counter("store.disk_hits").inc();
+                    self.metrics.lineage(ts.0, LineageEventKind::SpillRead);
                     TieredLookup::Disk(chunk)
                 }
                 Some(Err(_)) => {
@@ -219,11 +236,14 @@ impl TieredStore {
                     self.metrics.counter("store.read_fallbacks").inc();
                     self.metrics
                         .event("store.read_fallback", format!("chunk {}", ts.0));
+                    self.metrics
+                        .lineage(ts.0, LineageEventKind::SpillReadFallback);
                     TieredLookup::Recompute(raw)
                 }
                 Some(Ok(None)) | None => {
                     self.stats.recomputes += 1;
                     self.metrics.counter("store.recomputes").inc();
+                    self.metrics.lineage(ts.0, LineageEventKind::Rematerialize);
                     TieredLookup::Recompute(raw)
                 }
             },
@@ -357,6 +377,46 @@ mod tests {
         assert!(snap
             .histogram("store.disk_read_secs")
             .is_some_and(|h| h.count >= 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lineage_reconciles_with_tier_stats() {
+        let dir = tmp_dir("lineage");
+        let mut store = ok(TieredStore::open(StorageBudget::MaxChunks(3), &dir));
+        let metrics = Metrics::collecting();
+        store.set_metrics(metrics.clone());
+        for t in 0..10 {
+            ok(store.put_raw(raw(t)));
+            ok(store.put_feature(feat(t)));
+        }
+        let _ = store.lookup(Timestamp(9)); // memory
+        let _ = store.lookup(Timestamp(0)); // disk
+        let snap = metrics.snapshot();
+        let stats = store.stats();
+        assert_eq!(snap.lineage_count(LineageEventKind::Arrival), 10);
+        assert_eq!(snap.lineage_count(LineageEventKind::Materialize), 10);
+        assert_eq!(snap.lineage_count(LineageEventKind::Spill), stats.spills);
+        assert_eq!(
+            snap.lineage_count(LineageEventKind::SpillRead),
+            stats.disk_hits
+        );
+        assert_eq!(
+            snap.lineage_count(LineageEventKind::Rematerialize),
+            stats.recomputes
+        );
+        // A spilled-and-reread chunk's history reads in causal order.
+        let history: Vec<_> = snap.chunk_lineage(0).iter().map(|e| e.kind).collect();
+        assert_eq!(
+            history,
+            vec![
+                LineageEventKind::Arrival,
+                LineageEventKind::Materialize,
+                LineageEventKind::Evict,
+                LineageEventKind::Spill,
+                LineageEventKind::SpillRead,
+            ]
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

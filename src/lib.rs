@@ -63,8 +63,8 @@ pub use cdp_storage as storage;
 /// The most common imports for platform users.
 pub mod prelude {
     pub use cdp_core::deployment::{
-        run_deployment, try_run_deployment, try_run_deployment_observed, DeploymentConfig,
-        DeploymentError, DeploymentMode, DeploymentResult, OptimizationConfig,
+        run_deployment, try_run_deployment, try_run_deployment_observed, try_run_deployment_traced,
+        DeploymentConfig, DeploymentError, DeploymentMode, DeploymentResult, OptimizationConfig,
     };
     pub use cdp_core::presets::{taxi_spec, url_spec, DeploymentSpec, SpecScale};
     pub use cdp_core::scheduler::Scheduler;
@@ -72,7 +72,10 @@ pub mod prelude {
     pub use cdp_eval::ErrorMetric;
     pub use cdp_faults::{FaultPlan, FaultStats};
     pub use cdp_ml::{LossKind, OptimizerKind, Regularizer, SgdConfig};
-    pub use cdp_obs::{Metrics, MetricsSnapshot, VirtualClock, WallClock};
+    pub use cdp_obs::{
+        Alert, AlertMonitor, LineageEventKind, Metrics, MetricsSnapshot, TraceSnapshot, Tracer,
+        VirtualClock, WallClock,
+    };
     pub use cdp_sampling::SamplingStrategy;
     pub use cdp_storage::StorageBudget;
 }
