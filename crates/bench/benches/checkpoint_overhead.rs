@@ -1,0 +1,65 @@
+//! Checkpointing overhead: with `DeploymentConfig.checkpoint = None` the
+//! chunk loop pays a single branch per chunk — the disabled path must stay
+//! indistinguishable from the pre-checkpoint deployment loop. The enabled
+//! path and the codec are benched alongside for scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cdp_core::checkpoint::DeploymentCheckpoint;
+use cdp_core::deployment::{run_deployment, CheckpointConfig, DeploymentConfig};
+use cdp_core::presets::{url_spec, SpecScale};
+use cdp_sampling::SamplingStrategy;
+use cdp_storage::CheckpointDir;
+
+fn tiny_continuous() -> DeploymentConfig {
+    DeploymentConfig::continuous(2, 3, SamplingStrategy::Uniform)
+}
+
+fn bench_deployment(c: &mut Criterion) {
+    let (stream, spec) = url_spec(SpecScale::Tiny);
+    let mut group = c.benchmark_group("checkpoint/deployment");
+    group.sample_size(10);
+    let disabled = tiny_continuous();
+    group.bench_function("disabled", |b| {
+        b.iter(|| black_box(run_deployment(&stream, &spec, black_box(&disabled))));
+    });
+    let dir = std::env::temp_dir().join(format!("cdp-ckpt-crit-{}", std::process::id()));
+    let mut enabled = tiny_continuous();
+    enabled.checkpoint = Some(CheckpointConfig::new(&dir).every(4).keep(2));
+    group.bench_function("every_4", |b| {
+        b.iter(|| black_box(run_deployment(&stream, &spec, black_box(&enabled))));
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_codec(c: &mut Criterion) {
+    // A real checkpoint payload from a completed tiny run, not a synthetic
+    // one: the codec cost that the write path actually pays.
+    let (stream, spec) = url_spec(SpecScale::Tiny);
+    let dir = std::env::temp_dir().join(format!("cdp-ckpt-codec-{}", std::process::id()));
+    let mut config = tiny_continuous();
+    config.collect_metrics = true;
+    config.checkpoint = Some(CheckpointConfig::new(&dir).every(1).keep(1));
+    run_deployment(&stream, &spec, &config);
+    let store = CheckpointDir::open(&dir, 1).expect("open checkpoint dir");
+    let (_, payload) = store
+        .latest_valid()
+        .expect("scan")
+        .expect("a completed run leaves a checkpoint");
+    let decoded = DeploymentCheckpoint::decode(&payload).expect("decode");
+
+    let mut group = c.benchmark_group("checkpoint/codec");
+    group.bench_function("encode", |b| {
+        b.iter(|| black_box(black_box(&decoded).encode()));
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| black_box(DeploymentCheckpoint::decode(black_box(&payload))).unwrap());
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_deployment, bench_codec);
+criterion_main!(benches);

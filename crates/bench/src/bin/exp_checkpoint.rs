@@ -1,0 +1,11 @@
+//! Sweeps checkpoint intervals over the Continuous URL workload and times
+//! resume-from-shutdown recovery; see `cdp-bench` docs for flags. Copies
+//! `BENCH_checkpoint.json` to the working directory.
+
+fn main() {
+    cdp_bench::run_binary("exp_checkpoint", |scale, out| {
+        cdp_bench::experiments::checkpoint::run(scale, out)
+    });
+    let (_, out) = cdp_bench::parse_args();
+    let _ = std::fs::copy(out.join("BENCH_checkpoint.json"), "BENCH_checkpoint.json");
+}

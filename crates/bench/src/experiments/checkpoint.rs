@@ -1,0 +1,188 @@
+//! Checkpoint overhead and recovery cost: the Continuous URL workload with
+//! crash-consistent checkpointing enabled at intervals {1, 2, 4, 8, 16}
+//! chunks, against the no-checkpoint baseline.
+//!
+//! Records per interval: wall-clock overhead over the baseline, checkpoint
+//! writes and bytes, the wall-clock cost of resuming from the shutdown
+//! checkpoint (pure restore + replay, zero chunks re-run), and whether the
+//! checkpointed run stayed bit-identical to the baseline on the
+//! deterministic surface (weights, error curve, accounted cost) — the §12
+//! contract that checkpointing observes the loop without steering it.
+
+use std::path::Path;
+use std::time::Instant;
+
+use cdp_core::deployment::{
+    run_deployment, try_resume_deployment, CheckpointConfig, DeploymentConfig, DeploymentResult,
+};
+use cdp_core::presets::{url_spec, DeploymentSpec, SpecScale};
+use cdp_core::report::{fmt_f, Table};
+use cdp_datagen::ChunkStream;
+use cdp_sampling::SamplingStrategy;
+use cdp_storage::StorageBudget;
+
+/// The checkpoint cadences the sweep measures, in chunks.
+pub const INTERVAL_SWEEP: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// One measured checkpointed run.
+#[derive(Debug, Clone)]
+pub struct CheckpointPoint {
+    /// Checkpoint interval in chunks.
+    pub every: usize,
+    /// Wall-clock seconds of the checkpointed run.
+    pub wall_secs: f64,
+    /// Wall-clock overhead relative to the no-checkpoint baseline.
+    pub overhead: f64,
+    /// Durable checkpoint writes performed.
+    pub writes: u64,
+    /// Total bytes written across all checkpoints.
+    pub bytes_written: u64,
+    /// Wall-clock seconds to resume from the shutdown checkpoint.
+    pub resume_wall_secs: f64,
+    /// Deterministic surface matched the baseline bit for bit.
+    pub bit_identical: bool,
+}
+
+fn workload(spec: &DeploymentSpec) -> DeploymentConfig {
+    let mut config = DeploymentConfig::continuous(
+        spec.proactive_every,
+        spec.sample_chunks,
+        SamplingStrategy::Uniform,
+    );
+    config.optimization.budget = StorageBudget::MaxChunks(8);
+    config.engine = crate::engine();
+    config
+}
+
+fn identical(a: &DeploymentResult, b: &DeploymentResult) -> bool {
+    a.final_error.to_bits() == b.final_error.to_bits()
+        && a.final_weights == b.final_weights
+        && a.error_curve == b.error_curve
+        && a.cost_curve == b.cost_curve
+        && a.total_secs.to_bits() == b.total_secs.to_bits()
+}
+
+fn sweep(stream: &dyn ChunkStream, spec: &DeploymentSpec, out_dir: &Path) -> Vec<CheckpointPoint> {
+    let base = workload(spec);
+    let baseline = run_deployment(stream, spec, &base);
+    let mut points = Vec::new();
+    for every in INTERVAL_SWEEP {
+        let dir = out_dir.join(format!("checkpoints-every-{every}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = base.clone();
+        config.checkpoint = Some(CheckpointConfig::new(&dir).every(every).keep(2));
+        let run = run_deployment(stream, spec, &config);
+        let resume_started = Instant::now();
+        let resumed = match try_resume_deployment(stream, spec, &config) {
+            Ok(r) => r,
+            Err(e) => panic!("resume from a completed run cannot fail: {e}"),
+        };
+        let resume_wall_secs = resume_started.elapsed().as_secs_f64();
+        points.push(CheckpointPoint {
+            every,
+            wall_secs: run.wall_secs,
+            overhead: run.wall_secs / baseline.wall_secs.max(1e-9),
+            writes: run.checkpoint_stats.writes,
+            bytes_written: run.checkpoint_stats.bytes_written,
+            resume_wall_secs,
+            bit_identical: identical(&baseline, &run) && identical(&baseline, &resumed),
+        });
+    }
+    points
+}
+
+fn write_json(points: &[CheckpointPoint], scale: SpecScale, baseline_wall: f64, path: &Path) {
+    let mut runs = String::new();
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            runs.push_str(",\n");
+        }
+        runs.push_str(&format!(
+            "    {{\"every\": {}, \"wall_secs\": {:.6}, \"overhead\": {:.3}, \
+             \"writes\": {}, \"bytes_written\": {}, \"resume_wall_secs\": {:.6}, \
+             \"bit_identical\": {}}}",
+            p.every,
+            p.wall_secs,
+            p.overhead,
+            p.writes,
+            p.bytes_written,
+            p.resume_wall_secs,
+            p.bit_identical
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"checkpoint\",\n  \"scale\": \"{:?}\",\n  \
+         \"interval_sweep\": {:?},\n  \"baseline_wall_secs\": {:.6},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        scale, INTERVAL_SWEEP, baseline_wall, runs
+    );
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let _ = std::fs::write(path, json);
+}
+
+/// Runs the interval sweep on the URL pipeline, writing `checkpoint.csv`
+/// and `BENCH_checkpoint.json` into `out_dir`.
+pub fn run(scale: SpecScale, out_dir: &Path) -> String {
+    let (stream, spec) = url_spec(scale);
+    let base = workload(&spec);
+    let baseline = run_deployment(&stream, &spec, &base);
+    let points = sweep(&stream, &spec, out_dir);
+
+    let mut table = Table::new([
+        "every",
+        "wall s",
+        "overhead",
+        "writes",
+        "bytes",
+        "resume wall s",
+        "bit-identical",
+    ]);
+    for p in &points {
+        table.row([
+            p.every.to_string(),
+            fmt_f(p.wall_secs, 4),
+            format!("{:.2}x", p.overhead),
+            p.writes.to_string(),
+            p.bytes_written.to_string(),
+            fmt_f(p.resume_wall_secs, 4),
+            p.bit_identical.to_string(),
+        ]);
+    }
+    crate::write_csv(&table, out_dir.join("checkpoint.csv"));
+    write_json(
+        &points,
+        scale,
+        baseline.wall_secs,
+        &out_dir.join("BENCH_checkpoint.json"),
+    );
+
+    let all_identical = points.iter().all(|p| p.bit_identical);
+    format!(
+        "Checkpointing: Continuous URL deployment, crash-consistent \
+         checkpoints every {{1, 2, 4, 8, 16}} chunks\nbaseline (no \
+         checkpointing): {} s wall\n\n{}\nall checkpointed runs bit-identical \
+         to the baseline: {}\n",
+        fmt_f(baseline.wall_secs, 4),
+        table.render(),
+        all_identical
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_bit_identical_and_writes_artifacts() {
+        let dir = std::env::temp_dir().join(format!("cdp-ckpt-bench-{}", std::process::id()));
+        let report = run(SpecScale::Tiny, &dir);
+        assert!(report.contains("all checkpointed runs bit-identical to the baseline: true"));
+        assert!(dir.join("checkpoint.csv").exists());
+        let json = std::fs::read_to_string(dir.join("BENCH_checkpoint.json")).unwrap();
+        assert!(json.contains("\"experiment\": \"checkpoint\""));
+        assert!(json.contains("\"bit_identical\": true"));
+        assert!(!json.contains("\"bit_identical\": false"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -74,7 +74,7 @@ fn sweep_dataset(
     }];
     for workers in WORKER_SWEEP {
         let engine = ExecutionEngine::Threaded { workers };
-        let mut config = base;
+        let mut config = base.clone();
         config.engine = engine;
         let r = run_deployment(stream, spec, &config);
         points.push(SweepPoint {

@@ -101,7 +101,7 @@ fn sweep_dataset(
     };
     let mut points = Vec::new();
     for (label, plan, spill) in plans() {
-        let mut config = base;
+        let mut config = base.clone();
         config.faults = plan;
         config.spill_to_disk = spill;
         let first = try_run_deployment(stream, spec, &config);

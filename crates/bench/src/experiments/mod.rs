@@ -2,6 +2,7 @@
 //! rendered report and writes a CSV next to it.
 
 pub mod ablations;
+pub mod checkpoint;
 pub mod datasets;
 pub mod engine_scaling;
 pub mod fault_recovery;

@@ -195,6 +195,29 @@ impl DataManager {
         self.sampler.strategy()
     }
 
+    /// Replaces the fault hook consulted by the disk tier. Resume swaps a
+    /// throwaway replay hook for the real injector after rebuilding state.
+    pub fn set_hook(&mut self, hook: Arc<dyn FaultHook>) {
+        self.store.set_hook(hook);
+    }
+
+    /// Overwrites the tier-level counters (checkpoint restore).
+    pub fn restore_tiered_stats(&mut self, stats: TieredStats) {
+        self.store.restore_stats(stats);
+    }
+
+    /// The sampler's raw RNG state, for deployment checkpoints.
+    pub fn sampler_rng_state(&self) -> u64 {
+        self.sampler.rng_state()
+    }
+
+    /// Restores a sampler RNG state captured by
+    /// [`DataManager::sampler_rng_state`], so resumed sampling draws the
+    /// same sequence the uninterrupted run would have drawn.
+    pub fn set_sampler_rng_state(&mut self, state: u64) {
+        self.sampler.set_rng_state(state);
+    }
+
     /// Direct store access (failure injection and inspection in tests).
     pub fn store_mut(&mut self) -> &mut ChunkStore {
         self.store.memory_mut()

@@ -12,6 +12,7 @@
 //!   mini-batch SGD iteration over a sample of the history, served from the
 //!   materialized-feature cache when possible.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -20,17 +21,22 @@ use cdp_engine::{EngineError, ExecutionEngine};
 use cdp_eval::cost::Stopwatch;
 use cdp_eval::prequential::average_of_curve;
 use cdp_eval::{CostLedger, CostModel, Phase, PrequentialEvaluator};
-use cdp_faults::{FaultHook, FaultInjector, FaultPlan, FaultStats, NoFaults, RetryPolicy};
-use cdp_ml::TrainReport;
+use cdp_faults::{
+    CrashSite, FaultHook, FaultInjector, FaultPlan, FaultStats, NoFaults, RetryPolicy,
+};
+use cdp_linalg::DenseVector;
+use cdp_ml::{LinearModel, OptimizerState, SgdTrainer, TrainReport};
 use cdp_obs::{
-    Alert, AlertMonitor, Clock, Metrics, MetricsSnapshot, TraceSnapshot, Tracer, VirtualClock,
+    Alert, AlertMonitor, Clock, Metrics, MetricsSnapshot, TraceSnapshot, TraceSpan, Tracer,
+    VirtualClock,
 };
 use cdp_pipeline::drift::{DriftDetector, DriftStatus};
 use cdp_pipeline::PipelineError;
 use cdp_sampling::{mu_uniform, mu_window, SamplingStrategy};
-use cdp_storage::{StorageBudget, StorageError, StoreStats, TieredStats};
+use cdp_storage::{CheckpointDir, StorageBudget, StorageError, StoreStats, TieredStats};
 use serde::{Deserialize, Serialize};
 
+use crate::checkpoint::DeploymentCheckpoint;
 use crate::data_manager::DataManager;
 use crate::pipeline_manager::PipelineManager;
 use crate::presets::DeploymentSpec;
@@ -94,8 +100,64 @@ impl Default for OptimizationConfig {
     }
 }
 
+/// Crash-consistent checkpointing for a deployment run.
+///
+/// When set on [`DeploymentConfig::checkpoint`], the loop durably writes a
+/// [`DeploymentCheckpoint`] every `every_chunks` chunks (and once more at
+/// shutdown if chunks arrived since the last write), keeping the newest
+/// `keep` files. [`try_resume_deployment`] restarts a killed run from the
+/// newest valid checkpoint; a torn or corrupt latest file falls back to its
+/// predecessor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Directory holding the numbered checkpoint files.
+    pub dir: PathBuf,
+    /// Chunks between checkpoint writes (clamped to at least 1).
+    pub every_chunks: usize,
+    /// Checkpoints retained, newest first (clamped to at least 1).
+    pub keep: usize,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint into `dir` every 8 chunks, keeping the last 2 files.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            every_chunks: 8,
+            keep: 2,
+        }
+    }
+
+    /// Sets the write interval (builder style).
+    #[must_use]
+    pub fn every(mut self, every_chunks: usize) -> Self {
+        self.every_chunks = every_chunks;
+        self
+    }
+
+    /// Sets the retention budget (builder style).
+    #[must_use]
+    pub fn keep(mut self, keep: usize) -> Self {
+        self.keep = keep;
+        self
+    }
+}
+
+/// Checkpoint activity of one run. Deliberately *outside* the bit-identity
+/// contract: a resumed run legitimately writes more checkpoints (and counts
+/// its restore) than the uninterrupted run it otherwise reproduces.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointStats {
+    /// Durable checkpoint files completed.
+    pub writes: u64,
+    /// Bytes written across those files (envelope included).
+    pub bytes_written: u64,
+    /// Restores performed by this run's checkpoint lineage.
+    pub restores: u64,
+}
+
 /// Everything a deployment run needs besides the pipeline spec.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct DeploymentConfig {
     /// Freshness mechanism.
     pub mode: DeploymentMode,
@@ -137,6 +199,9 @@ pub struct DeploymentConfig {
     /// never perturbs results — weights, curves, accounted cost, and the
     /// metrics snapshot are bit-identical with and without it.
     pub collect_traces: bool,
+    /// Crash-consistent checkpointing. `None` (the default) writes nothing
+    /// and costs the hot path a single branch per chunk.
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl DeploymentConfig {
@@ -153,6 +218,7 @@ impl DeploymentConfig {
             spill_to_disk: false,
             collect_metrics: false,
             collect_traces: false,
+            checkpoint: None,
         }
     }
 
@@ -249,6 +315,10 @@ pub struct DeploymentResult {
     /// metrics snapshot (empty unless metrics were collected). Each fired
     /// alert is also appended to the event log as `alert.fired`.
     pub alerts: Vec<Alert>,
+    /// Checkpoint writes/bytes/restores (all zero without
+    /// [`DeploymentConfig::checkpoint`]). Not part of the bit-identity
+    /// contract — see [`CheckpointStats`].
+    pub checkpoint_stats: CheckpointStats,
 }
 
 impl DeploymentResult {
@@ -269,6 +339,14 @@ pub enum DeploymentError {
     /// component) — a configuration error, surfaced typed instead of
     /// panicking inside the deployment loop.
     Pipeline(PipelineError),
+    /// The process was killed by an injected crash point (tests only; a
+    /// real crash never returns). The run's partial state is exactly what a
+    /// `kill -9` at that point would leave on disk.
+    Crashed(CrashSite),
+    /// Resume was requested but there is nothing to resume from: no
+    /// [`DeploymentConfig::checkpoint`] configured, or no valid checkpoint
+    /// file in the directory.
+    NoCheckpoint(String),
 }
 
 impl std::fmt::Display for DeploymentError {
@@ -277,6 +355,12 @@ impl std::fmt::Display for DeploymentError {
             DeploymentError::Storage(e) => write!(f, "storage failure: {e}"),
             DeploymentError::Engine(e) => write!(f, "engine failure: {e}"),
             DeploymentError::Pipeline(e) => write!(f, "pipeline construction failure: {e}"),
+            DeploymentError::Crashed(site) => {
+                write!(f, "injected crash at the {} site", site.name())
+            }
+            DeploymentError::NoCheckpoint(detail) => {
+                write!(f, "nothing to resume from: {detail}")
+            }
         }
     }
 }
@@ -428,7 +512,7 @@ pub fn try_run_deployment_traced(
         .with_fault_hook(Arc::clone(&hook))
         .with_metrics(metrics.clone())
         .with_tracer(tracer.clone());
-    let mut evaluator = PrequentialEvaluator::new(spec.metric, 0);
+    let evaluator = PrequentialEvaluator::new(spec.metric, 0);
     let proactive = if config.optimization.online_stats {
         ProactiveTrainer::new()
     } else {
@@ -451,57 +535,133 @@ pub fn try_run_deployment_traced(
     dm.store_mut().reset_stats();
 
     // ---- Deployment loop ----
-    let mut ledger = CostLedger::new(config.cost_model);
-    let mut chunks_since_training = 0usize;
-    let mut last_training_secs = 0.0f64;
-    // Simulated deployment clock: advances by exactly one chunk period per
-    // arriving chunk, independent of wall time, so scheduling decisions stay
-    // deterministic (the bit-identical-across-engines contract).
-    let sim = VirtualClock::new();
-    let mut last_training_at_secs = 0.0f64;
-    let mut proactive_runs = 0u64;
-    let mut proactive_secs_sum = 0.0f64;
-    let mut retrain_runs = 0u64;
-    // Per-chunk error monitor feeding the drift-adaptive scheduler
-    // (chunk-granular windows: ~60 stable chunks vs the last 12).
-    let mut drift_monitor = DriftDetector::new(60, 12, 2.0, 3.0);
-    let mut drift_level = 0u8;
-    let mut prev_acc = 0.0f64;
-    let mut prev_count = 0u64;
+    let st = LoopState {
+        dm,
+        pm,
+        evaluator,
+        proactive,
+        ledger: CostLedger::new(config.cost_model),
+        // Simulated deployment clock: advances by exactly one chunk period
+        // per arriving chunk, independent of wall time, so scheduling
+        // decisions stay deterministic (the bit-identical contract).
+        sim: VirtualClock::new(),
+        chunks_since_training: 0,
+        last_training_secs: 0.0,
+        last_training_at_secs: 0.0,
+        proactive_runs: 0,
+        proactive_secs_sum: 0.0,
+        retrain_runs: 0,
+        // Per-chunk error monitor feeding the drift-adaptive scheduler
+        // (chunk-granular windows: ~60 stable chunks vs the last 12).
+        drift_monitor: DriftDetector::new(60, 12, 2.0, 3.0),
+        drift_level: 0,
+        prev_acc: 0.0,
+        prev_count: 0,
+        initial_report,
+        checkpoint_stats: CheckpointStats::default(),
+    };
+    run_chunk_loop(
+        stream,
+        spec,
+        config,
+        hook,
+        metrics,
+        tracer,
+        wall,
+        run_span,
+        st,
+        stream.deployment_range().start,
+    )
+}
 
-    for idx in stream.deployment_range() {
+/// Every piece of state the chunk loop mutates — what a fresh run
+/// initializes from scratch, a checkpoint serializes, and a resume rebuilds.
+struct LoopState {
+    dm: DataManager,
+    pm: PipelineManager,
+    evaluator: PrequentialEvaluator,
+    proactive: ProactiveTrainer,
+    ledger: CostLedger,
+    sim: VirtualClock,
+    chunks_since_training: usize,
+    last_training_secs: f64,
+    last_training_at_secs: f64,
+    proactive_runs: u64,
+    proactive_secs_sum: f64,
+    retrain_runs: u64,
+    drift_monitor: DriftDetector,
+    drift_level: u8,
+    prev_acc: f64,
+    prev_count: u64,
+    initial_report: TrainReport,
+    checkpoint_stats: CheckpointStats,
+}
+
+/// The shared arrival loop: chunks `start_idx..total` through evaluation,
+/// online learning, mode-specific freshness work, checkpointing, and final
+/// result assembly. Fresh runs enter at the deployment range's start;
+/// resumed runs enter one past the restored checkpoint.
+#[allow(clippy::too_many_arguments)]
+fn run_chunk_loop(
+    stream: &dyn ChunkStream,
+    spec: &DeploymentSpec,
+    config: &DeploymentConfig,
+    hook: Arc<dyn FaultHook>,
+    metrics: Metrics,
+    tracer: Tracer,
+    wall: Stopwatch,
+    run_span: TraceSpan,
+    mut st: LoopState,
+    start_idx: usize,
+) -> Result<DeploymentResult, DeploymentError> {
+    let run_ctx = run_span.context();
+    let ckpt_dir = match &config.checkpoint {
+        Some(c) => Some(CheckpointDir::open(&c.dir, c.keep)?),
+        None => None,
+    };
+    let ckpt_every = config
+        .checkpoint
+        .as_ref()
+        .map(|c| c.every_chunks.max(1))
+        .unwrap_or(usize::MAX);
+    let mut chunks_since_ckpt = 0usize;
+    let mut last_processed_idx = None;
+
+    for idx in start_idx..stream.total_chunks() {
         let raw = stream.chunk(idx);
-        sim.advance_secs(config.chunk_period_secs);
+        st.sim.advance_secs(config.chunk_period_secs);
         let chunk_span = tracer.child_of("deployment.chunk", run_ctx);
         let chunk_ctx = chunk_span.context();
-        pm.set_trace_scope(chunk_ctx);
+        st.pm.set_trace_scope(chunk_ctx);
         metrics.counter("deployment.chunks").inc();
         // Stage 1: discretized arrival into the store (raw history).
-        dm.ingest_raw(raw.clone())?;
+        st.dm.ingest_raw(raw.clone())?;
         // Stages 2 + prequential evaluation + online learning.
-        let fc = pm.process_online_chunk(&raw, &mut evaluator, &mut ledger);
-        dm.store_features(fc)?;
-        chunks_since_training += 1;
+        let fc = st
+            .pm
+            .process_online_chunk(&raw, &mut st.evaluator, &mut st.ledger);
+        st.dm.store_features(fc)?;
+        st.chunks_since_training += 1;
 
         // Feed this chunk's mean error into the drift monitor.
-        let fresh = evaluator.count() - prev_count;
+        let fresh = st.evaluator.count() - st.prev_count;
         if fresh > 0 {
-            let chunk_error = (evaluator.raw_accumulator() - prev_acc) / fresh as f64;
-            prev_acc = evaluator.raw_accumulator();
-            prev_count = evaluator.count();
-            let observed = match drift_monitor.observe(chunk_error) {
+            let chunk_error = (st.evaluator.raw_accumulator() - st.prev_acc) / fresh as f64;
+            st.prev_acc = st.evaluator.raw_accumulator();
+            st.prev_count = st.evaluator.count();
+            let observed = match st.drift_monitor.observe(chunk_error) {
                 DriftStatus::Drift => 2,
                 DriftStatus::Warning => 1,
                 DriftStatus::Stable | DriftStatus::Warmup => 0,
             };
-            if observed != drift_level {
+            if observed != st.drift_level {
                 metrics.event(
                     "drift.level_change",
-                    format!("chunk {idx}: {drift_level} -> {observed}"),
+                    format!("chunk {idx}: {} -> {observed}", st.drift_level),
                 );
             }
-            drift_level = observed;
-            metrics.gauge("drift.level").set(f64::from(drift_level));
+            st.drift_level = observed;
+            metrics.gauge("drift.level").set(f64::from(st.drift_level));
         }
 
         match config.mode {
@@ -510,20 +670,20 @@ pub fn try_run_deployment_traced(
                 retrain_every,
                 warm_start,
             } => {
-                if chunks_since_training >= retrain_every.max(1) {
-                    chunks_since_training = 0;
-                    last_training_at_secs = sim.now_secs();
-                    retrain_runs += 1;
+                if st.chunks_since_training >= retrain_every.max(1) {
+                    st.chunks_since_training = 0;
+                    st.last_training_at_secs = st.sim.now_secs();
+                    st.retrain_runs += 1;
                     metrics.counter("deployment.retrains").inc();
                     let retrain_span = metrics.span("deployment.retrain_secs");
                     let retrain_trace = tracer.child_of("deployment.retrain", chunk_ctx);
-                    pm.set_trace_scope(retrain_trace.context());
-                    let history = dm.full_history();
+                    st.pm.set_trace_scope(retrain_trace.context());
+                    let history = st.dm.full_history();
                     if warm_start {
-                        pm.retrain_warm(&history, &spec.sgd, &mut ledger);
+                        st.pm.retrain_warm(&history, &spec.sgd, &mut st.ledger);
                     } else {
                         // Cold restart: fresh pipeline statistics and model.
-                        pm = PipelineManager::new(
+                        st.pm = PipelineManager::new(
                             spec.try_build_pipeline()?,
                             &spec.sgd,
                             spec.online_batch,
@@ -532,11 +692,11 @@ pub fn try_run_deployment_traced(
                         .with_fault_hook(Arc::clone(&hook))
                         .with_metrics(metrics.clone())
                         .with_tracer(tracer.clone());
-                        pm.set_trace_scope(retrain_trace.context());
+                        st.pm.set_trace_scope(retrain_trace.context());
                         let owned: Vec<_> = history.iter().map(|c| (**c).clone()).collect();
-                        pm.initial_fit(&owned, &spec.sgd, &mut ledger);
+                        st.pm.initial_fit(&owned, &spec.sgd, &mut st.ledger);
                     }
-                    pm.set_trace_scope(chunk_ctx);
+                    st.pm.set_trace_scope(chunk_ctx);
                     retrain_trace.finish();
                     retrain_span.finish();
                 }
@@ -546,15 +706,15 @@ pub fn try_run_deployment_traced(
                 sample_chunks,
                 ..
             } => {
-                let queries = evaluator.count().max(1);
+                let queries = st.evaluator.count().max(1);
                 let ctx = SchedulerContext {
                     chunk_period_secs: config.chunk_period_secs,
-                    last_training_secs,
-                    avg_prediction_latency: ledger.phase(Phase::Prediction) / queries as f64,
+                    last_training_secs: st.last_training_secs,
+                    avg_prediction_latency: st.ledger.phase(Phase::Prediction) / queries as f64,
                     prediction_rate: queries as f64 / ((idx + 1) as f64 * config.chunk_period_secs),
-                    elapsed_secs: sim.now_secs() - last_training_at_secs,
-                    chunks_since_last: chunks_since_training,
-                    drift_level,
+                    elapsed_secs: st.sim.now_secs() - st.last_training_at_secs,
+                    chunks_since_last: st.chunks_since_training,
+                    drift_level: st.drift_level,
                 };
                 metrics
                     .gauge("scheduler.t_secs")
@@ -578,16 +738,18 @@ pub fn try_run_deployment_traced(
                                 .observe(ctx.elapsed_secs - interval);
                         }
                     }
-                    chunks_since_training = 0;
-                    last_training_at_secs = sim.now_secs();
+                    st.chunks_since_training = 0;
+                    st.last_training_at_secs = st.sim.now_secs();
                     let fire_span = tracer.child_of("proactive.fire", chunk_ctx);
                     let fire_ctx = fire_span.context();
                     let sample_span = tracer.child_of("dm.sample", fire_ctx);
-                    let sampled = dm.sample(sample_chunks);
+                    let sampled = st.dm.sample(sample_chunks);
                     sample_span.finish();
-                    pm.set_trace_scope(fire_ctx);
-                    let outcome = proactive.try_execute(&mut pm, sampled, &mut ledger)?;
-                    pm.set_trace_scope(chunk_ctx);
+                    st.pm.set_trace_scope(fire_ctx);
+                    let outcome = st
+                        .proactive
+                        .try_execute(&mut st.pm, sampled, &mut st.ledger)?;
+                    st.pm.set_trace_scope(chunk_ctx);
                     fire_span.finish();
                     metrics.counter("proactive.runs").inc();
                     metrics
@@ -608,24 +770,66 @@ pub fn try_run_deployment_traced(
                     metrics
                         .histogram("proactive.accounted_secs")
                         .observe(outcome.accounted_secs);
-                    last_training_secs = outcome.accounted_secs;
-                    proactive_secs_sum += outcome.accounted_secs;
-                    proactive_runs += 1;
+                    st.last_training_secs = outcome.accounted_secs;
+                    st.proactive_secs_sum += outcome.accounted_secs;
+                    st.proactive_runs += 1;
+                    // A "fire" crash kills the process right after the
+                    // proactive fire was accounted, mid-chunk: the last
+                    // durable checkpoint predates this chunk entirely.
+                    if hook.crash_now(CrashSite::ProactiveFire) {
+                        return Err(DeploymentError::Crashed(CrashSite::ProactiveFire));
+                    }
                 } else {
                     metrics.counter("scheduler.skips").inc();
                 }
             }
         }
 
-        evaluator.checkpoint();
-        ledger.checkpoint(idx as u64);
-        pm.set_trace_scope(None);
+        st.evaluator.checkpoint();
+        st.ledger.checkpoint(idx as u64);
+        st.pm.set_trace_scope(None);
         chunk_span.finish();
+        last_processed_idx = Some(idx as u64);
+
+        if let Some(dir) = &ckpt_dir {
+            chunks_since_ckpt += 1;
+            if chunks_since_ckpt >= ckpt_every {
+                let bytes = write_checkpoint(dir, idx as u64, &st, &hook, &metrics)?;
+                st.checkpoint_stats.writes += 1;
+                st.checkpoint_stats.bytes_written += bytes;
+                chunks_since_ckpt = 0;
+            }
+            // Staleness in units of the configured interval: > 2.0 fires
+            // the `checkpoint.staleness` default alert rule.
+            metrics
+                .gauge("checkpoint.staleness")
+                .set(chunks_since_ckpt as f64 / ckpt_every as f64);
+        }
+        // A "chunk" crash kills the process at the chunk boundary, *after*
+        // any due checkpoint write: that write's stats exclude the crash.
+        if hook.crash_now(CrashSite::ChunkBoundary) {
+            return Err(DeploymentError::Crashed(CrashSite::ChunkBoundary));
+        }
     }
 
-    let stats = dm.stats();
+    // Shutdown checkpoint: make the final state durable unless the last
+    // periodic write already covered it (or nothing was processed).
+    if let Some(dir) = &ckpt_dir {
+        if chunks_since_ckpt > 0 {
+            if let Some(idx) = last_processed_idx {
+                let bytes = write_checkpoint(dir, idx, &st, &hook, &metrics)?;
+                st.checkpoint_stats.writes += 1;
+                st.checkpoint_stats.bytes_written += bytes;
+            }
+        }
+        metrics.gauge("checkpoint.staleness").set(0.0);
+    }
+
+    let stats = st.dm.stats();
     if metrics.is_enabled() {
-        metrics.counter("deployment.queries").add(evaluator.count());
+        metrics
+            .counter("deployment.queries")
+            .add(st.evaluator.count());
         metrics
             .gauge("pm.mu_observed")
             .set(stats.utilization_rate());
@@ -633,7 +837,11 @@ pub fn try_run_deployment_traced(
         // rate: the gap quantifies how far the run's access pattern departs
         // from the closed-form model. `MaxBytes` has no closed form in
         // chunks, so only the chunk-count budgets get a prediction.
-        let total_n = dm.chunk_count();
+        let strategy = match config.mode {
+            DeploymentMode::Continuous { strategy, .. } => strategy,
+            _ => SamplingStrategy::Uniform,
+        };
+        let total_n = st.dm.chunk_count();
         let capacity_m = match config.optimization.budget {
             StorageBudget::MaxChunks(m) => Some(m.min(total_n)),
             StorageBudget::Unbounded => Some(total_n),
@@ -654,7 +862,7 @@ pub fn try_run_deployment_traced(
     // on or off.
     let alerts = if metrics.is_enabled() {
         let monitor = AlertMonitor::deployment_defaults(config.chunk_period_secs);
-        let fired = monitor.evaluate(&metrics.snapshot(), sim.now_secs());
+        let fired = monitor.evaluate(&metrics.snapshot(), st.sim.now_secs());
         for alert in &fired {
             metrics.event("alert.fired", alert.message());
         }
@@ -665,34 +873,396 @@ pub fn try_run_deployment_traced(
     run_span.finish();
     Ok(DeploymentResult {
         approach: config.mode.name().to_owned(),
-        final_error: evaluator.error(),
-        average_error: average_of_curve(evaluator.curve()),
-        error_curve: evaluator.curve().to_vec(),
-        cost_curve: ledger.curve().to_vec(),
-        preprocessing_secs: ledger.phase(Phase::Preprocessing),
-        training_secs: ledger.phase(Phase::Training),
-        prediction_secs: ledger.phase(Phase::Prediction),
-        io_secs: ledger.phase(Phase::MaterializationIo),
-        total_secs: ledger.total(),
+        final_error: st.evaluator.error(),
+        average_error: average_of_curve(st.evaluator.curve()),
+        error_curve: st.evaluator.curve().to_vec(),
+        cost_curve: st.ledger.curve().to_vec(),
+        preprocessing_secs: st.ledger.phase(Phase::Preprocessing),
+        training_secs: st.ledger.phase(Phase::Training),
+        prediction_secs: st.ledger.phase(Phase::Prediction),
+        io_secs: st.ledger.phase(Phase::MaterializationIo),
+        total_secs: st.ledger.total(),
         wall_secs: wall.elapsed_secs(),
-        proactive_runs,
-        avg_proactive_secs: if proactive_runs > 0 {
-            proactive_secs_sum / proactive_runs as f64
+        proactive_runs: st.proactive_runs,
+        avg_proactive_secs: if st.proactive_runs > 0 {
+            st.proactive_secs_sum / st.proactive_runs as f64
         } else {
             0.0
         },
-        retrain_runs,
+        retrain_runs: st.retrain_runs,
         store_stats: stats,
         empirical_mu: stats.utilization_rate(),
-        queries_answered: evaluator.count(),
-        initial_report,
-        final_weights: pm.trainer().model().weights().as_slice().to_vec(),
+        queries_answered: st.evaluator.count(),
+        initial_report: st.initial_report,
+        final_weights: st.pm.trainer().model().weights().as_slice().to_vec(),
         fault_stats: hook.snapshot(),
-        tiered_stats: dm.tiered_stats(),
+        tiered_stats: st.dm.tiered_stats(),
         metrics: metrics.snapshot(),
         trace: tracer.snapshot(),
         alerts,
+        checkpoint_stats: st.checkpoint_stats,
     })
+}
+
+/// Assembles and durably writes one checkpoint, returning the bytes
+/// written. The metrics snapshot is captured *before* this write's own
+/// `checkpoint.*` accounting, so the embedded snapshot is causally
+/// consistent with the rest of the payload.
+fn write_checkpoint(
+    dir: &CheckpointDir,
+    idx: u64,
+    st: &LoopState,
+    hook: &Arc<dyn FaultHook>,
+    metrics: &Metrics,
+) -> Result<u64, DeploymentError> {
+    let payload = assemble_checkpoint(idx, st, hook, metrics).encode();
+    // An injected "checkpoint" crash kills the process mid-write: only a
+    // torn temp file is left, exactly what a real kill produces. Recovery
+    // must fall back to the previous durable checkpoint.
+    if hook.crash_now(CrashSite::CheckpointWrite) {
+        let _ = dir.write_torn(idx, &payload);
+        return Err(DeploymentError::Crashed(CrashSite::CheckpointWrite));
+    }
+    let span = metrics.span("checkpoint.write_secs");
+    let bytes = dir.write(idx, &payload)?;
+    span.finish();
+    metrics.counter("checkpoint.writes").inc();
+    metrics.counter("checkpoint.write_bytes").add(bytes);
+    Ok(bytes)
+}
+
+/// Captures the loop's dynamic state at the boundary after chunk `idx`.
+fn assemble_checkpoint(
+    idx: u64,
+    st: &LoopState,
+    hook: &Arc<dyn FaultHook>,
+    metrics: &Metrics,
+) -> DeploymentCheckpoint {
+    let trainer = st.pm.trainer();
+    let (_, opt_t, acc1, acc2) = trainer.optimizer().to_parts();
+    let (drift_baseline, drift_recent) = st.drift_monitor.window_contents();
+    DeploymentCheckpoint {
+        chunk_idx: idx,
+        now_secs: st.sim.now_secs(),
+        weights: trainer.model().weights().as_slice().to_vec(),
+        opt_t,
+        opt_acc1: acc1.as_slice().to_vec(),
+        opt_acc2: acc2.as_slice().to_vec(),
+        points_seen: trainer.points_seen(),
+        component_states: st.pm.pipeline().component_states(),
+        pipeline_counters: st.pm.pipeline().counters(),
+        eval_count: st.evaluator.count(),
+        eval_acc: st.evaluator.raw_accumulator(),
+        eval_curve: st.evaluator.curve().to_vec(),
+        accounted: st.ledger.accounted(),
+        cost_curve: st.ledger.curve().to_vec(),
+        chunks_since_training: st.chunks_since_training as u64,
+        last_training_secs: st.last_training_secs,
+        last_training_at_secs: st.last_training_at_secs,
+        proactive_runs: st.proactive_runs,
+        proactive_secs_sum: st.proactive_secs_sum,
+        retrain_runs: st.retrain_runs,
+        drift_level: st.drift_level,
+        drift_baseline,
+        drift_recent,
+        prev_acc: st.prev_acc,
+        prev_count: st.prev_count,
+        sampler_rng: st.dm.sampler_rng_state(),
+        fault_stats: hook.snapshot(),
+        fault_epoch: hook.worker_epoch(),
+        store_stats: st.dm.stats(),
+        tiered_stats: st.dm.tiered_stats(),
+        manifest: st
+            .dm
+            .store()
+            .materialized_timestamps()
+            .into_iter()
+            .map(|t| t.0)
+            .collect(),
+        initial_report: st.initial_report,
+        ckpt_writes: st.checkpoint_stats.writes,
+        ckpt_bytes: st.checkpoint_stats.bytes_written,
+        ckpt_restores: st.checkpoint_stats.restores,
+        metrics: metrics.snapshot(),
+    }
+}
+
+/// Resumes a killed deployment from its newest valid checkpoint, running it
+/// to completion. Panics on failure; use [`try_resume_deployment`] for a
+/// typed error.
+///
+/// # Panics
+/// Panics when there is nothing to resume from or the resumed run fails.
+pub fn resume_deployment(
+    stream: &dyn ChunkStream,
+    spec: &DeploymentSpec,
+    config: &DeploymentConfig,
+) -> DeploymentResult {
+    match try_resume_deployment(stream, spec, config) {
+        Ok(result) => result,
+        Err(e) => panic!("resume failed: {e}"),
+    }
+}
+
+/// [`resume_deployment`] with failures surfaced as typed errors.
+///
+/// Resume receives the same `stream`, `spec`, and `config` the original run
+/// used — the checkpoint stores only dynamic state and is meaningless
+/// against different static inputs. The newest valid checkpoint in
+/// `config.checkpoint.dir` wins; torn, corrupt, or version-mismatched files
+/// are skipped in favour of their predecessor. The resumed run is
+/// bit-identical to an uninterrupted one: same weights, prequential curve,
+/// accounted cost, storage counters, and alerts.
+///
+/// An injected crash site in `config.faults` is cleared on resume: the dead
+/// process already consumed that countdown.
+///
+/// # Errors
+/// [`DeploymentError::NoCheckpoint`] when checkpointing is not configured
+/// or no valid checkpoint file exists; [`DeploymentError::Storage`] with
+/// [`StorageError::Corrupt`] when the checkpoint does not match the
+/// spec/stream (never a panic); otherwise as [`try_run_deployment`].
+pub fn try_resume_deployment(
+    stream: &dyn ChunkStream,
+    spec: &DeploymentSpec,
+    config: &DeploymentConfig,
+) -> Result<DeploymentResult, DeploymentError> {
+    let metrics = if config.collect_metrics {
+        Metrics::collecting()
+    } else {
+        Metrics::disabled()
+    };
+    try_resume_deployment_observed(stream, spec, config, metrics)
+}
+
+/// [`try_resume_deployment`] recording runtime metrics into an explicit
+/// [`Metrics`] handle (which is first restored from the checkpoint's
+/// embedded snapshot, then extended by the resumed run).
+///
+/// # Errors
+/// Same as [`try_resume_deployment`].
+pub fn try_resume_deployment_observed(
+    stream: &dyn ChunkStream,
+    spec: &DeploymentSpec,
+    config: &DeploymentConfig,
+    metrics: Metrics,
+) -> Result<DeploymentResult, DeploymentError> {
+    let tracer = if config.collect_traces {
+        Tracer::collecting()
+    } else {
+        Tracer::disabled()
+    };
+    try_resume_deployment_traced(stream, spec, config, metrics, tracer)
+}
+
+/// [`try_resume_deployment_observed`] recording causal spans into an
+/// explicit [`Tracer`] handle. The resumed trace is rooted at
+/// `deployment.run` with a `deployment.replay` child covering state
+/// reconstruction.
+///
+/// # Errors
+/// Same as [`try_resume_deployment`].
+pub fn try_resume_deployment_traced(
+    stream: &dyn ChunkStream,
+    spec: &DeploymentSpec,
+    config: &DeploymentConfig,
+    metrics: Metrics,
+    tracer: Tracer,
+) -> Result<DeploymentResult, DeploymentError> {
+    let wall = Stopwatch::start();
+    let Some(ckpt_cfg) = &config.checkpoint else {
+        return Err(DeploymentError::NoCheckpoint(
+            "DeploymentConfig.checkpoint is not set".into(),
+        ));
+    };
+    let dir = CheckpointDir::open(&ckpt_cfg.dir, ckpt_cfg.keep)?;
+    let Some((seq, payload)) = dir.latest_valid()? else {
+        return Err(DeploymentError::NoCheckpoint(format!(
+            "no valid checkpoint in {}",
+            ckpt_cfg.dir.display()
+        )));
+    };
+    let ckpt = DeploymentCheckpoint::decode(&payload)?;
+    let run_span = tracer.root("deployment.run");
+    let run_ctx = run_span.context();
+
+    // The dead process already consumed its crash countdown — a resumed run
+    // clears the crash site (disk/worker faults keep injecting, keyed
+    // purely by (seed, site, key, attempt), so recovery behaviour of the
+    // remaining chunks is unchanged).
+    let mut plan = config.faults;
+    plan.crash_site = None;
+    let strategy = match config.mode {
+        DeploymentMode::Continuous { strategy, .. } => strategy,
+        _ => SamplingStrategy::Uniform,
+    };
+
+    // ---- Replay: rebuild the store (raw history, feature cache, spill
+    // files) by re-running the ingest/fit-transform fold up to the
+    // checkpoint. The checkpoint holds chunk *references* only (§3.4) —
+    // evicted features re-materialize on demand, cached and spilled ones
+    // are reproduced here bit-identically by the deterministic pipeline.
+    // Counters and statistics accumulated during replay are throwaway; the
+    // checkpointed values are restored as authoritative afterwards.
+    let replay_hook: Arc<dyn FaultHook> = if plan.is_active() {
+        Arc::new(FaultInjector::new(plan))
+    } else {
+        Arc::new(NoFaults)
+    };
+    let mut dm = if config.spill_to_disk {
+        DataManager::with_spill(
+            config.optimization.budget,
+            strategy,
+            config.seed,
+            private_spill_dir(),
+            Arc::clone(&replay_hook),
+            RetryPolicy::default(),
+        )?
+    } else {
+        DataManager::new(config.optimization.budget, strategy, config.seed)
+    };
+    let replay_span = tracer.child_of("deployment.replay", run_ctx);
+    let mut pipeline = spec.try_build_pipeline()?;
+    for raw in stream.initial() {
+        let fc = pipeline.fit_transform_chunk(&raw);
+        dm.ingest_raw(raw)?;
+        dm.store_features(fc)?;
+    }
+    dm.store_mut().reset_stats();
+    for idx in stream.deployment_range() {
+        if idx as u64 > ckpt.chunk_idx {
+            break;
+        }
+        let raw = stream.chunk(idx);
+        dm.ingest_raw(raw.clone())?;
+        let fc = pipeline.fit_transform_chunk(&raw);
+        dm.store_features(fc)?;
+    }
+    replay_span.finish();
+
+    // ---- Validate against the spec/stream before touching anything that
+    // asserts: a checkpoint from a different pipeline or stream surfaces
+    // as a typed Corrupt error, never a panic or a silent restart.
+    let expected_states = pipeline.component_states().len();
+    if ckpt.component_states.len() != expected_states {
+        return Err(StorageError::Corrupt(format!(
+            "checkpoint has {} component states, the spec's pipeline has {expected_states} \
+             (wrong spec for this checkpoint?)",
+            ckpt.component_states.len()
+        ))
+        .into());
+    }
+    let replayed_manifest: Vec<u64> = dm
+        .store()
+        .materialized_timestamps()
+        .into_iter()
+        .map(|t| t.0)
+        .collect();
+    if replayed_manifest != ckpt.manifest {
+        return Err(StorageError::Corrupt(format!(
+            "replayed materialization manifest ({} chunks) diverges from the checkpoint \
+             ({} chunks) — stream or config mismatch",
+            replayed_manifest.len(),
+            ckpt.manifest.len()
+        ))
+        .into());
+    }
+
+    // ---- Restore authoritative state over the replayed skeleton.
+    metrics.restore_from(&ckpt.metrics);
+    pipeline.restore_component_states(&ckpt.component_states);
+    pipeline.set_counters(ckpt.pipeline_counters);
+    let trainer = SgdTrainer::restore(
+        LinearModel::with_weights(DenseVector::new(ckpt.weights), spec.sgd.loss),
+        OptimizerState::from_parts(
+            spec.sgd.optimizer,
+            ckpt.opt_t,
+            DenseVector::new(ckpt.opt_acc1),
+            DenseVector::new(ckpt.opt_acc2),
+        ),
+        spec.sgd.regularizer,
+        ckpt.points_seen,
+    );
+    let hook: Arc<dyn FaultHook> = if plan.is_active() {
+        Arc::new(FaultInjector::with_state(
+            plan,
+            ckpt.fault_stats,
+            ckpt.fault_epoch,
+        ))
+    } else {
+        Arc::new(NoFaults)
+    };
+    dm.set_hook(Arc::clone(&hook));
+    dm.set_metrics(metrics.clone());
+    dm.set_sampler_rng_state(ckpt.sampler_rng);
+    dm.store_mut().restore_stats(ckpt.store_stats);
+    dm.restore_tiered_stats(ckpt.tiered_stats);
+    let pm = PipelineManager::with_trainer(pipeline, trainer, spec.online_batch)
+        .with_engine(config.engine)
+        .with_fault_hook(Arc::clone(&hook))
+        .with_metrics(metrics.clone())
+        .with_tracer(tracer.clone());
+    let evaluator = PrequentialEvaluator::restore(
+        spec.metric,
+        ckpt.eval_count,
+        ckpt.eval_acc,
+        ckpt.eval_curve,
+        0,
+    );
+    let ledger = CostLedger::from_parts(config.cost_model, ckpt.accounted, ckpt.cost_curve);
+    let mut drift_monitor = DriftDetector::new(60, 12, 2.0, 3.0);
+    drift_monitor.restore_windows(ckpt.drift_baseline, ckpt.drift_recent);
+    let sim = VirtualClock::new();
+    sim.advance_secs(ckpt.now_secs);
+    metrics.counter("checkpoint.restores").inc();
+    metrics.event(
+        "checkpoint.restore",
+        format!(
+            "resumed from checkpoint {seq} after chunk {}",
+            ckpt.chunk_idx
+        ),
+    );
+
+    let st = LoopState {
+        dm,
+        pm,
+        evaluator,
+        proactive: if config.optimization.online_stats {
+            ProactiveTrainer::new()
+        } else {
+            ProactiveTrainer::without_online_stats()
+        },
+        ledger,
+        sim,
+        chunks_since_training: ckpt.chunks_since_training as usize,
+        last_training_secs: ckpt.last_training_secs,
+        last_training_at_secs: ckpt.last_training_at_secs,
+        proactive_runs: ckpt.proactive_runs,
+        proactive_secs_sum: ckpt.proactive_secs_sum,
+        retrain_runs: ckpt.retrain_runs,
+        drift_monitor,
+        drift_level: ckpt.drift_level,
+        prev_acc: ckpt.prev_acc,
+        prev_count: ckpt.prev_count,
+        initial_report: ckpt.initial_report,
+        checkpoint_stats: CheckpointStats {
+            writes: ckpt.ckpt_writes,
+            bytes_written: ckpt.ckpt_bytes,
+            restores: ckpt.ckpt_restores + 1,
+        },
+    };
+    run_chunk_loop(
+        stream,
+        spec,
+        config,
+        hook,
+        metrics,
+        tracer,
+        wall,
+        run_span,
+        st,
+        (ckpt.chunk_idx + 1) as usize,
+    )
 }
 
 #[cfg(test)]
@@ -834,7 +1404,7 @@ mod tests {
         ];
         for base in configs {
             let sequential = run_deployment(&stream, &spec, &base);
-            let mut threaded_cfg = base;
+            let mut threaded_cfg = base.clone();
             threaded_cfg.engine = ExecutionEngine::Threaded { workers: 4 };
             let threaded = run_deployment(&stream, &spec, &threaded_cfg);
             let mode = base.mode.name();

@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod data_manager;
 pub mod deployment;
 pub mod pipeline_manager;
@@ -32,10 +33,13 @@ pub mod scheduler;
 pub mod serving;
 pub mod tuning;
 
+pub use checkpoint::DeploymentCheckpoint;
 pub use data_manager::{DataManager, SampledChunk};
 pub use deployment::{
-    run_deployment, try_run_deployment, try_run_deployment_observed, try_run_deployment_traced,
-    DeploymentConfig, DeploymentError, DeploymentMode, DeploymentResult, OptimizationConfig,
+    resume_deployment, run_deployment, try_resume_deployment, try_resume_deployment_observed,
+    try_resume_deployment_traced, try_run_deployment, try_run_deployment_observed,
+    try_run_deployment_traced, CheckpointConfig, CheckpointStats, DeploymentConfig,
+    DeploymentError, DeploymentMode, DeploymentResult, OptimizationConfig,
 };
 pub use pipeline_manager::PipelineManager;
 pub use presets::{taxi_spec, url_spec, DeploymentSpec, SpecScale};

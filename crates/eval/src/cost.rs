@@ -130,6 +130,24 @@ impl CostLedger {
         &self.model
     }
 
+    /// Rebuilds a ledger from checkpointed accounted seconds and curve. Wall
+    /// time restarts at zero: it measures *this process's* elapsed time and
+    /// is never part of the deterministic-identity contract.
+    pub fn from_parts(model: CostModel, accounted: [f64; 4], curve: Vec<(u64, f64)>) -> Self {
+        Self {
+            model,
+            accounted,
+            wall: [0.0; 4],
+            curve,
+        }
+    }
+
+    /// The accounted seconds per phase, in [`Phase::ALL`] order (for
+    /// checkpointing).
+    pub fn accounted(&self) -> [f64; 4] {
+        self.accounted
+    }
+
     /// Charges `records` parsed records to preprocessing.
     pub fn charge_parse(&mut self, records: u64) {
         self.accounted[0] += records as f64 * self.model.parse_record;

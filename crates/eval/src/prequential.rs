@@ -48,6 +48,24 @@ impl PrequentialEvaluator {
         }
     }
 
+    /// Rebuilds an evaluator from checkpointed state so a resumed deployment
+    /// continues the same cumulative error trajectory and curve.
+    pub fn restore(
+        metric: ErrorMetric,
+        count: u64,
+        accumulator: f64,
+        curve: Vec<(u64, f64)>,
+        checkpoint_every: u64,
+    ) -> Self {
+        Self {
+            metric,
+            count,
+            accumulator,
+            curve,
+            checkpoint_every,
+        }
+    }
+
     /// The metric in use.
     pub fn metric(&self) -> ErrorMetric {
         self.metric

@@ -67,6 +67,44 @@ pub enum DiskFault {
     Delay(Duration),
 }
 
+/// Boundaries at which a crash-point injection can kill a deployment.
+///
+/// A crash is not a probability — it is a *countdown*: the plan names a site
+/// and an occurrence number, and the injector fires exactly once, when that
+/// site is consulted for the `crash_at`-th time (0-based). This makes
+/// kill-points reproducible coordinates rather than random events, which is
+/// what the kill-and-resume bit-identity tests sweep over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashSite {
+    /// After a chunk's processing (and any due checkpoint write) completes.
+    ChunkBoundary,
+    /// Mid-chunk, right after a proactive-training fire is accounted.
+    ProactiveFire,
+    /// During a checkpoint write — the file is left torn (temp only).
+    CheckpointWrite,
+}
+
+impl CrashSite {
+    /// Stable lowercase name (used in env parsing, errors and reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CrashSite::ChunkBoundary => "chunk",
+            CrashSite::ProactiveFire => "fire",
+            CrashSite::CheckpointWrite => "checkpoint",
+        }
+    }
+
+    /// Parses a site name as written by [`CrashSite::name`].
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.trim() {
+            "chunk" => Some(CrashSite::ChunkBoundary),
+            "fire" => Some(CrashSite::ProactiveFire),
+            "checkpoint" => Some(CrashSite::CheckpointWrite),
+            _ => None,
+        }
+    }
+}
+
 /// Worker faults for one engine `map` call, drawn once per call so the
 /// injected counts do not depend on how many shards the worker count
 /// produces.
@@ -136,6 +174,11 @@ pub struct FaultPlan {
     pub slow_chunk: f64,
     /// Injected latency when `slow_chunk` fires, in milliseconds.
     pub slow_chunk_ms: u64,
+    /// Where to kill the process, if anywhere (crash-point injection).
+    pub crash_site: Option<CrashSite>,
+    /// Which occurrence of `crash_site` dies (0-based countdown, not a
+    /// probability — see [`CrashSite`]).
+    pub crash_at: u64,
 }
 
 impl FaultPlan {
@@ -149,6 +192,8 @@ impl FaultPlan {
             worker_panic: 0.0,
             slow_chunk: 0.0,
             slow_chunk_ms: 0,
+            crash_site: None,
+            crash_at: 0,
         }
     }
 
@@ -164,6 +209,8 @@ impl FaultPlan {
             worker_panic: 0.25,
             slow_chunk: 0.05,
             slow_chunk_ms: 1,
+            crash_site: None,
+            crash_at: 0,
         }
     }
 
@@ -189,16 +236,29 @@ impl FaultPlan {
         prob("CDP_FAULT_CORRUPT", &mut plan.read_corruption);
         prob("CDP_FAULT_WORKER_PANIC", &mut plan.worker_panic);
         prob("CDP_FAULT_SLOW", &mut plan.slow_chunk);
+        // Crash-point coordinates: `CDP_FAULT_CRASH_SITE` ∈ {chunk, fire,
+        // checkpoint} arms the kill, `CDP_FAULT_CRASH_AT` picks the
+        // occurrence (default 0).
+        plan.crash_site = std::env::var("CDP_FAULT_CRASH_SITE")
+            .ok()
+            .and_then(|v| CrashSite::parse(&v));
+        if let Some(at) = std::env::var("CDP_FAULT_CRASH_AT")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+        {
+            plan.crash_at = at;
+        }
         Some(plan)
     }
 
-    /// Whether any fault kind has a non-zero probability.
+    /// Whether any fault kind has a non-zero probability or a crash is armed.
     pub fn is_active(&self) -> bool {
         self.disk_read_error > 0.0
             || self.disk_write_error > 0.0
             || self.read_corruption > 0.0
             || self.worker_panic > 0.0
             || self.slow_chunk > 0.0
+            || self.crash_site.is_some()
     }
 }
 
@@ -219,6 +279,8 @@ pub struct FaultStats {
     pub injected_worker_panics: u64,
     /// Injected slow-chunk delays.
     pub injected_delays: u64,
+    /// Injected process crashes (kill-points fired).
+    pub injected_crashes: u64,
     /// Retry attempts performed by recovery sites (disk backoff retries and
     /// worker-shard restarts).
     pub retries: u64,
@@ -243,6 +305,7 @@ impl FaultStats {
             + self.injected_corruption
             + self.injected_worker_panics
             + self.injected_delays
+            + self.injected_crashes
     }
 }
 
@@ -250,7 +313,7 @@ impl fmt::Display for FaultStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "injected {} (read {}, write {}, corrupt {}, panic {}, slow {}), \
+            "injected {} (read {}, write {}, corrupt {}, panic {}, slow {}, crash {}), \
              retries {}, recovered {}, fallback-remat {}, lost-spills {}, fatal {}",
             self.injected_total(),
             self.injected_disk_read,
@@ -258,6 +321,7 @@ impl fmt::Display for FaultStats {
             self.injected_corruption,
             self.injected_worker_panics,
             self.injected_delays,
+            self.injected_crashes,
             self.retries,
             self.recovered,
             self.fallback_rematerializations,
@@ -285,6 +349,21 @@ pub trait FaultHook: Send + Sync + fmt::Debug {
     /// identical across engines and worker counts.
     fn next_worker_order(&self) -> WorkerOrder {
         WorkerOrder::default()
+    }
+
+    /// Whether the process should die *now*, at this consultation of `site`.
+    /// The deployment loop calls this at every crash-point boundary and
+    /// aborts with a typed error when it returns true — exactly once per
+    /// armed plan, at the configured occurrence.
+    fn crash_now(&self, _site: CrashSite) -> bool {
+        false
+    }
+
+    /// The number of engine map calls consumed so far (worker-order epoch).
+    /// Checkpoints persist this so a resumed injector continues the same
+    /// worker-fault sequence instead of rewinding it.
+    fn worker_epoch(&self) -> u64 {
+        0
     }
 
     /// Records one recovery retry (disk backoff retry).
@@ -354,6 +433,7 @@ struct Counters {
     injected_corruption: AtomicU64,
     injected_worker_panics: AtomicU64,
     injected_delays: AtomicU64,
+    injected_crashes: AtomicU64,
     retries: AtomicU64,
     recovered: AtomicU64,
     fallback_rematerializations: AtomicU64,
@@ -370,22 +450,55 @@ pub struct FaultInjector {
     /// from the (single-threaded) deployment driver, so the epoch sequence
     /// is deterministic for a fixed configuration.
     epoch: AtomicU64,
+    /// Per-[`CrashSite`] consultation counts (indexed by site order), for
+    /// the crash countdown.
+    crash_seen: [AtomicU64; 3],
     c: Counters,
 }
 
 impl FaultInjector {
     /// Creates an injector for `plan`.
     pub fn new(plan: FaultPlan) -> Self {
+        Self::with_state(plan, FaultStats::default(), 0)
+    }
+
+    /// Rebuilds an injector mid-deployment from checkpointed accounting:
+    /// the counters resume from `stats` and worker orders continue from
+    /// `epoch`, so a resumed run's fault sequence and final stats match an
+    /// uninterrupted run's. The crash countdown restarts (a resumed run
+    /// normally clears `crash_site` anyway).
+    pub fn with_state(plan: FaultPlan, stats: FaultStats, epoch: u64) -> Self {
         Self {
             plan,
-            epoch: AtomicU64::new(0),
-            c: Counters::default(),
+            epoch: AtomicU64::new(epoch),
+            crash_seen: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            c: Counters {
+                injected_disk_read: AtomicU64::new(stats.injected_disk_read),
+                injected_disk_write: AtomicU64::new(stats.injected_disk_write),
+                injected_corruption: AtomicU64::new(stats.injected_corruption),
+                injected_worker_panics: AtomicU64::new(stats.injected_worker_panics),
+                injected_delays: AtomicU64::new(stats.injected_delays),
+                injected_crashes: AtomicU64::new(stats.injected_crashes),
+                retries: AtomicU64::new(stats.retries),
+                recovered: AtomicU64::new(stats.recovered),
+                fallback_rematerializations: AtomicU64::new(stats.fallback_rematerializations),
+                lost_spills: AtomicU64::new(stats.lost_spills),
+                fatal: AtomicU64::new(stats.fatal),
+            },
         }
     }
 
     /// The plan this injector executes.
     pub fn plan(&self) -> FaultPlan {
         self.plan
+    }
+
+    fn crash_slot(site: CrashSite) -> usize {
+        match site {
+            CrashSite::ChunkBoundary => 0,
+            CrashSite::ProactiveFire => 1,
+            CrashSite::CheckpointWrite => 2,
+        }
     }
 }
 
@@ -462,6 +575,23 @@ impl FaultHook for FaultInjector {
         }
     }
 
+    fn crash_now(&self, site: CrashSite) -> bool {
+        if self.plan.crash_site != Some(site) {
+            return false;
+        }
+        let seen = self.crash_seen[Self::crash_slot(site)].fetch_add(1, Ordering::Relaxed);
+        if seen == self.plan.crash_at {
+            self.c.injected_crashes.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn worker_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
     fn note_retry(&self) {
         self.c.retries.fetch_add(1, Ordering::Relaxed);
     }
@@ -491,6 +621,7 @@ impl FaultHook for FaultInjector {
             injected_corruption: self.c.injected_corruption.load(Ordering::Relaxed),
             injected_worker_panics: self.c.injected_worker_panics.load(Ordering::Relaxed),
             injected_delays: self.c.injected_delays.load(Ordering::Relaxed),
+            injected_crashes: self.c.injected_crashes.load(Ordering::Relaxed),
             retries: self.c.retries.load(Ordering::Relaxed),
             recovered: self.c.recovered.load(Ordering::Relaxed),
             fallback_rematerializations: self.c.fallback_rematerializations.load(Ordering::Relaxed),
@@ -589,6 +720,68 @@ mod tests {
         assert!(recovered_some, "p=0.4 over 200 orders must recover some");
         assert!(stats.injected_worker_panics > 0);
         assert_eq!(stats.retries, stats.injected_worker_panics - stats.fatal);
+    }
+
+    #[test]
+    fn crash_countdown_fires_exactly_once_at_the_named_occurrence() {
+        let plan = FaultPlan {
+            crash_site: Some(CrashSite::ChunkBoundary),
+            crash_at: 3,
+            ..FaultPlan::none()
+        };
+        assert!(plan.is_active());
+        let inj = FaultInjector::new(plan);
+        let fired: Vec<bool> = (0..8)
+            .map(|_| inj.crash_now(CrashSite::ChunkBoundary))
+            .collect();
+        assert_eq!(
+            fired,
+            vec![false, false, false, true, false, false, false, false]
+        );
+        // Other sites never fire, and do not advance this site's countdown.
+        assert!(!inj.crash_now(CrashSite::ProactiveFire));
+        assert!(!inj.crash_now(CrashSite::CheckpointWrite));
+        assert_eq!(inj.snapshot().injected_crashes, 1);
+    }
+
+    #[test]
+    fn crash_site_names_round_trip() {
+        for site in [
+            CrashSite::ChunkBoundary,
+            CrashSite::ProactiveFire,
+            CrashSite::CheckpointWrite,
+        ] {
+            assert_eq!(CrashSite::parse(site.name()), Some(site));
+        }
+        assert_eq!(CrashSite::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn restored_injector_continues_counters_and_epochs() {
+        let plan = FaultPlan::chaos(99);
+        let fresh = FaultInjector::new(plan);
+        for k in 0..50 {
+            let _ = fresh.decide_disk(DiskOp::Read, k, 0);
+        }
+        for _ in 0..5 {
+            let _ = fresh.next_worker_order();
+        }
+        let mid_stats = fresh.snapshot();
+        let mid_epoch = fresh.worker_epoch();
+        assert_eq!(mid_epoch, 5);
+
+        // Continue the original; rebuild a second from the mid-state and run
+        // the same tail: stats and orders must match exactly.
+        let resumed = FaultInjector::with_state(plan, mid_stats, mid_epoch);
+        for k in 50..80 {
+            let a = fresh.decide_disk(DiskOp::Read, k, 0);
+            let b = resumed.decide_disk(DiskOp::Read, k, 0);
+            assert_eq!(a, b);
+        }
+        for _ in 0..5 {
+            assert_eq!(fresh.next_worker_order(), resumed.next_worker_order());
+        }
+        assert_eq!(fresh.snapshot(), resumed.snapshot());
     }
 
     #[test]

@@ -163,6 +163,23 @@ impl OptimizerState {
         self.acc1.scale(0.0);
         self.acc2.scale(0.0);
     }
+
+    /// Decomposes the state into `(kind, t, acc1, acc2)` for checkpointing.
+    pub fn to_parts(&self) -> (OptimizerKind, u64, &DenseVector, &DenseVector) {
+        (self.kind, self.t, &self.acc1, &self.acc2)
+    }
+
+    /// Rebuilds state from checkpointed parts — the exact inverse of
+    /// [`OptimizerState::to_parts`], so a restored optimizer continues the
+    /// same adaptive-rate trajectory.
+    pub fn from_parts(kind: OptimizerKind, t: u64, acc1: DenseVector, acc2: DenseVector) -> Self {
+        Self {
+            kind,
+            t,
+            acc1,
+            acc2,
+        }
+    }
 }
 
 impl AdaptiveRate for OptimizerState {

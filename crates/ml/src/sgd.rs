@@ -150,6 +150,20 @@ impl SgdTrainer {
         }
     }
 
+    /// Rebuilds a trainer from checkpointed state, including the cumulative
+    /// `points_seen` counter (unlike [`SgdTrainer::with_model`], which starts
+    /// the counter at zero for a fresh warm start).
+    pub fn restore(
+        model: LinearModel,
+        optimizer: OptimizerState,
+        regularizer: Regularizer,
+        points_seen: u64,
+    ) -> Self {
+        let mut trainer = Self::with_model(model, optimizer, regularizer);
+        trainer.points_seen = points_seen;
+        trainer
+    }
+
     /// The deployed model.
     pub fn model(&self) -> &LinearModel {
         &self.model

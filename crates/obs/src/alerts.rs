@@ -183,6 +183,10 @@ impl AlertMonitor {
     /// - `proactive.overrun` — the p99 accounted proactive-training cost
     ///   exceeds the chunk period, i.e. training no longer fits between
     ///   chunk arrivals.
+    /// - `checkpoint.staleness` — the last durable checkpoint is more than
+    ///   twice the configured interval old (in chunks), so a crash now would
+    ///   lose more work than the operator budgeted for. The gauge is only
+    ///   exported when checkpointing is enabled; absent ⇒ never fires.
     pub fn deployment_defaults(chunk_period_secs: f64) -> Self {
         Self::new()
             .with_rule(AlertRule {
@@ -224,6 +228,12 @@ impl AlertMonitor {
                 op: AlertOp::Above,
                 threshold: chunk_period_secs,
             })
+            .with_rule(AlertRule {
+                name: "checkpoint.staleness".into(),
+                signal: AlertSignal::Gauge("checkpoint.staleness".into()),
+                op: AlertOp::Above,
+                threshold: 2.0,
+            })
     }
 }
 
@@ -253,6 +263,7 @@ mod tests {
         metrics
             .histogram_with_bounds("proactive.accounted_secs", &[10.0])
             .observe(7.5);
+        metrics.gauge("checkpoint.staleness").set(3.5);
 
         let monitor = AlertMonitor::deployment_defaults(1.0);
         let alerts = monitor.evaluate(&metrics.snapshot(), 42.0);
@@ -265,6 +276,7 @@ mod tests {
                 "pm.mu_divergence",
                 "store.lost_spills",
                 "proactive.overrun",
+                "checkpoint.staleness",
             ]
         );
         for a in &alerts {

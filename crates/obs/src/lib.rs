@@ -140,6 +140,17 @@ impl Metrics {
     pub fn snapshot(&self) -> MetricsSnapshot {
         self.0.as_ref().map(|r| r.snapshot()).unwrap_or_default()
     }
+
+    /// Loads every metric from a previously exported snapshot — the inverse
+    /// of [`Metrics::snapshot`], used to resume a deployment from a
+    /// checkpoint. No-op when disabled. Intended for freshly created
+    /// handles: restored histograms replace their cells, so `Histogram`
+    /// handles obtained before the restore stop being observed.
+    pub fn restore_from(&self, snap: &MetricsSnapshot) {
+        if let Some(r) = &self.0 {
+            r.restore_from(snap);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -329,6 +340,43 @@ mod tests {
             "{json}"
         );
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn restore_from_round_trips_a_snapshot_exactly() {
+        let clock = Arc::new(VirtualClock::new());
+        let metrics = Metrics::with_clock(clock.clone());
+        metrics.counter("engine.tasks").add(42);
+        metrics.gauge("scheduler.pr").set(-3.25);
+        let h = metrics.histogram_with_bounds("lat", &[0.1, 1.0]);
+        for v in [0.05, 0.5, 2.0, f64::NAN] {
+            h.observe(v);
+        }
+        clock.advance(Duration::from_secs(3));
+        metrics.event("fault", "disk retry");
+        metrics.lineage(7, LineageEventKind::Arrival);
+        metrics.lineage(7, LineageEventKind::Evict);
+        let snap = metrics.snapshot();
+
+        let restored = Metrics::with_clock(Arc::new(VirtualClock::new()));
+        restored.restore_from(&snap);
+        assert_eq!(restored.snapshot(), snap);
+
+        // Restored cells keep accumulating from the loaded values.
+        restored.counter("engine.tasks").add(1);
+        restored
+            .histogram_with_bounds("lat", &[0.1, 1.0])
+            .observe(0.5);
+        let after = restored.snapshot();
+        assert_eq!(after.counter("engine.tasks"), 43);
+        let lat = after.histogram("lat").unwrap();
+        assert_eq!(lat.count, 4);
+        assert_eq!(lat.buckets, vec![1, 2, 1]);
+
+        // Disabled handles ignore restores.
+        let disabled = Metrics::disabled();
+        disabled.restore_from(&snap);
+        assert!(disabled.snapshot().is_empty());
     }
 
     #[test]

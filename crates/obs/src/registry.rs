@@ -83,6 +83,32 @@ impl HistogramCell {
         }
     }
 
+    /// Rebuilds a cell from an exported snapshot (checkpoint restore). An
+    /// empty snapshot regenerates the pristine min/max sentinels.
+    fn from_snapshot(snap: &HistogramSnapshot) -> Self {
+        let mut buckets: Vec<AtomicU64> = snap.buckets.iter().map(|&b| AtomicU64::new(b)).collect();
+        while buckets.len() <= snap.bounds.len() {
+            buckets.push(AtomicU64::new(0));
+        }
+        Self {
+            bounds: snap.bounds.clone(),
+            buckets,
+            count: AtomicU64::new(snap.count),
+            sum_bits: AtomicU64::new(snap.sum.to_bits()),
+            min_bits: AtomicU64::new(if snap.count == 0 {
+                f64::INFINITY.to_bits()
+            } else {
+                snap.min.to_bits()
+            }),
+            max_bits: AtomicU64::new(if snap.count == 0 {
+                f64::NEG_INFINITY.to_bits()
+            } else {
+                snap.max.to_bits()
+            }),
+            dropped: AtomicU64::new(snap.dropped),
+        }
+    }
+
     fn snapshot(&self) -> HistogramSnapshot {
         let count = self.count.load(Ordering::Relaxed);
         HistogramSnapshot {
@@ -198,6 +224,46 @@ impl Registry {
             .entry(chunk_ts)
             .or_default()
             .push(LineageEntry { at_secs, kind });
+    }
+
+    /// Loads every metric from `snap` — the inverse of
+    /// [`Registry::snapshot`], used to resume a deployment from a
+    /// checkpoint. Intended for freshly created registries: histogram cells
+    /// are replaced wholesale, so `Histogram` handles obtained *before* the
+    /// restore keep observing into detached cells.
+    pub(crate) fn restore_from(&self, snap: &MetricsSnapshot) {
+        {
+            let mut map = lock_ignore_poison(&self.counters);
+            for (name, &value) in &snap.counters {
+                map.entry(name.clone())
+                    .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+                    .store(value, Ordering::Relaxed);
+            }
+        }
+        {
+            let mut map = lock_ignore_poison(&self.gauges);
+            for (name, &value) in &snap.gauges {
+                map.entry(name.clone())
+                    .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits())))
+                    .store(value.to_bits(), Ordering::Relaxed);
+            }
+        }
+        {
+            let mut map = lock_ignore_poison(&self.histograms);
+            for (name, h) in &snap.histograms {
+                map.insert(name.clone(), Arc::new(HistogramCell::from_snapshot(h)));
+            }
+        }
+        *lock_ignore_poison(&self.events) = snap.events.iter().cloned().collect();
+        self.dropped_events
+            .store(snap.dropped_events, Ordering::Relaxed);
+        {
+            let mut log = lock_ignore_poison(&self.lineage);
+            log.total = snap.lineage.values().map(Vec::len).sum();
+            log.entries = snap.lineage.clone();
+        }
+        self.dropped_lineage
+            .store(snap.dropped_lineage, Ordering::Relaxed);
     }
 
     pub(crate) fn snapshot(&self) -> MetricsSnapshot {

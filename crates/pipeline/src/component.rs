@@ -42,6 +42,17 @@ pub trait RowComponent: Send + Sync {
         false
     }
 
+    /// Serializes the component's online statistics for a deployment
+    /// checkpoint. Stateless components keep the default empty payload.
+    fn state_bytes(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores statistics captured by [`RowComponent::state_bytes`] on a
+    /// component of the same type and position. Stateless components keep
+    /// the default no-op.
+    fn restore_state(&mut self, _bytes: &[u8]) {}
+
     /// Clones the component with its statistics (pipeline snapshots).
     fn clone_box(&self) -> Box<dyn RowComponent>;
 }

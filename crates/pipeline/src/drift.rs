@@ -123,6 +123,38 @@ impl DriftDetector {
         self.baseline.clear();
         self.recent.clear();
     }
+
+    /// The `(baseline, recent)` window contents, oldest first — for
+    /// deployment checkpoints.
+    pub fn window_contents(&self) -> (Vec<f64>, Vec<f64>) {
+        (
+            self.baseline.iter().copied().collect(),
+            self.recent.iter().copied().collect(),
+        )
+    }
+
+    /// Restores window contents captured by
+    /// [`DriftDetector::window_contents`] on a detector with the same
+    /// configuration. Entries beyond the configured window lengths are
+    /// truncated defensively (keeping the newest).
+    pub fn restore_windows(&mut self, baseline: Vec<f64>, recent: Vec<f64>) {
+        self.baseline = baseline
+            .into_iter()
+            .rev()
+            .take(self.baseline_len)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+        self.recent = recent
+            .into_iter()
+            .rev()
+            .take(self.recent_len)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +205,22 @@ mod tests {
         }
         d.reset();
         assert_eq!(d.observe(0.0), DriftStatus::Warmup);
+    }
+
+    #[test]
+    fn windows_round_trip_through_contents() {
+        let mut d = DriftDetector::new(40, 10, 2.0, 3.0);
+        for i in 0..100 {
+            d.observe(f64::from(i % 4 == 0));
+        }
+        let (baseline, recent) = d.window_contents();
+        let mut restored = DriftDetector::new(40, 10, 2.0, 3.0);
+        restored.restore_windows(baseline, recent);
+        // Same future decisions, observation for observation.
+        for i in 0..30 {
+            let err = f64::from(i % 2 == 0);
+            assert_eq!(restored.observe(err), d.observe(err), "observation {i}");
+        }
     }
 
     #[test]

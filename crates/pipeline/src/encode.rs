@@ -34,6 +34,16 @@ pub trait Encoder: Send + Sync {
         false
     }
 
+    /// Serializes the encoder's statistics for a deployment checkpoint.
+    /// Stateless encoders keep the default empty payload.
+    fn state_bytes(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores statistics captured by [`Encoder::state_bytes`] on an
+    /// encoder of the same type. Stateless encoders keep the default no-op.
+    fn restore_state(&mut self, _bytes: &[u8]) {}
+
     /// Clones the encoder with its statistics (pipeline snapshots).
     fn clone_box(&self) -> Box<dyn Encoder>;
 }
@@ -247,6 +257,50 @@ impl Encoder for OneHotEncoder {
         true
     }
 
+    /// `count u32 | per category in index order: len u32, utf8 bytes`
+    /// (big-endian). Index order makes the payload deterministic even though
+    /// the live table is a `HashMap`.
+    fn state_bytes(&self) -> Vec<u8> {
+        let mut by_index: Vec<(&str, usize)> = self
+            .categories
+            .iter()
+            .map(|(token, &idx)| (token.as_str(), idx))
+            .collect();
+        by_index.sort_by_key(|&(_, idx)| idx);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(by_index.len() as u32).to_be_bytes());
+        for (token, _) in by_index {
+            buf.extend_from_slice(&(token.len() as u32).to_be_bytes());
+            buf.extend_from_slice(token.as_bytes());
+        }
+        buf
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) {
+        let read_u32 = |at: usize| -> Option<u32> {
+            let b = bytes.get(at..at + 4)?;
+            Some(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+        };
+        let Some(count) = read_u32(0) else { return };
+        let mut categories = HashMap::with_capacity(count as usize);
+        let mut at = 4;
+        for idx in 0..count as usize {
+            let Some(len) = read_u32(at) else { return };
+            at += 4;
+            let Some(raw) = bytes.get(at..at + len as usize) else {
+                return;
+            };
+            let Ok(token) = std::str::from_utf8(raw) else {
+                return;
+            };
+            at += len as usize;
+            categories.insert(token.to_owned(), idx);
+        }
+        if at == bytes.len() {
+            self.categories = categories;
+        }
+    }
+
     fn clone_box(&self) -> Box<dyn Encoder> {
         Box::new(self.clone())
     }
@@ -352,6 +406,26 @@ mod tests {
         e.update(&rows);
         e.update(&rows);
         assert_eq!(e.vocabulary_size(), 1);
+    }
+
+    #[test]
+    fn one_hot_state_round_trips_preserving_indices() {
+        let mut e = OneHotEncoder::new(1);
+        e.update(&[Row::with_tokens(
+            0.0,
+            vec![],
+            vec!["red".into(), "blue".into(), "green".into()],
+        )]);
+        let mut restored = OneHotEncoder::new(1);
+        restored.restore_state(&e.state_bytes());
+        assert_eq!(restored.vocabulary_size(), 3);
+        assert_eq!(restored.dim(), e.dim());
+        let rows = vec![Row::with_tokens(1.0, vec![0.5], vec!["blue".into()])];
+        let a = e.encode(&rows);
+        let b = restored.encode(&rows);
+        let pairs_a: Vec<(usize, f64)> = a[0].features.iter_nonzero().collect();
+        let pairs_b: Vec<(usize, f64)> = b[0].features.iter_nonzero().collect();
+        assert_eq!(pairs_a, pairs_b);
     }
 
     #[test]

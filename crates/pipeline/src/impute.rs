@@ -59,6 +59,14 @@ impl RowComponent for MeanImputer {
         true
     }
 
+    fn state_bytes(&self) -> Vec<u8> {
+        self.moments.state_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) {
+        self.moments.restore_state(bytes);
+    }
+
     fn clone_box(&self) -> Box<dyn RowComponent> {
         Box::new(self.clone())
     }
@@ -67,6 +75,20 @@ impl RowComponent for MeanImputer {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn state_round_trips_through_bytes() {
+        let mut imp = MeanImputer::new();
+        imp.update(&[
+            Row::numeric(0.0, vec![1.0, 10.0]),
+            Row::numeric(0.0, vec![3.0, f64::NAN]),
+        ]);
+        let mut restored = MeanImputer::new();
+        restored.restore_state(&imp.state_bytes());
+        assert_eq!(restored.mean_for(0), imp.mean_for(0));
+        assert_eq!(restored.mean_for(1), imp.mean_for(1));
+        assert_eq!(restored.observed(), imp.observed());
+    }
 
     #[test]
     fn imputes_with_running_mean() {

@@ -37,6 +37,44 @@ impl ColumnRanges {
             _ => None,
         }
     }
+
+    /// Serializes the ranges for a component checkpoint:
+    /// `width u32 | per column: min f64, max f64` (big-endian).
+    fn state_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(4 + self.mins.len() * 16);
+        buf.extend_from_slice(&(self.mins.len() as u32).to_be_bytes());
+        for (&lo, &hi) in self.mins.iter().zip(&self.maxs) {
+            buf.extend_from_slice(&lo.to_be_bytes());
+            buf.extend_from_slice(&hi.to_be_bytes());
+        }
+        buf
+    }
+
+    /// Restores ranges written by [`ColumnRanges::state_bytes`]. Malformed
+    /// bytes leave the state unchanged (payloads are CRC-protected upstream).
+    fn restore_state(&mut self, bytes: &[u8]) {
+        if bytes.len() < 4 {
+            return;
+        }
+        let width = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        if bytes.len() != 4 + width * 16 {
+            return;
+        }
+        let read_f64 = |at: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[at..at + 8]);
+            f64::from_bits(u64::from_be_bytes(b))
+        };
+        let mut mins = Vec::with_capacity(width);
+        let mut maxs = Vec::with_capacity(width);
+        for i in 0..width {
+            let base = 4 + i * 16;
+            mins.push(read_f64(base));
+            maxs.push(read_f64(base + 8));
+        }
+        self.mins = mins;
+        self.maxs = maxs;
+    }
 }
 
 /// Scales every numeric column into `[0, 1]` using running min/max — the
@@ -85,6 +123,14 @@ impl RowComponent for MinMaxScaler {
 
     fn is_stateful(&self) -> bool {
         true
+    }
+
+    fn state_bytes(&self) -> Vec<u8> {
+        self.ranges.state_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) {
+        self.ranges.restore_state(bytes);
     }
 
     fn clone_box(&self) -> Box<dyn RowComponent> {
@@ -188,6 +234,18 @@ mod tests {
         let mut batch = MinMaxScaler::new();
         batch.update(&rows(&values));
         assert_eq!(online.range_for(0), batch.range_for(0));
+    }
+
+    #[test]
+    fn state_round_trips_through_bytes() {
+        let mut s = MinMaxScaler::new();
+        s.update(&rows(&[2.0, 6.0, 10.0]));
+        let mut restored = MinMaxScaler::new();
+        restored.restore_state(&s.state_bytes());
+        assert_eq!(restored.range_for(0), s.range_for(0));
+        let a = s.transform(rows(&[3.7]));
+        let b = restored.transform(rows(&[3.7]));
+        assert_eq!(a[0].nums[0].to_bits(), b[0].nums[0].to_bits());
     }
 
     #[test]

@@ -235,6 +235,43 @@ impl Pipeline {
     pub fn reset_counters(&mut self) {
         self.counters = PipelineCounters::default();
     }
+
+    /// Overwrites the work counters (checkpoint restore).
+    pub fn set_counters(&mut self, counters: PipelineCounters) {
+        self.counters = counters;
+    }
+
+    /// Serializes every stage's online statistics for a deployment
+    /// checkpoint: one payload per row component in pipeline order, with the
+    /// encoder's payload last. Stateless stages contribute empty payloads so
+    /// positions stay aligned with the pipeline structure.
+    pub fn component_states(&self) -> Vec<Vec<u8>> {
+        let mut states: Vec<Vec<u8>> = self.components.iter().map(|c| c.state_bytes()).collect();
+        states.push(self.encoder.state_bytes());
+        states
+    }
+
+    /// Restores statistics captured by [`Pipeline::component_states`] on a
+    /// pipeline with the same structure. Payload counts other than
+    /// `components + 1` are rejected (logic error upstream; checkpoint
+    /// payloads are CRC-protected, so this cannot be triggered by disk
+    /// corruption).
+    ///
+    /// # Panics
+    /// Panics when the payload count does not match the pipeline structure.
+    pub fn restore_component_states(&mut self, states: &[Vec<u8>]) {
+        assert_eq!(
+            states.len(),
+            self.components.len() + 1,
+            "checkpoint component-state count must match the pipeline structure"
+        );
+        for (component, bytes) in self.components.iter_mut().zip(states) {
+            component.restore_state(bytes);
+        }
+        if let Some(bytes) = states.last() {
+            self.encoder.restore_state(bytes);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -343,6 +380,30 @@ mod tests {
         // ... which differ from the advanced pipeline's output.
         let from_advanced = p.transform_chunk(&chunk(6, &[(0.0, 4.0, 5.0)]));
         assert_ne!(from_snapshot.points, from_advanced.points);
+    }
+
+    #[test]
+    fn component_states_round_trip_bit_identically() {
+        let mut trained = sample_pipeline();
+        trained.fit_transform_chunk(&chunk(0, &[(1.0, 2.0, 3.0), (0.0, 4.0, 5.0)]));
+        trained.fit_transform_chunk(&chunk(1, &[(1.0, 6.0, 1.0)]));
+
+        let mut restored = sample_pipeline();
+        restored.restore_component_states(&trained.component_states());
+        restored.set_counters(trained.counters());
+
+        let probe = chunk(9, &[(0.0, 3.3, 4.4)]);
+        let a = trained.transform_chunk(&probe);
+        let b = restored.transform_chunk(&probe);
+        assert_eq!(a, b);
+        assert_eq!(trained.counters(), restored.counters());
+    }
+
+    #[test]
+    #[should_panic(expected = "component-state count")]
+    fn restore_rejects_mismatched_state_count() {
+        let mut p = sample_pipeline();
+        p.restore_component_states(&[Vec::new()]);
     }
 
     #[test]

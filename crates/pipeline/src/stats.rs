@@ -75,6 +75,16 @@ impl RunningMoments {
     pub fn std_dev(&self) -> f64 {
         self.variance().sqrt()
     }
+
+    /// Decomposes into `(count, mean, m2)` for checkpointing.
+    pub fn to_parts(&self) -> (u64, f64, f64) {
+        (self.count, self.mean, self.m2)
+    }
+
+    /// Rebuilds from parts captured with [`RunningMoments::to_parts`].
+    pub fn from_parts(count: u64, mean: f64, m2: f64) -> Self {
+        Self { count, mean, m2 }
+    }
 }
 
 /// A fixed-size set of per-column moments that grows with the widest row
@@ -113,6 +123,47 @@ impl ColumnMoments {
     /// Moments of column `i` (default moments when the column is unseen).
     pub fn col(&self, i: usize) -> RunningMoments {
         self.cols.get(i).copied().unwrap_or_default()
+    }
+
+    /// Serializes the accumulators for a component checkpoint:
+    /// `width u32 | per column: count u64, mean f64, m2 f64` (big-endian).
+    pub fn state_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(4 + self.cols.len() * 24);
+        buf.extend_from_slice(&(self.cols.len() as u32).to_be_bytes());
+        for col in &self.cols {
+            let (count, mean, m2) = col.to_parts();
+            buf.extend_from_slice(&count.to_be_bytes());
+            buf.extend_from_slice(&mean.to_be_bytes());
+            buf.extend_from_slice(&m2.to_be_bytes());
+        }
+        buf
+    }
+
+    /// Restores accumulators written by [`ColumnMoments::state_bytes`].
+    /// Malformed bytes leave the state unchanged (checkpoint payloads are
+    /// CRC-protected upstream, so this only guards logic errors).
+    pub fn restore_state(&mut self, bytes: &[u8]) {
+        if bytes.len() < 4 {
+            return;
+        }
+        let width = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        if bytes.len() != 4 + width * 24 {
+            return;
+        }
+        let mut cols = Vec::with_capacity(width);
+        for i in 0..width {
+            let base = 4 + i * 24;
+            let read_u64 = |at: usize| {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&bytes[at..at + 8]);
+                u64::from_be_bytes(b)
+            };
+            let count = read_u64(base);
+            let mean = f64::from_bits(read_u64(base + 8));
+            let m2 = f64::from_bits(read_u64(base + 16));
+            cols.push(RunningMoments::from_parts(count, mean, m2));
+        }
+        self.cols = cols;
     }
 }
 

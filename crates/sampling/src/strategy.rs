@@ -55,6 +55,17 @@ impl Sampler {
         self.strategy
     }
 
+    /// The raw RNG state, so a deployment checkpoint can resume the sampler
+    /// mid-stream and draw the exact same future sequence.
+    pub fn rng_state(&self) -> u64 {
+        self.rng.state()
+    }
+
+    /// Restores an RNG state captured by [`Sampler::rng_state`].
+    pub fn set_rng_state(&mut self, state: u64) {
+        self.rng = StdRng::from_state(state);
+    }
+
     /// Draws up to `sample_size` distinct timestamps from `available`
     /// (which must be sorted oldest-first, as returned by the chunk store).
     /// When fewer chunks exist than requested, all of them are returned.
@@ -204,6 +215,19 @@ mod tests {
         let mut a = Sampler::new(SamplingStrategy::TimeBased, 7);
         let mut b = Sampler::new(SamplingStrategy::TimeBased, 7);
         assert_eq!(a.sample(&pool, 10), b.sample(&pool, 10));
+    }
+
+    #[test]
+    fn rng_state_round_trip_resumes_the_sequence() {
+        let pool = ts(50);
+        let mut a = Sampler::new(SamplingStrategy::TimeBased, 11);
+        a.sample(&pool, 10); // advance past the seed state
+        let state = a.rng_state();
+        let mut b = Sampler::new(SamplingStrategy::TimeBased, 999);
+        b.set_rng_state(state);
+        for round in 0..5 {
+            assert_eq!(a.sample(&pool, 10), b.sample(&pool, 10), "round {round}");
+        }
     }
 
     #[test]

@@ -42,10 +42,10 @@ use crate::chunk::{FeatureChunk, LabeledPoint, Timestamp};
 use crate::StorageError;
 
 const MAGIC: &[u8; 4] = b"CDPF";
-const VERSION: u16 = 2;
+const VERSION: u16 = crate::SPILL_SCHEMA.0;
 
 /// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`).
-fn crc32(data: &[u8]) -> u32 {
+pub(crate) fn crc32(data: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &byte in data {
         crc ^= u32::from(byte);
@@ -133,9 +133,10 @@ fn decode_payload(mut data: &[u8]) -> Result<FeatureChunk, StorageError> {
     }
     let version = data.get_u16();
     if version != VERSION {
-        return Err(StorageError::Corrupt(format!(
-            "unsupported version {version}"
-        )));
+        return Err(StorageError::VersionMismatch {
+            found: version,
+            expected: VERSION,
+        });
     }
     let timestamp = Timestamp(data.get_u64());
     let raw_ref = Timestamp(data.get_u64());
@@ -237,6 +238,12 @@ impl DiskTier {
         self.metrics = metrics;
     }
 
+    /// Replaces the fault hook consulted on every I/O attempt (used when a
+    /// resumed deployment swaps its replay hook for the live injector).
+    pub fn set_hook(&mut self, hook: Arc<dyn FaultHook>) {
+        self.hook = hook;
+    }
+
     fn path_for(&self, ts: Timestamp) -> PathBuf {
         self.dir.join(format!("chunk-{:012}.cdpf", ts.0))
     }
@@ -305,8 +312,14 @@ impl DiskTier {
             DiskFault::Delay(d) => std::thread::sleep(d),
             DiskFault::Proceed | DiskFault::Corrupt => {}
         }
-        let mut file = fs::File::create(path)?;
+        // Write to a sibling temp file first, then rename into place: a crash
+        // mid-write leaves (at worst) an orphaned `.tmp` no reader looks at,
+        // never a truncated chunk file under the real name.
+        let tmp = path.with_extension("tmp");
+        let mut file = fs::File::create(&tmp)?;
         file.write_all(encoded)?;
+        drop(file);
+        fs::rename(&tmp, path)?;
         Ok(())
     }
 
@@ -487,6 +500,61 @@ mod tests {
                 "flip at byte {i} must be detected"
             );
         }
+    }
+
+    #[test]
+    fn v2_spill_files_still_load() {
+        // A byte-for-byte v2 file (the current schema) must keep decoding —
+        // this pins the on-disk compatibility promise of the SchemaVersion
+        // satellite: adding the version machinery must not break v2 readers.
+        let chunk = sample_chunk();
+        let encoded = encode_chunk(&chunk);
+        assert_eq!(
+            u16::from_be_bytes([encoded[4], encoded[5]]),
+            crate::SPILL_SCHEMA.0,
+            "spill files are written at the advertised schema version"
+        );
+        assert_eq!(ok(decode_chunk(&encoded)), chunk);
+    }
+
+    #[test]
+    fn foreign_schema_version_is_a_typed_mismatch() {
+        // Re-encode with a bumped version and a fixed-up CRC: structurally
+        // intact, wrong schema — must surface as VersionMismatch, not Corrupt.
+        let mut encoded = encode_chunk(&sample_chunk()).to_vec();
+        let future = (crate::SPILL_SCHEMA.0 + 1).to_be_bytes();
+        encoded[4] = future[0];
+        encoded[5] = future[1];
+        let body_len = encoded.len() - 4;
+        let fixed = crc32(&encoded[..body_len]).to_be_bytes();
+        encoded[body_len..].copy_from_slice(&fixed);
+        assert!(matches!(
+            decode_chunk(&encoded),
+            Err(StorageError::VersionMismatch {
+                found,
+                expected,
+            }) if found == crate::SPILL_SCHEMA.0 + 1 && expected == crate::SPILL_SCHEMA.0
+        ));
+    }
+
+    #[test]
+    fn writes_are_atomic_no_temp_residue() {
+        let dir = std::env::temp_dir().join(format!("cdpf-atomic-{}", std::process::id()));
+        let mut tier = ok(DiskTier::open(&dir));
+        let chunk = sample_chunk();
+        ok(tier.write(&chunk));
+        ok(tier.write(&chunk)); // overwrite path also goes through rename
+        let leftovers: Vec<_> = ok(std::fs::read_dir(&dir))
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        assert_eq!(some(ok(tier.read(Timestamp(42)))), chunk);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

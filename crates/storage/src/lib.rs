@@ -14,19 +14,44 @@
 //! The paper stored chunks in HDFS and cached features as Spark RDDs; here an
 //! in-memory [`store::ChunkStore`] plus an optional binary [`disk::DiskTier`]
 //! play those roles (see DESIGN.md §2 for the substitution argument).
+//!
+//! Both on-disk formats — spill files and deployment checkpoints
+//! ([`checkpoint::CheckpointDir`]) — carry a [`SchemaVersion`] header and a
+//! CRC-32 trailer, are written atomically (temp file + rename), and surface
+//! incompatible versions as the typed
+//! [`StorageError::VersionMismatch`] instead of a generic decode error.
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod chunk;
 pub mod disk;
 pub mod record;
 pub mod store;
 pub mod tiered;
 
+pub use checkpoint::{CheckpointDir, CHECKPOINT_SCHEMA};
 pub use chunk::{ChunkStats, FeatureChunk, LabeledPoint, RawChunk, Timestamp};
 pub use record::{Record, Schema, Value};
 pub use store::{ChunkStore, FeatureLookup, StorageBudget, StoreStats};
 pub use tiered::{TieredLookup, TieredStats, TieredStore};
+
+/// Version stamp embedded in every on-disk format's header.
+///
+/// A reader that encounters a file written with a different schema version
+/// reports [`StorageError::VersionMismatch`] rather than misinterpreting the
+/// payload or burying the incompatibility in a corruption error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SchemaVersion(pub u16);
+
+impl std::fmt::Display for SchemaVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Current schema of spill files (v2 added the CRC-32 trailer).
+pub const SPILL_SCHEMA: SchemaVersion = SchemaVersion(2);
 
 /// Errors produced by the storage layer.
 #[derive(Debug)]
@@ -41,6 +66,14 @@ pub enum StorageError {
     Corrupt(String),
     /// No tier holds the chunk: features gone and raw data gone too.
     MissingChunk(Timestamp),
+    /// A structurally intact file was written with an incompatible schema
+    /// version — not corruption, but data this build cannot interpret.
+    VersionMismatch {
+        /// Version found in the file header.
+        found: u16,
+        /// Version this build reads and writes.
+        expected: u16,
+    },
 }
 
 impl std::fmt::Display for StorageError {
@@ -56,6 +89,12 @@ impl std::fmt::Display for StorageError {
             StorageError::Corrupt(msg) => write!(f, "corrupt chunk file: {msg}"),
             StorageError::MissingChunk(ts) => {
                 write!(f, "chunk {} is absent from every storage tier", ts.0)
+            }
+            StorageError::VersionMismatch { found, expected } => {
+                write!(
+                    f,
+                    "schema version mismatch: file is v{found}, this build reads v{expected}"
+                )
             }
         }
     }

@@ -300,6 +300,13 @@ impl ChunkStore {
         self.stats = StoreStats::default();
     }
 
+    /// Overwrites the behaviour counters with checkpointed values, so a
+    /// resumed deployment's μ statistics continue from where the crashed run
+    /// left off instead of restarting from zero.
+    pub fn restore_stats(&mut self, stats: StoreStats) {
+        self.stats = stats;
+    }
+
     /// Drops a raw chunk and its features — failure injection for the
     /// "raw data unavailable" path.
     pub fn drop_chunk(&mut self, ts: Timestamp) {

@@ -276,6 +276,20 @@ impl TieredStore {
     pub fn stats(&self) -> TieredStats {
         self.stats
     }
+
+    /// Overwrites the tier counters with checkpointed values (resume path).
+    pub fn restore_stats(&mut self, stats: TieredStats) {
+        self.stats = stats;
+    }
+
+    /// Replaces the fault hook on this store and its disk tier, so a resumed
+    /// deployment can swap the throwaway replay hook for the live injector.
+    pub fn set_hook(&mut self, hook: Arc<dyn FaultHook>) {
+        if let Some(disk) = self.disk.as_mut() {
+            disk.set_hook(Arc::clone(&hook));
+        }
+        self.hook = hook;
+    }
 }
 
 #[cfg(test)]

@@ -62,15 +62,18 @@ pub use cdp_storage as storage;
 
 /// The most common imports for platform users.
 pub mod prelude {
+    pub use cdp_core::checkpoint::DeploymentCheckpoint;
     pub use cdp_core::deployment::{
-        run_deployment, try_run_deployment, try_run_deployment_observed, try_run_deployment_traced,
-        DeploymentConfig, DeploymentError, DeploymentMode, DeploymentResult, OptimizationConfig,
+        resume_deployment, run_deployment, try_resume_deployment, try_resume_deployment_observed,
+        try_resume_deployment_traced, try_run_deployment, try_run_deployment_observed,
+        try_run_deployment_traced, CheckpointConfig, CheckpointStats, DeploymentConfig,
+        DeploymentError, DeploymentMode, DeploymentResult, OptimizationConfig,
     };
     pub use cdp_core::presets::{taxi_spec, url_spec, DeploymentSpec, SpecScale};
     pub use cdp_core::scheduler::Scheduler;
     pub use cdp_datagen::ChunkStream;
     pub use cdp_eval::ErrorMetric;
-    pub use cdp_faults::{FaultPlan, FaultStats};
+    pub use cdp_faults::{CrashSite, FaultPlan, FaultStats};
     pub use cdp_ml::{LossKind, OptimizerKind, Regularizer, SgdConfig};
     pub use cdp_obs::{
         Alert, AlertMonitor, LineageEventKind, Metrics, MetricsSnapshot, TraceSnapshot, Tracer,

@@ -1,0 +1,477 @@
+//! Kill-and-resume recovery tests: a deployment killed at an injected crash
+//! point and resumed from its newest durable checkpoint must be bit-identical
+//! to an uninterrupted run — same weights, prequential curve, accounted cost,
+//! storage counters, and alerts (DESIGN.md §12).
+//!
+//! Comparison rules: `checkpoint.*` metrics and `DeploymentResult::
+//! checkpoint_stats` are excluded (they legitimately differ between an
+//! uninterrupted run and a crash-resume pair), wall-clock histograms are
+//! compared by observation count only, and event/lineage timestamps (wall
+//! clock under `Metrics::collecting`) are ignored in favour of their
+//! deterministic payloads.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cdpipe::datagen::url::UrlGenerator;
+use cdpipe::obs::MetricsSnapshot;
+use cdpipe::prelude::*;
+use proptest::prelude::*;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A test-private checkpoint directory that never collides across parallel
+/// tests or repeated runs of one process.
+fn ckpt_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "cdp-ckpt-test-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn tiny_url() -> (UrlGenerator, DeploymentSpec) {
+    url_spec(SpecScale::Tiny)
+}
+
+/// Histograms fed from the virtual cost model rather than wall time: their
+/// full snapshot (buckets, sum, min, max) is part of the identity contract.
+const EXACT_HISTOGRAMS: [&str; 2] = ["scheduler.fire_margin_secs", "proactive.accounted_secs"];
+
+fn without_checkpoint_keys<V: Clone>(m: &BTreeMap<String, V>) -> BTreeMap<String, V> {
+    m.iter()
+        .filter(|(k, _)| !k.starts_with("checkpoint."))
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect()
+}
+
+fn check_metrics(a: &MetricsSnapshot, b: &MetricsSnapshot) -> Result<(), String> {
+    if without_checkpoint_keys(&a.counters) != without_checkpoint_keys(&b.counters) {
+        return Err(format!(
+            "counters diverge: {:?} vs {:?}",
+            without_checkpoint_keys(&a.counters),
+            without_checkpoint_keys(&b.counters)
+        ));
+    }
+    let gauge_bits = |m: &BTreeMap<String, f64>| -> BTreeMap<String, u64> {
+        without_checkpoint_keys(m)
+            .into_iter()
+            .map(|(k, v)| (k, v.to_bits()))
+            .collect()
+    };
+    if gauge_bits(&a.gauges) != gauge_bits(&b.gauges) {
+        return Err(format!(
+            "gauges diverge: {:?} vs {:?}",
+            without_checkpoint_keys(&a.gauges),
+            without_checkpoint_keys(&b.gauges)
+        ));
+    }
+    let ha = without_checkpoint_keys(&a.histograms);
+    let hb = without_checkpoint_keys(&b.histograms);
+    if ha.keys().collect::<Vec<_>>() != hb.keys().collect::<Vec<_>>() {
+        return Err(format!(
+            "histogram keys diverge: {:?} vs {:?}",
+            ha.keys().collect::<Vec<_>>(),
+            hb.keys().collect::<Vec<_>>()
+        ));
+    }
+    for (name, x) in &ha {
+        let y = &hb[name];
+        if EXACT_HISTOGRAMS.contains(&name.as_str()) {
+            if x != y {
+                return Err(format!("histogram {name} diverges: {x:?} vs {y:?}"));
+            }
+        } else if (x.count, x.dropped) != (y.count, y.dropped) {
+            // Wall-clock histograms: the number of observations is
+            // deterministic, the observed durations are not.
+            return Err(format!(
+                "histogram {name} count diverges: {} vs {}",
+                x.count, y.count
+            ));
+        }
+    }
+    let payloads = |s: &MetricsSnapshot| -> Vec<(String, String)> {
+        s.events
+            .iter()
+            .filter(|e| !e.name.starts_with("checkpoint."))
+            .map(|e| (e.name.clone(), e.detail.clone()))
+            .collect()
+    };
+    if payloads(a) != payloads(b) {
+        return Err(format!(
+            "events diverge: {:?} vs {:?}",
+            payloads(a),
+            payloads(b)
+        ));
+    }
+    let kinds = |s: &MetricsSnapshot| -> BTreeMap<u64, Vec<LineageEventKind>> {
+        s.lineage
+            .iter()
+            .map(|(ts, es)| (*ts, es.iter().map(|e| e.kind).collect()))
+            .collect()
+    };
+    if kinds(a) != kinds(b) {
+        return Err("lineage diverges".into());
+    }
+    if (a.dropped_events, a.dropped_lineage) != (b.dropped_events, b.dropped_lineage) {
+        return Err("drop counters diverge".into());
+    }
+    Ok(())
+}
+
+/// The bit-identity contract between an uninterrupted run and a resumed one.
+fn check_identical(a: &DeploymentResult, b: &DeploymentResult) -> Result<(), String> {
+    if a.final_weights != b.final_weights {
+        return Err("final weights diverge".into());
+    }
+    if a.error_curve != b.error_curve {
+        return Err(format!(
+            "error curves diverge: {:?} vs {:?}",
+            a.error_curve, b.error_curve
+        ));
+    }
+    if a.cost_curve != b.cost_curve {
+        return Err("cost curves diverge".into());
+    }
+    if a.final_error.to_bits() != b.final_error.to_bits()
+        || a.average_error.to_bits() != b.average_error.to_bits()
+    {
+        return Err(format!(
+            "errors diverge: {} vs {}",
+            a.final_error, b.final_error
+        ));
+    }
+    let accounted = |r: &DeploymentResult| {
+        [
+            r.preprocessing_secs.to_bits(),
+            r.training_secs.to_bits(),
+            r.prediction_secs.to_bits(),
+            r.io_secs.to_bits(),
+            r.total_secs.to_bits(),
+        ]
+    };
+    if accounted(a) != accounted(b) {
+        return Err(format!(
+            "accounted cost diverges: {} vs {}",
+            a.total_secs, b.total_secs
+        ));
+    }
+    if (a.queries_answered, a.proactive_runs, a.retrain_runs)
+        != (b.queries_answered, b.proactive_runs, b.retrain_runs)
+    {
+        return Err("run counters diverge".into());
+    }
+    if a.avg_proactive_secs.to_bits() != b.avg_proactive_secs.to_bits() {
+        return Err("avg proactive secs diverge".into());
+    }
+    if a.store_stats != b.store_stats {
+        return Err(format!(
+            "store stats diverge: {:?} vs {:?}",
+            a.store_stats, b.store_stats
+        ));
+    }
+    if a.tiered_stats != b.tiered_stats {
+        return Err(format!(
+            "tiered stats diverge: {:?} vs {:?}",
+            a.tiered_stats, b.tiered_stats
+        ));
+    }
+    if a.fault_stats != b.fault_stats {
+        return Err(format!(
+            "fault stats diverge: {:?} vs {:?}",
+            a.fault_stats, b.fault_stats
+        ));
+    }
+    if a.initial_report.final_loss.to_bits() != b.initial_report.final_loss.to_bits() {
+        return Err("initial training reports diverge".into());
+    }
+    if a.alerts != b.alerts {
+        return Err(format!("alerts diverge: {:?} vs {:?}", a.alerts, b.alerts));
+    }
+    check_metrics(&a.metrics, &b.metrics)
+}
+
+fn assert_identical(label: &str, a: &DeploymentResult, b: &DeploymentResult) {
+    if let Err(e) = check_identical(a, b) {
+        panic!("{label}: {e}");
+    }
+}
+
+fn continuous_cfg() -> DeploymentConfig {
+    let mut cfg = DeploymentConfig::continuous(2, 3, SamplingStrategy::Uniform);
+    cfg.optimization.budget = StorageBudget::MaxChunks(5);
+    cfg.collect_metrics = true;
+    cfg
+}
+
+fn crash_plan(site: CrashSite, at: u64) -> FaultPlan {
+    FaultPlan {
+        crash_site: Some(site),
+        crash_at: at,
+        ..FaultPlan::none()
+    }
+}
+
+#[test]
+fn chunk_boundary_crash_resumes_bit_identically() {
+    let (stream, spec) = tiny_url();
+    let baseline = run_deployment(&stream, &spec, &continuous_cfg());
+
+    let dir = ckpt_dir("chunk-boundary");
+    let mut cfg = continuous_cfg();
+    cfg.checkpoint = Some(CheckpointConfig::new(&dir).every(2).keep(2));
+    cfg.faults = crash_plan(CrashSite::ChunkBoundary, 7);
+    match try_run_deployment(&stream, &spec, &cfg) {
+        Err(DeploymentError::Crashed(CrashSite::ChunkBoundary)) => {}
+        other => panic!("expected a chunk-boundary crash, got {other:?}"),
+    }
+
+    let resumed = try_resume_deployment(&stream, &spec, &cfg).expect("resume");
+    assert_eq!(resumed.checkpoint_stats.restores, 1);
+    assert!(resumed.checkpoint_stats.writes > 0);
+    assert_identical("chunk-boundary crash", &baseline, &resumed);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn proactive_fire_crash_resumes_bit_identically() {
+    let (stream, spec) = tiny_url();
+    let baseline = run_deployment(&stream, &spec, &continuous_cfg());
+
+    let dir = ckpt_dir("fire");
+    let mut cfg = continuous_cfg();
+    cfg.checkpoint = Some(CheckpointConfig::new(&dir).every(1).keep(3));
+    cfg.faults = crash_plan(CrashSite::ProactiveFire, 2);
+    match try_run_deployment(&stream, &spec, &cfg) {
+        Err(DeploymentError::Crashed(CrashSite::ProactiveFire)) => {}
+        other => panic!("expected a proactive-fire crash, got {other:?}"),
+    }
+
+    let resumed = try_resume_deployment(&stream, &spec, &cfg).expect("resume");
+    assert_eq!(resumed.checkpoint_stats.restores, 1);
+    assert_identical("proactive-fire crash", &baseline, &resumed);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_checkpoint_write_leaves_temp_file_and_falls_back() {
+    let (stream, spec) = tiny_url();
+    let baseline = run_deployment(&stream, &spec, &continuous_cfg());
+
+    let dir = ckpt_dir("torn");
+    let mut cfg = continuous_cfg();
+    cfg.checkpoint = Some(CheckpointConfig::new(&dir).every(1).keep(3));
+    // The 6th consult of the checkpoint-write site dies mid-write, after
+    // five durable checkpoints already exist.
+    cfg.faults = crash_plan(CrashSite::CheckpointWrite, 5);
+    match try_run_deployment(&stream, &spec, &cfg) {
+        Err(DeploymentError::Crashed(CrashSite::CheckpointWrite)) => {}
+        other => panic!("expected a checkpoint-write crash, got {other:?}"),
+    }
+    // The interrupted write is visible only as a torn temp file.
+    let torn = std::fs::read_dir(&dir)
+        .expect("checkpoint dir")
+        .filter_map(Result::ok)
+        .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+        .count();
+    assert_eq!(torn, 1, "expected exactly one torn temp file");
+
+    let resumed = try_resume_deployment(&stream, &spec, &cfg).expect("resume");
+    assert_eq!(resumed.checkpoint_stats.restores, 1);
+    assert_identical("torn checkpoint write", &baseline, &resumed);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_latest_checkpoint_falls_back_to_previous() {
+    let (stream, spec) = tiny_url();
+    let dir = ckpt_dir("corrupt");
+    let mut cfg = continuous_cfg();
+    cfg.checkpoint = Some(CheckpointConfig::new(&dir).every(2).keep(4));
+    let completed = run_deployment(&stream, &spec, &cfg);
+    assert!(completed.checkpoint_stats.writes >= 2);
+
+    // Flip one payload byte of the newest checkpoint: the CRC trailer must
+    // reject it and recovery must fall back to its predecessor, replaying
+    // the tail chunks to the same final state.
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("checkpoint dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "cdpk"))
+        .collect();
+    files.sort();
+    let newest = files.last().expect("at least one checkpoint");
+    let mut bytes = std::fs::read(newest).expect("read checkpoint");
+    bytes[8] ^= 0x01;
+    std::fs::write(newest, &bytes).expect("corrupt checkpoint");
+
+    let resumed = try_resume_deployment(&stream, &spec, &cfg).expect("resume");
+    assert_identical("corrupted latest checkpoint", &completed, &resumed);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_without_checkpoint_config_is_a_typed_error() {
+    let (stream, spec) = tiny_url();
+    let cfg = continuous_cfg();
+    match try_resume_deployment(&stream, &spec, &cfg) {
+        Err(DeploymentError::NoCheckpoint(_)) => {}
+        other => panic!("expected NoCheckpoint, got {other:?}"),
+    }
+}
+
+#[test]
+fn resume_from_empty_directory_is_a_typed_error() {
+    let (stream, spec) = tiny_url();
+    let dir = ckpt_dir("empty");
+    let mut cfg = continuous_cfg();
+    cfg.checkpoint = Some(CheckpointConfig::new(&dir));
+    match try_resume_deployment(&stream, &spec, &cfg) {
+        Err(DeploymentError::NoCheckpoint(detail)) => {
+            assert!(detail.contains("no valid checkpoint"));
+        }
+        other => panic!("expected NoCheckpoint, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpointing_does_not_perturb_the_run() {
+    // The no-checkpoint and checkpoint-every-chunk runs must be identical
+    // on every deterministic surface: checkpointing observes the loop, it
+    // never steers it.
+    let (stream, spec) = tiny_url();
+    let plain = run_deployment(&stream, &spec, &continuous_cfg());
+    let dir = ckpt_dir("perturb");
+    let mut cfg = continuous_cfg();
+    cfg.checkpoint = Some(CheckpointConfig::new(&dir).every(1).keep(2));
+    let checkpointed = run_deployment(&stream, &spec, &cfg);
+    assert_identical("checkpointing perturbation", &plain, &checkpointed);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn mode_config(mode_idx: usize) -> DeploymentConfig {
+    let mut cfg = match mode_idx {
+        0 => DeploymentConfig::online(),
+        1 => DeploymentConfig::periodical(3),
+        _ => DeploymentConfig::continuous(2, 3, SamplingStrategy::Uniform),
+    };
+    cfg.optimization.budget = StorageBudget::MaxChunks(5);
+    cfg.collect_metrics = true;
+    cfg
+}
+
+const CRASH_SITES: [CrashSite; 3] = [
+    CrashSite::ChunkBoundary,
+    CrashSite::ProactiveFire,
+    CrashSite::CheckpointWrite,
+];
+
+proptest! {
+    /// Sweeps seeded crash points across the three deployment modes with
+    /// spill on and off: every kill either resumes to a bit-identical end
+    /// state, or — when the crash predates the first durable checkpoint —
+    /// reports the typed `NoCheckpoint` fallback-to-scratch condition.
+    #[test]
+    fn every_seeded_kill_resumes_bit_identically(
+        mode_idx in 0usize..3,
+        spill in prop::bool::ANY,
+        site_idx in 0usize..3,
+        crash_at in 0u64..8,
+        interval in 1usize..4,
+    ) {
+        let (stream, spec) = tiny_url();
+        let mut baseline_cfg = mode_config(mode_idx);
+        baseline_cfg.spill_to_disk = spill;
+        let baseline = run_deployment(&stream, &spec, &baseline_cfg);
+
+        let dir = ckpt_dir("sweep");
+        let mut cfg = baseline_cfg.clone();
+        cfg.checkpoint = Some(CheckpointConfig::new(&dir).every(interval).keep(2));
+        cfg.faults = crash_plan(CRASH_SITES[site_idx], crash_at);
+
+        match try_run_deployment(&stream, &spec, &cfg) {
+            Ok(completed) => {
+                // The crash countdown never fired (e.g. the site is not on
+                // this mode's path): the checkpointed run itself must match.
+                prop_assert!(
+                    check_identical(&baseline, &completed).is_ok(),
+                    "completed run diverged: {:?}",
+                    check_identical(&baseline, &completed)
+                );
+            }
+            Err(DeploymentError::Crashed(_)) => {
+                match try_resume_deployment(&stream, &spec, &cfg) {
+                    Ok(resumed) => {
+                        prop_assert_eq!(resumed.checkpoint_stats.restores, 1);
+                        prop_assert!(
+                            check_identical(&baseline, &resumed).is_ok(),
+                            "resumed run diverged: {:?}",
+                            check_identical(&baseline, &resumed)
+                        );
+                    }
+                    // Killed before the first durable checkpoint: recovery
+                    // legitimately reports nothing-to-resume-from.
+                    Err(DeploymentError::NoCheckpoint(_)) => {}
+                    Err(other) => return Err(format!("resume failed: {other}")),
+                }
+            }
+            Err(other) => return Err(format!("run failed: {other}")),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The CI crash-recovery matrix entry point: seed and cadence come from the
+/// environment (`CDP_FAULT_SEED`, `CDP_CKPT_INTERVAL`), checkpoints land
+/// under `target/ci-checkpoints/` so the workflow can upload them as
+/// artifacts when the assertion fails.
+#[test]
+fn ci_matrix_crash_recovery_smoke() {
+    let seed: u64 = std::env::var("CDP_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7);
+    let interval: usize = std::env::var("CDP_CKPT_INTERVAL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("ci-checkpoints")
+        .join(format!("seed-{seed}-every-{interval}"));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (stream, spec) = tiny_url();
+    // Disk faults plus spill exercise the restored FaultInjector state: the
+    // resumed run must keep injecting exactly where the uninterrupted run
+    // would have.
+    let faults = FaultPlan {
+        seed,
+        disk_read_error: 0.05,
+        disk_write_error: 0.05,
+        ..FaultPlan::none()
+    };
+    let mut baseline_cfg = continuous_cfg();
+    baseline_cfg.spill_to_disk = true;
+    baseline_cfg.faults = faults;
+    let baseline = run_deployment(&stream, &spec, &baseline_cfg);
+
+    let mut cfg = baseline_cfg.clone();
+    cfg.checkpoint = Some(CheckpointConfig::new(&dir).every(interval).keep(2));
+    cfg.faults = FaultPlan {
+        crash_site: Some(CrashSite::ChunkBoundary),
+        crash_at: 10,
+        ..faults
+    };
+    match try_run_deployment(&stream, &spec, &cfg) {
+        Err(DeploymentError::Crashed(CrashSite::ChunkBoundary)) => {}
+        other => panic!("expected a chunk-boundary crash, got {other:?}"),
+    }
+    let resumed = try_resume_deployment(&stream, &spec, &cfg).expect("resume");
+    assert_eq!(resumed.checkpoint_stats.restores, 1);
+    assert_identical("ci matrix smoke", &baseline, &resumed);
+    // Leave the checkpoint directory in place for artifact upload.
+}

@@ -83,11 +83,11 @@ fn materialization_budget_trades_cost_for_memory() {
     let (stream, spec) = small_url();
     let base = DeploymentConfig::continuous(2, 6, SamplingStrategy::Uniform);
 
-    let mut zero = base;
+    let mut zero = base.clone();
     zero.optimization.budget = StorageBudget::MaxChunks(0);
     let rate_0 = run_deployment(&stream, &spec, &zero);
 
-    let mut partial = base;
+    let mut partial = base.clone();
     partial.optimization.budget = StorageBudget::MaxChunks(stream.total_chunks() / 5);
     let rate_02 = run_deployment(&stream, &spec, &partial);
 
@@ -254,7 +254,7 @@ fn recoverable_only_faults_match_fault_free_model() {
     // for one whose streaks all stay within budget while still injecting.
     let mut faulted = None;
     for offset in 0..16u64 {
-        let mut faulted_cfg = base;
+        let mut faulted_cfg = base.clone();
         faulted_cfg.faults = FaultPlan {
             seed: sweep_plan().seed.wrapping_add(offset),
             worker_panic: 0.4,

@@ -36,6 +36,21 @@ pub mod rngs {
         state: u64,
     }
 
+    impl StdRng {
+        /// The generator's raw internal state, for exact persistence: a
+        /// generator rebuilt with [`StdRng::from_state`] continues the same
+        /// stream from the same position.
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+
+        /// Rebuilds a generator mid-stream from a state captured with
+        /// [`StdRng::state`].
+        pub fn from_state(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
     impl crate::SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             StdRng { state: seed }
