@@ -1,0 +1,45 @@
+//! Fused transform+gradient pass vs materialize-then-step on the proactive
+//! re-materialization workload. The fused pass does the same parsing,
+//! component transforms, and encoding but never builds a `FeatureChunk` or
+//! the union batch buffer — one traversal, zero intermediate materialization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cdp_bench::hotpath::FusedWorkload;
+use cdp_engine::ExecutionEngine;
+
+const CHUNK_COUNTS: [u64; 2] = [4, 16];
+const ROWS_PER_CHUNK: u64 = 128;
+
+fn bench_fused(c: &mut Criterion) {
+    let pool = ExecutionEngine::Threaded { workers: 4 };
+    let mut group = c.benchmark_group("engine_fused");
+    for &chunks in &CHUNK_COUNTS {
+        let workload = FusedWorkload::new(chunks, ROWS_PER_CHUNK);
+        group.throughput(Throughput::Elements(chunks * ROWS_PER_CHUNK));
+        group.bench_with_input(
+            BenchmarkId::new("unfused_sequential", chunks),
+            &workload,
+            |b, w| b.iter(|| w.run_unfused(ExecutionEngine::Sequential)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fused_sequential", chunks),
+            &workload,
+            |b, w| b.iter(|| w.run_fused(ExecutionEngine::Sequential)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("unfused_pool4", chunks),
+            &workload,
+            |b, w| b.iter(|| w.run_unfused(pool)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fused_pool4", chunks),
+            &workload,
+            |b, w| b.iter(|| w.run_fused(pool)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fused);
+criterion_main!(benches);

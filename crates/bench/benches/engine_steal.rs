@@ -1,0 +1,32 @@
+//! Work-stealing range queue vs fixed-shape sharding on a skewed workload
+//! (item `i` costs O(i)). Fixed shards leave the last worker with most of
+//! the work; the stealing queue rebalances at unit granularity, so the gap
+//! widens with both skew and worker count. On a single-core host the two
+//! degenerate to the same serial schedule — the bench then gates overhead,
+//! not speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cdp_bench::hotpath::{fixed_shard_map, stealing_map};
+use cdp_engine::ExecutionEngine;
+
+const ITEM_COUNTS: [usize; 2] = [256, 1024];
+const WORKERS: usize = 4;
+
+fn bench_steal(c: &mut Criterion) {
+    let pool = ExecutionEngine::Threaded { workers: WORKERS };
+    let mut group = c.benchmark_group("engine_steal");
+    for &n in &ITEM_COUNTS {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("fixed_shards", n), &n, |b, &n| {
+            b.iter(|| fixed_shard_map(n, WORKERS))
+        });
+        group.bench_with_input(BenchmarkId::new("work_stealing", n), &n, |b, &n| {
+            b.iter(|| stealing_map(pool, n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_steal);
+criterion_main!(benches);

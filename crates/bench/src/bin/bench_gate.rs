@@ -1,0 +1,165 @@
+//! Wall-clock regression gate for the engine hot path.
+//!
+//! Measures intra-process *ratios* — fused/unfused, stealing/fixed-shards,
+//! threaded-map/sequential-map — and compares them against the checked-in
+//! baseline (`crates/bench/baselines/engine_gate.json`). Ratios are robust
+//! to host speed; a ratio more than 10 % above its baseline fails the gate
+//! (exit code 1), which is what CI runs.
+//!
+//! Regenerate the baseline after an intentional perf change:
+//!
+//! ```sh
+//! cargo run --release -p cdp-bench --bin bench_gate -- --update
+//! ```
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use cdp_bench::hotpath::{fixed_shard_map, stealing_map, FusedWorkload};
+use cdp_engine::ExecutionEngine;
+
+/// Over-baseline slack before the gate fails.
+const THRESHOLD: f64 = 0.10;
+const SAMPLES: usize = 15;
+const STEAL_ITEMS: usize = 512;
+
+fn baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("baselines")
+        .join("engine_gate.json")
+}
+
+/// Median wall-clock seconds of `f` over [`SAMPLES`] runs (after warmup).
+fn median_secs(mut f: impl FnMut()) -> f64 {
+    for _ in 0..3 {
+        f();
+    }
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn measure() -> Vec<(&'static str, f64)> {
+    let pool = ExecutionEngine::Threaded { workers: 4 };
+
+    let workload = FusedWorkload::new(8, 128);
+    let unfused = median_secs(|| {
+        workload.run_unfused(ExecutionEngine::Sequential);
+    });
+    let fused = median_secs(|| {
+        workload.run_fused(ExecutionEngine::Sequential);
+    });
+
+    let fixed = median_secs(|| {
+        fixed_shard_map(STEAL_ITEMS, 4);
+    });
+    let steal = median_secs(|| {
+        stealing_map(pool, STEAL_ITEMS);
+    });
+
+    let items: Vec<u64> = (0..256u64).collect();
+    let work = |x: &u64| -> f64 {
+        let mut acc = 0.0;
+        for j in 0..200 {
+            acc += ((x * 31 + j) as f64 * 1e-3).sqrt();
+        }
+        acc
+    };
+    let seq_map = median_secs(|| {
+        ExecutionEngine::Sequential.map_slice(&items, work);
+    });
+    let pool_map = median_secs(|| {
+        pool.map_slice(&items, work);
+    });
+
+    vec![
+        ("fused_over_unfused", fused / unfused),
+        ("steal_over_fixed", steal / fixed),
+        ("pool_map_over_sequential", pool_map / seq_map),
+    ]
+}
+
+/// Minimal flat `{"name": ratio, ...}` JSON — no serde dependency.
+fn render(ratios: &[(&str, f64)]) -> String {
+    let body: Vec<String> = ratios
+        .iter()
+        .map(|(name, r)| format!("  \"{name}\": {r:.4}"))
+        .collect();
+    format!("{{\n{}\n}}\n", body.join(",\n"))
+}
+
+fn parse(json: &str) -> Vec<(String, f64)> {
+    json.split(',')
+        .filter_map(|entry| {
+            let (key, value) = entry.split_once(':')?;
+            let name = key.trim().trim_matches(|c| "{}\"\n ".contains(c));
+            let ratio = value
+                .trim()
+                .trim_matches(|c| "{}\n ".contains(c))
+                .parse()
+                .ok()?;
+            Some((name.to_owned(), ratio))
+        })
+        .collect()
+}
+
+fn main() {
+    let update = std::env::args().any(|a| a == "--update");
+    let path = baseline_path();
+    let ratios = measure();
+
+    if update {
+        std::fs::write(&path, render(&ratios)).expect("write baseline");
+        println!("baseline updated: {}", path.display());
+        for (name, r) in &ratios {
+            println!("  {name} = {r:.4}");
+        }
+        return;
+    }
+
+    let stored = parse(&std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing baseline {} ({e}); run with --update to create it",
+            path.display()
+        )
+    }));
+
+    let mut failed = false;
+    println!(
+        "{:<28} {:>9} {:>9} {:>8}  gate",
+        "ratio", "baseline", "current", "delta"
+    );
+    for (name, current) in &ratios {
+        let Some((_, base)) = stored.iter().find(|(n, _)| n == name) else {
+            println!(
+                "{name:<28} {:>9} {current:>9.4} {:>8}  MISSING (run --update)",
+                "-", "-"
+            );
+            failed = true;
+            continue;
+        };
+        let delta = current / base - 1.0;
+        let over = delta > THRESHOLD;
+        failed |= over;
+        println!(
+            "{name:<28} {base:>9.4} {current:>9.4} {:>7.1}%  {}",
+            delta * 100.0,
+            if over { "FAIL" } else { "ok" }
+        );
+    }
+
+    if failed {
+        eprintln!(
+            "bench gate failed: a hot-path ratio regressed more than {:.0}%",
+            THRESHOLD * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("bench gate passed");
+}

@@ -57,18 +57,42 @@ fn identical(a: &DeploymentResult, b: &DeploymentResult) -> bool {
         && a.error_curve == b.error_curve
 }
 
+/// Repetitions per engine configuration; the reported wall-clock is the
+/// median. Small scales finish in milliseconds, where a single sample is
+/// dominated by scheduler noise.
+const REPS: usize = 7;
+
+/// Runs the deployment [`REPS`] times; returns the median wall-clock and
+/// the last result (all repetitions are bit-identical by construction —
+/// the sweep verifies that against the sequential reference).
+fn timed(
+    stream: &dyn ChunkStream,
+    spec: &DeploymentSpec,
+    config: &DeploymentConfig,
+) -> (f64, DeploymentResult) {
+    let mut walls: Vec<f64> = Vec::with_capacity(REPS);
+    let mut last = None;
+    for _ in 0..REPS {
+        let r = run_deployment(stream, spec, config);
+        walls.push(r.wall_secs);
+        last = Some(r);
+    }
+    walls.sort_by(f64::total_cmp);
+    (walls[walls.len() / 2], last.expect("REPS > 0"))
+}
+
 fn sweep_dataset(
     dataset: &str,
     stream: &dyn ChunkStream,
     spec: &DeploymentSpec,
 ) -> Vec<SweepPoint> {
     let base = workload(spec);
-    let sequential = run_deployment(stream, spec, &base);
+    let (seq_wall, sequential) = timed(stream, spec, &base);
     let mut points = vec![SweepPoint {
         dataset: dataset.to_owned(),
         engine: ExecutionEngine::Sequential.name(),
         workers: 0,
-        wall_secs: sequential.wall_secs,
+        wall_secs: seq_wall,
         speedup: 1.0,
         bit_identical: true,
     }];
@@ -76,13 +100,13 @@ fn sweep_dataset(
         let engine = ExecutionEngine::Threaded { workers };
         let mut config = base.clone();
         config.engine = engine;
-        let r = run_deployment(stream, spec, &config);
+        let (wall, r) = timed(stream, spec, &config);
         points.push(SweepPoint {
             dataset: dataset.to_owned(),
             engine: engine.name(),
             workers,
-            wall_secs: r.wall_secs,
-            speedup: sequential.wall_secs / r.wall_secs.max(1e-9),
+            wall_secs: wall,
+            speedup: seq_wall / wall.max(1e-9),
             bit_identical: identical(&sequential, &r),
         });
     }

@@ -1,0 +1,137 @@
+//! Shared hot-path workloads for the engine benchmarks and the
+//! wall-clock regression gate (`bench_gate`).
+//!
+//! Two shapes matter after the work-stealing/fusion rework:
+//!
+//! * **Fused vs unfused** — the re-materializing proactive step either
+//!   materializes every sampled chunk into a `FeatureChunk` and feeds the
+//!   union batch to the sharded step (old path), or streams each encoded
+//!   point straight into the gradient accumulator (fused path). Same rows,
+//!   same template pipeline clones; the difference is purely the
+//!   intermediate buffers and the extra pass.
+//! * **Stealing vs fixed shards** — a skewed per-item cost profile leaves
+//!   fixed-shape shards with stragglers; the work-stealing queue
+//!   rebalances them.
+
+use cdp_engine::ExecutionEngine;
+use cdp_faults::NoFaults;
+use cdp_ml::{FusedStepOutcome, LossKind, SgdConfig, SgdTrainer};
+use cdp_obs::{Metrics, Tracer};
+use cdp_pipeline::encode::DenseEncoder;
+use cdp_pipeline::parser::SchemaParser;
+use cdp_pipeline::scale::StandardScaler;
+use cdp_pipeline::{Pipeline, PipelineBuilder};
+use cdp_storage::{LabeledPoint, RawChunk, Record, Schema, Timestamp, Value};
+
+/// The proactive re-materialization workload: a warmed template pipeline
+/// plus raw chunks that must be transformed before the gradient step.
+pub struct FusedWorkload {
+    template: Pipeline,
+    raws: Vec<RawChunk>,
+    config: SgdConfig,
+}
+
+fn pipeline() -> Pipeline {
+    let schema = Schema::new(["y", "x"]);
+    PipelineBuilder::new(SchemaParser::new(schema, "y", &["x"], None))
+        .add(StandardScaler::new())
+        .encoder(DenseEncoder::new(1))
+        .expect("static pipeline spec")
+}
+
+fn chunk(ts: u64, rows: u64) -> RawChunk {
+    RawChunk::new(
+        Timestamp(ts),
+        (0..rows)
+            .map(|i| {
+                let x = (ts * rows + i) as f64;
+                Record::new(vec![Value::Num(2.0 * x + 1.0), Value::Num(x)])
+            })
+            .collect(),
+    )
+}
+
+impl FusedWorkload {
+    /// Builds `chunks` raw chunks of `rows` rows each behind a template
+    /// pipeline whose component statistics are already warm.
+    pub fn new(chunks: u64, rows: u64) -> Self {
+        let raws: Vec<RawChunk> = (0..chunks).map(|t| chunk(t, rows)).collect();
+        let mut template = pipeline();
+        for raw in &raws {
+            let _ = template.transform_chunk(raw);
+        }
+        Self {
+            template,
+            raws,
+            config: SgdConfig::for_loss(LossKind::Squared),
+        }
+    }
+
+    /// Old path: materialize every chunk, then step on the union batch.
+    pub fn run_unfused(&self, engine: ExecutionEngine) -> Option<f64> {
+        let mut trainer = SgdTrainer::new(1, &self.config);
+        let chunks: Vec<_> = self
+            .raws
+            .iter()
+            .map(|raw| {
+                let mut local = self.template.clone();
+                local.reset_counters();
+                local.transform_chunk(raw)
+            })
+            .collect();
+        trainer.step_on(chunks.iter().flat_map(|c| c.points.iter()), engine)
+    }
+
+    /// Fused path: every encoded point flows straight into the gradient.
+    pub fn run_fused(&self, engine: ExecutionEngine) -> FusedStepOutcome {
+        let mut trainer = SgdTrainer::new(1, &self.config);
+        trainer
+            .try_step_fused_on(
+                self.raws.len(),
+                |i, sink: &mut dyn FnMut(&LabeledPoint)| {
+                    let mut local = self.template.clone();
+                    local.reset_counters();
+                    local.transform_chunk_fold(&self.raws[i], sink);
+                },
+                engine,
+                &NoFaults,
+                &Metrics::disabled(),
+                &Tracer::disabled(),
+                None,
+            )
+            .expect("no faults injected")
+    }
+}
+
+/// A deliberately skewed per-item cost: item `i` costs O(i) — the last
+/// shard of a fixed partition carries most of the work.
+pub fn skewed_item(i: usize) -> f64 {
+    let mut acc = 0.0f64;
+    for j in 0..(i + 1) * 8 {
+        acc += ((i * 31 + j) as f64 * 1e-3).sqrt();
+    }
+    acc
+}
+
+/// Fixed-shape sharding baseline: split `0..n` into one contiguous shard
+/// per worker and spawn a scoped thread for each — no rebalancing, the
+/// widest shard is the critical path.
+pub fn fixed_shard_map(n: usize, workers: usize) -> Vec<f64> {
+    let mut out = vec![0.0; n];
+    let shard = n.div_ceil(workers.max(1)).max(1);
+    std::thread::scope(|scope| {
+        for (s, slot) in out.chunks_mut(shard).enumerate() {
+            scope.spawn(move || {
+                for (off, v) in slot.iter_mut().enumerate() {
+                    *v = skewed_item(s * shard + off);
+                }
+            });
+        }
+    });
+    out
+}
+
+/// The work-stealing path on the same skewed items.
+pub fn stealing_map(engine: ExecutionEngine, n: usize) -> Vec<f64> {
+    engine.map_indexed(n, skewed_item)
+}

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod hotpath;
 
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;

@@ -2,15 +2,27 @@
 //! processes training data and prediction queries, and re-materializes
 //! evicted feature chunks.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use cdp_engine::{EngineError, ExecutionEngine};
 use cdp_eval::{CostLedger, PrequentialEvaluator};
 use cdp_faults::{FaultHook, NoFaults};
-use cdp_ml::{SgdConfig, SgdTrainer, TrainReport};
+use cdp_ml::{FusedStepOutcome, SgdConfig, SgdTrainer, TrainReport};
 use cdp_obs::{LineageEventKind, Metrics, SpanContext, Tracer};
 use cdp_pipeline::{Pipeline, PipelineCounters};
 use cdp_storage::{FeatureChunk, LabeledPoint, RawChunk};
+
+/// One input to a fused proactive SGD step: either an already-materialized
+/// feature chunk (used as-is) or a raw chunk that must be re-materialized —
+/// which the fused path streams through a pipeline clone straight into the
+/// gradient accumulator, never allocating the intermediate [`FeatureChunk`].
+#[derive(Debug, Clone)]
+pub enum ProactiveSource {
+    /// Feature chunk already available (cache hit or disk spill tier).
+    Ready(Arc<FeatureChunk>),
+    /// Evicted chunk: only the raw data survives; transform on the fly.
+    Raw(Arc<RawChunk>),
+}
 
 /// Pipeline + model + online learner, with cost attribution.
 ///
@@ -31,6 +43,7 @@ pub struct PipelineManager {
     counters_base: PipelineCounters,
     points_base: u64,
     steps_base: u64,
+    scratch_base: (u64, u64),
 }
 
 impl PipelineManager {
@@ -49,6 +62,7 @@ impl PipelineManager {
             trace_scope: None,
             points_base: 0,
             steps_base: 0,
+            scratch_base: (0, 0),
         }
     }
 
@@ -58,6 +72,7 @@ impl PipelineManager {
             counters_base: pipeline.counters(),
             points_base: trainer.points_seen(),
             steps_base: trainer.steps(),
+            scratch_base: trainer.scratch_counters(),
             pipeline,
             trainer,
             online_batch: online_batch.max(1),
@@ -149,6 +164,25 @@ impl PipelineManager {
         ledger.charge_sgd_step(points, steps * self.trainer.model().dim() as u64);
         self.points_base = self.trainer.points_seen();
         self.steps_base = self.trainer.steps();
+
+        // Scratch-buffer traffic since the last drain. The reuse/alloc split
+        // depends on worker timing (two shards can race an empty pool), so it
+        // surfaces as histogram samples — never as counters, which the
+        // tracing-is-inert test compares bit-for-bit across runs.
+        let (reused, allocated) = self.trainer.scratch_counters();
+        let delta_reused = reused.saturating_sub(self.scratch_base.0);
+        let delta_allocated = allocated.saturating_sub(self.scratch_base.1);
+        if delta_reused > 0 {
+            self.metrics
+                .histogram("engine.scratch_reuse")
+                .observe(delta_reused as f64);
+        }
+        if delta_allocated > 0 {
+            self.metrics
+                .histogram("engine.scratch_alloc")
+                .observe(delta_allocated as f64);
+        }
+        self.scratch_base = (reused, allocated);
     }
 
     /// Initial training (paper §5.1 "Deployment process"): fit the pipeline
@@ -172,9 +206,14 @@ impl PipelineManager {
             .iter()
             .flat_map(|fc| fc.points.iter().cloned())
             .collect();
-        let report =
-            self.trainer
-                .fit_on_traced(&points, sgd, self.engine, &self.tracer, self.trace_scope);
+        let report = self.trainer.fit_on_traced(
+            &points,
+            sgd,
+            self.engine,
+            &self.metrics,
+            &self.tracer,
+            self.trace_scope,
+        );
         self.drain_charges(ledger);
         (report, feature_chunks)
     }
@@ -244,9 +283,14 @@ impl PipelineManager {
                 points
             }
         };
-        let report =
-            self.trainer
-                .fit_on_traced(&points, sgd, engine, &self.tracer, self.trace_scope);
+        let report = self.trainer.fit_on_traced(
+            &points,
+            sgd,
+            engine,
+            &self.metrics,
+            &self.tracer,
+            self.trace_scope,
+        );
         self.drain_charges(ledger);
         report
     }
@@ -345,12 +389,14 @@ impl PipelineManager {
         }
         let template = self.pipeline.clone();
         let hook = Arc::clone(&self.hook);
-        let results = self.engine.try_map_with_hook_traced(
-            raws.to_vec(),
+        // Borrowed-slice map: no clone of the `Arc<RawChunk>` handles into a
+        // scratch `Vec` — workers read the caller's slice directly.
+        let results = self.engine.try_map_slice_with_hook_traced(
+            raws,
             |raw| {
                 let mut local = template.clone();
                 local.reset_counters();
-                let fc = local.transform_chunk(&raw);
+                let fc = local.transform_chunk(raw);
                 (fc, local.counters())
             },
             &*hook,
@@ -372,8 +418,90 @@ impl PipelineManager {
     /// `proactive.fire` span) so sharded gradient tasks on worker threads
     /// join the deployment's span tree.
     pub fn proactive_step(&mut self, batch: Vec<&LabeledPoint>) -> Option<f64> {
-        self.trainer
-            .step_on_traced(batch, self.engine, &self.tracer, self.trace_scope)
+        self.trainer.step_on_traced(
+            batch,
+            self.engine,
+            &self.metrics,
+            &self.tracer,
+            self.trace_scope,
+        )
+    }
+
+    /// One proactive mini-batch SGD step with the transform **fused** into
+    /// the gradient pass: each `Raw` source streams through a clone of the
+    /// deployed pipeline directly into a per-source gradient accumulator
+    /// ([`SgdTrainer::try_step_fused_on`]), so no intermediate
+    /// [`FeatureChunk`] or union batch buffer is ever materialized.
+    ///
+    /// Results are deterministic: gradients reduce in fixed tree order keyed
+    /// by source index, and pipeline counter deltas are absorbed in source
+    /// order, so the model update and the accounted cost depend only on the
+    /// sources — never on the engine, worker count, or steal schedule.
+    ///
+    /// # Errors
+    /// [`EngineError::WorkerPanic`] when a worker dies beyond the engine's
+    /// restart budget; the model is untouched in that case.
+    pub fn try_proactive_step_fused(
+        &mut self,
+        sources: &[ProactiveSource],
+        ledger: &mut CostLedger,
+    ) -> Result<FusedStepOutcome, EngineError> {
+        // Early return BEFORE drawing a worker order: the fault epoch
+        // sequence must depend only on deployment logic, not engine calls
+        // that would be no-ops.
+        if sources.is_empty() {
+            return Ok(FusedStepOutcome {
+                loss: None,
+                points: 0,
+            });
+        }
+        let template = self.pipeline.clone();
+        // Worker-fault orders are part of the deployment's deterministic
+        // fault-epoch sequence, which is defined over *re-materializing*
+        // engine calls (the fault site the injector models). A fused step
+        // whose sources are all `Ready` does no pipeline work, so it must
+        // not consume an epoch — exactly as the pre-fused path, where only
+        // `try_rematerialize_many` consulted the hook.
+        let rematerializes = sources.iter().any(|s| matches!(s, ProactiveSource::Raw(_)));
+        let hook: Arc<dyn FaultHook> = if rematerializes {
+            Arc::clone(&self.hook)
+        } else {
+            Arc::new(NoFaults)
+        };
+        // Transform work happens on pipeline clones inside engine tasks;
+        // their counters land here (one write per source, re-runs after an
+        // injected panic cannot double-count) and are absorbed in source
+        // order after the step.
+        let counter_slots: Vec<OnceLock<PipelineCounters>> =
+            sources.iter().map(|_| OnceLock::new()).collect();
+        let outcome = self.trainer.try_step_fused_on(
+            sources.len(),
+            |i, sink| match &sources[i] {
+                ProactiveSource::Ready(fc) => {
+                    for point in &fc.points {
+                        sink(point);
+                    }
+                }
+                ProactiveSource::Raw(raw) => {
+                    let mut local = template.clone();
+                    local.reset_counters();
+                    local.transform_chunk_fold(raw, sink);
+                    let _ = counter_slots[i].set(local.counters());
+                }
+            },
+            self.engine,
+            &*hook,
+            &self.metrics,
+            &self.tracer,
+            self.trace_scope,
+        )?;
+        for slot in counter_slots {
+            if let Some(counters) = slot.into_inner() {
+                self.pipeline.absorb_counters(counters);
+            }
+        }
+        self.drain_charges(ledger);
+        Ok(outcome)
     }
 
     /// Simulates recomputing component statistics by an extra scan over the

@@ -3,10 +3,9 @@
 
 use cdp_engine::EngineError;
 use cdp_eval::CostLedger;
-use cdp_storage::{FeatureChunk, LabeledPoint};
 
 use crate::data_manager::SampledChunk;
-use crate::pipeline_manager::PipelineManager;
+use crate::pipeline_manager::{PipelineManager, ProactiveSource};
 
 /// Outcome of one proactive-training instance.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -87,12 +86,12 @@ impl ProactiveTrainer {
         let mut materialized = 0usize;
         let mut spilled = 0usize;
         let mut rematerialized = 0usize;
-        // One slot per sampled chunk, in sample order: cached chunks keep
-        // their Arc; evicted ones stay `None` until the batched
-        // re-materialization below fills them in.
-        let mut slots: Vec<Option<std::sync::Arc<FeatureChunk>>> =
-            Vec::with_capacity(sampled.len());
-        let mut evicted = Vec::new();
+        // One fused-step source per sampled chunk, in sample order: cached
+        // chunks contribute their stored features directly; evicted ones
+        // carry the raw data and are transformed on the fly inside the fused
+        // transform+gradient pass — no intermediate feature chunk and no
+        // union batch buffer are ever allocated.
+        let mut sources: Vec<ProactiveSource> = Vec::with_capacity(sampled.len());
 
         for chunk in sampled {
             match chunk {
@@ -100,7 +99,7 @@ impl ProactiveTrainer {
                     // Stage 4 fast path: fetch from the in-memory cache.
                     ledger.charge_memory(fc.size_bytes() as u64);
                     materialized += 1;
-                    slots.push(Some(fc));
+                    sources.push(ProactiveSource::Ready(fc));
                 }
                 SampledChunk::Materialized(fc) => {
                     // NoOptimization ignores the cache entirely: read raw
@@ -113,7 +112,7 @@ impl ProactiveTrainer {
                     ledger.charge_parse(fc.len() as u64);
                     ledger.charge_stat_updates(fc.len() as u64 * 2);
                     rematerialized += 1;
-                    slots.push(Some(fc));
+                    sources.push(ProactiveSource::Ready(fc));
                 }
                 SampledChunk::Spilled(fc) => {
                     // Evicted from memory but recovered from the disk spill
@@ -124,7 +123,7 @@ impl ProactiveTrainer {
                         ledger.charge_stat_updates(fc.len() as u64 * 2);
                     }
                     spilled += 1;
-                    slots.push(Some(fc));
+                    sources.push(ProactiveSource::Ready(fc));
                 }
                 SampledChunk::NeedsRematerialization(raw) => {
                     if !self.online_stats {
@@ -132,47 +131,23 @@ impl ProactiveTrainer {
                         pm.charge_statistics_recomputation(&raw, ledger);
                     }
                     rematerialized += 1;
-                    evicted.push(raw);
-                    slots.push(None);
+                    sources.push(ProactiveSource::Raw(raw));
                 }
             }
         }
 
-        // All evicted chunks re-materialize in one engine-parallel map
-        // (transform-only over pipeline clones); costs and outputs are
-        // engine-independent.
-        let owned: Vec<FeatureChunk> = pm.try_rematerialize_many(&evicted, ledger)?;
-        let mut owned_iter = owned.iter();
-
-        // Union of all sampled feature chunks, in sample order = the
-        // mini-batch (the paper's context.union before the model update).
-        // `rematerialize_many` returns exactly one chunk per evicted slot,
-        // in order, so the pairing below cannot run dry.
-        let mut batch: Vec<&LabeledPoint> = Vec::new();
-        for slot in &slots {
-            match slot {
-                Some(fc) => batch.extend(fc.points.iter()),
-                None => match owned_iter.next() {
-                    Some(fc) => batch.extend(fc.points.iter()),
-                    None => {
-                        return Err(EngineError::WorkerPanic(
-                            "re-materialization returned fewer chunks than evicted slots"
-                                .to_string(),
-                        ))
-                    }
-                },
-            }
-        }
-        let points = batch.len();
-        let batch_loss = pm.proactive_step(batch);
-        pm.drain_charges(ledger);
+        // The union of all sampled chunks, in sample order, is the
+        // mini-batch (the paper's context.union before the model update);
+        // the fused step consumes it source by source while re-materializing
+        // evicted chunks on the fly.
+        let outcome = pm.try_proactive_step_fused(&sources, ledger)?;
 
         Ok(ProactiveOutcome {
             materialized_chunks: materialized,
             spilled_chunks: spilled,
             rematerialized_chunks: rematerialized,
-            points,
-            batch_loss,
+            points: outcome.points as usize,
+            batch_loss: outcome.loss,
             accounted_secs: ledger.total() - before,
         })
     }
@@ -187,7 +162,7 @@ mod tests {
     use cdp_pipeline::parser::SchemaParser;
     use cdp_pipeline::scale::StandardScaler;
     use cdp_pipeline::{Pipeline, PipelineBuilder};
-    use cdp_storage::{RawChunk, Record, Schema, Timestamp, Value};
+    use cdp_storage::{FeatureChunk, RawChunk, Record, Schema, Timestamp, Value};
     use std::sync::Arc;
 
     fn pipeline() -> Pipeline {

@@ -9,17 +9,33 @@
 //! **persistent worker pool** — threads are created once per worker count
 //! (process-wide) and reused across calls, fed over a crossbeam channel.
 //!
-//! Work is distributed in contiguous shards: each task moves an owned slice
-//! of the input and writes its results through a disjoint `chunks_mut`
-//! window of the output vector, so no per-item locking is needed and input
-//! order is preserved (the property the deployment loop relies on when
-//! unioning materialized and re-materialized chunks before a training step).
+//! Scheduling is **work-stealing** over contiguous unit ranges: the input
+//! index space is cut into a few units per participant, each participant
+//! owns a range queue (packed lo/hi in one atomic word), pops its own units
+//! from the front and, when its range runs dry, steals units from the *back*
+//! of a sibling's queue. Completion is counted, not barriered: every claimed
+//! unit bumps a shared counter and the last one wakes the submitting thread.
+//! On the untraced hot path the submitting thread itself is participant 0,
+//! so a map whose units all fit one participant degenerates to a plain loop
+//! with no cross-thread hand-off at all; helper workers are enlisted only up
+//! to the host's spare parallelism. With tracing enabled every unit runs on
+//! pool threads instead, so the span tree reliably crosses threads.
 //!
-//! Determinism contract: [`ExecutionEngine::map`] preserves input order,
-//! [`ExecutionEngine::map_reduce`] folds in input order, and [`tree_reduce`]
-//! combines partial results in a fixed shape that depends only on the number
-//! of parts — never on worker count or scheduling — so floating-point
-//! results are bit-identical across engines.
+//! Zero-copy variants ([`ExecutionEngine::map_slice`],
+//! [`ExecutionEngine::map_parts`], [`ExecutionEngine::map_indexed`] and
+//! their traced/hooked tiers) borrow the input instead of taking `Vec<T>` by
+//! value, so hot-path callers shard by index range rather than copying items
+//! into per-shard vectors.
+//!
+//! Determinism contract: every map variant writes each output into its own
+//! index slot, so input order is preserved no matter which participant ran
+//! which unit; [`ExecutionEngine::map_reduce`] folds in input order, and
+//! [`tree_reduce`] combines partial results in a fixed shape that depends
+//! only on the number of parts — never on worker count or scheduling — so
+//! floating-point results are bit-identical across engines. Scheduling
+//! observables that *are* timing-dependent (`engine.steal`,
+//! `engine.barrier_wait_secs`) are recorded as histograms, never as
+//! deterministic counters.
 
 #![warn(missing_docs)]
 
@@ -27,6 +43,7 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once, OnceLock, PoisonError};
 
 use cdp_faults::{FaultHook, InjectedWorkerPanic, NoFaults, WorkerOrder, MAX_WORKER_RESTARTS};
@@ -35,9 +52,9 @@ use crossbeam::channel::{self, Sender};
 
 /// Locks `mutex`, recovering from poisoning.
 ///
-/// Every engine mutex guards simple scalar state (a registry map, a
-/// countdown, a panic slot) that stays consistent even when the holder
-/// unwinds mid-critical-section, so poisoning carries no information here.
+/// Every engine mutex guards simple scalar state (a registry map, a done
+/// flag, a panic slot) that stays consistent even when the holder unwinds
+/// mid-critical-section, so poisoning carries no information here.
 /// Propagating it instead (the old `.expect(...)`) crashed the deployment
 /// thread on the very fault PR 2's worker-restart machinery exists to
 /// absorb.
@@ -45,10 +62,10 @@ fn lock_ignore_poison<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Contiguous shards handed out per worker in one [`ExecutionEngine::map`]
-/// call: a few per worker so a straggling shard re-balances onto idle
-/// workers without giving up contiguity.
-const SHARDS_PER_WORKER: usize = 4;
+/// Contiguous units handed out per participant in one map call: a few per
+/// participant so a straggling unit re-balances onto idle participants via
+/// stealing without giving up contiguity.
+const UNITS_PER_PARTICIPANT: usize = 4;
 
 /// An erased unit of work queued on the pool.
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -62,14 +79,6 @@ struct WorkerPool {
     sender: Sender<Job>,
 }
 
-/// Completion barrier for one batch of scoped tasks.
-struct Barrier {
-    remaining: Mutex<usize>,
-    done: Condvar,
-    /// First worker panic payload, re-raised on the submitting thread.
-    panic: Mutex<Option<Box<dyn Any + Send>>>,
-}
-
 impl WorkerPool {
     fn new(workers: usize) -> Self {
         let (sender, receiver) = channel::unbounded::<Job>();
@@ -78,9 +87,9 @@ impl WorkerPool {
             std::thread::Builder::new()
                 .name(format!("cdp-engine-{i}"))
                 .spawn(move || {
-                    // Jobs are pre-wrapped in catch_unwind, so a panicking
-                    // task never kills its worker; the loop only ends if the
-                    // sender side is dropped (process exit).
+                    // Helper jobs catch unit panics internally, so a
+                    // panicking map never kills its worker; the loop only
+                    // ends if the sender side is dropped (process exit).
                     while let Ok(job) = receiver.recv() {
                         job();
                     }
@@ -101,73 +110,232 @@ impl WorkerPool {
                 .or_insert_with(|| Arc::new(WorkerPool::new(workers))),
         )
     }
+}
 
-    /// Runs `tasks` on the pool and blocks until every one has finished.
-    ///
-    /// Tasks may borrow from the caller's stack: the completion barrier
-    /// guarantees no task outlives this call, even when one panics. If any
-    /// task panicked, the *first* payload is re-raised here (after all other
-    /// tasks finished), so `panic::catch_unwind` around the call observes
-    /// the original payload.
-    fn run_scoped<'scope>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>, metrics: &Metrics) {
-        let barrier = Arc::new(Barrier {
-            remaining: Mutex::new(tasks.len()),
-            done: Condvar::new(),
+/// How many pool helpers the host can keep busy next to the submitting
+/// thread. On a 1-core host this is 1, so an 8-worker engine enlists a
+/// single helper instead of drowning the core in idle contenders — the fix
+/// for the old engine's 0.45× cliff at ×8.
+fn helper_cap() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(2)
+            .saturating_sub(1)
+            .max(1)
+    })
+}
+
+/// One participant's contiguous range of pending units, packed `hi << 32 |
+/// lo` into a single atomic word. The owner pops from the front (`lo`),
+/// thieves steal from the back (`hi - 1`); both advance by CAS so every unit
+/// index in `[lo, hi)` is claimed exactly once.
+struct RangeQueue {
+    state: AtomicU64,
+}
+
+fn pack(lo: u32, hi: u32) -> u64 {
+    (u64::from(hi) << 32) | u64::from(lo)
+}
+
+fn unpack(state: u64) -> (u32, u32) {
+    (state as u32, (state >> 32) as u32)
+}
+
+impl RangeQueue {
+    fn new(lo: u32, hi: u32) -> Self {
+        debug_assert!(lo <= hi);
+        Self {
+            state: AtomicU64::new(pack(lo, hi)),
+        }
+    }
+
+    /// Owner side: claims the front unit of the range, if any.
+    fn pop_front(&self) -> Option<usize> {
+        let mut cur = self.state.load(Ordering::Acquire);
+        loop {
+            let (lo, hi) = unpack(cur);
+            if lo >= hi {
+                return None;
+            }
+            match self.state.compare_exchange_weak(
+                cur,
+                pack(lo + 1, hi),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(lo as usize),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Thief side: claims the back unit of the range, if any.
+    fn steal_back(&self) -> Option<usize> {
+        let mut cur = self.state.load(Ordering::Acquire);
+        loop {
+            let (lo, hi) = unpack(cur);
+            if lo >= hi {
+                return None;
+            }
+            match self.state.compare_exchange_weak(
+                cur,
+                pack(lo, hi - 1),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((hi - 1) as usize),
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+/// Shared state for one work-stealing map: the range queues, completion
+/// count, panic slot, and the close/guard handshake that lets pool jobs
+/// safely borrow from the submitting thread's stack.
+struct Control {
+    /// One range queue per participant, covering `[0, units)` disjointly.
+    ranges: Vec<RangeQueue>,
+    units: usize,
+    completed: AtomicUsize,
+    /// Set on the first unit panic; remaining units drain without running
+    /// (fail-fast), so the caller wakes promptly with the first payload.
+    poisoned: AtomicBool,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    steals: AtomicU64,
+    /// Scope-close handshake: the caller sets `closed` only after every
+    /// unit completed, then spins until `guards` drains to zero. A pool job
+    /// increments `guards`, *then* checks `closed`: either it sees the map
+    /// still open (and the caller's spin keeps the borrowed stack alive
+    /// until the job's decrement), or it sees `closed` and never touches
+    /// the borrow. All four accesses are SeqCst, so the Dekker-style pair
+    /// (store closed / load guards vs. add guards / load closed) cannot
+    /// both miss each other.
+    closed: AtomicBool,
+    guards: AtomicUsize,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+impl Control {
+    fn new(units: usize, queues: usize) -> Self {
+        debug_assert!(units >= 1 && queues >= 1);
+        debug_assert!(units <= u32::MAX as usize);
+        let ranges = (0..queues)
+            .map(|q| {
+                let lo = q * units / queues;
+                let hi = (q + 1) * units / queues;
+                RangeQueue::new(lo as u32, hi as u32)
+            })
+            .collect();
+        Self {
+            ranges,
+            units,
+            completed: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
             panic: Mutex::new(None),
+            steals: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+            guards: AtomicUsize::new(0),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        }
+    }
+}
+
+/// One participant's work loop: pop own units from the front, steal from
+/// siblings when dry, run each claimed unit under `catch_unwind`, count
+/// completions, and wake the submitting thread when the last unit lands.
+///
+/// Every claimed unit is counted as completed even when it panics or is
+/// drained while poisoned — the completion count is the only thing the
+/// caller waits on, so it must always reach `units`.
+fn participate(ctrl: &Control, me: usize, run_unit: &(dyn Fn(usize) + Sync)) {
+    let queues = ctrl.ranges.len();
+    loop {
+        let unit = ctrl.ranges[me].pop_front().or_else(|| {
+            (1..queues).find_map(|k| {
+                let victim = (me + k) % queues;
+                let stolen = ctrl.ranges[victim].steal_back();
+                if stolen.is_some() {
+                    ctrl.steals.fetch_add(1, Ordering::Relaxed);
+                }
+                stolen
+            })
         });
-        for task in tasks {
-            let barrier = Arc::clone(&barrier);
-            let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
-                if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(task)) {
-                    // Keep the first payload; any later one is dropped
-                    // *outside* the slot lock and behind its own
-                    // catch_unwind: a payload whose Drop panics while the
-                    // lock is held would kill this worker before the
-                    // decrement below and deadlock the barrier.
-                    let extra = {
-                        let mut slot = lock_ignore_poison(&barrier.panic);
-                        if slot.is_none() {
-                            *slot = Some(payload);
-                            None
-                        } else {
-                            Some(payload)
-                        }
-                    };
-                    if let Some(extra) = extra {
-                        let _ = panic::catch_unwind(AssertUnwindSafe(move || drop(extra)));
+        let Some(unit) = unit else { break };
+        if !ctrl.poisoned.load(Ordering::SeqCst) {
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| run_unit(unit))) {
+                ctrl.poisoned.store(true, Ordering::SeqCst);
+                // Keep the first payload; any later one is dropped *outside*
+                // the slot lock and behind its own catch_unwind: a payload
+                // whose Drop panics while the lock is held would kill this
+                // participant before the completion count below and hang the
+                // caller forever.
+                let extra = {
+                    let mut slot = lock_ignore_poison(&ctrl.panic);
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                        None
+                    } else {
+                        Some(payload)
                     }
+                };
+                if let Some(extra) = extra {
+                    let _ = panic::catch_unwind(AssertUnwindSafe(move || drop(extra)));
                 }
-                let mut remaining = lock_ignore_poison(&barrier.remaining);
-                *remaining -= 1;
-                if *remaining == 0 {
-                    barrier.done.notify_all();
-                }
-            });
-            // SAFETY: this function blocks below until `remaining` hits
-            // zero, i.e. until every queued job has run to completion, so
-            // all borrows captured by the tasks outlive their execution.
-            // The transmute only erases the lifetime; the vtable and layout
-            // of the boxed closure are unchanged.
-            let job: Job =
-                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
-            self.sender
-                .send(job)
-                .expect("engine workers never disconnect");
+            }
         }
-        let wait_span = metrics.span("engine.barrier_wait_secs");
-        let mut remaining = lock_ignore_poison(&barrier.remaining);
-        while *remaining > 0 {
-            remaining = barrier
-                .done
-                .wait(remaining)
-                .unwrap_or_else(PoisonError::into_inner);
+        if ctrl.completed.fetch_add(1, Ordering::SeqCst) + 1 == ctrl.units {
+            let mut done = lock_ignore_poison(&ctrl.done);
+            *done = true;
+            ctrl.done_cv.notify_all();
         }
-        drop(remaining);
-        wait_span.finish();
-        let payload = lock_ignore_poison(&barrier.panic).take();
-        if let Some(payload) = payload {
-            panic::resume_unwind(payload);
-        }
+    }
+}
+
+/// Raw-pointer window over the output `Vec<Option<U>>`.
+///
+/// SAFETY contract: each index is written by exactly one participant — the
+/// one that claimed the covering unit via a `RangeQueue` CAS — and units
+/// cover disjoint index ranges, so no slot is ever written concurrently.
+/// The submitting thread only reads the slots after the completion count
+/// reached `units` (a SeqCst handshake through `Control::done`).
+struct SharedSlots<U> {
+    ptr: *mut Option<U>,
+}
+
+unsafe impl<U: Send> Send for SharedSlots<U> {}
+unsafe impl<U: Send> Sync for SharedSlots<U> {}
+
+impl<U> SharedSlots<U> {
+    /// Writes slot `i`. Caller must hold the exclusive unit claim covering
+    /// index `i` (see the type-level SAFETY contract).
+    unsafe fn set(&self, i: usize, value: U) {
+        *self.ptr.add(i) = Some(value);
+    }
+}
+
+/// Raw-pointer window over the input `Vec<Option<T>>` of an owned map: each
+/// participant takes exactly the items of its claimed units, so every slot
+/// is taken at most once and never concurrently (same claim discipline as
+/// [`SharedSlots`]).
+struct SharedTake<T> {
+    ptr: *mut Option<T>,
+}
+
+unsafe impl<T: Send> Send for SharedTake<T> {}
+unsafe impl<T: Send> Sync for SharedTake<T> {}
+
+impl<T> SharedTake<T> {
+    /// Moves item `i` out. Caller must hold the exclusive unit claim
+    /// covering index `i`.
+    unsafe fn take(&self, i: usize) -> T {
+        (*self.ptr.add(i))
+            .take()
+            .expect("each input slot is taken exactly once")
     }
 }
 
@@ -228,9 +396,9 @@ fn install_quiet_panic_hook() {
 /// what a supervisor restarting a crashed worker observes. Returns `Err`
 /// when the order exceeds the restart budget (the fatal case).
 ///
-/// Injected panics always fire at shard entry — before any input item has
-/// been consumed — so a restart re-runs the shard from scratch with no
-/// items lost; this is what keeps results identical to the fault-free run.
+/// Injected panics always fire at unit entry — before any input item has
+/// been consumed — so a restart re-runs the unit from scratch with no items
+/// lost; this is what keeps results identical to the fault-free run.
 fn act_injected_panics(panics: u32) -> Result<(), EngineError> {
     for _ in 0..panics.min(MAX_WORKER_RESTARTS) {
         let unwound = panic::catch_unwind(|| panic::panic_any(InjectedWorkerPanic));
@@ -242,6 +410,163 @@ fn act_injected_panics(panics: u32) -> Result<(), EngineError> {
         ));
     }
     Ok(())
+}
+
+/// Runs the work-stealing loop for `units` units: enlists up to `workers`
+/// pool helpers (capped by the host's spare parallelism on the untraced
+/// path, where the submitting thread is participant 0), waits for the
+/// completion count, then closes the scope so no pool job can still touch
+/// the caller's stack. Returns the steal count and the first panic payload,
+/// if any unit panicked.
+fn run_stealing(
+    workers: usize,
+    units: usize,
+    run_unit: &(dyn Fn(usize) + Sync),
+    metrics: &Metrics,
+    tracer: &Tracer,
+) -> (u64, Option<Box<dyn Any + Send>>) {
+    // With tracing enabled, hand every unit to pool threads so the span
+    // tree reliably crosses threads (the observability contract the trace
+    // tests pin down). Untraced — the perf path — the caller participates,
+    // so small maps run inline and helpers only absorb overflow.
+    let caller_participates = !tracer.is_enabled();
+    let helpers = if caller_participates {
+        workers.min(units.saturating_sub(1)).min(helper_cap())
+    } else {
+        workers.min(units).max(1)
+    };
+    let queues = helpers + usize::from(caller_participates);
+    let ctrl = Arc::new(Control::new(units, queues));
+
+    if helpers > 0 {
+        let pool = WorkerPool::global(workers);
+        // SAFETY: the transmute only erases the lifetime of the borrow; the
+        // fat pointer (data + vtable) is unchanged. The close/guard
+        // handshake below guarantees no pool job dereferences it after this
+        // function returns: jobs increment `guards` before checking
+        // `closed`, and this function sets `closed` (after all units
+        // completed) and then spins until `guards` is zero before
+        // returning, so any job still inside `participate` keeps the
+        // caller's stack pinned here.
+        let run_static: &'static (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(run_unit) };
+        let first_helper_queue = usize::from(caller_participates);
+        for h in 0..helpers {
+            let ctrl = Arc::clone(&ctrl);
+            let me = first_helper_queue + h;
+            let job: Job = Box::new(move || {
+                ctrl.guards.fetch_add(1, Ordering::SeqCst);
+                if !ctrl.closed.load(Ordering::SeqCst) {
+                    participate(&ctrl, me, run_static);
+                }
+                ctrl.guards.fetch_sub(1, Ordering::SeqCst);
+            });
+            pool.sender
+                .send(job)
+                .expect("engine workers never disconnect");
+        }
+    }
+    if caller_participates {
+        participate(&ctrl, 0, run_unit);
+    }
+    // The old barrier is gone; this span now measures the caller's residual
+    // completion wait. The name is kept for metric-schema continuity.
+    let wait_span = metrics.span("engine.barrier_wait_secs");
+    {
+        let mut done = lock_ignore_poison(&ctrl.done);
+        while !*done {
+            done = ctrl
+                .done_cv
+                .wait(done)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+    wait_span.finish();
+    ctrl.closed.store(true, Ordering::SeqCst);
+    while ctrl.guards.load(Ordering::SeqCst) > 0 {
+        std::thread::yield_now();
+    }
+    let payload = lock_ignore_poison(&ctrl.panic).take();
+    (ctrl.steals.load(Ordering::Relaxed), payload)
+}
+
+/// Threaded body shared by every map variant: cuts `[0, n)` into contiguous
+/// units, runs `exec(i)` for every index through the stealing scheduler
+/// (with one `engine.task` span per unit and the fault order, if any, acted
+/// out at its target unit's entry), and collects outputs in input order.
+#[allow(clippy::too_many_arguments)]
+fn threaded_exec<U, E>(
+    workers: usize,
+    n: usize,
+    exec: E,
+    order: Option<&WorkerOrder>,
+    metrics: &Metrics,
+    tracer: &Tracer,
+    map_ctx: Option<SpanContext>,
+) -> Result<Vec<U>, Box<dyn Any + Send>>
+where
+    U: Send,
+    E: Fn(usize) -> U + Sync,
+{
+    debug_assert!(n > 0);
+    let workers = workers.max(1);
+    let max_units = ((workers + 1) * UNITS_PER_PARTICIPANT).min(n);
+    let unit_len = n.div_ceil(max_units);
+    let units = n.div_ceil(unit_len);
+    metrics.counter("engine.tasks").add(units as u64);
+    metrics
+        .histogram("engine.queue_depth")
+        .observe(units as f64);
+    let target = order.map(|o| (o.target % units as u64) as usize);
+
+    let mut outputs: Vec<Option<U>> = Vec::with_capacity(n);
+    outputs.resize_with(n, || None);
+    let slots = SharedSlots {
+        ptr: outputs.as_mut_ptr(),
+    };
+
+    let exec = &exec;
+    let run_unit = move |unit: usize| {
+        let task_span = tracer.child_of("engine.task", map_ctx);
+        if Some(unit) == target {
+            let order = order.expect("target exists only with an order");
+            if order.panics > 0 {
+                let _restart_span = tracer.child_of("engine.restart", task_span.context());
+                if let Err(_fatal) = act_injected_panics(order.panics) {
+                    // Propagate the fatal injected panic through the
+                    // participant's catch_unwind so the caller sees it.
+                    panic::panic_any(InjectedWorkerPanic);
+                }
+            }
+            if !order.delay.is_zero() {
+                std::thread::sleep(order.delay);
+            }
+        }
+        let lo = unit * unit_len;
+        let hi = n.min(lo + unit_len);
+        for i in lo..hi {
+            // SAFETY: unit `unit` was claimed exactly once via a RangeQueue
+            // CAS, and units cover disjoint index ranges — see SharedSlots.
+            unsafe { slots.set(i, exec(i)) };
+        }
+    };
+    let (steals, payload) = run_stealing(workers, units, &run_unit, metrics, tracer);
+    metrics.histogram("engine.steal").observe(steals as f64);
+    match payload {
+        None => Ok(outputs
+            .into_iter()
+            .map(|slot| slot.expect("every claimed unit writes its whole index range"))
+            .collect()),
+        Some(payload) => Err(payload),
+    }
+}
+
+/// Records the empty-map observations so per-call metric invariants
+/// (`queue_depth.count == steal.count == map_calls` on threaded engines)
+/// hold even for maps with nothing to do.
+fn observe_empty_threaded(metrics: &Metrics) {
+    metrics.histogram("engine.queue_depth").observe(0.0);
+    metrics.histogram("engine.steal").observe(0.0);
 }
 
 /// A chunk-parallel execution engine.
@@ -285,15 +610,15 @@ impl ExecutionEngine {
 
     /// Applies `f` to every item, returning outputs in input order.
     ///
-    /// `f` must be `Sync` because workers share it. Items are distributed
-    /// in contiguous shards (a few per worker) pulled from a shared queue,
-    /// so per-item cost imbalance is load-balanced; each shard writes
-    /// through its own disjoint slice of the output, so results need no
-    /// locking and arrive in input order.
+    /// `f` must be `Sync` because participants share it. Items are cut into
+    /// contiguous units (a few per participant) scheduled by work-stealing,
+    /// so per-item cost imbalance is load-balanced; each output is written
+    /// into its own index slot, so results need no locking and arrive in
+    /// input order.
     ///
     /// # Panics
-    /// If `f` panics on any item, the first worker's payload is re-raised
-    /// on the calling thread once all shards have finished.
+    /// If `f` panics on any item, the first participant's payload is
+    /// re-raised on the calling thread once the map has drained.
     pub fn map<T, U, F>(&self, items: Vec<T>, f: F) -> Vec<U>
     where
         T: Send,
@@ -304,8 +629,9 @@ impl ExecutionEngine {
     }
 
     /// [`ExecutionEngine::map`] with engine metrics recorded into
-    /// `metrics`: `engine.map_calls`, `engine.tasks` (shards submitted),
-    /// `engine.map_secs`, and (threaded) `engine.barrier_wait_secs`.
+    /// `metrics`: `engine.map_calls`, `engine.tasks` (units scheduled),
+    /// `engine.map_secs`, and (threaded) `engine.barrier_wait_secs` (the
+    /// caller's completion wait), `engine.queue_depth`, `engine.steal`.
     pub fn map_observed<T, U, F>(&self, items: Vec<T>, f: F, metrics: &Metrics) -> Vec<U>
     where
         T: Send,
@@ -317,8 +643,8 @@ impl ExecutionEngine {
 
     /// [`ExecutionEngine::map_observed`] with causal spans: opens an
     /// `engine.map` span under `parent` and one `engine.task` child per
-    /// shard *on the worker thread executing it*, so the trace tree spans
-    /// threads ([`SpanContext`] is `Copy` and crosses into pool tasks).
+    /// unit *on the thread executing it*, so the trace tree spans threads
+    /// ([`SpanContext`] is `Copy` and crosses into pool tasks).
     pub fn map_traced<T, U, F>(
         &self,
         items: Vec<T>,
@@ -345,44 +671,211 @@ impl ExecutionEngine {
             ExecutionEngine::Threaded { workers } => {
                 let n = items.len();
                 if n == 0 {
+                    observe_empty_threaded(metrics);
                     return Vec::new();
                 }
-                let workers = workers.max(1);
-                let pool = WorkerPool::global(workers);
-                let shard_len = n.div_ceil((workers * SHARDS_PER_WORKER).min(n));
-
-                // Move the items into owned contiguous shards.
-                let mut shards: Vec<Vec<T>> = Vec::with_capacity(n.div_ceil(shard_len));
-                let mut iter = items.into_iter();
-                loop {
-                    let shard: Vec<T> = iter.by_ref().take(shard_len).collect();
-                    if shard.is_empty() {
-                        break;
-                    }
-                    shards.push(shard);
-                }
-
-                let mut outputs: Vec<Option<U>> = Vec::with_capacity(n);
-                outputs.resize_with(n, || None);
+                let mut staged: Vec<Option<T>> = items.into_iter().map(Some).collect();
+                let take = SharedTake {
+                    ptr: staged.as_mut_ptr(),
+                };
                 let f = &f;
-                let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = outputs
-                    .chunks_mut(shard_len)
-                    .zip(shards)
-                    .map(|(out, shard)| {
-                        Box::new(move || {
-                            let _task_span = tracer.child_of("engine.task", map_ctx);
-                            for (slot, item) in out.iter_mut().zip(shard) {
-                                *slot = Some(f(item));
-                            }
-                        }) as Box<dyn FnOnce() + Send + '_>
-                    })
-                    .collect();
-                metrics.counter("engine.tasks").add(tasks.len() as u64);
-                pool.run_scoped(tasks, metrics);
-                outputs
-                    .into_iter()
-                    .map(|slot| slot.expect("every shard writes its whole output slice"))
-                    .collect()
+                // SAFETY (take): each index belongs to exactly one claimed
+                // unit, so each input slot is taken once, never concurrently.
+                let exec = move |i: usize| f(unsafe { take.take(i) });
+                match threaded_exec(workers, n, exec, None, metrics, tracer, map_ctx) {
+                    Ok(out) => out,
+                    Err(payload) => panic::resume_unwind(payload),
+                }
+            }
+        }
+    }
+
+    /// Borrowing variant of [`ExecutionEngine::map`]: shares `items` across
+    /// participants instead of moving them, so hot-path callers need no
+    /// per-shard `to_vec` copies.
+    pub fn map_slice<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        self.map_slice_traced(items, f, &Metrics::disabled(), &Tracer::disabled(), None)
+    }
+
+    /// [`ExecutionEngine::map_slice`] with metrics and causal spans (same
+    /// scheme as [`ExecutionEngine::map_traced`]).
+    pub fn map_slice_traced<T, U, F>(
+        &self,
+        items: &[T],
+        f: F,
+        metrics: &Metrics,
+        tracer: &Tracer,
+        parent: Option<SpanContext>,
+    ) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        let map_span = tracer.child_of("engine.map", parent);
+        let map_ctx = map_span.context();
+        let _map_span_secs = metrics.span("engine.map_secs");
+        metrics.counter("engine.map_calls").inc();
+        match *self {
+            ExecutionEngine::Sequential => {
+                metrics.counter("engine.tasks").add(1);
+                let _task_span = tracer.child_of("engine.task", map_ctx);
+                items.iter().map(f).collect()
+            }
+            ExecutionEngine::Threaded { workers } => {
+                let n = items.len();
+                if n == 0 {
+                    observe_empty_threaded(metrics);
+                    return Vec::new();
+                }
+                let f = &f;
+                let exec = move |i: usize| f(&items[i]);
+                match threaded_exec(workers, n, exec, None, metrics, tracer, map_ctx) {
+                    Ok(out) => out,
+                    Err(payload) => panic::resume_unwind(payload),
+                }
+            }
+        }
+    }
+
+    /// Maps `f` over contiguous parts of `items` of length `part_len` (the
+    /// last part may be shorter), returning one output per part in part
+    /// order. This is the zero-copy replacement for callers that used to
+    /// build `Vec<Vec<T>>` shards: part boundaries are pure index
+    /// arithmetic, so the shard structure — and therefore any
+    /// floating-point reduction over the outputs — is identical on every
+    /// engine.
+    pub fn map_parts<T, U, F>(&self, items: &[T], part_len: usize, f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&[T]) -> U + Sync,
+    {
+        self.map_parts_traced(
+            items,
+            part_len,
+            f,
+            &Metrics::disabled(),
+            &Tracer::disabled(),
+            None,
+        )
+    }
+
+    /// [`ExecutionEngine::map_parts`] with metrics and causal spans.
+    pub fn map_parts_traced<T, U, F>(
+        &self,
+        items: &[T],
+        part_len: usize,
+        f: F,
+        metrics: &Metrics,
+        tracer: &Tracer,
+        parent: Option<SpanContext>,
+    ) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&[T]) -> U + Sync,
+    {
+        assert!(part_len > 0, "part_len must be ≥ 1");
+        let map_span = tracer.child_of("engine.map", parent);
+        let map_ctx = map_span.context();
+        let _map_span_secs = metrics.span("engine.map_secs");
+        metrics.counter("engine.map_calls").inc();
+        let parts = items.len().div_ceil(part_len);
+        let part = |p: usize| &items[p * part_len..items.len().min((p + 1) * part_len)];
+        match *self {
+            ExecutionEngine::Sequential => {
+                metrics.counter("engine.tasks").add(1);
+                let _task_span = tracer.child_of("engine.task", map_ctx);
+                (0..parts).map(|p| f(part(p))).collect()
+            }
+            ExecutionEngine::Threaded { workers } => {
+                if parts == 0 {
+                    observe_empty_threaded(metrics);
+                    return Vec::new();
+                }
+                let f = &f;
+                let exec = move |p: usize| f(part(p));
+                match threaded_exec(workers, parts, exec, None, metrics, tracer, map_ctx) {
+                    Ok(out) => out,
+                    Err(payload) => panic::resume_unwind(payload),
+                }
+            }
+        }
+    }
+
+    /// Maps `f` over the index space `0..n` — the fully zero-copy variant
+    /// for callers whose items live in structures the engine need not know
+    /// about (the fused transform+gradient pass maps over *source indices*
+    /// and never materializes an input vector at all).
+    pub fn map_indexed<U, F>(&self, n: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        match self.try_map_indexed_with_hook_traced(
+            n,
+            f,
+            &NoFaults,
+            &Metrics::disabled(),
+            &Tracer::disabled(),
+            None,
+        ) {
+            Ok(out) => out,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Fallible, fault-aware, traced indexed map: the most general engine
+    /// entry point. Draws one [`WorkerOrder`] from `hook` (exactly one per
+    /// call, so injected counts are independent of worker count), acts it
+    /// out at the targeted unit's entry, and converts any unrecovered
+    /// worker panic — injected-fatal or genuine — into [`EngineError`].
+    pub fn try_map_indexed_with_hook_traced<U, F>(
+        &self,
+        n: usize,
+        f: F,
+        hook: &dyn FaultHook,
+        metrics: &Metrics,
+        tracer: &Tracer,
+        parent: Option<SpanContext>,
+    ) -> Result<Vec<U>, EngineError>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        let map_span = tracer.child_of("engine.map", parent);
+        let map_ctx = map_span.context();
+        let _map_span_secs = metrics.span("engine.map_secs");
+        metrics.counter("engine.map_calls").inc();
+        let order = hook.next_worker_order();
+        record_order(&order, metrics);
+        match *self {
+            ExecutionEngine::Sequential => {
+                metrics.counter("engine.tasks").add(1);
+                let task_span = tracer.child_of("engine.task", map_ctx);
+                if order.panics > 0 {
+                    let _restart_span = tracer.child_of("engine.restart", task_span.context());
+                    act_injected_panics(order.panics)?;
+                }
+                if !order.delay.is_zero() {
+                    std::thread::sleep(order.delay);
+                }
+                panic::catch_unwind(AssertUnwindSafe(|| (0..n).map(&f).collect()))
+                    .map_err(EngineError::from_payload)
+            }
+            ExecutionEngine::Threaded { workers } => {
+                if n == 0 {
+                    observe_empty_threaded(metrics);
+                    return empty_map_with_order(&order);
+                }
+                threaded_exec(workers, n, &f, Some(&order), metrics, tracer, map_ctx)
+                    .map_err(EngineError::from_payload)
             }
         }
     }
@@ -399,7 +892,7 @@ impl ExecutionEngine {
     }
 
     /// Like [`ExecutionEngine::map`], but consults `hook` for a
-    /// [`WorkerOrder`] first and acts it out: the targeted shard suffers the
+    /// [`WorkerOrder`] first and acts it out: the targeted unit suffers the
     /// ordered injected panics (real unwinds, restarted in place up to
     /// [`MAX_WORKER_RESTARTS`] times) and latency before producing its
     /// outputs.
@@ -421,7 +914,7 @@ impl ExecutionEngine {
 
     /// Fallible, fault-aware map: draws one [`WorkerOrder`] from `hook`
     /// (exactly one per call, so injected counts are independent of worker
-    /// count), acts it out on the targeted shard, and converts any
+    /// count), acts it out on the targeted unit, and converts any
     /// unrecovered worker panic — injected-fatal or genuine — into
     /// [`EngineError`].
     ///
@@ -465,7 +958,7 @@ impl ExecutionEngine {
 
     /// [`ExecutionEngine::try_map_with_hook_observed`] with causal spans:
     /// like [`ExecutionEngine::map_traced`], plus an `engine.restart` span
-    /// under the targeted shard's `engine.task` covering the acted-out
+    /// under the targeted unit's `engine.task` covering the acted-out
     /// injected panics, so recoveries are visible in the trace tree.
     pub fn try_map_with_hook_traced<T, U, F>(
         &self,
@@ -486,16 +979,7 @@ impl ExecutionEngine {
         let _map_span_secs = metrics.span("engine.map_secs");
         metrics.counter("engine.map_calls").inc();
         let order = hook.next_worker_order();
-        if order.panics > 0 {
-            install_quiet_panic_hook();
-            metrics
-                .counter("engine.worker_restarts")
-                .add(u64::from(order.panics.min(MAX_WORKER_RESTARTS)));
-            metrics.event(
-                "engine.worker_panic",
-                format!("injected panics: {}", order.panics),
-            );
-        }
+        record_order(&order, metrics);
         match *self {
             ExecutionEngine::Sequential => {
                 metrics.counter("engine.tasks").add(1);
@@ -510,105 +994,51 @@ impl ExecutionEngine {
                 panic::catch_unwind(AssertUnwindSafe(|| items.into_iter().map(f).collect()))
                     .map_err(EngineError::from_payload)
             }
-            ExecutionEngine::Threaded { workers } => self.threaded_map_with_order(
-                items,
-                f,
-                workers.max(1),
-                order,
-                metrics,
-                tracer,
-                map_ctx,
-            ),
+            ExecutionEngine::Threaded { workers } => {
+                let n = items.len();
+                if n == 0 {
+                    observe_empty_threaded(metrics);
+                    return empty_map_with_order(&order);
+                }
+                let mut staged: Vec<Option<T>> = items.into_iter().map(Some).collect();
+                let take = SharedTake {
+                    ptr: staged.as_mut_ptr(),
+                };
+                let f = &f;
+                // SAFETY (take): exclusive unit claims — see SharedTake.
+                let exec = move |i: usize| f(unsafe { take.take(i) });
+                threaded_exec(workers, n, exec, Some(&order), metrics, tracer, map_ctx)
+                    .map_err(EngineError::from_payload)
+            }
         }
     }
 
-    /// Threaded map body shared by the fault-aware entry points: one shard
-    /// (selected by `order.target`) acts out the injected panics/latency,
-    /// all shards run under `catch_unwind` so both injected-fatal and
-    /// genuine panics surface as [`EngineError`].
-    #[allow(clippy::too_many_arguments)]
-    fn threaded_map_with_order<T, U, F>(
+    /// Borrowing, fallible, fault-aware, traced map — the zero-copy
+    /// workhorse of the re-materialization path: shares `items` across
+    /// participants and otherwise behaves exactly like
+    /// [`ExecutionEngine::try_map_with_hook_traced`].
+    pub fn try_map_slice_with_hook_traced<T, U, F>(
         &self,
-        items: Vec<T>,
+        items: &[T],
         f: F,
-        workers: usize,
-        order: WorkerOrder,
+        hook: &dyn FaultHook,
         metrics: &Metrics,
         tracer: &Tracer,
-        map_ctx: Option<SpanContext>,
+        parent: Option<SpanContext>,
     ) -> Result<Vec<U>, EngineError>
     where
-        T: Send,
+        T: Sync,
         U: Send,
-        F: Fn(T) -> U + Sync,
+        F: Fn(&T) -> U + Sync,
     {
-        let n = items.len();
-        if n == 0 {
-            // No shard exists to act the order on; a fatal order still
-            // cannot lose work, so an empty map simply succeeds.
-            return if order.panics > MAX_WORKER_RESTARTS {
-                act_injected_panics(order.panics).map(|()| Vec::new())
-            } else {
-                Ok(Vec::new())
-            };
-        }
-        let pool = WorkerPool::global(workers);
-        let shard_len = n.div_ceil((workers * SHARDS_PER_WORKER).min(n));
-
-        let mut shards: Vec<Vec<T>> = Vec::with_capacity(n.div_ceil(shard_len));
-        let mut iter = items.into_iter();
-        loop {
-            let shard: Vec<T> = iter.by_ref().take(shard_len).collect();
-            if shard.is_empty() {
-                break;
-            }
-            shards.push(shard);
-        }
-        let shard_count = shards.len();
-        let target = (order.target % shard_count as u64) as usize;
-
-        let mut outputs: Vec<Option<U>> = Vec::with_capacity(n);
-        outputs.resize_with(n, || None);
-        let f = &f;
-        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = outputs
-            .chunks_mut(shard_len)
-            .zip(shards)
-            .enumerate()
-            .map(|(idx, (out, shard))| {
-                let ordered_panics = if idx == target { order.panics } else { 0 };
-                let delay = if idx == target {
-                    order.delay
-                } else {
-                    std::time::Duration::ZERO
-                };
-                Box::new(move || {
-                    let task_span = tracer.child_of("engine.task", map_ctx);
-                    if ordered_panics > 0 {
-                        let _restart_span = tracer.child_of("engine.restart", task_span.context());
-                        if let Err(_fatal) = act_injected_panics(ordered_panics) {
-                            // Propagate the fatal injected panic through the
-                            // pool's barrier so the submitting thread sees it.
-                            panic::panic_any(InjectedWorkerPanic);
-                        }
-                    }
-                    if !delay.is_zero() {
-                        std::thread::sleep(delay);
-                    }
-                    for (slot, item) in out.iter_mut().zip(shard) {
-                        *slot = Some(f(item));
-                    }
-                }) as Box<dyn FnOnce() + Send + '_>
-            })
-            .collect();
-        metrics.counter("engine.tasks").add(tasks.len() as u64);
-        let run = panic::catch_unwind(AssertUnwindSafe(|| pool.run_scoped(tasks, metrics)));
-        match run {
-            Ok(()) => Ok(outputs
-                .into_iter()
-                .map(|slot| slot.expect("every shard writes its whole output slice"))
-                .collect()),
-            Err(payload) => Err(EngineError::from_payload(payload)),
-        }
+        self.try_map_indexed_with_hook_traced(
+            items.len(),
+            |i| f(&items[i]),
+            hook,
+            metrics,
+            tracer,
+            parent,
+        )
     }
 
     /// Maps then folds the outputs in input order (a deterministic reduce —
@@ -621,6 +1051,31 @@ impl ExecutionEngine {
         G: FnMut(A, U) -> A,
     {
         self.map(items, f).into_iter().fold(init, g)
+    }
+}
+
+/// Order bookkeeping shared by the hooked entry points: restart metrics and
+/// the quiet panic hook for injected unwinds.
+fn record_order(order: &WorkerOrder, metrics: &Metrics) {
+    if order.panics > 0 {
+        install_quiet_panic_hook();
+        metrics
+            .counter("engine.worker_restarts")
+            .add(u64::from(order.panics.min(MAX_WORKER_RESTARTS)));
+        metrics.event(
+            "engine.worker_panic",
+            format!("injected panics: {}", order.panics),
+        );
+    }
+}
+
+/// An empty hooked map has no unit to act the order on; a fatal order still
+/// cannot lose work, so it alone surfaces as an error.
+fn empty_map_with_order<U>(order: &WorkerOrder) -> Result<Vec<U>, EngineError> {
+    if order.panics > MAX_WORKER_RESTARTS {
+        act_injected_panics(order.panics).map(|()| Vec::new())
+    } else {
+        Ok(Vec::new())
     }
 }
 
@@ -722,18 +1177,80 @@ mod tests {
     }
 
     #[test]
-    fn pool_threads_are_reused_across_calls() {
-        // A spawn-per-call engine would mint fresh thread ids on every map;
-        // the persistent pool serves every call from the same `workers`
-        // threads.
-        let engine = ExecutionEngine::Threaded { workers: 3 };
-        let mut ids = HashSet::new();
-        for _ in 0..8 {
-            for id in engine.map(vec![(); 64], |()| std::thread::current().id()) {
-                ids.insert(id);
+    fn range_queue_hands_out_each_unit_exactly_once() {
+        // Owner pops the front, thief steals the back; together they must
+        // cover [lo, hi) exactly once with no overlap.
+        let queue = RangeQueue::new(3, 11);
+        let mut popped = Vec::new();
+        let mut stolen = Vec::new();
+        loop {
+            match (queue.pop_front(), queue.steal_back()) {
+                (None, None) => break,
+                (front, back) => {
+                    popped.extend(front);
+                    stolen.extend(back);
+                }
             }
         }
-        assert!(ids.len() <= 3, "saw {} distinct worker threads", ids.len());
+        assert!(popped.iter().all(|u| stolen.iter().all(|s| s != u)));
+        let mut all: Vec<usize> = popped.iter().chain(stolen.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (3..11).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn range_queue_survives_concurrent_hammering() {
+        // 4 threads race pop/steal on one queue; every unit must be claimed
+        // exactly once across all of them.
+        let queue = Arc::new(RangeQueue::new(0, 1024));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let unit = if t % 2 == 0 {
+                            queue.pop_front()
+                        } else {
+                            queue.steal_back()
+                        };
+                        match unit {
+                            Some(u) => mine.push(u),
+                            None => break,
+                        }
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let mut all: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1024).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn pool_threads_are_reused_across_calls() {
+        // A spawn-per-call engine would mint fresh thread ids on every map;
+        // the persistent pool serves every call from the same helper
+        // threads. The submitting thread participates too, so exclude it.
+        let engine = ExecutionEngine::Threaded { workers: 3 };
+        let caller = std::thread::current().id();
+        let mut helper_ids = HashSet::new();
+        for _ in 0..8 {
+            for id in engine.map(vec![(); 64], |()| std::thread::current().id()) {
+                if id != caller {
+                    helper_ids.insert(id);
+                }
+            }
+        }
+        assert!(
+            helper_ids.len() <= 3,
+            "saw {} distinct helper threads",
+            helper_ids.len()
+        );
     }
 
     #[test]
@@ -849,10 +1366,10 @@ mod tests {
         assert_eq!(plain, hooked);
     }
 
-    /// A panic payload whose `Drop` panics — the worst case for the pool's
-    /// panic-slot bookkeeping: dropping a second payload while holding the
-    /// slot lock would poison it *and* kill the worker before the barrier
-    /// decrement, deadlocking `run_scoped` forever.
+    /// A panic payload whose `Drop` panics — the worst case for the panic
+    /// slot's bookkeeping: dropping a second payload while holding the slot
+    /// lock would poison it *and* kill the participant before its
+    /// completion count, hanging the caller forever.
     struct BoomOnDrop;
 
     impl Drop for BoomOnDrop {
@@ -864,15 +1381,13 @@ mod tests {
     }
 
     #[test]
-    fn panic_inside_barrier_critical_section_does_not_poison_the_pool() {
+    fn panic_inside_completion_critical_section_does_not_poison_the_pool() {
         install_quiet_panic_hook();
         let engine = ExecutionEngine::Threaded { workers: 4 };
-        // Every shard panics with a drop-bomb payload: the first payload is
+        // Every unit panics with a drop-bomb payload: the first payload is
         // stashed and re-raised here, all the extra ones detonate inside the
-        // workers' critical-section cleanup. Pre-fix this deadlocked (extra
-        // payload dropped under the panic-slot lock killed the worker before
-        // its barrier decrement); post-fix the barrier completes and the
-        // first payload surfaces.
+        // participants' cleanup, outside the slot lock and behind their own
+        // catch_unwind, so the completion count still reaches `units`.
         let result = panic::catch_unwind(AssertUnwindSafe(|| {
             engine.map((0..64u64).collect(), |_| -> u64 {
                 panic::panic_any(BoomOnDrop);
@@ -911,6 +1426,12 @@ mod tests {
         assert!(waits.is_some_and(|h| h.count == 2));
         let spans = snap.histogram("engine.map_secs");
         assert!(spans.is_some_and(|h| h.count == 2));
+        // The stealing scheduler's observables: one queue-depth sample and
+        // one steal sample per threaded map, queue depth = units scheduled.
+        let depth = snap.histogram("engine.queue_depth");
+        assert!(depth.is_some_and(|h| h.count == 2 && h.sum == snap.counter("engine.tasks") as f64));
+        let steals = snap.histogram("engine.steal");
+        assert!(steals.is_some_and(|h| h.count == 2));
     }
 
     #[test]
@@ -935,8 +1456,8 @@ mod tests {
         for task in snap.spans.iter().filter(|s| s.name == "engine.task") {
             assert_eq!(snap.parent_name(task), Some("engine.map"));
         }
-        // Tasks executed on pool threads, the map call on this one: the
-        // single trace tree spans threads.
+        // With tracing enabled every unit runs on pool threads, the map
+        // call on this one: the single trace tree spans threads.
         assert!(snap.crosses_threads());
     }
 
@@ -979,6 +1500,109 @@ mod tests {
             None,
         );
         assert_eq!(plain, traced);
+    }
+
+    #[test]
+    fn map_slice_borrows_and_matches_owned_map() {
+        let items: Vec<u64> = (0..300).collect();
+        let owned = ExecutionEngine::Threaded { workers: 3 }.map(items.clone(), |x| x * 2 + 1);
+        let borrowed = ExecutionEngine::Threaded { workers: 3 }.map_slice(&items, |x| x * 2 + 1);
+        let sequential = ExecutionEngine::Sequential.map_slice(&items, |x| x * 2 + 1);
+        assert_eq!(owned, borrowed);
+        assert_eq!(owned, sequential);
+        // The input vector is untouched.
+        assert_eq!(items, (0..300).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn map_parts_matches_manual_sharding_bit_for_bit() {
+        let items: Vec<f64> = (0..1000).map(|i| f64::from(i) * 0.37).collect();
+        let part_sum = |part: &[f64]| part.iter().sum::<f64>();
+        let manual: Vec<f64> = items.chunks(64).map(part_sum).collect();
+        for engine in [
+            ExecutionEngine::Sequential,
+            ExecutionEngine::Threaded { workers: 1 },
+            ExecutionEngine::Threaded { workers: 4 },
+        ] {
+            let parts = engine.map_parts(&items, 64, part_sum);
+            assert_eq!(parts.len(), manual.len());
+            for (a, b) in parts.iter().zip(&manual) {
+                assert_eq!(a.to_bits(), b.to_bits(), "engine {}", engine.name());
+            }
+        }
+        // Empty input yields no parts on any engine.
+        assert!(ExecutionEngine::Threaded { workers: 2 }
+            .map_parts(&[] as &[f64], 64, part_sum)
+            .is_empty());
+    }
+
+    #[test]
+    fn map_indexed_covers_the_index_space_in_order() {
+        for engine in [
+            ExecutionEngine::Sequential,
+            ExecutionEngine::Threaded { workers: 4 },
+        ] {
+            let out = engine.map_indexed(37, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<usize>>());
+            assert!(engine.map_indexed(0, |i| i).is_empty());
+        }
+    }
+
+    #[test]
+    fn indexed_hooked_map_recovers_and_fails_like_the_owned_one() {
+        for engine in [
+            ExecutionEngine::Sequential,
+            ExecutionEngine::Threaded { workers: 3 },
+        ] {
+            let ok = engine
+                .try_map_indexed_with_hook_traced(
+                    64,
+                    |i| i + 1,
+                    &PanicOrder(MAX_WORKER_RESTARTS),
+                    &Metrics::disabled(),
+                    &Tracer::disabled(),
+                    None,
+                )
+                .expect("restartable order must recover");
+            assert_eq!(ok, (1..=64).collect::<Vec<usize>>());
+            let err = engine
+                .try_map_indexed_with_hook_traced(
+                    64,
+                    |i| i,
+                    &PanicOrder(MAX_WORKER_RESTARTS + 1),
+                    &Metrics::disabled(),
+                    &Tracer::disabled(),
+                    None,
+                )
+                .expect_err("order beyond the restart budget is fatal");
+            assert!(matches!(err, EngineError::WorkerPanic(_)));
+        }
+    }
+
+    #[test]
+    fn stealing_is_observed_when_load_is_imbalanced() {
+        // One slow unit at the front: the caller gets stuck on it while the
+        // helper drains its own range and then steals the caller's
+        // remaining units (or vice versa). Steals are timing-dependent, so
+        // only the observation plumbing is asserted strictly; the steal
+        // count itself is just recorded as a histogram sample.
+        let metrics = Metrics::collecting();
+        let engine = ExecutionEngine::Threaded { workers: 2 };
+        let out = engine.map_observed(
+            (0..64u64).collect(),
+            |x| {
+                if x == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+                x
+            },
+            &metrics,
+        );
+        assert_eq!(out.len(), 64);
+        let snap = metrics.snapshot();
+        let steals = snap.histogram("engine.steal").expect("steal observed");
+        assert_eq!(steals.count, 1);
+        assert!(steals.sum <= snap.counter("engine.tasks") as f64);
     }
 
     #[test]

@@ -54,6 +54,53 @@ proptest! {
         let out = ExecutionEngine::Threaded { workers }.map(items, |i| i);
         prop_assert_eq!(out, (0..n).collect::<Vec<usize>>());
     }
+
+    /// The borrowed variant agrees with the owning variant on both engines:
+    /// callers migrating off `to_vec` cannot observe a difference.
+    #[test]
+    fn map_slice_matches_map(
+        items in prop::collection::vec(0u64..1_000_000, 0..200),
+        workers in 1usize..9,
+    ) {
+        let f = |x: u64| x.wrapping_mul(2654435761).rotate_left(13);
+        let owned = ExecutionEngine::Threaded { workers }.map(items.clone(), f);
+        let seq = ExecutionEngine::Sequential.map_slice(&items, |x| f(*x));
+        let par = ExecutionEngine::Threaded { workers }.map_slice(&items, |x| f(*x));
+        prop_assert_eq!(&owned, &seq);
+        prop_assert_eq!(&owned, &par);
+    }
+
+    /// `map_parts` covers the input in contiguous, in-order, non-overlapping
+    /// windows of `part_len` (last one ragged), identically on both engines.
+    #[test]
+    fn map_parts_partitions_in_order(
+        items in prop::collection::vec(-1e3..1e3f64, 0..150),
+        part_len in 1usize..40,
+        workers in 1usize..8,
+    ) {
+        let f = |part: &[f64]| (part.len(), part.iter().sum::<f64>().to_bits());
+        let seq = ExecutionEngine::Sequential.map_parts(&items, part_len, f);
+        let par = ExecutionEngine::Threaded { workers }.map_parts(&items, part_len, f);
+        prop_assert_eq!(&seq, &par);
+
+        let expected: Vec<(usize, u64)> = items.chunks(part_len).map(f).collect();
+        prop_assert_eq!(&seq, &expected);
+        prop_assert_eq!(
+            seq.iter().map(|(len, _)| len).sum::<usize>(),
+            items.len()
+        );
+    }
+
+    /// `map_indexed` visits exactly `0..n` and keeps results index-ordered
+    /// regardless of which worker steals which range.
+    #[test]
+    fn map_indexed_matches_identity(n in 0usize..300, workers in 1usize..8) {
+        let f = |i: usize| i.wrapping_mul(2654435761);
+        let seq = ExecutionEngine::Sequential.map_indexed(n, f);
+        let par = ExecutionEngine::Threaded { workers }.map_indexed(n, f);
+        prop_assert_eq!(&seq, &par);
+        prop_assert_eq!(seq, (0..n).map(f).collect::<Vec<usize>>());
+    }
 }
 
 proptest! {

@@ -144,6 +144,35 @@ impl SparseVector {
         Ok(())
     }
 
+    /// Dot product with a dense vector that may be *narrower* than the
+    /// stored indices: coordinates the dense side does not cover contribute
+    /// `0.0` (`O(nnz)`), exactly as if the dense vector were zero-padded.
+    ///
+    /// The fused transform+gradient pass uses this for margins of freshly
+    /// re-materialized rows whose one-hot vocabulary grew beyond the current
+    /// model — the model is only grown *after* the deterministic reduce.
+    pub fn dot_dense_padded(&self, dense: &DenseVector) -> f64 {
+        let slice = dense.as_slice();
+        self.indices
+            .iter()
+            .zip(self.values.iter())
+            .take_while(|(&i, _)| (i as usize) < slice.len())
+            .map(|(&i, &v)| v * slice[i as usize])
+            .sum()
+    }
+
+    /// `dense += alpha * self`, growing `dense` with zero padding first when
+    /// it does not cover the stored indices.
+    pub fn axpy_into_growing(&self, alpha: f64, dense: &mut DenseVector) {
+        if let Some(&last) = self.indices.last() {
+            dense.grow_to(last as usize + 1);
+        }
+        let slice = dense.as_mut_slice();
+        for (&i, &v) in self.indices.iter().zip(self.values.iter()) {
+            slice[i as usize] += alpha * v;
+        }
+    }
+
     /// Multiplies every stored value by `factor` in place.
     pub fn scale(&mut self, factor: f64) {
         for v in &mut self.values {

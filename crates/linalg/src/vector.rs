@@ -72,6 +72,42 @@ impl Vector {
         }
     }
 
+    /// Dot product with a dense weight vector that may be *narrower* than
+    /// this vector: uncovered coordinates contribute `0.0`, exactly as if
+    /// the weights were zero-padded to this vector's dimension.
+    ///
+    /// Infallible by construction — the fused transform+gradient pass needs
+    /// a margin for rows whose feature space already grew past the model,
+    /// and grows the model only after the deterministic gradient reduce.
+    pub fn dot_padded(&self, weights: &DenseVector) -> f64 {
+        match self {
+            Vector::Dense(v) => {
+                let n = v.dim().min(weights.dim());
+                v.as_slice()[..n]
+                    .iter()
+                    .zip(&weights.as_slice()[..n])
+                    .map(|(a, b)| a * b)
+                    .sum()
+            }
+            Vector::Sparse(v) => v.dot_dense_padded(weights),
+        }
+    }
+
+    /// `weights += alpha * self`, growing `weights` with zero padding first
+    /// when it does not cover this vector.
+    pub fn axpy_into_growing(&self, alpha: f64, weights: &mut DenseVector) {
+        match self {
+            Vector::Dense(v) => {
+                weights.grow_to(v.dim());
+                let w = &mut weights.as_mut_slice()[..v.dim()];
+                for (slot, x) in w.iter_mut().zip(v.as_slice()) {
+                    *slot += alpha * x;
+                }
+            }
+            Vector::Sparse(v) => v.axpy_into_growing(alpha, weights),
+        }
+    }
+
     /// `weights += alpha * self`.
     ///
     /// # Errors
@@ -186,6 +222,48 @@ mod tests {
         let w = DenseVector::new(vec![1.0, 2.0, 3.0]);
         let d: Vector = vec![5.0, 5.0].into();
         assert_eq!(d.dot(&w).unwrap(), 5.0 + 10.0);
+    }
+
+    #[test]
+    fn dot_padded_matches_dot_when_weights_cover() {
+        let w = DenseVector::new(vec![1.0, 2.0, 3.0, 4.0]);
+        for v in [
+            Vector::from(vec![0.5, 1.0, 0.0, 2.0]),
+            sparse(4, &[(1, 1.0), (3, 2.0)]),
+        ] {
+            assert_eq!(
+                v.dot_padded(&w).to_bits(),
+                v.dot(&w).unwrap().to_bits(),
+                "{v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_padded_treats_missing_weights_as_zero() {
+        let w = DenseVector::new(vec![1.0, 2.0]);
+        let d: Vector = vec![3.0, 4.0, 5.0].into();
+        assert_eq!(d.dot_padded(&w), 3.0 + 8.0);
+        let s = sparse(6, &[(0, 2.0), (5, 7.0)]);
+        assert_eq!(s.dot_padded(&w), 2.0);
+    }
+
+    #[test]
+    fn axpy_into_growing_pads_then_accumulates() {
+        let mut w = DenseVector::new(vec![1.0]);
+        let d: Vector = vec![1.0, 2.0, 3.0].into();
+        d.axpy_into_growing(2.0, &mut w);
+        assert_eq!(w.as_slice(), &[3.0, 4.0, 6.0]);
+        let mut w = DenseVector::new(vec![1.0]);
+        let s = sparse(5, &[(3, 2.0)]);
+        s.axpy_into_growing(0.5, &mut w);
+        assert_eq!(w.as_slice(), &[1.0, 0.0, 0.0, 1.0]);
+        // When weights already cover the vector, growing == plain axpy.
+        let mut a = DenseVector::zeros(5);
+        let mut b = DenseVector::zeros(5);
+        s.axpy_into_growing(1.5, &mut a);
+        s.axpy_into(1.5, &mut b).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

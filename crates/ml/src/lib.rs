@@ -42,4 +42,4 @@ pub use loss::{Loss, LossKind};
 pub use model::{LinearModel, Task};
 pub use optimizer::{AdaptiveRate, OptimizerKind, OptimizerState};
 pub use regularizer::Regularizer;
-pub use sgd::{ConvergenceCriteria, SgdConfig, SgdTrainer, TrainReport};
+pub use sgd::{ConvergenceCriteria, FusedStepOutcome, SgdConfig, SgdTrainer, TrainReport};

@@ -88,6 +88,15 @@ impl LinearModel {
             .expect("feature dimension exceeds model weights")
     }
 
+    /// Margin without mutation for rows that may be *wider* than the model:
+    /// uncovered coordinates multiply zero-weights, exactly as if the model
+    /// had already grown. The fused transform+gradient pass relies on this —
+    /// parallel tasks must not mutate the shared model, so it is grown only
+    /// after the deterministic gradient reduce.
+    pub fn margin_padded(&self, x: &Vector) -> f64 {
+        x.dot_padded(&self.weights)
+    }
+
     /// Task-appropriate prediction: the class label (±1) for classification,
     /// the raw margin for regression.
     pub fn predict(&mut self, x: &Vector) -> f64 {

@@ -8,12 +8,16 @@
 //! steps at arbitrary times (online updates and proactive training
 //! interleaved) and the sequence is still a valid SGD trajectory (§3.3).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use cdp_engine::{tree_reduce, ExecutionEngine};
+use cdp_engine::{tree_reduce, EngineError, ExecutionEngine};
+use cdp_faults::FaultHook;
 use cdp_linalg::DenseVector;
 use cdp_obs::{Metrics, SpanContext, Tracer};
 use cdp_storage::LabeledPoint;
@@ -40,6 +44,77 @@ const MAX_GRAD_SHARDS: usize = 8;
 /// the shards.
 fn gradient_shards(n: usize) -> usize {
     (n / GRAD_SHARD_MIN_POINTS).clamp(1, MAX_GRAD_SHARDS)
+}
+
+/// A pool of recycled partial-gradient buffers shared by the sharded and
+/// fused training paths, so steady-state steps allocate no per-shard
+/// gradient vectors.
+///
+/// Reuse can never perturb a result: [`GradScratch::acquire`] hands out a
+/// buffer [`DenseVector::reset`] to exactly `zeros(dim)`, so a recycled
+/// buffer is bit-indistinguishable from a fresh one and pop order is
+/// irrelevant. The reuse/alloc split *is* timing-dependent (two workers may
+/// both find the pool empty), which is why it surfaces through
+/// observability as histogram samples, not deterministic counters.
+#[derive(Debug, Default)]
+struct GradScratch {
+    pool: Mutex<Vec<DenseVector>>,
+    reused: AtomicU64,
+    allocated: AtomicU64,
+}
+
+impl GradScratch {
+    /// A zeroed gradient buffer of exactly `dim` coordinates, recycled when
+    /// the pool has one.
+    fn acquire(&self, dim: usize) -> DenseVector {
+        let recycled = self
+            .pool
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop();
+        match recycled {
+            Some(mut buf) => {
+                self.reused.fetch_add(1, Ordering::Relaxed);
+                buf.reset(dim);
+                buf
+            }
+            None => {
+                self.allocated.fetch_add(1, Ordering::Relaxed);
+                DenseVector::zeros(dim)
+            }
+        }
+    }
+
+    /// Returns a buffer to the pool for a later step to reuse.
+    fn release(&self, buf: DenseVector) {
+        self.pool
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(buf);
+    }
+
+    /// Cumulative `(reused, allocated)` acquisition counts.
+    fn counters(&self) -> (u64, u64) {
+        (
+            self.reused.load(Ordering::Relaxed),
+            self.allocated.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Scratch state is transient by definition: clones and deserialized
+/// trainers start with an empty pool, and pool contents never participate
+/// in trainer equality (they are invisible to results).
+impl Clone for GradScratch {
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
+impl PartialEq for GradScratch {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
 }
 
 /// When to stop a multi-epoch `fit`.
@@ -118,8 +193,22 @@ pub struct SgdTrainer {
     /// Scratch gradient buffer, reused across steps.
     #[serde(skip)]
     grad: DenseVector,
+    /// Recycled partial-gradient buffers for sharded and fused steps.
+    #[serde(skip)]
+    scratch: GradScratch,
     /// Total training examples consumed (for cost accounting).
     points_seen: u64,
+}
+
+/// Outcome of one fused transform+gradient step
+/// ([`SgdTrainer::try_step_fused_on`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusedStepOutcome {
+    /// Mean pre-update data loss over all streamed points, or `None` when
+    /// every source was empty (no update was performed).
+    pub loss: Option<f64>,
+    /// Training points consumed by the step.
+    pub points: u64,
 }
 
 impl SgdTrainer {
@@ -130,6 +219,7 @@ impl SgdTrainer {
             optimizer: OptimizerState::new(config.optimizer, dim),
             regularizer: config.regularizer,
             grad: DenseVector::zeros(dim),
+            scratch: GradScratch::default(),
             points_seen: 0,
         }
     }
@@ -146,6 +236,7 @@ impl SgdTrainer {
             optimizer,
             regularizer,
             grad: DenseVector::zeros(dim),
+            scratch: GradScratch::default(),
             points_seen: 0,
         }
     }
@@ -219,7 +310,13 @@ impl SgdTrainer {
     where
         I: IntoIterator<Item = &'a LabeledPoint>,
     {
-        self.step_on_traced(batch, engine, &Tracer::disabled(), None)
+        self.step_on_traced(
+            batch,
+            engine,
+            &Metrics::disabled(),
+            &Tracer::disabled(),
+            None,
+        )
     }
 
     /// [`SgdTrainer::step_on`] with causal spans: a sharded step opens a
@@ -231,6 +328,7 @@ impl SgdTrainer {
         &mut self,
         batch: I,
         engine: ExecutionEngine,
+        metrics: &Metrics,
         tracer: &Tracer,
         parent: Option<SpanContext>,
     ) -> Option<f64>
@@ -241,19 +339,19 @@ impl SgdTrainer {
         if batch.is_empty() {
             return None;
         }
-        // Grow model + gradient to the widest row in the batch.
+        // Grow the model to the widest row in the batch.
         let max_dim = batch.iter().map(|p| p.features.dim()).max().unwrap_or(0);
         if max_dim > self.model.dim() {
             self.model.grow_to(max_dim);
         }
         let dim = self.model.dim();
-        self.grad.grow_to(dim);
-        self.grad.scale(0.0);
 
         let loss = self.model.loss();
         let inv_batch = 1.0 / batch.len() as f64;
         let shards = gradient_shards(batch.len());
         let total_loss = if shards == 1 {
+            self.grad.grow_to(dim);
+            self.grad.scale(0.0);
             let mut sum = 0.0;
             for point in &batch {
                 let z = self.model.margin_ref(&point.features);
@@ -271,12 +369,15 @@ impl SgdTrainer {
             let step_span = tracer.child_of("trainer.step", parent);
             let shard_len = batch.len().div_ceil(shards);
             let model = &self.model;
-            let shard_inputs: Vec<Vec<&LabeledPoint>> =
-                batch.chunks(shard_len).map(<[_]>::to_vec).collect();
-            let parts = engine.map_traced(
-                shard_inputs,
-                |shard| {
-                    let mut grad = DenseVector::zeros(dim);
+            let scratch = &self.scratch;
+            // Shards borrow contiguous ranges of the batch directly — no
+            // per-shard `Vec` of point refs — and accumulate into recycled
+            // scratch buffers rather than freshly allocated ones.
+            let parts = engine.map_parts_traced(
+                &batch,
+                shard_len,
+                |shard: &[&LabeledPoint]| {
+                    let mut grad = scratch.acquire(dim);
                     let mut loss_sum = 0.0;
                     for point in shard {
                         let z = model.margin_ref(&point.features);
@@ -291,17 +392,19 @@ impl SgdTrainer {
                     }
                     (grad, loss_sum)
                 },
-                &Metrics::disabled(),
+                metrics,
                 tracer,
                 step_span.context(),
             );
             let (grad, sum) = tree_reduce(parts, |(mut ga, la), (gb, lb)| {
                 ga.axpy(1.0, &gb)
                     .expect("shard gradients share the model dimension");
+                scratch.release(gb);
                 (ga, la + lb)
             })
             .expect("at least one shard for a non-empty batch");
-            self.grad = grad;
+            let retired = std::mem::replace(&mut self.grad, grad);
+            self.scratch.release(retired);
             sum
         };
         self.regularizer
@@ -359,7 +462,14 @@ impl SgdTrainer {
         config: &SgdConfig,
         engine: ExecutionEngine,
     ) -> TrainReport {
-        self.fit_on_traced(data, config, engine, &Tracer::disabled(), None)
+        self.fit_on_traced(
+            data,
+            config,
+            engine,
+            &Metrics::disabled(),
+            &Tracer::disabled(),
+            None,
+        )
     }
 
     /// [`SgdTrainer::fit_on`] with causal spans: the whole fit runs under a
@@ -373,6 +483,7 @@ impl SgdTrainer {
         data: &[LabeledPoint],
         config: &SgdConfig,
         engine: ExecutionEngine,
+        metrics: &Metrics,
         tracer: &Tracer,
         parent: Option<SpanContext>,
     ) -> TrainReport {
@@ -384,7 +495,7 @@ impl SgdTrainer {
         if let Some(max_dim) = data.iter().map(|p| p.features.dim()).max() {
             self.model.grow_to(max_dim);
         }
-        let initial_loss = self.objective_on_traced(data, engine, tracer, fit_ctx);
+        let initial_loss = self.objective_on_traced(data, engine, metrics, tracer, fit_ctx);
         if data.is_empty() {
             return TrainReport {
                 epochs: 0,
@@ -404,7 +515,7 @@ impl SgdTrainer {
             indices.shuffle(&mut rng);
             for batch_idx in indices.chunks(config.batch_size.max(1)) {
                 let batch = batch_idx.iter().map(|&i| &data[i]);
-                self.step_on_traced(batch, engine, tracer, fit_ctx);
+                self.step_on_traced(batch, engine, metrics, tracer, fit_ctx);
             }
             let weights_after = self.model.weights();
             let mut delta = weights_after.clone();
@@ -419,7 +530,7 @@ impl SgdTrainer {
             epochs,
             steps: self.optimizer.steps() - steps_before,
             initial_loss,
-            final_loss: self.objective_on_traced(data, engine, tracer, fit_ctx),
+            final_loss: self.objective_on_traced(data, engine, metrics, tracer, fit_ctx),
             converged,
         }
     }
@@ -438,7 +549,13 @@ impl SgdTrainer {
     /// whose structure depends only on `data.len()`, so the value is
     /// bit-identical across engines.
     pub fn objective_on(&self, data: &[LabeledPoint], engine: ExecutionEngine) -> f64 {
-        self.objective_on_traced(data, engine, &Tracer::disabled(), None)
+        self.objective_on_traced(
+            data,
+            engine,
+            &Metrics::disabled(),
+            &Tracer::disabled(),
+            None,
+        )
     }
 
     /// [`SgdTrainer::objective_on`] with causal spans: the engine dispatch
@@ -449,6 +566,7 @@ impl SgdTrainer {
         &self,
         data: &[LabeledPoint],
         engine: ExecutionEngine,
+        metrics: &Metrics,
         tracer: &Tracer,
         parent: Option<SpanContext>,
     ) -> f64 {
@@ -459,20 +577,134 @@ impl SgdTrainer {
         let model = &self.model;
         let shards = gradient_shards(data.len());
         let shard_len = data.len().div_ceil(shards);
-        let sums: Vec<f64> = engine.map_traced(
-            data.chunks(shard_len).collect(),
+        let sums: Vec<f64> = engine.map_parts_traced(
+            data,
+            shard_len,
             |shard| {
                 shard
                     .iter()
                     .map(|p| loss.value(model.margin_ref(&p.features), p.label))
                     .sum::<f64>()
             },
-            &Metrics::disabled(),
+            metrics,
             tracer,
             parent,
         );
         let mean = tree_reduce(sums, |a, b| a + b).unwrap_or(0.0) / data.len() as f64;
         mean + self.regularizer.penalty(self.model.weights())
+    }
+
+    /// One fused transform+gradient SGD iteration over `n_sources` lazily
+    /// streamed point sources (the proactive re-materialization path).
+    ///
+    /// `access(i, sink)` must stream every point of source `i` into `sink`,
+    /// in source order. The engine task for source `i` folds each streamed
+    /// point straight into a recycled scratch gradient — no intermediate
+    /// `FeatureChunk` or per-shard point buffer is ever materialized.
+    ///
+    /// Determinism: per-source gradients accumulate *unscaled* loss
+    /// derivatives (the total point count is only known after all sources
+    /// ran), are combined with a fixed-shape [`tree_reduce`] keyed by source
+    /// index, and the summed gradient is scaled by `1/points` once at the
+    /// end. Rows wider than the model use [`LinearModel::margin_padded`] /
+    /// [`cdp_linalg::Vector::axpy_into_growing`] so parallel tasks never
+    /// mutate the shared model; it grows only after the reduce. The result
+    /// therefore depends on the source contents and order alone — never on
+    /// worker count or steal schedule.
+    ///
+    /// # Errors
+    /// Propagates [`EngineError`] when `hook` injects a fatal worker panic
+    /// (after the engine's restart-once recovery is exhausted). The model is
+    /// untouched in that case.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_step_fused_on<A>(
+        &mut self,
+        n_sources: usize,
+        access: A,
+        engine: ExecutionEngine,
+        hook: &dyn FaultHook,
+        metrics: &Metrics,
+        tracer: &Tracer,
+        parent: Option<SpanContext>,
+    ) -> Result<FusedStepOutcome, EngineError>
+    where
+        A: Fn(usize, &mut dyn FnMut(&LabeledPoint)) + Sync,
+    {
+        if n_sources == 0 {
+            return Ok(FusedStepOutcome {
+                loss: None,
+                points: 0,
+            });
+        }
+        let step_span = tracer.child_of("trainer.step", parent);
+        let dim = self.model.dim();
+        let loss = self.model.loss();
+        let model = &self.model;
+        let scratch = &self.scratch;
+        let parts = engine.try_map_indexed_with_hook_traced(
+            n_sources,
+            |i| {
+                let mut grad = scratch.acquire(dim);
+                let mut loss_sum = 0.0;
+                let mut points = 0u64;
+                access(i, &mut |point: &LabeledPoint| {
+                    let z = model.margin_padded(&point.features);
+                    loss_sum += loss.value(z, point.label);
+                    let coeff = loss.dloss_dz(z, point.label);
+                    if coeff != 0.0 {
+                        point.features.axpy_into_growing(coeff, &mut grad);
+                    }
+                    points += 1;
+                });
+                (grad, loss_sum, points)
+            },
+            hook,
+            metrics,
+            tracer,
+            step_span.context(),
+        )?;
+        let (grad, loss_sum, points) = tree_reduce(parts, |(mut ga, la, na), (gb, lb, nb)| {
+            // Sources grow their gradients independently (sparse rows may
+            // reach different widths); zero-pad to a common dimension before
+            // the exact-dimension axpy.
+            let width = ga.dim().max(gb.dim());
+            ga.grow_to(width);
+            let mut gb = gb;
+            gb.grow_to(width);
+            ga.axpy(1.0, &gb)
+                .expect("source gradients padded to a common dimension");
+            scratch.release(gb);
+            (ga, la + lb, na + nb)
+        })
+        .expect("at least one source");
+        if points == 0 {
+            self.scratch.release(grad);
+            return Ok(FusedStepOutcome {
+                loss: None,
+                points: 0,
+            });
+        }
+        let retired = std::mem::replace(&mut self.grad, grad);
+        self.scratch.release(retired);
+        let inv_points = 1.0 / points as f64;
+        self.grad.scale(inv_points);
+        // Only now is it safe to grow the shared model.
+        self.model.grow_to(self.grad.dim());
+        self.grad.grow_to(self.model.dim());
+        self.regularizer
+            .add_gradient(self.model.weights(), &mut self.grad);
+        self.optimizer.apply(self.model.weights_mut(), &self.grad);
+        self.points_seen += points;
+        Ok(FusedStepOutcome {
+            loss: Some(loss_sum * inv_points),
+            points,
+        })
+    }
+
+    /// Cumulative `(reused, allocated)` scratch-gradient acquisition counts,
+    /// for observability (surfaced as `engine.scratch_*` histogram samples).
+    pub fn scratch_counters(&self) -> (u64, u64) {
+        self.scratch.counters()
     }
 
     /// Restores the scratch buffer after deserialization (serde skips it).
@@ -726,6 +958,138 @@ mod tests {
     }
 
     #[test]
+    fn fused_step_is_bit_identical_across_engines_and_reuses_scratch() {
+        use cdp_faults::NoFaults;
+        let data = blobs(2000, 21);
+        let config = make_config(LossKind::Logistic);
+        let chunks: Vec<&[LabeledPoint]> = data.chunks(250).collect();
+        let access = |i: usize, sink: &mut dyn FnMut(&LabeledPoint)| {
+            for p in chunks[i] {
+                sink(p);
+            }
+        };
+        let run = |engine: ExecutionEngine| {
+            let mut t = SgdTrainer::new(3, &config);
+            let first = t
+                .try_step_fused_on(
+                    chunks.len(),
+                    access,
+                    engine,
+                    &NoFaults,
+                    &Metrics::disabled(),
+                    &Tracer::disabled(),
+                    None,
+                )
+                .unwrap();
+            let second = t
+                .try_step_fused_on(
+                    chunks.len(),
+                    access,
+                    engine,
+                    &NoFaults,
+                    &Metrics::disabled(),
+                    &Tracer::disabled(),
+                    None,
+                )
+                .unwrap();
+            (t, first, second)
+        };
+        let (reference, ref_first, ref_second) = run(ExecutionEngine::Sequential);
+        assert_eq!(ref_first.points, data.len() as u64);
+        assert!(ref_second.loss.unwrap() < ref_first.loss.unwrap());
+        // The second step must find recycled buffers from the first.
+        let (reused, allocated) = reference.scratch_counters();
+        assert!(reused > 0, "reused={reused} allocated={allocated}");
+        for workers in [1, 2, 4, 8] {
+            let (t, first, second) = run(ExecutionEngine::Threaded { workers });
+            assert_eq!(
+                reference.model().weights(),
+                t.model().weights(),
+                "fused weights diverged at workers={workers}"
+            );
+            assert_eq!(
+                ref_first.loss.unwrap().to_bits(),
+                first.loss.unwrap().to_bits()
+            );
+            assert_eq!(
+                ref_second.loss.unwrap().to_bits(),
+                second.loss.unwrap().to_bits()
+            );
+        }
+        // Zero sources and all-empty sources are no-ops.
+        let mut t = SgdTrainer::new(3, &config);
+        let out = t
+            .try_step_fused_on(
+                0,
+                |_, _| {},
+                ExecutionEngine::Sequential,
+                &NoFaults,
+                &Metrics::disabled(),
+                &Tracer::disabled(),
+                None,
+            )
+            .unwrap();
+        assert_eq!(
+            out,
+            FusedStepOutcome {
+                loss: None,
+                points: 0
+            }
+        );
+        let out = t
+            .try_step_fused_on(
+                3,
+                |_, _| {},
+                ExecutionEngine::Sequential,
+                &NoFaults,
+                &Metrics::disabled(),
+                &Tracer::disabled(),
+                None,
+            )
+            .unwrap();
+        assert_eq!(
+            out,
+            FusedStepOutcome {
+                loss: None,
+                points: 0
+            }
+        );
+        assert_eq!(t.steps(), 0);
+    }
+
+    #[test]
+    fn fused_step_grows_the_model_only_after_the_reduce() {
+        use cdp_faults::NoFaults;
+        let config = make_config(LossKind::Hinge);
+        // Sources of different widths: the widest row wins, and the model
+        // reaches it only after the deterministic combine.
+        let narrow = vec![LabeledPoint::new(1.0, Vector::from(vec![1.0, 0.5]))];
+        let wide = vec![LabeledPoint::new(
+            -1.0,
+            Vector::from(vec![0.1, 0.2, 0.9, 1.0]),
+        )];
+        let sources = [narrow, wide];
+        let mut t = SgdTrainer::new(2, &config);
+        let out = t
+            .try_step_fused_on(
+                sources.len(),
+                |i, sink: &mut dyn FnMut(&LabeledPoint)| {
+                    for p in &sources[i] {
+                        sink(p);
+                    }
+                },
+                ExecutionEngine::Threaded { workers: 2 },
+                &NoFaults,
+                &Metrics::disabled(),
+                &Tracer::disabled(),
+                None,
+            )
+            .unwrap();
+        assert_eq!(out.points, 2);
+        assert_eq!(t.model().dim(), 4);
+    }
+
+    #[test]
     fn traced_fit_is_bit_identical_and_builds_a_span_tree() {
         let data = linear_data(1500, 14);
         let mut config = make_config(LossKind::Squared);
@@ -738,7 +1102,8 @@ mod tests {
 
         let tracer = Tracer::collecting();
         let mut traced = SgdTrainer::new(3, &config);
-        let report_traced = traced.fit_on_traced(&data, &config, engine, &tracer, None);
+        let report_traced =
+            traced.fit_on_traced(&data, &config, engine, &Metrics::disabled(), &tracer, None);
 
         // Tracing must not perturb training in any way.
         assert_eq!(plain.model().weights(), traced.model().weights());

@@ -26,6 +26,17 @@ pub trait Encoder: Send + Sync {
     /// Encodes a batch with the current statistics.
     fn encode(&self, rows: &[Row]) -> Vec<LabeledPoint>;
 
+    /// Streams each encoded point into `sink`, in row order, producing
+    /// exactly the points [`Encoder::encode`] would — without materializing
+    /// the intermediate `Vec<LabeledPoint>`. The default falls back to
+    /// `encode`; the concrete encoders override it row-by-row so the fused
+    /// transform+gradient path allocates no batch buffer.
+    fn encode_fold(&self, rows: &[Row], sink: &mut dyn FnMut(LabeledPoint)) {
+        for point in self.encode(rows) {
+            sink(point);
+        }
+    }
+
     /// Current output dimension (may grow for stateful encoders).
     fn dim(&self) -> usize;
 
@@ -101,6 +112,22 @@ impl FeatureHasher {
         let sign = if h >> 63 == 0 { 1.0 } else { -1.0 };
         (self.token_base() + bucket, sign)
     }
+
+    fn encode_row(&self, row: &Row, dim: usize) -> LabeledPoint {
+        let mut b = SparseBuilder::with_capacity(1 + row.nums.len() + row.tokens.len());
+        b.add(0, 1.0); // bias
+        for (i, &v) in row.nums.iter().take(self.numeric_slots).enumerate() {
+            if v != 0.0 && !v.is_nan() {
+                b.add(1 + i, v);
+            }
+        }
+        for token in &row.tokens {
+            let (bucket, sign) = self.bucket_of(token);
+            b.add(bucket, sign);
+        }
+        let features = b.build(dim).expect("hasher indices within dim");
+        LabeledPoint::new(row.label, Vector::Sparse(features))
+    }
 }
 
 impl Encoder for FeatureHasher {
@@ -110,23 +137,14 @@ impl Encoder for FeatureHasher {
 
     fn encode(&self, rows: &[Row]) -> Vec<LabeledPoint> {
         let dim = self.dim();
-        rows.iter()
-            .map(|row| {
-                let mut b = SparseBuilder::with_capacity(1 + row.nums.len() + row.tokens.len());
-                b.add(0, 1.0); // bias
-                for (i, &v) in row.nums.iter().take(self.numeric_slots).enumerate() {
-                    if v != 0.0 && !v.is_nan() {
-                        b.add(1 + i, v);
-                    }
-                }
-                for token in &row.tokens {
-                    let (bucket, sign) = self.bucket_of(token);
-                    b.add(bucket, sign);
-                }
-                let features = b.build(dim).expect("hasher indices within dim");
-                LabeledPoint::new(row.label, Vector::Sparse(features))
-            })
-            .collect()
+        rows.iter().map(|row| self.encode_row(row, dim)).collect()
+    }
+
+    fn encode_fold(&self, rows: &[Row], sink: &mut dyn FnMut(LabeledPoint)) {
+        let dim = self.dim();
+        for row in rows {
+            sink(self.encode_row(row, dim));
+        }
     }
 
     fn dim(&self) -> usize {
@@ -150,6 +168,16 @@ impl DenseEncoder {
     pub fn new(columns: usize) -> Self {
         Self { columns }
     }
+
+    fn encode_row(&self, row: &Row) -> LabeledPoint {
+        let mut values = Vec::with_capacity(self.columns + 1);
+        values.push(1.0); // bias
+        for i in 0..self.columns {
+            let v = row.nums.get(i).copied().unwrap_or(0.0);
+            values.push(if v.is_nan() { 0.0 } else { v });
+        }
+        LabeledPoint::new(row.label, Vector::Dense(DenseVector::new(values)))
+    }
 }
 
 impl Encoder for DenseEncoder {
@@ -158,17 +186,13 @@ impl Encoder for DenseEncoder {
     }
 
     fn encode(&self, rows: &[Row]) -> Vec<LabeledPoint> {
-        rows.iter()
-            .map(|row| {
-                let mut values = Vec::with_capacity(self.columns + 1);
-                values.push(1.0); // bias
-                for i in 0..self.columns {
-                    let v = row.nums.get(i).copied().unwrap_or(0.0);
-                    values.push(if v.is_nan() { 0.0 } else { v });
-                }
-                LabeledPoint::new(row.label, Vector::Dense(DenseVector::new(values)))
-            })
-            .collect()
+        rows.iter().map(|row| self.encode_row(row)).collect()
+    }
+
+    fn encode_fold(&self, rows: &[Row], sink: &mut dyn FnMut(LabeledPoint)) {
+        for row in rows {
+            sink(self.encode_row(row));
+        }
     }
 
     fn dim(&self) -> usize {
@@ -210,6 +234,24 @@ impl OneHotEncoder {
     fn token_base(&self) -> usize {
         1 + self.numeric_slots
     }
+
+    fn encode_row(&self, row: &Row, dim: usize) -> LabeledPoint {
+        let base = self.token_base();
+        let mut b = SparseBuilder::with_capacity(1 + row.nums.len() + row.tokens.len());
+        b.add(0, 1.0);
+        for (i, &v) in row.nums.iter().take(self.numeric_slots).enumerate() {
+            if v != 0.0 && !v.is_nan() {
+                b.add(1 + i, v);
+            }
+        }
+        for token in &row.tokens {
+            if let Some(&idx) = self.categories.get(token) {
+                b.add(base + idx, 1.0);
+            }
+        }
+        let features = b.build(dim).expect("one-hot indices within dim");
+        LabeledPoint::new(row.label, Vector::Sparse(features))
+    }
 }
 
 impl Encoder for OneHotEncoder {
@@ -228,25 +270,14 @@ impl Encoder for OneHotEncoder {
 
     fn encode(&self, rows: &[Row]) -> Vec<LabeledPoint> {
         let dim = self.dim();
-        let base = self.token_base();
-        rows.iter()
-            .map(|row| {
-                let mut b = SparseBuilder::with_capacity(1 + row.nums.len() + row.tokens.len());
-                b.add(0, 1.0);
-                for (i, &v) in row.nums.iter().take(self.numeric_slots).enumerate() {
-                    if v != 0.0 && !v.is_nan() {
-                        b.add(1 + i, v);
-                    }
-                }
-                for token in &row.tokens {
-                    if let Some(&idx) = self.categories.get(token) {
-                        b.add(base + idx, 1.0);
-                    }
-                }
-                let features = b.build(dim).expect("one-hot indices within dim");
-                LabeledPoint::new(row.label, Vector::Sparse(features))
-            })
-            .collect()
+        rows.iter().map(|row| self.encode_row(row, dim)).collect()
+    }
+
+    fn encode_fold(&self, rows: &[Row], sink: &mut dyn FnMut(LabeledPoint)) {
+        let dim = self.dim();
+        for row in rows {
+            sink(self.encode_row(row, dim));
+        }
     }
 
     fn dim(&self) -> usize {

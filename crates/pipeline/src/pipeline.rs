@@ -186,6 +186,23 @@ impl Pipeline {
         FeatureChunk::new(chunk.timestamp, chunk.timestamp, points)
     }
 
+    /// Transform-only path over a raw chunk that **streams** each encoded
+    /// point into `sink` instead of materializing a [`FeatureChunk`] — the
+    /// fused transform+gradient pass folds points straight into a gradient
+    /// accumulator. Points arrive in the exact order
+    /// [`Pipeline::transform_chunk`] would store them, and the work counters
+    /// advance identically, so the accounted cost and every downstream
+    /// result are bit-identical to the materializing path.
+    pub fn transform_chunk_fold(&mut self, chunk: &RawChunk, sink: &mut dyn FnMut(&LabeledPoint)) {
+        let mut rows = self.parse(&chunk.records);
+        for component in &self.components {
+            self.counters.transform_rows += rows.len() as u64;
+            rows = component.transform(rows);
+        }
+        self.counters.encoded_points += rows.len() as u64;
+        self.encoder.encode_fold(&rows, &mut |point| sink(&point));
+    }
+
     /// Preprocesses one prediction query. Returns `None` when the record is
     /// malformed or filtered out by a cleaning stage. Does not touch any
     /// statistics and does not count toward the work counters (queries are
@@ -333,6 +350,23 @@ mod tests {
         // Repeated transform-only gives identical output: no stats movement.
         let again = p.transform_chunk(&chunk(2, &[(0.0, 100.0, -50.0)]));
         assert_eq!(before.points, again.points);
+    }
+
+    #[test]
+    fn transform_chunk_fold_matches_materializing_path() {
+        let mut p = sample_pipeline();
+        p.fit_transform_chunk(&chunk(0, &[(1.0, 2.0, 3.0), (0.0, 4.0, 5.0)]));
+        let raw = chunk(1, &[(1.0, 6.0, 1.0), (0.0, 2.5, 4.0), (1.0, 8.0, 0.5)]);
+
+        let mut materializing = p.clone();
+        let stored = materializing.transform_chunk(&raw);
+
+        let mut folding = p.clone();
+        let mut streamed = Vec::new();
+        folding.transform_chunk_fold(&raw, &mut |point| streamed.push(point.clone()));
+
+        assert_eq!(streamed, stored.points);
+        assert_eq!(folding.counters(), materializing.counters());
     }
 
     #[test]

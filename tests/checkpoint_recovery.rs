@@ -3,9 +3,10 @@
 //! to an uninterrupted run — same weights, prequential curve, accounted cost,
 //! storage counters, and alerts (DESIGN.md §12).
 //!
-//! Comparison rules: `checkpoint.*` metrics and `DeploymentResult::
-//! checkpoint_stats` are excluded (they legitimately differ between an
-//! uninterrupted run and a crash-resume pair), wall-clock histograms are
+//! Comparison rules: `checkpoint.*` and `engine.scratch_*` metrics and
+//! `DeploymentResult::checkpoint_stats` are excluded (they legitimately
+//! differ between an uninterrupted run and a crash-resume pair — the scratch
+//! pool is transient process state), wall-clock histograms are
 //! compared by observation count only, and event/lineage timestamps (wall
 //! clock under `Metrics::collecting`) are ignored in favour of their
 //! deterministic payloads.
@@ -40,8 +41,13 @@ fn tiny_url() -> (UrlGenerator, DeploymentSpec) {
 const EXACT_HISTOGRAMS: [&str; 2] = ["scheduler.fire_margin_secs", "proactive.accounted_secs"];
 
 fn without_checkpoint_keys<V: Clone>(m: &BTreeMap<String, V>) -> BTreeMap<String, V> {
+    // `engine.scratch_*` tracks the trainer's gradient-buffer pool, which is
+    // transient process state: a resumed process starts with a cold pool and
+    // re-allocates buffers the uninterrupted run reused, so those sample
+    // counts legitimately differ across a crash-resume pair (the gradients
+    // themselves stay bit-identical — a reset buffer equals a fresh one).
     m.iter()
-        .filter(|(k, _)| !k.starts_with("checkpoint."))
+        .filter(|(k, _)| !k.starts_with("checkpoint.") && !k.starts_with("engine.scratch_"))
         .map(|(k, v)| (k.clone(), v.clone()))
         .collect()
 }

@@ -3,6 +3,7 @@
 
 use cdpipe::core::presets::url_spec_from;
 use cdpipe::datagen::url::UrlConfig;
+use cdpipe::engine::ExecutionEngine;
 use cdpipe::prelude::*;
 
 /// A mid-size URL run used by several tests (larger than `Tiny`, much
@@ -334,6 +335,57 @@ fn metrics_snapshot_spans_all_subsystems() {
     silent.collect_metrics = false;
     let baseline = run_deployment(&stream, &spec, &silent);
     assert!(baseline.metrics.is_empty());
+    assert_eq!(baseline.final_weights, result.final_weights);
+    assert_eq!(baseline.error_curve, result.error_curve);
+    assert_eq!(baseline.total_secs.to_bits(), result.total_secs.to_bits());
+}
+
+#[test]
+fn threaded_run_reconciles_engine_metrics() {
+    // Work-stealing observables are histograms — steal counts and queue
+    // depths are scheduling noise, never part of the deterministic surface —
+    // but their *sample counts* are exact: every threaded map observes the
+    // pair exactly once (empty maps observe zeros), so both reconcile with
+    // `engine.map_calls`. Scratch-pool traffic reconciles the same way:
+    // reuse + alloc samples are drained once per proactive/retrain charge.
+    let (stream, spec) = small_url();
+    let mut config = DeploymentConfig::continuous(2, 6, SamplingStrategy::Uniform);
+    config.optimization.budget = StorageBudget::MaxChunks(5);
+    config.engine = ExecutionEngine::Threaded { workers: 4 };
+    config.collect_metrics = true;
+    let result = run_deployment(&stream, &spec, &config);
+    let snap = &result.metrics;
+
+    let map_calls = snap.counter("engine.map_calls");
+    assert!(map_calls > 0, "bounded cache must dispatch engine maps");
+    let depth = snap
+        .histogram("engine.queue_depth")
+        .expect("threaded maps record their unit count");
+    let steal = snap
+        .histogram("engine.steal")
+        .expect("threaded maps record their steal count");
+    assert_eq!(depth.count, map_calls, "one queue-depth sample per map");
+    assert_eq!(steal.count, map_calls, "one steal sample per map");
+    // Units scheduled across all maps equals the task counter.
+    assert_eq!(depth.sum as u64, snap.counter("engine.tasks"));
+
+    // The gradient-scratch pool allocates on first use and reuses after:
+    // both sides of the pool ledger surface as histogram samples.
+    let alloc = snap
+        .histogram("engine.scratch_alloc")
+        .expect("cold pool must allocate");
+    assert!(alloc.sum > 0.0);
+    let reuse = snap
+        .histogram("engine.scratch_reuse")
+        .expect("warm pool must reuse");
+    assert!(reuse.sum > 0.0);
+
+    // The threaded, metrics-on run stays bit-identical to the silent
+    // sequential baseline: stealing and scratch pooling are observers.
+    let mut silent = config;
+    silent.engine = ExecutionEngine::Sequential;
+    silent.collect_metrics = false;
+    let baseline = run_deployment(&stream, &spec, &silent);
     assert_eq!(baseline.final_weights, result.final_weights);
     assert_eq!(baseline.error_curve, result.error_curve);
     assert_eq!(baseline.total_secs.to_bits(), result.total_secs.to_bits());

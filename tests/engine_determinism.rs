@@ -4,14 +4,16 @@
 //! the sequential run, on both paper pipelines.
 
 use cdpipe::core::deployment::{
-    run_deployment, try_run_deployment, DeploymentConfig, DeploymentError, DeploymentResult,
+    run_deployment, try_resume_deployment, try_run_deployment, CheckpointConfig, DeploymentConfig,
+    DeploymentError, DeploymentResult,
 };
 use cdpipe::core::presets::{taxi_spec, url_spec, SpecScale};
 use cdpipe::engine::ExecutionEngine;
-use cdpipe::faults::FaultPlan;
+use cdpipe::faults::{CrashSite, FaultPlan};
 use cdpipe::sampling::SamplingStrategy;
 use cdpipe::storage::StorageBudget;
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 fn continuous_config(bounded_cache: bool) -> DeploymentConfig {
     let mut config = DeploymentConfig::continuous(2, 3, SamplingStrategy::TimeBased);
@@ -131,5 +133,122 @@ proptest! {
                 t.is_ok()
             ),
         }
+    }
+
+    /// Span collection is a pure observer: a traced threaded run is
+    /// bit-identical to the untraced sequential run — with and without a
+    /// recoverable fault plan active — so the steal-order nondeterminism
+    /// the tracer records never leaks into results. This sweeps the full
+    /// grid the fused proactive path must survive: worker count × fault
+    /// plan × tracing on/off.
+    #[test]
+    fn tracing_never_perturbs_threaded_determinism(
+        workers in 1usize..9,
+        traced in prop::bool::ANY,
+        faulted in prop::bool::ANY,
+        url in prop::bool::ANY,
+    ) {
+        let mut base = continuous_config(true);
+        if faulted {
+            base.faults = FaultPlan {
+                seed: 11,
+                worker_panic: 0.2,
+                ..FaultPlan::none()
+            };
+        }
+        let baseline = try_run_on(url, &base).expect("baseline run");
+
+        let mut cfg = base;
+        cfg.engine = ExecutionEngine::Threaded { workers };
+        cfg.collect_traces = traced;
+        let run = try_run_on(url, &cfg).expect("traced threaded run");
+
+        prop_assert_eq!(
+            baseline.final_error.to_bits(),
+            run.final_error.to_bits()
+        );
+        prop_assert_eq!(&baseline.error_curve, &run.error_curve);
+        prop_assert_eq!(&baseline.final_weights, &run.final_weights);
+        prop_assert_eq!(baseline.total_secs.to_bits(), run.total_secs.to_bits());
+        prop_assert_eq!(baseline.fault_stats, run.fault_stats);
+        // Tracing actually happened when requested.
+        prop_assert_eq!(traced, !run.trace.spans.is_empty());
+    }
+}
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn ckpt_dir() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "cdp-engine-det-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+proptest! {
+    /// Kill-and-resume on a work-stealing pool: a run crashed at a chunk
+    /// boundary or mid proactive fire and resumed on a threaded engine ends
+    /// bit-identical to the uninterrupted *sequential* run. The restored
+    /// worker-fault epoch and trainer state cannot depend on how many
+    /// workers the resumed pool has.
+    #[test]
+    fn threaded_resume_is_bit_identical_to_sequential(
+        workers in 1usize..9,
+        fire_site in prop::bool::ANY,
+        crash_at in 1u64..6,
+    ) {
+        let baseline = run_on(true, &continuous_config(true));
+
+        let dir = ckpt_dir();
+        let mut cfg = continuous_config(true);
+        cfg.engine = ExecutionEngine::Threaded { workers };
+        cfg.checkpoint = Some(CheckpointConfig::new(&dir).every(1).keep(2));
+        cfg.faults = FaultPlan {
+            crash_site: Some(if fire_site {
+                CrashSite::ProactiveFire
+            } else {
+                CrashSite::ChunkBoundary
+            }),
+            crash_at,
+            ..FaultPlan::none()
+        };
+
+        match try_run_on(true, &cfg) {
+            Err(DeploymentError::Crashed(_)) => {
+                let (stream, spec) = url_spec(SpecScale::Tiny);
+                match try_resume_deployment(&stream, &spec, &cfg) {
+                    Ok(resumed) => {
+                        prop_assert_eq!(&baseline.final_weights, &resumed.final_weights);
+                        prop_assert_eq!(&baseline.error_curve, &resumed.error_curve);
+                        prop_assert_eq!(
+                            baseline.final_error.to_bits(),
+                            resumed.final_error.to_bits()
+                        );
+                        prop_assert_eq!(
+                            baseline.total_secs.to_bits(),
+                            resumed.total_secs.to_bits()
+                        );
+                        prop_assert_eq!(baseline.proactive_runs, resumed.proactive_runs);
+                    }
+                    // Crashed before the first durable checkpoint.
+                    Err(DeploymentError::NoCheckpoint(_)) => {}
+                    Err(other) => {
+                        let _ = std::fs::remove_dir_all(&dir);
+                        return Err(format!("resume failed: {other}"));
+                    }
+                }
+            }
+            Ok(completed) => {
+                // The countdown outlived the run; the checkpointed threaded
+                // run itself must still match the sequential baseline.
+                prop_assert_eq!(&baseline.final_weights, &completed.final_weights);
+            }
+            Err(other) => {
+                let _ = std::fs::remove_dir_all(&dir);
+                return Err(format!("run failed: {other}"));
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
