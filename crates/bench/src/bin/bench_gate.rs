@@ -15,7 +15,7 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use cdp_bench::hotpath::{fixed_shard_map, stealing_map, FusedWorkload};
+use cdp_bench::hotpath::{fixed_shard_map, stealing_map, FusedWorkload, ServingWorkload};
 use cdp_engine::ExecutionEngine;
 
 /// Over-baseline slack before the gate fails.
@@ -78,10 +78,19 @@ fn measure() -> Vec<(&'static str, f64)> {
         pool.map_slice(&items, work);
     });
 
+    let serving = ServingWorkload::new(4096);
+    let quiet = median_secs(|| {
+        serving.serve_quiet();
+    });
+    let stormed = median_secs(|| {
+        serving.serve_with_publishes(64);
+    });
+
     vec![
         ("fused_over_unfused", fused / unfused),
         ("steal_over_fixed", steal / fixed),
         ("pool_map_over_sequential", pool_map / seq_map),
+        ("serving_storm_over_quiet", stormed / quiet),
     ]
 }
 

@@ -17,6 +17,7 @@ fn main() {
             exp::fig7::run(scale, out),
             exp::fig8::run(scale, out),
             exp::engine_scaling::run(scale, out),
+            exp::serving::run(scale, out),
             exp::fault_recovery::run(scale, out),
             exp::checkpoint::run(scale, out),
         ];

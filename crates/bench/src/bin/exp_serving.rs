@@ -1,0 +1,12 @@
+//! Serving-under-publish-fire experiment: sustained QPS and p99 latency of
+//! the sharded lock-free `ModelServer`, quiet vs during a 1 ms publish
+//! storm. Writes `serving.csv` and `BENCH_serving.json` (also copied to the
+//! working directory for CI artifact upload).
+
+fn main() {
+    cdp_bench::run_binary("exp_serving", |scale, out| {
+        cdp_bench::experiments::serving::run(scale, out)
+    });
+    let (_, out) = cdp_bench::parse_args();
+    let _ = std::fs::copy(out.join("BENCH_serving.json"), "BENCH_serving.json");
+}

@@ -13,8 +13,10 @@
 //!   fixed-shape shards with stragglers; the work-stealing queue
 //!   rebalances them.
 
+use cdp_core::serving::ModelServer;
 use cdp_engine::ExecutionEngine;
 use cdp_faults::NoFaults;
+use cdp_ml::LinearModel;
 use cdp_ml::{FusedStepOutcome, LossKind, SgdConfig, SgdTrainer};
 use cdp_obs::{Metrics, Tracer};
 use cdp_pipeline::encode::DenseEncoder;
@@ -134,4 +136,70 @@ pub fn fixed_shard_map(n: usize, workers: usize) -> Vec<f64> {
 /// The work-stealing path on the same skewed items.
 pub fn stealing_map(engine: ExecutionEngine, n: usize) -> Vec<f64> {
     engine.map_indexed(n, skewed_item)
+}
+
+/// Serving hot path for the regression gate: a warmed server plus a fixed
+/// query set, driven from one thread so the measurement is deterministic.
+/// The interesting ratio is serve-while-publishing over serve-quiet — it
+/// gates the cost the snapshot flip protocol imposes on readers.
+pub struct ServingWorkload {
+    server: ModelServer,
+    pipeline: Pipeline,
+    queries: Vec<Record>,
+}
+
+impl ServingWorkload {
+    /// Builds a warmed single-shard server and `queries` well-formed rows.
+    pub fn new(queries: usize) -> Self {
+        let mut pipeline = pipeline();
+        let warm = chunk(0, 64);
+        pipeline.fit_transform_chunk(&warm);
+        let mut model = LinearModel::zeros(pipeline.dim(), LossKind::Squared);
+        for i in 0..pipeline.dim() {
+            model.weights_mut().set(i, 1.0 + i as f64).expect("in dim");
+        }
+        let server = ModelServer::builder(pipeline.clone(), model.clone())
+            .shards(1)
+            .build();
+        let queries = (0..queries)
+            .map(|i| Record::new(vec![Value::Num(0.0), Value::Num(i as f64 * 0.17 - 3.0)]))
+            .collect();
+        Self {
+            server,
+            pipeline,
+            queries,
+        }
+    }
+
+    /// Serves every query once; no publishes.
+    pub fn serve_quiet(&self) -> u64 {
+        let mut served = 0;
+        for q in &self.queries {
+            if self.server.predict(q).is_some() {
+                served += 1;
+            }
+        }
+        served
+    }
+
+    /// Serves every query once, publishing a fresh `(pipeline, model)` pair
+    /// every `every` queries — the deterministic stand-in for a proactive
+    /// trainer firing mid-traffic.
+    pub fn serve_with_publishes(&self, every: usize) -> u64 {
+        let mut served = 0;
+        let mut model = LinearModel::zeros(self.pipeline.dim(), LossKind::Squared);
+        for (i, q) in self.queries.iter().enumerate() {
+            if i > 0 && i % every.max(1) == 0 {
+                model
+                    .weights_mut()
+                    .set(0, i as f64)
+                    .expect("bias slot in dim");
+                self.server.publish(self.pipeline.clone(), model.clone());
+            }
+            if self.server.predict(q).is_some() {
+                served += 1;
+            }
+        }
+        served
+    }
 }

@@ -42,6 +42,7 @@ use crate::pipeline_manager::PipelineManager;
 use crate::presets::DeploymentSpec;
 use crate::proactive::ProactiveTrainer;
 use crate::scheduler::{Scheduler, SchedulerContext};
+use crate::serving::{weights_fingerprint, ModelServer};
 
 /// How the deployed model is kept fresh.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -202,6 +203,16 @@ pub struct DeploymentConfig {
     /// Crash-consistent checkpointing. `None` (the default) writes nothing
     /// and costs the hot path a single branch per chunk.
     pub checkpoint: Option<CheckpointConfig>,
+    /// A serving front-end to keep fresh: when set, the run publishes the
+    /// deployed `(pipeline, model)` pair to this [`ModelServer`] after the
+    /// initial fit, after every training event (proactive instance or
+    /// periodical retraining), at every chunk boundary, and — on resume —
+    /// immediately after state restoration, so an attached server never
+    /// serves a pre-crash stale snapshot. `None` (the default) costs one
+    /// branch per site. The server is an `Arc` handle: clone it before
+    /// attaching to keep answering queries concurrently. Publishing never
+    /// perturbs training results (the server receives clones).
+    pub serving: Option<ModelServer>,
 }
 
 impl DeploymentConfig {
@@ -219,6 +230,7 @@ impl DeploymentConfig {
             collect_metrics: false,
             collect_traces: false,
             checkpoint: None,
+            serving: None,
         }
     }
 
@@ -528,6 +540,9 @@ pub fn try_run_deployment_traced(
     let (initial_report, feature_chunks) = pm.initial_fit(&initial, &spec.sgd, &mut initial_ledger);
     pm.set_trace_scope(None);
     fit_span.finish();
+    if let Some(server) = &config.serving {
+        publish_serving(server, &pm, &metrics, "initial");
+    }
     for (raw, fc) in initial.into_iter().zip(feature_chunks) {
         dm.ingest_raw(raw)?;
         dm.store_features(fc)?;
@@ -595,6 +610,21 @@ struct LoopState {
     prev_count: u64,
     initial_report: TrainReport,
     checkpoint_stats: CheckpointStats,
+}
+
+/// Publishes the manager's current `(pipeline, model)` pair to an attached
+/// serving front and logs a `serving.publish` event naming the site and the
+/// exact weights (by fingerprint), so tests and operators can tell *which*
+/// model each publish carried. Clones never perturb training state.
+fn publish_serving(server: &ModelServer, pm: &PipelineManager, metrics: &Metrics, source: &str) {
+    let version = server.publish(pm.pipeline().clone(), pm.trainer().model().clone());
+    if metrics.is_enabled() {
+        let fp = weights_fingerprint(pm.trainer().model().weights().as_slice());
+        metrics.event(
+            "serving.publish",
+            format!("{source} version {version} fp {fp:016x}"),
+        );
+    }
 }
 
 /// The shared arrival loop: chunks `start_idx..total` through evaluation,
@@ -699,6 +729,9 @@ fn run_chunk_loop(
                     st.pm.set_trace_scope(chunk_ctx);
                     retrain_trace.finish();
                     retrain_span.finish();
+                    if let Some(server) = &config.serving {
+                        publish_serving(server, &st.pm, &metrics, "retrain");
+                    }
                 }
             }
             DeploymentMode::Continuous {
@@ -773,6 +806,12 @@ fn run_chunk_loop(
                     st.last_training_secs = outcome.accounted_secs;
                     st.proactive_secs_sum += outcome.accounted_secs;
                     st.proactive_runs += 1;
+                    // Publish the freshly trained pair immediately — the
+                    // paper's operational point: proactive training hands a
+                    // new model to the serving layer within the same chunk.
+                    if let Some(server) = &config.serving {
+                        publish_serving(server, &st.pm, &metrics, "proactive");
+                    }
                     // A "fire" crash kills the process right after the
                     // proactive fire was accounted, mid-chunk: the last
                     // durable checkpoint predates this chunk entirely.
@@ -785,6 +824,12 @@ fn run_chunk_loop(
             }
         }
 
+        // Chunk-boundary publish: even without a training event, online SGD
+        // advanced the weights this chunk, so an attached server gets the
+        // freshest pair once per arrival period.
+        if let Some(server) = &config.serving {
+            publish_serving(server, &st.pm, &metrics, &format!("chunk {idx}"));
+        }
         st.evaluator.checkpoint();
         st.ledger.checkpoint(idx as u64);
         st.pm.set_trace_scope(None);
@@ -1251,6 +1296,12 @@ pub fn try_resume_deployment_traced(
             restores: ckpt.ckpt_restores + 1,
         },
     };
+    // Publish the *restored* pair before re-entering the loop: a server
+    // attached to a resumed deployment serves the checkpointed version
+    // first and never answers from a pre-crash stale snapshot.
+    if let Some(server) = &config.serving {
+        publish_serving(server, &st.pm, &metrics, "restore");
+    }
     run_chunk_loop(
         stream,
         spec,

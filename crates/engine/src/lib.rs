@@ -831,6 +831,23 @@ impl ExecutionEngine {
         }
     }
 
+    /// Fallible, fault-aware indexed map without tracing — the serving
+    /// layer's batch-scoring entry point, where queries arrive outside any
+    /// deployment span tree.
+    pub fn try_map_indexed_with_hook<U, F>(
+        &self,
+        n: usize,
+        f: F,
+        hook: &dyn FaultHook,
+        metrics: &Metrics,
+    ) -> Result<Vec<U>, EngineError>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        self.try_map_indexed_with_hook_traced(n, f, hook, metrics, &Tracer::disabled(), None)
+    }
+
     /// Fallible, fault-aware, traced indexed map: the most general engine
     /// entry point. Draws one [`WorkerOrder`] from `hook` (exactly one per
     /// call, so injected counts are independent of worker count), acts it

@@ -235,6 +235,43 @@ impl AlertMonitor {
                 threshold: 2.0,
             })
     }
+
+    /// The serving layer's default SLA rules over the `serving.*` series:
+    ///
+    /// - `serving.p99_breach` — the p99 of `serving.latency_secs` exceeds
+    ///   the route's latency budget.
+    /// - `serving.queue_overflow` — any query was turned away by a full
+    ///   micro-batch queue (the queue bound is the back-pressure budget; a
+    ///   single overflow means the operator's sizing assumption broke).
+    /// - `serving.stale_version` — `serving.staleness_secs` (seconds since
+    ///   the most stale route's last publish, exported by
+    ///   `ServingRouter::check_slas`) exceeds the staleness budget: the
+    ///   continuous-training promise — queries always see a fresh model —
+    ///   is being violated.
+    pub fn serving_defaults(p99_budget_secs: f64, staleness_budget_secs: f64) -> Self {
+        Self::new()
+            .with_rule(AlertRule {
+                name: "serving.p99_breach".into(),
+                signal: AlertSignal::HistogramQuantile {
+                    name: "serving.latency_secs".into(),
+                    q: 0.99,
+                },
+                op: AlertOp::Above,
+                threshold: p99_budget_secs,
+            })
+            .with_rule(AlertRule {
+                name: "serving.queue_overflow".into(),
+                signal: AlertSignal::Counter("serving.queue_overflow".into()),
+                op: AlertOp::Above,
+                threshold: 0.0,
+            })
+            .with_rule(AlertRule {
+                name: "serving.stale_version".into(),
+                signal: AlertSignal::Gauge("serving.staleness_secs".into()),
+                op: AlertOp::Above,
+                threshold: staleness_budget_secs,
+            })
+    }
 }
 
 #[cfg(test)]
@@ -300,6 +337,35 @@ mod tests {
             .observe(0.25);
 
         let monitor = AlertMonitor::deployment_defaults(1.0);
+        assert!(monitor.evaluate(&metrics.snapshot(), 0.0).is_empty());
+    }
+
+    #[test]
+    fn each_serving_rule_fires_on_a_breaching_snapshot() {
+        let metrics = Metrics::collecting();
+        metrics.histogram("serving.latency_secs").observe(0.75);
+        metrics.counter("serving.queue_overflow").inc();
+        metrics.gauge("serving.staleness_secs").set(90.0);
+
+        let monitor = AlertMonitor::serving_defaults(0.050, 60.0);
+        let alerts = monitor.evaluate(&metrics.snapshot(), 7.0);
+        let names: Vec<&str> = alerts.iter().map(|a| a.rule.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "serving.p99_breach",
+                "serving.queue_overflow",
+                "serving.stale_version",
+            ]
+        );
+    }
+
+    #[test]
+    fn healthy_serving_snapshot_fires_nothing() {
+        let metrics = Metrics::collecting();
+        metrics.histogram("serving.latency_secs").observe(0.001);
+        metrics.gauge("serving.staleness_secs").set(1.5);
+        let monitor = AlertMonitor::serving_defaults(0.050, 60.0);
         assert!(monitor.evaluate(&metrics.snapshot(), 0.0).is_empty());
     }
 

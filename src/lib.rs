@@ -71,6 +71,9 @@ pub mod prelude {
     };
     pub use cdp_core::presets::{taxi_spec, url_spec, DeploymentSpec, SpecScale};
     pub use cdp_core::scheduler::Scheduler;
+    pub use cdp_core::serving::{
+        BatchConfig, ModelServer, Prediction, RouterConfig, ServingRouter, ServingSnapshot,
+    };
     pub use cdp_datagen::ChunkStream;
     pub use cdp_eval::ErrorMetric;
     pub use cdp_faults::{CrashSite, FaultPlan, FaultStats};

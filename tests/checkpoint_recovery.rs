@@ -15,9 +15,12 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use cdpipe::core::serving::{weights_fingerprint, ModelServer};
 use cdpipe::datagen::url::UrlGenerator;
+use cdpipe::ml::LinearModel;
 use cdpipe::obs::MetricsSnapshot;
 use cdpipe::prelude::*;
+use cdpipe::storage::CheckpointDir;
 use proptest::prelude::*;
 
 static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -480,4 +483,92 @@ fn ci_matrix_crash_recovery_smoke() {
     assert_eq!(resumed.checkpoint_stats.restores, 1);
     assert_identical("ci matrix smoke", &baseline, &resumed);
     // Leave the checkpoint directory in place for artifact upload.
+}
+
+/// A serving front attached to a resumed deployment must serve the
+/// *restored* version first: the resume path publishes the checkpointed
+/// `(pipeline, model)` pair before re-entering the chunk loop, so a server
+/// still holding the crashed process's last (stale, post-checkpoint)
+/// snapshot is overwritten before any query can be answered from it — and
+/// the publish event log proves which weights each publish carried, by
+/// fingerprint.
+#[test]
+fn resumed_deployment_publishes_restored_version_before_serving() {
+    let (stream, spec) = tiny_url();
+    let baseline = run_deployment(&stream, &spec, &continuous_cfg());
+
+    let dir = ckpt_dir("serving-resume");
+    let mut cfg = continuous_cfg();
+    // Checkpoint every 4 chunks, crash on the 7th boundary: the last
+    // durable checkpoint predates the crash by several chunks, so the
+    // crashed process's serving snapshot is genuinely *ahead* of (stale
+    // relative to) the authoritative restored state.
+    cfg.checkpoint = Some(CheckpointConfig::new(&dir).every(4).keep(2));
+    cfg.faults = crash_plan(CrashSite::ChunkBoundary, 6);
+    let server = ModelServer::new(spec.build_pipeline(), LinearModel::zeros(1, spec.sgd.loss));
+    cfg.serving = Some(server.clone());
+    match try_run_deployment(&stream, &spec, &cfg) {
+        Err(DeploymentError::Crashed(CrashSite::ChunkBoundary)) => {}
+        other => panic!("expected a chunk-boundary crash, got {other:?}"),
+    }
+    let stale = server.snapshot();
+    let fp_stale = weights_fingerprint(stale.model.weights().as_slice());
+
+    // Decode the newest durable checkpoint directly: these weights — not
+    // the stale ones — must be the first thing published on resume.
+    let (_, payload) = CheckpointDir::open(&dir, 2)
+        .expect("open checkpoint dir")
+        .latest_valid()
+        .expect("list checkpoints")
+        .expect("a durable checkpoint exists");
+    let ckpt = DeploymentCheckpoint::decode(&payload).expect("decode checkpoint");
+    let fp_restored = weights_fingerprint(&ckpt.weights);
+    assert_ne!(
+        fp_stale, fp_restored,
+        "the crashed server must hold weights newer than the checkpoint"
+    );
+
+    let resumed = try_resume_deployment(&stream, &spec, &cfg).expect("resume");
+
+    // The first publish after the restore event carries exactly the
+    // checkpointed weights, tagged as the restore-site publish — and the
+    // stale fingerprint never appears again after the restore.
+    let events = &resumed.metrics.events;
+    let restore_at = events
+        .iter()
+        .position(|e| e.name == "checkpoint.restore")
+        .expect("restore event");
+    let mut publishes_after = events[restore_at..]
+        .iter()
+        .filter(|e| e.name == "serving.publish");
+    let first = publishes_after.next().expect("restore-site publish");
+    assert!(
+        first.detail.starts_with("restore version "),
+        "first post-restore publish must come from the restore site: {}",
+        first.detail
+    );
+    assert!(
+        first.detail.ends_with(&format!("fp {fp_restored:016x}")),
+        "restore publish must carry the checkpointed weights: {}",
+        first.detail
+    );
+    // (The stale fingerprint legitimately *reappears* later: the resumed
+    // loop re-processes the crashed chunks bit-identically, so when it
+    // reaches the chunk the crashed process had last published, it publishes
+    // the same weights — as a fresh, authoritative version. What matters is
+    // that nothing was served from the stale snapshot before the restore
+    // publish, which the "first post-restore publish" assertions above pin.)
+
+    // After the resumed run completes, the attached server holds the same
+    // final weights as the uninterrupted serving-less baseline — attaching
+    // a server never perturbs training.
+    assert_eq!(resumed.final_weights, baseline.final_weights);
+    let final_snap = server.snapshot();
+    assert_eq!(
+        final_snap.model.weights().as_slice(),
+        baseline.final_weights.as_slice()
+    );
+    // Versions stayed monotone across crash + resume on the shared server.
+    assert_eq!(final_snap.version, server.version());
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -348,13 +348,56 @@ fn threaded_run_reconciles_engine_metrics() {
     // pair exactly once (empty maps observe zeros), so both reconcile with
     // `engine.map_calls`. Scratch-pool traffic reconciles the same way:
     // reuse + alloc samples are drained once per proactive/retrain charge.
+    // The attached serving front reconciles too: its `serving.*` counters
+    // (kept in the server's own registry) mirror the server's atomics
+    // exactly, and every publish the run performed is visible both as a
+    // version bump and as a `serving.publish` event in the run's log.
     let (stream, spec) = small_url();
     let mut config = DeploymentConfig::continuous(2, 6, SamplingStrategy::Uniform);
     config.optimization.budget = StorageBudget::MaxChunks(5);
     config.engine = ExecutionEngine::Threaded { workers: 4 };
     config.collect_metrics = true;
+    let serving_metrics = cdpipe::obs::Metrics::collecting();
+    let server = cdpipe::core::serving::ModelServer::builder(
+        spec.build_pipeline(),
+        cdpipe::ml::LinearModel::zeros(1, spec.sgd.loss),
+    )
+    .metrics(serving_metrics.clone())
+    .build();
+    config.serving = Some(server.clone());
     let result = run_deployment(&stream, &spec, &config);
     let snap = &result.metrics;
+
+    // Serve real traffic from the stream through the published model, then
+    // reconcile the serving ledger: counter mirrors are exact, and
+    // `attempts == served + rejected + batch_failures` holds to the query.
+    for record in &stream.chunk(0).records {
+        let p = server.predict(record).expect("url record is well-formed");
+        assert_eq!(p.version, server.version());
+    }
+    let serving_snap = serving_metrics.snapshot();
+    assert_eq!(
+        serving_snap.counter("serving.served"),
+        server.queries_served()
+    );
+    assert_eq!(
+        serving_snap.counter("serving.rejected"),
+        server.queries_rejected()
+    );
+    assert_eq!(
+        server.attempts(),
+        server.queries_served() + server.queries_rejected() + server.batch_failures()
+    );
+    // Every publish is ledgered twice: counter in the serving registry,
+    // event in the deployment log; both reconcile with the version number.
+    let publishes = server.version() - 1;
+    assert_eq!(serving_snap.counter("serving.publishes"), publishes);
+    let publish_events = snap
+        .events
+        .iter()
+        .filter(|e| e.name == "serving.publish")
+        .count() as u64;
+    assert_eq!(publish_events, publishes);
 
     let map_calls = snap.counter("engine.map_calls");
     assert!(map_calls > 0, "bounded cache must dispatch engine maps");
@@ -380,11 +423,13 @@ fn threaded_run_reconciles_engine_metrics() {
         .expect("warm pool must reuse");
     assert!(reuse.sum > 0.0);
 
-    // The threaded, metrics-on run stays bit-identical to the silent
-    // sequential baseline: stealing and scratch pooling are observers.
+    // The threaded, metrics-on, serving-attached run stays bit-identical to
+    // the silent sequential baseline: stealing, scratch pooling, and
+    // publishing are observers.
     let mut silent = config;
     silent.engine = ExecutionEngine::Sequential;
     silent.collect_metrics = false;
+    silent.serving = None;
     let baseline = run_deployment(&stream, &spec, &silent);
     assert_eq!(baseline.final_weights, result.final_weights);
     assert_eq!(baseline.error_curve, result.error_curve);

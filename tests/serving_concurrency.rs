@@ -1,0 +1,445 @@
+//! Concurrency battery for the sharded lock-free serving layer.
+//!
+//! The claims under test are exactly the ones DESIGN.md §14 argues on
+//! paper: readers never observe a torn `(pipeline, model, version)` triple
+//! under publish fire, per-reader version observations are monotone,
+//! micro-batched scoring is bit-identical to unbatched scoring, the
+//! accounting invariant (`attempts == served + rejected + batch_failures`)
+//! reconciles exactly with the `serving.*` cdp-obs counters, and all of it
+//! holds under seeded worker-panic injection (the CI fault matrix sets
+//! `CDP_FAULT_SEED`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use cdpipe::core::serving::{BatchConfig, ModelServer, RouterConfig, ServingRouter, Ticket};
+use cdpipe::engine::ExecutionEngine;
+use cdpipe::faults::{FaultInjector, FaultPlan};
+use cdpipe::ml::{LinearModel, LossKind};
+use cdpipe::obs::{Metrics, VirtualClock};
+use cdpipe::pipeline::encode::DenseEncoder;
+use cdpipe::pipeline::parser::SchemaParser;
+use cdpipe::pipeline::scale::StandardScaler;
+use cdpipe::pipeline::{Pipeline, PipelineBuilder};
+use cdpipe::storage::{RawChunk, Record, Schema, Timestamp, Value};
+use proptest::prelude::*;
+
+/// A warmed pipeline over schema `(y, x1, x2)` using the first `features`
+/// numeric columns — `features` controls the encoded dimension, so
+/// alternating publishes between `narrow_pipeline()` and `wide_pipeline()`
+/// exercises dimension changes across versions.
+fn warmed(features: usize) -> Pipeline {
+    let schema = Schema::new(["y", "x1", "x2"]);
+    let nums: Vec<&str> = ["x1", "x2"][..features].to_vec();
+    let built = PipelineBuilder::new(SchemaParser::new(schema, "y", &nums, None))
+        .add(StandardScaler::new())
+        .encoder(DenseEncoder::new(features));
+    let mut p = match built {
+        Ok(p) => p,
+        Err(e) => panic!("components are incremental: {e}"),
+    };
+    let records = (0..8)
+        .map(|i| {
+            Record::new(vec![
+                Value::Num(i as f64),
+                Value::Num(i as f64 * 0.5),
+                Value::Num(3.0 - i as f64),
+            ])
+        })
+        .collect();
+    p.fit_transform_chunk(&RawChunk::new(Timestamp(0), records));
+    p
+}
+
+fn record(x1: f64, x2: f64) -> Record {
+    Record::new(vec![Value::Num(0.0), Value::Num(x1), Value::Num(x2)])
+}
+
+/// A model of dimension `dim` whose every weight is `seed_weight` — each
+/// published version gets a distinct, precomputable scoring function.
+fn constant_model(dim: usize, seed_weight: f64) -> LinearModel {
+    let mut m = LinearModel::zeros(dim, LossKind::Squared);
+    for i in 0..dim {
+        m.weights_mut().set(i, seed_weight).expect("within dim");
+    }
+    m
+}
+
+/// Satellite 1: N reader threads hammer `predict` while a writer publishes
+/// every few milliseconds. Every prediction's value must equal the value
+/// its *version's* coherent `(pipeline, model)` pair produces — versions
+/// alternate between 2- and 3-dimensional pipelines with distinct constant
+/// weights, so any torn pair (new pipeline with old model, or vice versa)
+/// yields a value that no version's table entry matches. Versions must be
+/// monotone per reader, and total served must reconcile with the counters.
+#[test]
+fn readers_never_observe_torn_snapshots_under_publish_fire() {
+    const PUBLISHES: usize = 30;
+    const READERS: usize = 4;
+
+    // Pre-build every version's pair and its expected values on the probes.
+    let probes = [record(1.5, -2.0), record(-0.25, 4.0), record(7.0, 0.5)];
+    let mut pairs: Vec<(Pipeline, LinearModel)> = Vec::new();
+    for v in 1..=(PUBLISHES + 1) {
+        let features = if v % 2 == 0 { 2 } else { 1 };
+        let pipeline = warmed(features);
+        let model = constant_model(pipeline.dim(), v as f64);
+        pairs.push((pipeline, model));
+    }
+    let expected: Vec<Vec<f64>> = pairs
+        .iter()
+        .map(|(p, m)| {
+            let probe_server = ModelServer::new(p.clone(), m.clone());
+            probes
+                .iter()
+                .map(|r| probe_server.predict(r).expect("valid probe").value)
+                .collect()
+        })
+        .collect();
+
+    let (p0, m0) = pairs[0].clone();
+    let server = ModelServer::new(p0, m0);
+    let done = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let s = server.clone();
+            let done = Arc::clone(&done);
+            let probes = probes.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut last_version = 0u64;
+                let mut served = 0u64;
+                let mut i = r; // stagger probe choice across readers
+                while !done.load(Ordering::Relaxed) || i < r + 50 {
+                    let probe = i % probes.len();
+                    let p = s.predict(&probes[probe]).expect("valid probe");
+                    // Coherence: the value must be exactly what this
+                    // version's (pipeline, model) pair produces.
+                    let want = expected[(p.version - 1) as usize][probe];
+                    assert_eq!(
+                        p.value.to_bits(),
+                        want.to_bits(),
+                        "version {} served a torn snapshot",
+                        p.version
+                    );
+                    // Monotonicity: versions never move backward per reader.
+                    assert!(p.version >= last_version, "version went backward");
+                    last_version = p.version;
+                    served += 1;
+                    i += 1;
+                }
+                served
+            })
+        })
+        .collect();
+
+    for (pipeline, model) in pairs.into_iter().skip(1) {
+        std::thread::sleep(Duration::from_millis(2));
+        server.publish(pipeline, model);
+    }
+    done.store(true, Ordering::Relaxed);
+
+    let reader_total: u64 = readers.into_iter().map(|r| r.join().expect("reader")).sum();
+    assert_eq!(server.version(), (PUBLISHES + 1) as u64);
+    assert_eq!(server.queries_served(), reader_total);
+    assert_eq!(server.queries_rejected(), 0);
+    assert_eq!(server.attempts(), reader_total);
+}
+
+/// Satellite 1 (third assertion): total served across a router equals the
+/// sum of per-route counters, both on the server handles and in the shared
+/// metrics registry.
+#[test]
+fn router_totals_reconcile_with_per_route_counters() {
+    let metrics = Metrics::collecting();
+    let router = ServingRouter::with_config(
+        ExecutionEngine::Sequential,
+        RouterConfig {
+            metrics: metrics.clone(),
+            ..RouterConfig::default()
+        },
+    );
+    let routes = ["alpha", "beta", "gamma"];
+    let handles: Vec<_> = routes
+        .iter()
+        .map(|name| {
+            let pipeline = warmed(2);
+            let model = constant_model(pipeline.dim(), 1.0);
+            router.register(name, pipeline, model)
+        })
+        .collect();
+
+    let workers: Vec<_> = handles
+        .iter()
+        .enumerate()
+        .map(|(i, server)| {
+            let s = server.clone();
+            let n = 100 + 50 * i as u64;
+            std::thread::spawn(move || {
+                for q in 0..n {
+                    let _ = s.predict(&record(q as f64, -(q as f64)));
+                }
+                // One malformed query per route: rejected, not served.
+                let _ = s.predict(&Record::new(vec![Value::Text("bad".into())]));
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("route worker");
+    }
+
+    let per_route: u64 = handles.iter().map(ModelServer::queries_served).sum();
+    assert_eq!(router.total_served(), per_route);
+    assert_eq!(router.total_served(), 100 + 150 + 200);
+    assert_eq!(router.total_rejected(), routes.len() as u64);
+
+    let snap = metrics.snapshot();
+    let counter_sum: u64 = routes
+        .iter()
+        .map(|r| snap.counter(&format!("serving.{r}.served")))
+        .sum();
+    assert_eq!(snap.counter("serving.served"), counter_sum);
+    assert_eq!(snap.counter("serving.served"), router.total_served());
+    assert_eq!(snap.counter("serving.rejected"), router.total_rejected());
+}
+
+proptest! {
+    /// Satellite 2: micro-batched scoring is bit-identical to unbatched
+    /// `predict` for the same snapshot version, across batch sizes ×
+    /// deadline settings × worker counts {1..8}. Records include malformed
+    /// rows, which must reject identically on both paths.
+    #[test]
+    fn batched_scoring_is_bit_identical_to_unbatched(
+        max_batch in 1usize..40,
+        delay_ms in 0u64..10,
+        workers in 1usize..8,
+        n in 1usize..30,
+    ) {
+        let clock = Arc::new(VirtualClock::new());
+        let pipeline = warmed(2);
+        let model = constant_model(pipeline.dim(), 0.75);
+        let server = ModelServer::builder(pipeline, model)
+            .engine(ExecutionEngine::Threaded { workers })
+            .clock(clock.clone())
+            .batching(BatchConfig {
+                max_batch,
+                max_delay_secs: delay_ms as f64 / 1000.0,
+                capacity: 4096,
+            })
+            .build();
+
+        let records: Vec<Record> = (0..n)
+            .map(|i| {
+                if i % 7 == 3 {
+                    // Malformed row: rejected on both paths.
+                    Record::new(vec![Value::Text("bad".into())])
+                } else {
+                    record(i as f64 * 0.31 - 2.0, 1.0 - i as f64)
+                }
+            })
+            .collect();
+
+        let unbatched: Vec<_> = records.iter().map(|r| server.predict(r)).collect();
+
+        let tickets: Vec<Ticket> = records
+            .iter()
+            .map(|r| server.enqueue(r.clone()).expect("capacity 4096"))
+            .collect();
+        // Pass the deadline, then flush what the size trigger left behind.
+        clock.advance_secs(delay_ms as f64 / 1000.0 + 0.001);
+        server.flush_due();
+        server.flush_all();
+        prop_assert_eq!(server.pending(), 0);
+
+        for (u, t) in unbatched.iter().zip(&tickets) {
+            let b = t.wait();
+            match (u, b) {
+                (Some(a), Some(c)) => {
+                    prop_assert_eq!(a.value.to_bits(), c.value.to_bits());
+                    prop_assert_eq!(a.version, c.version);
+                }
+                (None, None) => {}
+                (a, c) => prop_assert!(false, "paths disagree: {:?} vs {:?}", a, c),
+            }
+        }
+        // Both passes are fully accounted.
+        prop_assert_eq!(server.attempts(), 2 * n as u64);
+        prop_assert_eq!(
+            server.attempts(),
+            server.queries_served() + server.queries_rejected() + server.batch_failures()
+        );
+    }
+}
+
+/// The fault plan for the battery: the CI fault matrix sets
+/// `CDP_FAULT_SEED`; local runs default to a fixed chaos seed so the test
+/// is never fault-free.
+fn sweep_plan() -> FaultPlan {
+    FaultPlan::from_env().unwrap_or_else(|| FaultPlan::chaos(7))
+}
+
+/// Satellite 6: the battery under seeded worker-panic fire. Batch scoring
+/// runs on a threaded engine whose fault hook injects worker panics;
+/// recoverable panics must be absorbed (results identical to fault-free),
+/// fatal ones must surface as fulfilled-`None` tickets counted in
+/// `batch_failures` — and the whole ledger must stay exact and
+/// deterministic across reruns of the same seed.
+#[test]
+fn serving_battery_under_seeded_worker_panics() {
+    let plan = sweep_plan();
+
+    let drive = |plan: FaultPlan| {
+        let pipeline = warmed(2);
+        let model = constant_model(pipeline.dim(), 2.5);
+        let metrics = Metrics::collecting();
+        let server = ModelServer::builder(pipeline, model)
+            .engine(ExecutionEngine::Threaded { workers: 3 })
+            .fault_hook(Arc::new(FaultInjector::new(plan)))
+            .metrics(metrics.clone())
+            .batching(BatchConfig {
+                max_batch: 8,
+                max_delay_secs: 10.0,
+                capacity: 4096,
+            })
+            .build();
+        let tickets: Vec<Ticket> = (0..120)
+            .map(|i| {
+                let r = if i % 11 == 5 {
+                    Record::new(vec![Value::Text("bad".into())])
+                } else {
+                    record(i as f64, i as f64 * -0.5)
+                };
+                server.enqueue(r).expect("capacity")
+            })
+            .collect();
+        server.flush_all();
+        let outcomes: Vec<Option<(u64, u64)>> = tickets
+            .iter()
+            .map(|t| t.wait().map(|p| (p.value.to_bits(), p.version)))
+            .collect();
+
+        // The exact accounting invariant holds under fire, and the cdp-obs
+        // counters mirror the server's ledger one for one.
+        assert_eq!(
+            server.attempts(),
+            server.queries_served() + server.queries_rejected() + server.batch_failures()
+        );
+        assert_eq!(server.attempts(), 120);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("serving.served"), server.queries_served());
+        assert_eq!(snap.counter("serving.rejected"), server.queries_rejected());
+        assert_eq!(
+            snap.counter("serving.batch_failures"),
+            server.batch_failures()
+        );
+        (
+            outcomes,
+            server.queries_served(),
+            server.queries_rejected(),
+            server.batch_failures(),
+        )
+    };
+
+    let first = drive(plan);
+    let second = drive(plan);
+    // Same seed ⇒ identical outcomes, ticket by ticket.
+    assert_eq!(first, second);
+
+    // Recoverable-or-fatal, every non-failed batch scores exactly like the
+    // fault-free server: compare against a no-faults drive.
+    let clean = drive(FaultPlan::none());
+    assert_eq!(clean.3, 0, "no-faults drive loses nothing");
+    for (with_fault, fault_free) in first.0.iter().zip(&clean.0) {
+        if with_fault.is_some() {
+            assert_eq!(with_fault, fault_free, "absorbed panics must not perturb");
+        }
+    }
+}
+
+/// Satellite 4: the audited `rejected` accounting reconciles exactly with
+/// the `serving.rejected` counter across both scoring paths, including
+/// under concurrent mixed traffic.
+#[test]
+fn rejected_accounting_reconciles_exactly_with_metrics() {
+    let metrics = Metrics::collecting();
+    let pipeline = warmed(1);
+    let model = constant_model(pipeline.dim(), 1.0);
+    let server = ModelServer::builder(pipeline, model)
+        .metrics(metrics.clone())
+        .batching(BatchConfig {
+            max_batch: 4,
+            max_delay_secs: 10.0,
+            capacity: 4096,
+        })
+        .build();
+
+    let workers: Vec<_> = (0..3)
+        .map(|w| {
+            let s = server.clone();
+            std::thread::spawn(move || {
+                let mut tickets = Vec::new();
+                for i in 0..60 {
+                    let malformed = (i + w) % 4 == 0;
+                    let r = if malformed {
+                        Record::new(vec![Value::Text("bad".into())])
+                    } else {
+                        record(i as f64, 0.0)
+                    };
+                    if i % 2 == 0 {
+                        let _ = s.predict(&r);
+                    } else {
+                        tickets.push(s.enqueue(r).expect("capacity"));
+                    }
+                }
+                s.flush_all();
+                for t in tickets {
+                    let _ = t.wait();
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("traffic worker");
+    }
+    server.flush_all();
+
+    assert_eq!(server.attempts(), 3 * 60);
+    assert_eq!(
+        server.attempts(),
+        server.queries_served() + server.queries_rejected() + server.batch_failures()
+    );
+    assert!(server.queries_rejected() > 0, "mixed traffic must reject");
+    let snap = metrics.snapshot();
+    assert_eq!(snap.counter("serving.served"), server.queries_served());
+    assert_eq!(snap.counter("serving.rejected"), server.queries_rejected());
+    assert_eq!(
+        snap.counter("serving.default.rejected"),
+        server.queries_rejected()
+    );
+    assert_eq!(snap.counter("serving.queue_overflow"), 0);
+}
+
+/// The background deadline flusher drains queued queries without explicit
+/// flush calls, and dropping its handle stops the thread cleanly.
+#[test]
+fn background_flusher_meets_deadlines() {
+    let pipeline = warmed(2);
+    let model = constant_model(pipeline.dim(), 1.0);
+    let server = ModelServer::builder(pipeline, model)
+        .batching(BatchConfig {
+            max_batch: 1024, // size trigger never fires — deadline must
+            max_delay_secs: 0.002,
+            capacity: 4096,
+        })
+        .build();
+    let _flusher = server.start_flusher();
+    let tickets: Vec<Ticket> = (0..40)
+        .map(|i| server.enqueue(record(i as f64, 1.0)).expect("capacity"))
+        .collect();
+    for t in tickets {
+        assert!(t.wait().is_some(), "flusher must fulfil every ticket");
+    }
+    assert_eq!(server.queries_served(), 40);
+}
