@@ -1,10 +1,12 @@
 //! Wall-clock regression gate for the engine hot path.
 //!
 //! Measures intra-process *ratios* — fused/unfused, stealing/fixed-shards,
-//! threaded-map/sequential-map — and compares them against the checked-in
-//! baseline (`crates/bench/baselines/engine_gate.json`). Ratios are robust
-//! to host speed; a ratio more than 10 % above its baseline fails the gate
-//! (exit code 1), which is what CI runs.
+//! threaded-map/sequential-map, columnar/row consume, storm/quiet serving —
+//! and compares them against the checked-in baseline
+//! (`crates/bench/baselines/engine_gate.json`). Each ratio is taken from
+//! paired noise-floor timings ([`paired_floor_ratio`]), so it is robust to
+//! both host speed and scheduler preemption; a ratio more than 10 % above
+//! its baseline fails the gate (exit code 1), which is what CI runs.
 //!
 //! Regenerate the baseline after an intentional perf change:
 //!
@@ -15,7 +17,9 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use cdp_bench::hotpath::{fixed_shard_map, stealing_map, FusedWorkload, ServingWorkload};
+use cdp_bench::hotpath::{
+    fixed_shard_map, stealing_map, FusedWorkload, ServingWorkload, StoreWorkload,
+};
 use cdp_engine::ExecutionEngine;
 
 /// Over-baseline slack before the gate fails.
@@ -29,39 +33,49 @@ fn baseline_path() -> PathBuf {
         .join("engine_gate.json")
 }
 
-/// Median wall-clock seconds of `f` over [`SAMPLES`] runs (after warmup).
-fn median_secs(mut f: impl FnMut()) -> f64 {
+/// Ratio of per-phase noise floors over interleaved paired samples.
+/// Scheduler preemption only ever *adds* time, so the minimum over samples
+/// is a far lower-variance estimate of true cost than the median; timing
+/// the two phases back-to-back also cancels host-speed drift between them.
+fn paired_floor_ratio(mut num: impl FnMut(), mut den: impl FnMut()) -> f64 {
     for _ in 0..3 {
-        f();
+        num();
+        den();
     }
-    let mut samples: Vec<f64> = (0..SAMPLES)
-        .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed().as_secs_f64()
-        })
-        .collect();
-    samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
+    let mut num_floor = f64::INFINITY;
+    let mut den_floor = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        num();
+        num_floor = num_floor.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        den();
+        den_floor = den_floor.min(t.elapsed().as_secs_f64());
+    }
+    num_floor / den_floor
 }
 
 fn measure() -> Vec<(&'static str, f64)> {
     let pool = ExecutionEngine::Threaded { workers: 4 };
 
     let workload = FusedWorkload::new(8, 128);
-    let unfused = median_secs(|| {
-        workload.run_unfused(ExecutionEngine::Sequential);
-    });
-    let fused = median_secs(|| {
-        workload.run_fused(ExecutionEngine::Sequential);
-    });
+    let fused_ratio = paired_floor_ratio(
+        || {
+            workload.run_fused(ExecutionEngine::Sequential);
+        },
+        || {
+            workload.run_unfused(ExecutionEngine::Sequential);
+        },
+    );
 
-    let fixed = median_secs(|| {
-        fixed_shard_map(STEAL_ITEMS, 4);
-    });
-    let steal = median_secs(|| {
-        stealing_map(pool, STEAL_ITEMS);
-    });
+    let steal_ratio = paired_floor_ratio(
+        || {
+            stealing_map(pool, STEAL_ITEMS);
+        },
+        || {
+            fixed_shard_map(STEAL_ITEMS, 4);
+        },
+    );
 
     let items: Vec<u64> = (0..256u64).collect();
     let work = |x: &u64| -> f64 {
@@ -71,26 +85,43 @@ fn measure() -> Vec<(&'static str, f64)> {
         }
         acc
     };
-    let seq_map = median_secs(|| {
-        ExecutionEngine::Sequential.map_slice(&items, work);
-    });
-    let pool_map = median_secs(|| {
-        pool.map_slice(&items, work);
-    });
+    let map_ratio = paired_floor_ratio(
+        || {
+            pool.map_slice(&items, work);
+        },
+        || {
+            ExecutionEngine::Sequential.map_slice(&items, work);
+        },
+    );
+
+    // Big enough that one consume pass is well clear of timer jitter — the
+    // row path's allocation traffic dominates, so the ratio is stable.
+    let store = StoreWorkload::new(64, 1024);
+    let store_ratio = paired_floor_ratio(
+        || {
+            store.run_columnar(ExecutionEngine::Sequential);
+        },
+        || {
+            store.run_row(ExecutionEngine::Sequential);
+        },
+    );
 
     let serving = ServingWorkload::new(4096);
-    let quiet = median_secs(|| {
-        serving.serve_quiet();
-    });
-    let stormed = median_secs(|| {
-        serving.serve_with_publishes(64);
-    });
+    let serving_ratio = paired_floor_ratio(
+        || {
+            serving.serve_with_publishes(64);
+        },
+        || {
+            serving.serve_quiet();
+        },
+    );
 
     vec![
-        ("fused_over_unfused", fused / unfused),
-        ("steal_over_fixed", steal / fixed),
-        ("pool_map_over_sequential", pool_map / seq_map),
-        ("serving_storm_over_quiet", stormed / quiet),
+        ("fused_over_unfused", fused_ratio),
+        ("steal_over_fixed", steal_ratio),
+        ("pool_map_over_sequential", map_ratio),
+        ("store_columnar_over_row", store_ratio),
+        ("serving_storm_over_quiet", serving_ratio),
     ]
 }
 

@@ -18,6 +18,7 @@ fn main() {
             exp::fig8::run(scale, out),
             exp::engine_scaling::run(scale, out),
             exp::serving::run(scale, out),
+            exp::store::run(scale, out),
             exp::fault_recovery::run(scale, out),
             exp::checkpoint::run(scale, out),
         ];

@@ -1,0 +1,12 @@
+//! Columnar store materialization bench: zero-copy `RowView` consume vs
+//! row-materializing consume, plus ingest with compaction on/off. Writes
+//! `store.csv` and `BENCH_store.json` (also copied to the working
+//! directory for CI artifact upload).
+
+fn main() {
+    cdp_bench::run_binary("exp_store", |scale, out| {
+        cdp_bench::experiments::store::run(scale, out)
+    });
+    let (_, out) = cdp_bench::parse_args();
+    let _ = std::fs::copy(out.join("BENCH_store.json"), "BENCH_store.json");
+}

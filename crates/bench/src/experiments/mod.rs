@@ -13,5 +13,6 @@ pub mod fig7;
 pub mod fig8;
 pub mod serving;
 pub mod staleness;
+pub mod store;
 pub mod table3;
 pub mod table4;

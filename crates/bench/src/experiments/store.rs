@@ -1,0 +1,212 @@
+//! Columnar store materialization bench: wall-clock of the training hot
+//! path consuming stored feature chunks through zero-copy `RowView`s
+//! (columnar slabs, v2) vs re-materializing every chunk into
+//! `Vec<LabeledPoint>` first (the v1 row layout's access pattern), plus
+//! ingest throughput with compaction on vs off.
+//!
+//! Writes `store.csv` and `BENCH_store.json`. The headline number is
+//! `columnar_over_row` — columnar consume time over row consume time;
+//! below 1.0 means the slab layout wins. On a 1-core host the gap is
+//! mostly the allocation traffic the row path pays, so the ratio gates
+//! *overhead*: the acceptance criterion is that columnar never loses
+//! (≤ 1.0 within noise), not a fixed speedup.
+
+use std::path::Path;
+use std::time::Instant;
+
+use cdp_core::presets::SpecScale;
+use cdp_core::report::{fmt_f, Table};
+use cdp_engine::ExecutionEngine;
+use cdp_storage::{
+    ChunkStore, ChunkStoreConfig, FeatureChunk, LabeledPoint, RawChunk, StorageBudget, Timestamp,
+};
+
+use super::engine_scaling::host_parallelism;
+use crate::hotpath::StoreWorkload;
+
+/// Repetitions per measurement; the reported time is the median.
+const REPS: usize = 7;
+
+/// One measured phase.
+#[derive(Debug, Clone)]
+pub struct StorePoint {
+    /// Phase name.
+    pub phase: String,
+    /// Median wall-clock seconds.
+    pub secs: f64,
+}
+
+/// Median wall-clock seconds of `f` over [`REPS`] runs (after one warmup).
+fn median_secs(mut f: impl FnMut()) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn workload_shape(scale: SpecScale) -> (u64, u64) {
+    match scale {
+        SpecScale::Tiny => (16, 64),
+        _ => (64, 256),
+    }
+}
+
+/// Ingest `chunks` × `rows` dense feature chunks under `config`; returns
+/// (median seconds, compactions performed).
+fn ingest(chunks: u64, rows: u64, config: ChunkStoreConfig) -> (f64, u64) {
+    let points: Vec<Vec<LabeledPoint>> = (0..chunks)
+        .map(|t| {
+            (0..rows)
+                .map(|i| {
+                    let x = (t * rows + i) as f64;
+                    LabeledPoint::new(x, cdp_linalg::Vector::from(vec![1.0, x, -x]))
+                })
+                .collect()
+        })
+        .collect();
+    let mut compactions = 0;
+    let secs = median_secs(|| {
+        let mut store = ChunkStore::with_config(StorageBudget::Unbounded, config);
+        for (t, pts) in points.iter().enumerate() {
+            let ts = Timestamp(t as u64);
+            store
+                .put_raw(RawChunk::new(ts, Vec::new()))
+                .expect("unique timestamp");
+            store
+                .put_feature(FeatureChunk::new(ts, ts, pts.clone()))
+                .expect("raw present");
+        }
+        compactions = store.stats().compactions;
+    });
+    (secs, compactions)
+}
+
+fn write_json(points: &[StorePoint], ratio: f64, compactions: u64, scale: SpecScale, path: &Path) {
+    let mut rows = String::new();
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"phase\": \"{}\", \"secs\": {:.6}}}",
+            p.phase, p.secs
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"store\",\n  \"scale\": \"{:?}\",\n  \
+         \"host_parallelism\": {},\n  \"columnar_over_row\": {:.4},\n  \
+         \"compactions\": {},\n  \"phases\": [\n{}\n  ]\n}}\n",
+        scale,
+        host_parallelism(),
+        ratio,
+        compactions,
+        rows
+    );
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let _ = std::fs::write(path, json);
+}
+
+/// Runs the consume and ingest phases, writing `store.csv` and
+/// `BENCH_store.json` into `out_dir`.
+pub fn run(scale: SpecScale, out_dir: &Path) -> String {
+    let (chunks, rows) = workload_shape(scale);
+    let engine = ExecutionEngine::Sequential;
+
+    let workload = StoreWorkload::new(chunks, rows);
+    let columnar = median_secs(|| {
+        workload.run_columnar(engine);
+    });
+    let row = median_secs(|| {
+        workload.run_row(engine);
+    });
+    let ratio = columnar / row.max(1e-12);
+
+    let (ingest_plain, _) = ingest(chunks, rows, ChunkStoreConfig::DISABLED);
+    let (ingest_compacting, compactions) = ingest(chunks, rows, ChunkStoreConfig::default());
+
+    let points = vec![
+        StorePoint {
+            phase: "consume_columnar".to_owned(),
+            secs: columnar,
+        },
+        StorePoint {
+            phase: "consume_row".to_owned(),
+            secs: row,
+        },
+        StorePoint {
+            phase: "ingest_plain".to_owned(),
+            secs: ingest_plain,
+        },
+        StorePoint {
+            phase: "ingest_compacting".to_owned(),
+            secs: ingest_compacting,
+        },
+    ];
+
+    let mut table = Table::new(["phase", "median s"]);
+    for p in &points {
+        table.row([p.phase.clone(), fmt_f(p.secs * 1e3, 3) + " ms"]);
+    }
+    crate::write_csv(&table, out_dir.join("store.csv"));
+    write_json(
+        &points,
+        ratio,
+        compactions,
+        scale,
+        &out_dir.join("BENCH_store.json"),
+    );
+
+    format!(
+        "Columnar store materialization bench: {chunks} chunks x {rows} rows, \
+         {} core(s)\n\n{}\n\
+         columnar/row consume time: {ratio:.3} (< 1.0 = the slab layout wins; \
+         acceptance is that columnar never loses), \
+         compactions at ingest: {compactions}\n",
+        host_parallelism(),
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_complete_and_write_artifacts() {
+        let dir = std::env::temp_dir().join(format!("cdp-store-exp-{}", std::process::id()));
+        let report = run(SpecScale::Tiny, &dir);
+        assert!(report.contains("columnar/row consume time"));
+        let json = std::fs::read_to_string(dir.join("BENCH_store.json")).unwrap();
+        assert!(json.contains("\"experiment\": \"store\""));
+        assert!(json.contains("\"columnar_over_row\""));
+        assert!(json.contains("\"phase\": \"consume_columnar\""));
+        assert!(json.contains("\"phase\": \"ingest_compacting\""));
+        assert!(dir.join("store.csv").exists());
+        // Compaction must actually fire on the many-small-chunks shape.
+        let compactions: u64 = json
+            .split("\"compactions\": ")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .and_then(|s| s.trim().parse().ok())
+            .expect("compactions field");
+        assert!(compactions >= 1, "no compaction on a compacting store");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn columnar_and_row_paths_agree_bitwise() {
+        let w = StoreWorkload::new(4, 32);
+        let engine = ExecutionEngine::Sequential;
+        let a = w.run_columnar(engine).expect("non-empty");
+        let b = w.run_row(engine).expect("non-empty");
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

@@ -23,7 +23,10 @@ use cdp_pipeline::encode::DenseEncoder;
 use cdp_pipeline::parser::SchemaParser;
 use cdp_pipeline::scale::StandardScaler;
 use cdp_pipeline::{Pipeline, PipelineBuilder};
-use cdp_storage::{LabeledPoint, RawChunk, Record, Schema, Timestamp, Value};
+use cdp_storage::{
+    ChunkStore, ChunkStoreConfig, FeatureChunk, LabeledPoint, RawChunk, Record, RowView, Schema,
+    StorageBudget, Timestamp, Value,
+};
 
 /// The proactive re-materialization workload: a warmed template pipeline
 /// plus raw chunks that must be transformed before the gradient step.
@@ -81,7 +84,8 @@ impl FusedWorkload {
                 local.transform_chunk(raw)
             })
             .collect();
-        trainer.step_on(chunks.iter().flat_map(|c| c.points.iter()), engine)
+        let rows: Vec<RowView<'_>> = chunks.iter().flat_map(|c| c.rows()).collect();
+        trainer.step_rows(&rows, engine)
     }
 
     /// Fused path: every encoded point flows straight into the gradient.
@@ -90,10 +94,10 @@ impl FusedWorkload {
         trainer
             .try_step_fused_on(
                 self.raws.len(),
-                |i, sink: &mut dyn FnMut(&LabeledPoint)| {
+                |i, sink: &mut dyn FnMut(RowView<'_>)| {
                     let mut local = self.template.clone();
                     local.reset_counters();
-                    local.transform_chunk_fold(&self.raws[i], sink);
+                    local.transform_chunk_fold(&self.raws[i], &mut |p| sink(RowView::Point(p)));
                 },
                 engine,
                 &NoFaults,
@@ -102,6 +106,76 @@ impl FusedWorkload {
                 None,
             )
             .expect("no faults injected")
+    }
+}
+
+/// Training-over-the-store workload for the regression gate: feature
+/// chunks materialized in a (compacting) `ChunkStore`, consumed either
+/// through zero-copy `RowView`s straight off the columnar slabs or by
+/// materializing each chunk back into `Vec<LabeledPoint>` first — the v1
+/// row layout's access pattern. Same rows, same step; the difference is
+/// purely the per-point allocation and copy the row path pays.
+pub struct StoreWorkload {
+    store: ChunkStore,
+    timestamps: Vec<Timestamp>,
+    config: SgdConfig,
+}
+
+impl StoreWorkload {
+    /// Stores `chunks` feature chunks of `rows` dense rows each under an
+    /// unbounded budget with default compaction thresholds.
+    pub fn new(chunks: u64, rows: u64) -> Self {
+        let mut store =
+            ChunkStore::with_config(StorageBudget::Unbounded, ChunkStoreConfig::default());
+        let mut timestamps = Vec::with_capacity(chunks as usize);
+        for t in 0..chunks {
+            let points: Vec<LabeledPoint> = (0..rows)
+                .map(|i| {
+                    let x = (t * rows + i) as f64;
+                    LabeledPoint::new(
+                        2.0 * x + 1.0,
+                        cdp_linalg::Vector::from(vec![1.0, x, (x * 0.5).sin()]),
+                    )
+                })
+                .collect();
+            store.put_raw(chunk(t, 0)).expect("unique timestamp");
+            store
+                .put_feature(FeatureChunk::new(Timestamp(t), Timestamp(t), points))
+                .expect("raw present");
+            timestamps.push(Timestamp(t));
+        }
+        Self {
+            store,
+            timestamps,
+            config: SgdConfig::for_loss(LossKind::Squared),
+        }
+    }
+
+    fn chunks(&self) -> Vec<std::sync::Arc<FeatureChunk>> {
+        self.timestamps
+            .iter()
+            .map(|ts| self.store.peek_feature(*ts).expect("unbounded budget"))
+            .collect()
+    }
+
+    /// Columnar path: every stored row streams into the step as a view.
+    pub fn run_columnar(&self, engine: ExecutionEngine) -> Option<f64> {
+        let mut trainer = SgdTrainer::new(3, &self.config);
+        let chunks = self.chunks();
+        let rows: Vec<RowView<'_>> = chunks.iter().flat_map(|c| c.rows()).collect();
+        trainer.step_rows(&rows, engine)
+    }
+
+    /// Row path: re-materialize every chunk into owned points first.
+    pub fn run_row(&self, engine: ExecutionEngine) -> Option<f64> {
+        let mut trainer = SgdTrainer::new(3, &self.config);
+        let points: Vec<LabeledPoint> = self.chunks().iter().flat_map(|c| c.to_points()).collect();
+        trainer.step_on(points.iter(), engine)
+    }
+
+    /// Compactions the store performed at ingest (sanity for the gate).
+    pub fn compactions(&self) -> u64 {
+        self.store.stats().compactions
     }
 }
 

@@ -21,6 +21,7 @@
 //! | `exp_fig8_tradeoff` | Figure 8 (quality/cost trade-off) |
 //! | `exp_engine_scaling` | worker-pool scaling sweep (`BENCH_engine.json`) |
 //! | `exp_serving` | serving QPS/p99 under a publish storm (`BENCH_serving.json`) |
+//! | `exp_store` | columnar vs row store consume + compaction ingest (`BENCH_store.json`) |
 //! | `exp_fault_recovery` | fault-injection recovery sweep (`fault_recovery.csv`) |
 //! | `exp_all` | everything above, in order |
 //!

@@ -366,7 +366,7 @@ impl std::fmt::Display for DeploymentError {
         match self {
             DeploymentError::Storage(e) => write!(f, "storage failure: {e}"),
             DeploymentError::Engine(e) => write!(f, "engine failure: {e}"),
-            DeploymentError::Pipeline(e) => write!(f, "pipeline construction failure: {e}"),
+            DeploymentError::Pipeline(e) => write!(f, "pipeline failure: {e}"),
             DeploymentError::Crashed(site) => {
                 write!(f, "injected crash at the {} site", site.name())
             }
@@ -1121,13 +1121,13 @@ pub fn try_resume_deployment_traced(
         ));
     };
     let dir = CheckpointDir::open(&ckpt_cfg.dir, ckpt_cfg.keep)?;
-    let Some((seq, payload)) = dir.latest_valid()? else {
+    let Some((seq, version, payload)) = dir.latest_valid_versioned()? else {
         return Err(DeploymentError::NoCheckpoint(format!(
             "no valid checkpoint in {}",
             ckpt_cfg.dir.display()
         )));
     };
-    let ckpt = DeploymentCheckpoint::decode(&payload)?;
+    let ckpt = DeploymentCheckpoint::decode_versioned(version, &payload)?;
     let run_span = tracer.root("deployment.run");
     let run_ctx = run_span.context();
 
@@ -1215,7 +1215,7 @@ pub fn try_resume_deployment_traced(
 
     // ---- Restore authoritative state over the replayed skeleton.
     metrics.restore_from(&ckpt.metrics);
-    pipeline.restore_component_states(&ckpt.component_states);
+    pipeline.restore_component_states(&ckpt.component_states)?;
     pipeline.set_counters(ckpt.pipeline_counters);
     let trainer = SgdTrainer::restore(
         LinearModel::with_weights(DenseVector::new(ckpt.weights), spec.sgd.loss),

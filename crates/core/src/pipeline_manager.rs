@@ -10,7 +10,7 @@ use cdp_faults::{FaultHook, NoFaults};
 use cdp_ml::{FusedStepOutcome, SgdConfig, SgdTrainer, TrainReport};
 use cdp_obs::{LineageEventKind, Metrics, SpanContext, Tracer};
 use cdp_pipeline::{Pipeline, PipelineCounters};
-use cdp_storage::{FeatureChunk, LabeledPoint, RawChunk};
+use cdp_storage::{FeatureChunk, LabeledPoint, RawChunk, RowView};
 
 /// One input to a fused proactive SGD step: either an already-materialized
 /// feature chunk (used as-is) or a raw chunk that must be re-materialized —
@@ -204,7 +204,7 @@ impl PipelineManager {
         }
         let points: Vec<_> = feature_chunks
             .iter()
-            .flat_map(|fc| fc.points.iter().cloned())
+            .flat_map(FeatureChunk::to_points)
             .collect();
         let report = self.trainer.fit_on_traced(
             &points,
@@ -247,7 +247,7 @@ impl PipelineManager {
             ExecutionEngine::Sequential => {
                 let mut points = Vec::new();
                 for chunk in history {
-                    points.extend(self.pipeline.transform_chunk(chunk).points);
+                    points.extend(self.pipeline.transform_chunk(chunk).to_points());
                 }
                 points
             }
@@ -267,7 +267,7 @@ impl PipelineManager {
                         local.reset_counters();
                         let mut points = Vec::new();
                         for chunk in &group {
-                            points.extend(local.transform_chunk(chunk).points);
+                            points.extend(local.transform_chunk(chunk).to_points());
                         }
                         (points, local.counters())
                     },
@@ -314,13 +314,15 @@ impl PipelineManager {
             .lineage(raw.timestamp.0, LineageEventKind::Transform);
         let fc = self.pipeline.fit_transform_chunk(raw);
         // Test-then-train: predictions are made before the online update.
-        for point in &fc.points {
-            let prediction = self.trainer.model_mut().margin(&point.features);
-            evaluator.observe(prediction, point.label);
+        // Rows stream out of the columnar slab zero-copy in both loops.
+        for row in fc.rows() {
+            let prediction = self.trainer.model_mut().margin_row(row);
+            evaluator.observe(prediction, row.label());
         }
-        ledger.charge_predictions(fc.points.len() as u64);
+        ledger.charge_predictions(fc.len() as u64);
+        let rows: Vec<RowView<'_>> = fc.rows().collect();
         self.trainer
-            .online_pass_on(&fc.points, self.online_batch, self.engine);
+            .online_pass_rows(&rows, self.online_batch, self.engine);
         self.drain_charges(ledger);
         fc
     }
@@ -334,11 +336,11 @@ impl PipelineManager {
         ledger: &mut CostLedger,
     ) {
         let fc = self.pipeline.transform_chunk(raw);
-        for point in &fc.points {
-            let prediction = self.trainer.model_mut().margin(&point.features);
-            evaluator.observe(prediction, point.label);
+        for row in fc.rows() {
+            let prediction = self.trainer.model_mut().margin_row(row);
+            evaluator.observe(prediction, row.label());
         }
-        ledger.charge_predictions(fc.points.len() as u64);
+        ledger.charge_predictions(fc.len() as u64);
         self.drain_charges(ledger);
     }
 
@@ -478,14 +480,16 @@ impl PipelineManager {
             sources.len(),
             |i, sink| match &sources[i] {
                 ProactiveSource::Ready(fc) => {
-                    for point in &fc.points {
-                        sink(point);
+                    // Already-materialized chunks stream straight out of
+                    // their columnar slab — no per-row reconstruction.
+                    for row in fc.rows() {
+                        sink(row);
                     }
                 }
                 ProactiveSource::Raw(raw) => {
                     let mut local = template.clone();
                     local.reset_counters();
-                    local.transform_chunk_fold(raw, sink);
+                    local.transform_chunk_fold(raw, &mut |p| sink(RowView::Point(p)));
                     let _ = counter_slots[i].set(local.counters());
                 }
             },

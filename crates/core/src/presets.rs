@@ -291,9 +291,9 @@ mod tests {
         let chunk = generator.chunk(0);
         let fc = pipeline.fit_transform_chunk(&chunk);
         assert_eq!(fc.len(), chunk.len());
-        assert!(fc.points[0].features.is_sparse());
+        assert!(fc.row(0).to_vector().is_sparse());
         // Labels are ±1.
-        assert!(fc.points.iter().all(|p| p.label.abs() == 1.0));
+        assert!(fc.rows().all(|r| r.label().abs() == 1.0));
     }
 
     #[test]
@@ -306,8 +306,8 @@ mod tests {
         assert!(fc.len() <= chunk.len());
         // ... and every surviving feature vector is dense with 11 features
         // (bias + 10 engineered), matching the paper's feature size.
-        assert!(fc.points.iter().all(|p| p.features.dim() == 11));
-        assert!(fc.points.iter().all(|p| !p.features.is_sparse()));
+        assert!(fc.rows().all(|r| r.dim() == 11));
+        assert!(fc.rows().all(|r| !r.to_vector().is_sparse()));
     }
 
     #[test]

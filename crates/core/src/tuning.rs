@@ -89,10 +89,13 @@ pub fn initial_grid(
             let mut examples = 0u64;
             for chunk in eval {
                 let fc = pm.rematerialize(chunk, &mut ledger);
-                for point in &fc.points {
-                    let z = pm.trainer().model().margin_ref(&point.features);
-                    evaluator.observe(z, point.label);
-                    loss_sum += loss.value(z, point.label);
+                for row in fc.rows() {
+                    // Holdout rows come from the deployed pipeline, so they
+                    // never exceed the model width and the padded dot is the
+                    // exact one.
+                    let z = row.dot_padded(pm.trainer().model().weights());
+                    evaluator.observe(z, row.label());
+                    loss_sum += loss.value(z, row.label());
                     examples += 1;
                 }
             }

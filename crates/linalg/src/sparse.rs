@@ -274,11 +274,14 @@ impl SparseBuilder {
                     dim,
                 });
             }
-            if indices.last() == Some(&i) {
-                *values.last_mut().expect("values parallel to indices") += v;
-            } else {
-                indices.push(i);
-                values.push(v);
+            // `indices` and `values` are pushed in lockstep, so a duplicate
+            // index implies a parallel last value to fold into.
+            match (indices.last(), values.last_mut()) {
+                (Some(last), Some(slot)) if *last == i => *slot += v,
+                _ => {
+                    indices.push(i);
+                    values.push(v);
+                }
             }
         }
         SparseVector::new(dim, indices, values)

@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use cdp_linalg::ops::sigmoid;
 use cdp_linalg::{DenseVector, Vector};
+use cdp_storage::RowView;
 
 use crate::loss::LossKind;
 
@@ -86,6 +87,16 @@ impl LinearModel {
     pub fn margin_ref(&self, x: &Vector) -> f64 {
         x.dot(&self.weights)
             .expect("feature dimension exceeds model weights")
+    }
+
+    /// Raw margin `w·x` for a zero-copy columnar row. Grows the weights when
+    /// the row is wider than the model, after which the padded dot product is
+    /// bit-identical to [`LinearModel::margin`] on the reconstructed vector.
+    pub fn margin_row(&mut self, x: RowView<'_>) -> f64 {
+        if x.dim() > self.weights.dim() {
+            self.weights.grow_to(x.dim());
+        }
+        x.dot_padded(&self.weights)
     }
 
     /// Margin without mutation for rows that may be *wider* than the model:

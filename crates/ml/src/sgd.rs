@@ -20,7 +20,7 @@ use cdp_engine::{tree_reduce, EngineError, ExecutionEngine};
 use cdp_faults::FaultHook;
 use cdp_linalg::DenseVector;
 use cdp_obs::{Metrics, SpanContext, Tracer};
-use cdp_storage::LabeledPoint;
+use cdp_storage::{LabeledPoint, RowView};
 
 use crate::loss::{Loss, LossKind};
 use crate::model::LinearModel;
@@ -335,12 +335,43 @@ impl SgdTrainer {
     where
         I: IntoIterator<Item = &'a LabeledPoint>,
     {
-        let batch: Vec<&LabeledPoint> = batch.into_iter().collect();
+        let batch: Vec<RowView<'a>> = batch.into_iter().map(RowView::Point).collect();
+        self.step_rows_traced(&batch, engine, metrics, tracer, parent)
+    }
+
+    /// One mini-batch SGD iteration over zero-copy columnar row views — the
+    /// allocation-free twin of [`SgdTrainer::step_on`]. The model and the
+    /// gradient buffer are grown to the widest row *before* any arithmetic,
+    /// after which the padded row operations ([`RowView::dot_padded`],
+    /// [`RowView::axpy_into_growing`]) are bit-identical to the exact-width
+    /// row-layout operations they replaced.
+    pub fn step_rows(&mut self, batch: &[RowView<'_>], engine: ExecutionEngine) -> Option<f64> {
+        self.step_rows_traced(
+            batch,
+            engine,
+            &Metrics::disabled(),
+            &Tracer::disabled(),
+            None,
+        )
+    }
+
+    /// [`SgdTrainer::step_rows`] with causal spans — the core every stepping
+    /// path funnels through. See [`SgdTrainer::step_on_traced`] for the span
+    /// semantics.
+    pub fn step_rows_traced(
+        &mut self,
+        batch: &[RowView<'_>],
+        engine: ExecutionEngine,
+        metrics: &Metrics,
+        tracer: &Tracer,
+        parent: Option<SpanContext>,
+    ) -> Option<f64> {
         if batch.is_empty() {
             return None;
         }
-        // Grow the model to the widest row in the batch.
-        let max_dim = batch.iter().map(|p| p.features.dim()).max().unwrap_or(0);
+        // Grow the model to the widest row in the batch, so every padded row
+        // op below degenerates to the exact-width op (bit-identity).
+        let max_dim = batch.iter().map(|r| r.dim()).max().unwrap_or(0);
         if max_dim > self.model.dim() {
             self.model.grow_to(max_dim);
         }
@@ -353,15 +384,14 @@ impl SgdTrainer {
             self.grad.grow_to(dim);
             self.grad.scale(0.0);
             let mut sum = 0.0;
-            for point in &batch {
-                let z = self.model.margin_ref(&point.features);
-                sum += loss.value(z, point.label);
-                let coeff = loss.dloss_dz(z, point.label) * inv_batch;
+            for row in batch {
+                let z = row.dot_padded(self.model.weights());
+                sum += loss.value(z, row.label());
+                let coeff = loss.dloss_dz(z, row.label()) * inv_batch;
                 if coeff != 0.0 {
-                    point
-                        .features
-                        .axpy_into(coeff, &mut self.grad)
-                        .expect("gradient covers every row after growth");
+                    // Cannot actually grow: the buffer already covers the
+                    // widest row in the batch.
+                    row.axpy_into_growing(coeff, &mut self.grad);
                 }
             }
             sum
@@ -374,20 +404,17 @@ impl SgdTrainer {
             // per-shard `Vec` of point refs — and accumulate into recycled
             // scratch buffers rather than freshly allocated ones.
             let parts = engine.map_parts_traced(
-                &batch,
+                batch,
                 shard_len,
-                |shard: &[&LabeledPoint]| {
+                |shard: &[RowView<'_>]| {
                     let mut grad = scratch.acquire(dim);
                     let mut loss_sum = 0.0;
-                    for point in shard {
-                        let z = model.margin_ref(&point.features);
-                        loss_sum += loss.value(z, point.label);
-                        let coeff = loss.dloss_dz(z, point.label) * inv_batch;
+                    for row in shard {
+                        let z = row.dot_padded(model.weights());
+                        loss_sum += loss.value(z, row.label());
+                        let coeff = loss.dloss_dz(z, row.label()) * inv_batch;
                         if coeff != 0.0 {
-                            point
-                                .features
-                                .axpy_into(coeff, &mut grad)
-                                .expect("gradient covers every row after growth");
+                            row.axpy_into_growing(coeff, &mut grad);
                         }
                     }
                     (grad, loss_sum)
@@ -396,13 +423,20 @@ impl SgdTrainer {
                 tracer,
                 step_span.context(),
             );
-            let (grad, sum) = tree_reduce(parts, |(mut ga, la), (gb, lb)| {
-                ga.axpy(1.0, &gb)
-                    .expect("shard gradients share the model dimension");
+            let reduced = tree_reduce(parts, |(mut ga, la), (gb, lb)| {
+                if let Err(e) = ga.axpy(1.0, &gb) {
+                    // Infallible: every shard acquires a buffer of exactly
+                    // `dim` coordinates and no row in the batch is wider.
+                    unreachable!("shard gradients share the model dimension: {e}");
+                }
                 scratch.release(gb);
                 (ga, la + lb)
-            })
-            .expect("at least one shard for a non-empty batch");
+            });
+            let (grad, sum) = match reduced {
+                Some(part) => part,
+                // Infallible: a non-empty batch yields at least one shard.
+                None => unreachable!("at least one shard for a non-empty batch"),
+            };
             let retired = std::mem::replace(&mut self.grad, grad);
             self.scratch.release(retired);
             sum
@@ -440,6 +474,30 @@ impl SgdTrainer {
         let mut count = 0usize;
         for batch in points.chunks(batch_size) {
             if let Some(loss) = self.step_on(batch.iter(), engine) {
+                total += loss * batch.len() as f64;
+                count += batch.len();
+            }
+        }
+        (count > 0).then(|| total / count as f64)
+    }
+
+    /// [`SgdTrainer::online_pass_on`] over zero-copy columnar row views —
+    /// the store's chunks stream straight into mini-batches without ever
+    /// reconstructing a `LabeledPoint` per row.
+    pub fn online_pass_rows(
+        &mut self,
+        rows: &[RowView<'_>],
+        batch_size: usize,
+        engine: ExecutionEngine,
+    ) -> Option<f64> {
+        if rows.is_empty() {
+            return None;
+        }
+        let batch_size = batch_size.max(1);
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for batch in rows.chunks(batch_size) {
+            if let Some(loss) = self.step_rows(batch, engine) {
                 total += loss * batch.len() as f64;
                 count += batch.len();
             }
@@ -519,7 +577,11 @@ impl SgdTrainer {
             }
             let weights_after = self.model.weights();
             let mut delta = weights_after.clone();
-            delta.axpy(-1.0, &weights_before).expect("same dims");
+            if let Err(e) = delta.axpy(-1.0, &weights_before) {
+                // Infallible: both snapshots come from the same model, whose
+                // dimension only grew before the epoch started.
+                unreachable!("epoch weight snapshots share a dimension: {e}");
+            }
             let denom = weights_before.norm_l2().max(1e-12);
             if delta.norm_l2() / denom < config.convergence.tolerance {
                 converged = true;
@@ -595,12 +657,15 @@ impl SgdTrainer {
     }
 
     /// One fused transform+gradient SGD iteration over `n_sources` lazily
-    /// streamed point sources (the proactive re-materialization path).
+    /// streamed row sources (the proactive re-materialization path).
     ///
-    /// `access(i, sink)` must stream every point of source `i` into `sink`,
-    /// in source order. The engine task for source `i` folds each streamed
-    /// point straight into a recycled scratch gradient — no intermediate
-    /// `FeatureChunk` or per-shard point buffer is ever materialized.
+    /// `access(i, sink)` must stream every row of source `i` into `sink`, in
+    /// source order — as zero-copy [`RowView`]s, so already-materialized
+    /// columnar chunks stream without reconstructing points while freshly
+    /// transformed points wrap in [`RowView::Point`]. The engine task for
+    /// source `i` folds each streamed row straight into a recycled scratch
+    /// gradient — no intermediate `FeatureChunk` or per-shard point buffer
+    /// is ever materialized.
     ///
     /// Determinism: per-source gradients accumulate *unscaled* loss
     /// derivatives (the total point count is only known after all sources
@@ -628,7 +693,7 @@ impl SgdTrainer {
         parent: Option<SpanContext>,
     ) -> Result<FusedStepOutcome, EngineError>
     where
-        A: Fn(usize, &mut dyn FnMut(&LabeledPoint)) + Sync,
+        A: Fn(usize, &mut dyn FnMut(RowView<'_>)) + Sync,
     {
         if n_sources == 0 {
             return Ok(FusedStepOutcome {
@@ -647,12 +712,12 @@ impl SgdTrainer {
                 let mut grad = scratch.acquire(dim);
                 let mut loss_sum = 0.0;
                 let mut points = 0u64;
-                access(i, &mut |point: &LabeledPoint| {
-                    let z = model.margin_padded(&point.features);
-                    loss_sum += loss.value(z, point.label);
-                    let coeff = loss.dloss_dz(z, point.label);
+                access(i, &mut |row: RowView<'_>| {
+                    let z = row.dot_padded(model.weights());
+                    loss_sum += loss.value(z, row.label());
+                    let coeff = loss.dloss_dz(z, row.label());
                     if coeff != 0.0 {
-                        point.features.axpy_into_growing(coeff, &mut grad);
+                        row.axpy_into_growing(coeff, &mut grad);
                     }
                     points += 1;
                 });
@@ -663,7 +728,7 @@ impl SgdTrainer {
             tracer,
             step_span.context(),
         )?;
-        let (grad, loss_sum, points) = tree_reduce(parts, |(mut ga, la, na), (gb, lb, nb)| {
+        let reduced = tree_reduce(parts, |(mut ga, la, na), (gb, lb, nb)| {
             // Sources grow their gradients independently (sparse rows may
             // reach different widths); zero-pad to a common dimension before
             // the exact-dimension axpy.
@@ -671,12 +736,18 @@ impl SgdTrainer {
             ga.grow_to(width);
             let mut gb = gb;
             gb.grow_to(width);
-            ga.axpy(1.0, &gb)
-                .expect("source gradients padded to a common dimension");
+            if let Err(e) = ga.axpy(1.0, &gb) {
+                // Infallible: both sides were just padded to `width`.
+                unreachable!("source gradients padded to a common dimension: {e}");
+            }
             scratch.release(gb);
             (ga, la + lb, na + nb)
-        })
-        .expect("at least one source");
+        });
+        let (grad, loss_sum, points) = match reduced {
+            Some(part) => part,
+            // Infallible: `n_sources == 0` returned early above.
+            None => unreachable!("at least one source"),
+        };
         if points == 0 {
             self.scratch.release(grad);
             return Ok(FusedStepOutcome {
@@ -919,6 +990,34 @@ mod tests {
     }
 
     #[test]
+    fn columnar_rows_step_is_bit_identical_to_point_step() {
+        use cdp_storage::{FeatureChunk, Timestamp};
+        // 2000 points force the sharded path; the slab round-trip must not
+        // perturb a single bit of the resulting weights or loss.
+        let data = blobs(2000, 17);
+        let config = make_config(LossKind::Logistic);
+        let mut on_points = SgdTrainer::new(3, &config);
+        let point_loss = on_points
+            .step_on(data.iter(), ExecutionEngine::Sequential)
+            .expect("non-empty batch");
+        let chunk = FeatureChunk::new(Timestamp(0), Timestamp(0), data.clone());
+        for engine in [
+            ExecutionEngine::Sequential,
+            ExecutionEngine::Threaded { workers: 3 },
+        ] {
+            let mut on_rows = SgdTrainer::new(3, &config);
+            let rows: Vec<RowView<'_>> = chunk.rows().collect();
+            let row_loss = on_rows.step_rows(&rows, engine).expect("non-empty batch");
+            assert_eq!(
+                on_points.model().weights(),
+                on_rows.model().weights(),
+                "columnar rows diverged from points on {engine:?}"
+            );
+            assert_eq!(point_loss.to_bits(), row_loss.to_bits());
+        }
+    }
+
+    #[test]
     fn fit_is_bit_identical_across_engines() {
         let data = linear_data(1500, 12);
         let mut config = make_config(LossKind::Squared);
@@ -963,9 +1062,9 @@ mod tests {
         let data = blobs(2000, 21);
         let config = make_config(LossKind::Logistic);
         let chunks: Vec<&[LabeledPoint]> = data.chunks(250).collect();
-        let access = |i: usize, sink: &mut dyn FnMut(&LabeledPoint)| {
+        let access = |i: usize, sink: &mut dyn FnMut(RowView<'_>)| {
             for p in chunks[i] {
-                sink(p);
+                sink(RowView::Point(p));
             }
         };
         let run = |engine: ExecutionEngine| {
@@ -1073,9 +1172,9 @@ mod tests {
         let out = t
             .try_step_fused_on(
                 sources.len(),
-                |i, sink: &mut dyn FnMut(&LabeledPoint)| {
+                |i, sink: &mut dyn FnMut(RowView<'_>)| {
                     for p in &sources[i] {
-                        sink(p);
+                        sink(RowView::Point(p));
                     }
                 },
                 ExecutionEngine::Threaded { workers: 2 },

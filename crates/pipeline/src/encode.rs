@@ -12,6 +12,7 @@ use std::collections::HashMap;
 use cdp_linalg::{DenseVector, SparseBuilder, Vector};
 use cdp_storage::LabeledPoint;
 
+use crate::component::StateDecodeError;
 use crate::row::Row;
 
 /// Converts transformed rows into labeled feature vectors.
@@ -53,7 +54,11 @@ pub trait Encoder: Send + Sync {
 
     /// Restores statistics captured by [`Encoder::state_bytes`] on an
     /// encoder of the same type. Stateless encoders keep the default no-op.
-    fn restore_state(&mut self, _bytes: &[u8]) {}
+    /// Malformed bytes must leave the state unchanged and report a typed
+    /// [`StateDecodeError`].
+    fn restore_state(&mut self, _bytes: &[u8]) -> Result<(), StateDecodeError> {
+        Ok(())
+    }
 
     /// Clones the encoder with its statistics (pipeline snapshots).
     fn clone_box(&self) -> Box<dyn Encoder>;
@@ -307,29 +312,36 @@ impl Encoder for OneHotEncoder {
         buf
     }
 
-    fn restore_state(&mut self, bytes: &[u8]) {
-        let read_u32 = |at: usize| -> Option<u32> {
-            let b = bytes.get(at..at + 4)?;
-            Some(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), StateDecodeError> {
+        let read_u32 = |at: usize| -> Result<u32, StateDecodeError> {
+            let b = bytes.get(at..at + 4).ok_or(StateDecodeError::Truncated {
+                needed: at + 4,
+                found: bytes.len(),
+            })?;
+            Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
         };
-        let Some(count) = read_u32(0) else { return };
+        let count = read_u32(0)?;
         let mut categories = HashMap::with_capacity(count as usize);
         let mut at = 4;
         for idx in 0..count as usize {
-            let Some(len) = read_u32(at) else { return };
+            let len = read_u32(at)? as usize;
             at += 4;
-            let Some(raw) = bytes.get(at..at + len as usize) else {
-                return;
-            };
-            let Ok(token) = std::str::from_utf8(raw) else {
-                return;
-            };
-            at += len as usize;
+            let raw = bytes.get(at..at + len).ok_or(StateDecodeError::Truncated {
+                needed: at + len,
+                found: bytes.len(),
+            })?;
+            let token = std::str::from_utf8(raw).map_err(|_| StateDecodeError::InvalidUtf8)?;
+            at += len;
             categories.insert(token.to_owned(), idx);
         }
-        if at == bytes.len() {
-            self.categories = categories;
+        if at != bytes.len() {
+            return Err(StateDecodeError::LengthMismatch {
+                expected: at,
+                found: bytes.len(),
+            });
         }
+        self.categories = categories;
+        Ok(())
     }
 
     fn clone_box(&self) -> Box<dyn Encoder> {
@@ -448,7 +460,9 @@ mod tests {
             vec!["red".into(), "blue".into(), "green".into()],
         )]);
         let mut restored = OneHotEncoder::new(1);
-        restored.restore_state(&e.state_bytes());
+        restored
+            .restore_state(&e.state_bytes())
+            .expect("well-formed state round-trips");
         assert_eq!(restored.vocabulary_size(), 3);
         assert_eq!(restored.dim(), e.dim());
         let rows = vec![Row::with_tokens(1.0, vec![0.5], vec!["blue".into()])];

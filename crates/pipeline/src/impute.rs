@@ -1,6 +1,6 @@
 //! Missing-value imputation with online mean statistics.
 
-use crate::component::RowComponent;
+use crate::component::{RowComponent, StateDecodeError};
 use crate::row::Row;
 use crate::stats::ColumnMoments;
 
@@ -63,8 +63,8 @@ impl RowComponent for MeanImputer {
         self.moments.state_bytes()
     }
 
-    fn restore_state(&mut self, bytes: &[u8]) {
-        self.moments.restore_state(bytes);
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), StateDecodeError> {
+        self.moments.restore_state(bytes)
     }
 
     fn clone_box(&self) -> Box<dyn RowComponent> {
@@ -84,7 +84,9 @@ mod tests {
             Row::numeric(0.0, vec![3.0, f64::NAN]),
         ]);
         let mut restored = MeanImputer::new();
-        restored.restore_state(&imp.state_bytes());
+        restored
+            .restore_state(&imp.state_bytes())
+            .expect("well-formed state round-trips");
         assert_eq!(restored.mean_for(0), imp.mean_for(0));
         assert_eq!(restored.mean_for(1), imp.mean_for(1));
         assert_eq!(restored.observed(), imp.observed());

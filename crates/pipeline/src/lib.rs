@@ -40,7 +40,7 @@ pub mod row;
 pub mod scale;
 pub mod stats;
 
-pub use component::RowComponent;
+pub use component::{RowComponent, StateDecodeError};
 pub use encode::Encoder;
 pub use pipeline::{Pipeline, PipelineBuilder, PipelineCounters, PipelineError};
 pub use row::Row;

@@ -2,7 +2,7 @@
 //! incrementally-computable statistics (running minima/maxima), rounding
 //! out the library beyond the paper's two evaluation pipelines.
 
-use crate::component::RowComponent;
+use crate::component::{RowComponent, StateDecodeError};
 use crate::row::Row;
 
 /// Per-column running minima and maxima (exact one-pass statistics).
@@ -51,14 +51,21 @@ impl ColumnRanges {
     }
 
     /// Restores ranges written by [`ColumnRanges::state_bytes`]. Malformed
-    /// bytes leave the state unchanged (payloads are CRC-protected upstream).
-    fn restore_state(&mut self, bytes: &[u8]) {
+    /// bytes leave the state unchanged and report a typed error (payloads
+    /// are CRC-protected upstream, so a failure here is a framing bug).
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), StateDecodeError> {
         if bytes.len() < 4 {
-            return;
+            return Err(StateDecodeError::Truncated {
+                needed: 4,
+                found: bytes.len(),
+            });
         }
         let width = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
         if bytes.len() != 4 + width * 16 {
-            return;
+            return Err(StateDecodeError::LengthMismatch {
+                expected: 4 + width * 16,
+                found: bytes.len(),
+            });
         }
         let read_f64 = |at: usize| {
             let mut b = [0u8; 8];
@@ -74,6 +81,7 @@ impl ColumnRanges {
         }
         self.mins = mins;
         self.maxs = maxs;
+        Ok(())
     }
 }
 
@@ -129,8 +137,8 @@ impl RowComponent for MinMaxScaler {
         self.ranges.state_bytes()
     }
 
-    fn restore_state(&mut self, bytes: &[u8]) {
-        self.ranges.restore_state(bytes);
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), StateDecodeError> {
+        self.ranges.restore_state(bytes)
     }
 
     fn clone_box(&self) -> Box<dyn RowComponent> {
@@ -241,11 +249,40 @@ mod tests {
         let mut s = MinMaxScaler::new();
         s.update(&rows(&[2.0, 6.0, 10.0]));
         let mut restored = MinMaxScaler::new();
-        restored.restore_state(&s.state_bytes());
+        restored
+            .restore_state(&s.state_bytes())
+            .expect("well-formed state round-trips");
         assert_eq!(restored.range_for(0), s.range_for(0));
         let a = s.transform(rows(&[3.7]));
         let b = restored.transform(rows(&[3.7]));
         assert_eq!(a[0].nums[0].to_bits(), b[0].nums[0].to_bits());
+    }
+
+    #[test]
+    fn restore_rejects_malformed_bytes_and_keeps_state() {
+        let mut trained = MinMaxScaler::new();
+        trained.update(&rows(&[2.0, 6.0]));
+        let good = trained.state_bytes();
+
+        let mut s = MinMaxScaler::new();
+        s.update(&rows(&[1.0]));
+        let before = s.range_for(0);
+        assert_eq!(
+            s.restore_state(&good[..3]),
+            Err(StateDecodeError::Truncated {
+                needed: 4,
+                found: 3
+            })
+        );
+        assert_eq!(
+            s.restore_state(&good[..good.len() - 1]),
+            Err(StateDecodeError::LengthMismatch {
+                expected: good.len(),
+                found: good.len() - 1
+            })
+        );
+        // Failed restores must leave the live statistics untouched.
+        assert_eq!(s.range_for(0), before);
     }
 
     #[test]

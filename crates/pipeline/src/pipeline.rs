@@ -2,7 +2,7 @@
 
 use cdp_storage::{FeatureChunk, LabeledPoint, RawChunk, Record};
 
-use crate::component::RowComponent;
+use crate::component::{RowComponent, StateDecodeError};
 use crate::encode::Encoder;
 use crate::parser::Parser;
 use crate::row::Row;
@@ -29,6 +29,23 @@ pub enum PipelineError {
         /// The offending component name.
         component: String,
     },
+    /// A checkpoint carried a different number of component-state payloads
+    /// than the pipeline has stages — the checkpoint belongs to a different
+    /// pipeline structure.
+    StateCountMismatch {
+        /// Payloads the pipeline structure requires (components + encoder).
+        expected: usize,
+        /// Payloads the checkpoint actually carried.
+        found: usize,
+    },
+    /// A component-state payload failed structural validation during
+    /// restore; the component's statistics were left untouched.
+    CorruptState {
+        /// The component whose payload failed to decode.
+        component: String,
+        /// Why the payload failed to decode.
+        source: StateDecodeError,
+    },
 }
 
 impl std::fmt::Display for PipelineError {
@@ -38,6 +55,15 @@ impl std::fmt::Display for PipelineError {
                 f,
                 "component '{component}' requires non-incremental statistics, \
                  which the continuous-deployment platform does not support"
+            ),
+            PipelineError::StateCountMismatch { expected, found } => write!(
+                f,
+                "checkpoint carries {found} component-state payloads but the \
+                 pipeline structure requires {expected}"
+            ),
+            PipelineError::CorruptState { component, source } => write!(
+                f,
+                "component '{component}' rejected its checkpointed state: {source}"
             ),
         }
     }
@@ -269,25 +295,40 @@ impl Pipeline {
     }
 
     /// Restores statistics captured by [`Pipeline::component_states`] on a
-    /// pipeline with the same structure. Payload counts other than
-    /// `components + 1` are rejected (logic error upstream; checkpoint
-    /// payloads are CRC-protected, so this cannot be triggered by disk
-    /// corruption).
+    /// pipeline with the same structure.
     ///
-    /// # Panics
-    /// Panics when the payload count does not match the pipeline structure.
-    pub fn restore_component_states(&mut self, states: &[Vec<u8>]) {
-        assert_eq!(
-            states.len(),
-            self.components.len() + 1,
-            "checkpoint component-state count must match the pipeline structure"
-        );
+    /// # Errors
+    /// [`PipelineError::StateCountMismatch`] when the payload count is not
+    /// `components + 1` (the checkpoint belongs to a different pipeline
+    /// structure), and [`PipelineError::CorruptState`] when a component
+    /// rejects its payload. Checkpoint payloads are CRC-protected on disk,
+    /// so either error indicates a framing logic error upstream; the
+    /// offending component's statistics are left untouched, but components
+    /// earlier in the pipeline may already have been restored.
+    pub fn restore_component_states(&mut self, states: &[Vec<u8>]) -> Result<(), PipelineError> {
+        if states.len() != self.components.len() + 1 {
+            return Err(PipelineError::StateCountMismatch {
+                expected: self.components.len() + 1,
+                found: states.len(),
+            });
+        }
         for (component, bytes) in self.components.iter_mut().zip(states) {
-            component.restore_state(bytes);
+            component
+                .restore_state(bytes)
+                .map_err(|source| PipelineError::CorruptState {
+                    component: component.name().to_owned(),
+                    source,
+                })?;
         }
         if let Some(bytes) = states.last() {
-            self.encoder.restore_state(bytes);
+            self.encoder
+                .restore_state(bytes)
+                .map_err(|source| PipelineError::CorruptState {
+                    component: self.encoder.name().to_owned(),
+                    source,
+                })?;
         }
+        Ok(())
     }
 }
 
@@ -327,7 +368,7 @@ mod tests {
         assert_eq!(fc.timestamp, Timestamp(0));
         assert_eq!(fc.raw_ref, Timestamp(0));
         assert_eq!(fc.len(), 2);
-        assert_eq!(fc.points[0].features.dim(), 3); // bias + 2 cols
+        assert_eq!(fc.row(0).dim(), 3); // bias + 2 cols
     }
 
     #[test]
@@ -349,7 +390,7 @@ mod tests {
         let before = p.transform_chunk(&chunk(1, &[(0.0, 100.0, -50.0)]));
         // Repeated transform-only gives identical output: no stats movement.
         let again = p.transform_chunk(&chunk(2, &[(0.0, 100.0, -50.0)]));
-        assert_eq!(before.points, again.points);
+        assert_eq!(before.to_points(), again.to_points());
     }
 
     #[test]
@@ -365,7 +406,7 @@ mod tests {
         let mut streamed = Vec::new();
         folding.transform_chunk_fold(&raw, &mut |point| streamed.push(point.clone()));
 
-        assert_eq!(streamed, stored.points);
+        assert_eq!(streamed, stored.to_points());
         assert_eq!(folding.counters(), materializing.counters());
     }
 
@@ -378,7 +419,7 @@ mod tests {
         let record = Record::new(vec![Value::Num(1.0), Value::Num(3.0), Value::Num(5.0)]);
         let query = p.transform_query(&record).unwrap();
         let training = p.transform_chunk(&RawChunk::new(Timestamp(9), vec![record]));
-        assert_eq!(query, training.points[0]);
+        assert_eq!(query, training.point(0));
     }
 
     #[test]
@@ -413,7 +454,7 @@ mod tests {
         let from_snapshot = snap.transform_chunk(&chunk(5, &[(0.0, 4.0, 5.0)]));
         // ... which differ from the advanced pipeline's output.
         let from_advanced = p.transform_chunk(&chunk(6, &[(0.0, 4.0, 5.0)]));
-        assert_ne!(from_snapshot.points, from_advanced.points);
+        assert_ne!(from_snapshot.to_points(), from_advanced.to_points());
     }
 
     #[test]
@@ -423,7 +464,9 @@ mod tests {
         trained.fit_transform_chunk(&chunk(1, &[(1.0, 6.0, 1.0)]));
 
         let mut restored = sample_pipeline();
-        restored.restore_component_states(&trained.component_states());
+        restored
+            .restore_component_states(&trained.component_states())
+            .expect("well-formed states restore");
         restored.set_counters(trained.counters());
 
         let probe = chunk(9, &[(0.0, 3.3, 4.4)]);
@@ -434,10 +477,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "component-state count")]
     fn restore_rejects_mismatched_state_count() {
         let mut p = sample_pipeline();
-        p.restore_component_states(&[Vec::new()]);
+        assert_eq!(
+            p.restore_component_states(&[Vec::new()]),
+            Err(PipelineError::StateCountMismatch {
+                expected: 3,
+                found: 1
+            })
+        );
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_component_payload() {
+        let mut trained = sample_pipeline();
+        trained.fit_transform_chunk(&chunk(0, &[(1.0, 2.0, 3.0), (0.0, 4.0, 5.0)]));
+        let mut states = trained.component_states();
+        // Truncate the imputer's payload mid-column: the CRC layer upstream
+        // would normally catch this, so the decode must fail typed, not
+        // silently leave a cold component behind a warm-looking pipeline.
+        states[0].pop();
+        let mut p = sample_pipeline();
+        let err = p
+            .restore_component_states(&states)
+            .expect_err("truncated payload must be rejected");
+        match err {
+            PipelineError::CorruptState { component, source } => {
+                assert_eq!(component, "mean-imputer");
+                assert!(matches!(source, StateDecodeError::LengthMismatch { .. }));
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Standard scaling with online mean/variance statistics.
 
-use crate::component::RowComponent;
+use crate::component::{RowComponent, StateDecodeError};
 use crate::row::Row;
 use crate::stats::ColumnMoments;
 
@@ -62,8 +62,8 @@ impl RowComponent for StandardScaler {
         self.moments.state_bytes()
     }
 
-    fn restore_state(&mut self, bytes: &[u8]) {
-        self.moments.restore_state(bytes);
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), StateDecodeError> {
+        self.moments.restore_state(bytes)
     }
 
     fn clone_box(&self) -> Box<dyn RowComponent> {
@@ -84,7 +84,9 @@ mod tests {
         let mut scaler = StandardScaler::new();
         scaler.update(&rows(&[2.0, 4.0, 6.0, 8.0]));
         let mut restored = StandardScaler::new();
-        restored.restore_state(&scaler.state_bytes());
+        restored
+            .restore_state(&scaler.state_bytes())
+            .expect("well-formed state round-trips");
         // Bit-identical transforms after restore, not just close ones.
         let a = scaler.transform(rows(&[3.5]));
         let b = restored.transform(rows(&[3.5]));

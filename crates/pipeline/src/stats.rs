@@ -3,6 +3,8 @@
 //! Only statistics with an exact one-pass update rule are provided — that is
 //! the platform's admission criterion for stateful pipeline components.
 
+use crate::component::StateDecodeError;
+
 /// Welford's online algorithm for mean and variance of one column, with
 /// NaN-skipping (missing values must not poison the statistics).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -140,15 +142,22 @@ impl ColumnMoments {
     }
 
     /// Restores accumulators written by [`ColumnMoments::state_bytes`].
-    /// Malformed bytes leave the state unchanged (checkpoint payloads are
-    /// CRC-protected upstream, so this only guards logic errors).
-    pub fn restore_state(&mut self, bytes: &[u8]) {
+    /// Malformed bytes leave the state unchanged and report a typed error —
+    /// checkpoint payloads are CRC-protected upstream, so a decode failure
+    /// here is a framing logic error that must not be swallowed.
+    pub fn restore_state(&mut self, bytes: &[u8]) -> Result<(), StateDecodeError> {
         if bytes.len() < 4 {
-            return;
+            return Err(StateDecodeError::Truncated {
+                needed: 4,
+                found: bytes.len(),
+            });
         }
         let width = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
         if bytes.len() != 4 + width * 24 {
-            return;
+            return Err(StateDecodeError::LengthMismatch {
+                expected: 4 + width * 24,
+                found: bytes.len(),
+            });
         }
         let mut cols = Vec::with_capacity(width);
         for i in 0..width {
@@ -164,6 +173,7 @@ impl ColumnMoments {
             cols.push(RunningMoments::from_parts(count, mean, m2));
         }
         self.cols = cols;
+        Ok(())
     }
 }
 

@@ -79,7 +79,7 @@ proptest! {
         pipeline.fit_transform_chunk(&chunk_of(0, &warm));
         let a = pipeline.transform_chunk(&chunk_of(1, &probe));
         let b = pipeline.transform_chunk(&chunk_of(2, &probe));
-        prop_assert_eq!(a.points, b.points);
+        prop_assert_eq!(a.to_points(), b.to_points());
     }
 
     /// Scaled outputs have bounded magnitude relative to the training

@@ -36,8 +36,15 @@ use crate::{SchemaVersion, StorageError};
 
 const MAGIC: &[u8; 4] = b"CDPC";
 
-/// Current schema of checkpoint files.
-pub const CHECKPOINT_SCHEMA: SchemaVersion = SchemaVersion(1);
+/// Current schema of checkpoint files. v1 was the original layout; v3
+/// (numbered to match the spill codec's columnar release) extended the
+/// payload's store-stats block with compaction/GC counters. Readers still
+/// accept v1 files — [`CheckpointDir::latest_valid_versioned`] surfaces the
+/// version so the payload decoder can fall through to the old layout.
+pub const CHECKPOINT_SCHEMA: SchemaVersion = SchemaVersion(3);
+
+/// Schema versions this build can read.
+const ACCEPTED_SCHEMAS: [u16; 2] = [1, CHECKPOINT_SCHEMA.0];
 
 /// A directory of numbered checkpoint files with a bounded retention budget.
 #[derive(Debug)]
@@ -85,7 +92,7 @@ impl CheckpointDir {
         buf
     }
 
-    fn decode(data: &[u8]) -> Result<Vec<u8>, StorageError> {
+    fn decode(data: &[u8]) -> Result<(u16, Vec<u8>), StorageError> {
         if data.len() < 4 + 2 + 4 {
             return Err(StorageError::Corrupt("truncated checkpoint".into()));
         }
@@ -101,13 +108,13 @@ impl CheckpointDir {
             return Err(StorageError::Corrupt("bad checkpoint magic".into()));
         }
         let version = u16::from_be_bytes([body[4], body[5]]);
-        if version != CHECKPOINT_SCHEMA.0 {
+        if !ACCEPTED_SCHEMAS.contains(&version) {
             return Err(StorageError::VersionMismatch {
                 found: version,
                 expected: CHECKPOINT_SCHEMA.0,
             });
         }
-        Ok(body[6..].to_vec())
+        Ok((version, body[6..].to_vec()))
     }
 
     /// Durably writes checkpoint `seq` (temp file + fsync + rename + dir
@@ -200,13 +207,27 @@ impl CheckpointDir {
     /// I/O errors reading the directory (individual unreadable files are
     /// skipped, not fatal).
     pub fn latest_valid(&self) -> Result<Option<(u64, Vec<u8>)>, StorageError> {
+        Ok(self
+            .latest_valid_versioned()?
+            .map(|(seq, _, payload)| (seq, payload)))
+    }
+
+    /// [`CheckpointDir::latest_valid`] carrying the file's schema version,
+    /// as `(seq, version, payload)` — payload decoders use the version to
+    /// fall through to older layouts (pre-v3 checkpoints lack the store's
+    /// compaction/GC counters).
+    ///
+    /// # Errors
+    /// I/O errors reading the directory (individual unreadable files are
+    /// skipped, not fatal).
+    pub fn latest_valid_versioned(&self) -> Result<Option<(u64, u16, Vec<u8>)>, StorageError> {
         let seqs = self.list()?;
         for &seq in seqs.iter().rev() {
             let Ok(data) = fs::read(self.path_for(seq)) else {
                 continue;
             };
-            if let Ok(payload) = Self::decode(&data) {
-                return Ok(Some((seq, payload)));
+            if let Ok((version, payload)) = Self::decode(&data) {
+                return Ok(Some((seq, version, payload)));
             }
         }
         Ok(None)
@@ -310,6 +331,30 @@ mod tests {
         let dir = temp_dir("empty");
         let store = ok(CheckpointDir::open(&dir, 3));
         assert!(ok(store.latest_valid()).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_envelopes_still_load_with_their_version() {
+        let dir = temp_dir("v1");
+        let store = ok(CheckpointDir::open(&dir, 3));
+        // Hand-craft a v1-framed file, as written by pre-columnar builds.
+        let mut body = Vec::new();
+        body.extend_from_slice(MAGIC);
+        body.extend_from_slice(&1u16.to_be_bytes());
+        body.extend_from_slice(b"legacy-payload");
+        let checksum = crc32(&body).to_be_bytes();
+        body.extend_from_slice(&checksum);
+        ok(fs::write(dir.join("ckpt-000000000000.cdpk"), &body));
+        let (seq, version, payload) = some(ok(store.latest_valid_versioned()));
+        assert_eq!(seq, 0);
+        assert_eq!(version, 1);
+        assert_eq!(payload, b"legacy-payload");
+        // A current write supersedes it and reports the current schema.
+        ok(store.write(1, b"modern"));
+        let (_, version, payload) = some(ok(store.latest_valid_versioned()));
+        assert_eq!(version, CHECKPOINT_SCHEMA.0);
+        assert_eq!(payload, b"modern");
         let _ = fs::remove_dir_all(&dir);
     }
 

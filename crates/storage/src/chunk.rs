@@ -1,9 +1,19 @@
 //! Timestamped raw and feature chunks (paper §3, workflow stages 1–2).
+//!
+//! Since the columnar store v2, a [`FeatureChunk`] is a thin view — a row
+//! range over a shared [`ColumnSlab`] — rather than an owner of
+//! `Vec<LabeledPoint>`. Consumers iterate [`FeatureChunk::rows`] (zero-copy
+//! [`RowView`]s) instead of walking per-point allocations; compaction can
+//! re-point several chunks into one merged slab without changing what any
+//! of them logically contains.
+
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use cdp_linalg::Vector;
 
+use crate::columnar::{ColumnSlab, RowView};
 use crate::record::Record;
 
 /// Chunk creation timestamp. Acts as both the unique identifier of a chunk
@@ -87,39 +97,131 @@ impl LabeledPoint {
 
 /// A chunk of preprocessed features, carrying a reference (`raw_ref`) to the
 /// raw chunk it was materialized from so it can be re-created after eviction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The chunk is a *view*: a `[start, end)` row range over a shared columnar
+/// [`ColumnSlab`]. Freshly transformed chunks own their whole slab;
+/// compaction re-points several adjacent chunks into one merged slab.
+/// Equality and byte accounting are row-range properties, so two chunks with
+/// the same logical rows compare equal regardless of which slab backs them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FeatureChunk {
     /// Same identifier as the originating raw chunk.
     pub timestamp: Timestamp,
     /// Reference to the originating raw chunk (paper stage 2).
     pub raw_ref: Timestamp,
-    /// The transformed examples.
-    pub points: Vec<LabeledPoint>,
+    slab: Arc<ColumnSlab>,
+    start: usize,
+    end: usize,
+    bytes: usize,
 }
 
 impl FeatureChunk {
     /// Creates a feature chunk derived from raw chunk `raw_ref`.
     pub fn new(timestamp: Timestamp, raw_ref: Timestamp, points: Vec<LabeledPoint>) -> Self {
+        Self::from_slab(
+            timestamp,
+            raw_ref,
+            Arc::new(ColumnSlab::from_points(points)),
+        )
+    }
+
+    /// Creates a feature chunk viewing all rows of an existing slab.
+    pub fn from_slab(timestamp: Timestamp, raw_ref: Timestamp, slab: Arc<ColumnSlab>) -> Self {
+        let end = slab.len();
+        Self::from_slab_range(timestamp, raw_ref, slab, 0, end)
+    }
+
+    /// Creates a feature chunk viewing rows `[start, end)` of a slab (used
+    /// by compaction to re-point chunks into a merged slab).
+    ///
+    /// # Panics
+    /// Panics when the range is inverted or exceeds the slab.
+    pub fn from_slab_range(
+        timestamp: Timestamp,
+        raw_ref: Timestamp,
+        slab: Arc<ColumnSlab>,
+        start: usize,
+        end: usize,
+    ) -> Self {
+        assert!(
+            start <= end && end <= slab.len(),
+            "chunk range {start}..{end} exceeds slab of {} rows",
+            slab.len()
+        );
+        let bytes = (start..end).map(|i| slab.row_size_bytes(i)).sum();
         Self {
             timestamp,
             raw_ref,
-            points,
+            slab,
+            start,
+            end,
+            bytes,
         }
     }
 
     /// Number of examples.
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.end - self.start
     }
 
     /// Whether the chunk has no examples.
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.start == self.end
     }
 
-    /// Approximate heap footprint in bytes.
+    /// Approximate heap footprint in bytes — identical to what the row
+    /// layout's `Vec<LabeledPoint>` accounting reported for the same rows,
+    /// so budget and eviction decisions are unchanged.
     pub fn size_bytes(&self) -> usize {
-        self.points.iter().map(LabeledPoint::size_bytes).sum()
+        self.bytes
+    }
+
+    /// Zero-copy view of example `i` (chunk-relative).
+    ///
+    /// # Panics
+    /// Panics when `i >= self.len()` (slice-index discipline).
+    pub fn row(&self, i: usize) -> RowView<'_> {
+        assert!(i < self.len(), "row {i} out of {} chunk rows", self.len());
+        self.slab.row(self.start + i)
+    }
+
+    /// Iterates the chunk's examples as zero-copy views, in order.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = RowView<'_>> + '_ {
+        (self.start..self.end).map(move |i| self.slab.row(i))
+    }
+
+    /// Reconstructs example `i` as an owned point.
+    pub fn point(&self, i: usize) -> LabeledPoint {
+        self.row(i).to_point()
+    }
+
+    /// Reconstructs all examples as owned points (compatibility path; the
+    /// hot paths iterate [`FeatureChunk::rows`] instead).
+    pub fn to_points(&self) -> Vec<LabeledPoint> {
+        self.rows().map(|r| r.to_point()).collect()
+    }
+
+    /// The backing slab (compaction and the spill codec look through the
+    /// view).
+    pub fn slab(&self) -> &Arc<ColumnSlab> {
+        &self.slab
+    }
+
+    /// The `[start, end)` row range this chunk views within its slab.
+    pub fn slab_range(&self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+impl PartialEq for FeatureChunk {
+    fn eq(&self, other: &Self) -> bool {
+        self.timestamp == other.timestamp
+            && self.raw_ref == other.raw_ref
+            && self.len() == other.len()
+            && self
+                .rows()
+                .zip(other.rows())
+                .all(|(a, b)| a.label() == b.label() && a.to_vector() == b.to_vector())
     }
 }
 
@@ -141,13 +243,8 @@ impl ChunkStats {
             return Self::default();
         }
         let count = chunk.len();
-        let label_mean = chunk.points.iter().map(|p| p.label).sum::<f64>() / count as f64;
-        let mean_nnz = chunk
-            .points
-            .iter()
-            .map(|p| p.features.nnz() as f64)
-            .sum::<f64>()
-            / count as f64;
+        let label_mean = chunk.rows().map(|r| r.label()).sum::<f64>() / count as f64;
+        let mean_nnz = chunk.rows().map(|r| r.nnz() as f64).sum::<f64>() / count as f64;
         Self {
             count,
             label_mean,

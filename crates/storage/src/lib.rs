@@ -25,6 +25,7 @@
 
 pub mod checkpoint;
 pub mod chunk;
+pub mod columnar;
 pub mod disk;
 pub mod record;
 pub mod store;
@@ -32,8 +33,12 @@ pub mod tiered;
 
 pub use checkpoint::{CheckpointDir, CHECKPOINT_SCHEMA};
 pub use chunk::{ChunkStats, FeatureChunk, LabeledPoint, RawChunk, Timestamp};
+pub use columnar::{ColumnSlab, RowView, SlabLayout};
 pub use record::{Record, Schema, Value};
-pub use store::{ChunkStore, FeatureLookup, StorageBudget, StoreStats};
+pub use store::{
+    ChunkStore, ChunkStoreConfig, ChunkStoreDiffKind, ChunkStoreEvent, FeatureLookup,
+    StorageBudget, StoreStats,
+};
 pub use tiered::{TieredLookup, TieredStats, TieredStore};
 
 /// Version stamp embedded in every on-disk format's header.
@@ -50,8 +55,9 @@ impl std::fmt::Display for SchemaVersion {
     }
 }
 
-/// Current schema of spill files (v2 added the CRC-32 trailer).
-pub const SPILL_SCHEMA: SchemaVersion = SchemaVersion(2);
+/// Current schema of spill files (v2 added the CRC-32 trailer; v3 stores
+/// the chunk payload columnar — readers still fall through to v2 files).
+pub const SPILL_SCHEMA: SchemaVersion = SchemaVersion(3);
 
 /// Errors produced by the storage layer.
 #[derive(Debug)]

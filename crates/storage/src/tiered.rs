@@ -16,7 +16,7 @@ use cdp_obs::{LineageEventKind, Metrics};
 
 use crate::chunk::{FeatureChunk, RawChunk, Timestamp};
 use crate::disk::DiskTier;
-use crate::store::{ChunkStore, FeatureLookup, StorageBudget};
+use crate::store::{ChunkStore, ChunkStoreConfig, FeatureLookup, StorageBudget, StoreStats};
 use crate::StorageError;
 
 /// Where a tiered lookup found the features.
@@ -151,20 +151,56 @@ impl TieredStore {
         self
     }
 
+    /// Sets the memory tier's ingestion-path knobs (compaction thresholds,
+    /// changelog).
+    pub fn with_store_config(mut self, config: ChunkStoreConfig) -> Self {
+        self.memory.set_config(config);
+        self
+    }
+
     /// Whether a disk tier backs this store.
     pub fn has_disk(&self) -> bool {
         self.disk.is_some()
     }
 
-    /// Stores a raw chunk (memory tier keeps all raw history).
+    /// Stores a raw chunk (memory tier keeps all raw history unless a raw
+    /// budget caps it). Feature chunks reclaimed by a raw-budget trim get an
+    /// `Evict` lineage event like any other eviction — but no spill: their
+    /// raw data is gone, so a spilled copy could never be validated against
+    /// ground truth.
     ///
     /// # Errors
     /// Duplicate timestamps.
     pub fn put_raw(&mut self, chunk: RawChunk) -> Result<(), StorageError> {
         let ts = chunk.timestamp.0;
-        self.memory.put_raw(chunk)?;
+        let before = self.memory.stats();
+        let dropped = self.memory.put_raw(chunk)?;
         self.metrics.lineage(ts, LineageEventKind::Arrival);
+        for old in dropped {
+            self.metrics
+                .lineage(old.timestamp.0, LineageEventKind::Evict);
+        }
+        self.mirror_gc_metrics(before);
         Ok(())
+    }
+
+    /// Mirrors the memory tier's GC/compaction counter deltas since
+    /// `before` into the metrics registry (`store.compactions`,
+    /// `store.gc_runs`, `store.gc_evicted_bytes`).
+    fn mirror_gc_metrics(&self, before: StoreStats) {
+        let after = self.memory.stats();
+        let compactions = after.compactions - before.compactions;
+        if compactions > 0 {
+            self.metrics.counter("store.compactions").add(compactions);
+        }
+        let gc_runs = after.gc_runs - before.gc_runs;
+        if gc_runs > 0 {
+            self.metrics.counter("store.gc_runs").add(gc_runs);
+        }
+        let gc_bytes = after.bytes_evicted - before.bytes_evicted;
+        if gc_bytes > 0 {
+            self.metrics.counter("store.gc_evicted_bytes").add(gc_bytes);
+        }
     }
 
     /// Stores features; chunks evicted from memory are spilled to disk when
@@ -176,7 +212,9 @@ impl TieredStore {
     /// absorbed).
     pub fn put_feature(&mut self, chunk: FeatureChunk) -> Result<(), StorageError> {
         let ts = chunk.timestamp.0;
+        let before = self.memory.stats();
         let evicted = self.memory.put_feature(chunk)?;
+        self.mirror_gc_metrics(before);
         self.metrics.lineage(ts, LineageEventKind::Materialize);
         if let Some(disk) = self.disk.as_mut() {
             for old in evicted {
@@ -432,6 +470,67 @@ mod tests {
             ]
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn raw_budget_drop_counts_and_emits_evict_lineage() {
+        // A raw-budget trim that reclaims a still-materialized feature chunk
+        // must be indistinguishable from any other eviction in the
+        // accounting: `evictions`/`bytes_evicted` move, an `Evict` lineage
+        // event lands, and the lineage totals still reconcile with StoreStats.
+        let mut store = TieredStore::memory_only(StorageBudget::Unbounded).with_raw_budget(4);
+        let metrics = Metrics::collecting();
+        store.set_metrics(metrics.clone());
+        for t in 0..10 {
+            ok(store.put_raw(raw(t)));
+            ok(store.put_feature(feat(t)));
+        }
+        let stats = store.memory().stats();
+        assert_eq!(stats.evictions, 6);
+        assert!(stats.bytes_evicted > 0);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.lineage_count(LineageEventKind::Evict), stats.evictions);
+        assert_eq!(snap.counter("store.gc_runs"), stats.gc_runs);
+        assert_eq!(snap.counter("store.gc_evicted_bytes"), stats.bytes_evicted);
+        // A dropped chunk's history: it arrived, materialized, and was
+        // evicted by the raw trim — no spill (its ground truth is gone).
+        let history: Vec<_> = snap.chunk_lineage(0).iter().map(|e| e.kind).collect();
+        assert_eq!(
+            history,
+            vec![
+                LineageEventKind::Arrival,
+                LineageEventKind::Materialize,
+                LineageEventKind::Evict,
+            ]
+        );
+        assert!(matches!(
+            store.lookup(Timestamp(0)),
+            TieredLookup::Unavailable
+        ));
+    }
+
+    #[test]
+    fn compaction_counters_mirror_into_metrics() {
+        let config = ChunkStoreConfig {
+            chunk_max_rows: 64,
+            chunk_max_bytes: 4096,
+            enable_changelog: false,
+            changelog_capacity: 0,
+        };
+        let mut store =
+            TieredStore::memory_only(StorageBudget::Unbounded).with_store_config(config);
+        let metrics = Metrics::collecting();
+        store.set_metrics(metrics.clone());
+        for t in 0..6 {
+            ok(store.put_raw(raw(t)));
+            ok(store.put_feature(feat(t)));
+        }
+        let stats = store.memory().stats();
+        assert!(stats.compactions > 0);
+        assert_eq!(
+            metrics.snapshot().counter("store.compactions"),
+            stats.compactions
+        );
     }
 
     #[test]

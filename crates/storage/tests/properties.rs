@@ -4,8 +4,8 @@
 use cdp_linalg::{DenseVector, SparseBuilder, Vector};
 use cdp_storage::disk::{decode_chunk, encode_chunk};
 use cdp_storage::{
-    ChunkStore, FeatureChunk, FeatureLookup, LabeledPoint, RawChunk, Record, StorageBudget,
-    StorageError, Timestamp, Value,
+    ChunkStore, ChunkStoreConfig, FeatureChunk, FeatureLookup, LabeledPoint, RawChunk, Record,
+    StorageBudget, StorageError, Timestamp, Value,
 };
 use proptest::prelude::*;
 
@@ -85,6 +85,133 @@ proptest! {
             stats.feature_hits + stats.feature_misses + stats.unavailable,
             probes.len() as u64
         );
+    }
+
+    /// Columnar accounting matches the row-layout shadow model: a chunk's
+    /// `size_bytes` equals the sum of its points' row sizes by construction,
+    /// so a `MaxBytes` store makes exactly the eviction decisions a
+    /// row-layout store would — same survivors, same byte totals.
+    #[test]
+    fn columnar_accounting_matches_row_shadow(
+        budget_bytes in 0usize..4096,
+        chunks in prop::collection::vec(prop::collection::vec(point_strategy(), 0..4), 1..24),
+    ) {
+        let mut store = ChunkStore::new(StorageBudget::MaxBytes(budget_bytes));
+        let mut shadow: Vec<(u64, usize)> = Vec::new();
+        let mut shadow_bytes = 0usize;
+        for (t, points) in chunks.into_iter().enumerate() {
+            let ts = t as u64;
+            let row_bytes: usize = points.iter().map(LabeledPoint::size_bytes).sum();
+            let fc = FeatureChunk::new(Timestamp(ts), Timestamp(ts), points);
+            prop_assert_eq!(fc.size_bytes(), row_bytes);
+            store.put_raw(raw(ts)).expect("unique");
+            store.put_feature(fc).expect("raw present");
+            shadow.push((ts, row_bytes));
+            shadow_bytes += row_bytes;
+            // Oldest-first eviction until the cache fits the budget again.
+            while shadow_bytes > budget_bytes && !shadow.is_empty() {
+                shadow_bytes -= shadow.remove(0).1;
+            }
+        }
+        let survivors: Vec<Timestamp> = shadow.iter().map(|&(ts, _)| Timestamp(ts)).collect();
+        prop_assert_eq!(store.materialized_timestamps(), survivors);
+        prop_assert_eq!(store.feature_bytes(), shadow_bytes);
+    }
+
+    /// Compaction is invisible to readers: a store with merging enabled
+    /// returns bit-for-bit the same lookup results as one without, while
+    /// actually performing merges.
+    #[test]
+    fn compaction_preserves_lookup_results(
+        chunks in prop::collection::vec(prop::collection::vec(point_strategy(), 1..4), 2..16),
+    ) {
+        let mut plain = ChunkStore::new(StorageBudget::Unbounded);
+        let mut compacting = ChunkStore::with_config(
+            StorageBudget::Unbounded,
+            ChunkStoreConfig {
+                chunk_max_rows: 64,
+                chunk_max_bytes: 1 << 16,
+                enable_changelog: true,
+                changelog_capacity: 256,
+            },
+        );
+        let n = chunks.len() as u64;
+        for (t, points) in chunks.into_iter().enumerate() {
+            let ts = t as u64;
+            plain.put_raw(raw(ts)).expect("unique");
+            compacting.put_raw(raw(ts)).expect("unique");
+            let fc = FeatureChunk::new(Timestamp(ts), Timestamp(ts), points);
+            plain.put_feature(fc.clone()).expect("raw present");
+            compacting.put_feature(fc).expect("raw present");
+        }
+        let fetch = |store: &mut ChunkStore, t: u64| match store.lookup_feature(Timestamp(t)) {
+            FeatureLookup::Materialized(fc) => Some(fc.to_points()),
+            _ => None,
+        };
+        for t in 0..n {
+            let a = fetch(&mut plain, t);
+            let b = fetch(&mut compacting, t);
+            prop_assert!(a.is_some(), "unbounded store must keep chunk {t}");
+            prop_assert_eq!(a, b);
+        }
+        // Every chunk here fits the thresholds, so with ≥ 2 chunks at least
+        // one merge must actually have happened.
+        prop_assert!(compacting.stats().compactions >= 1);
+        prop_assert!(compacting
+            .changelog()
+            .iter()
+            .any(|e| matches!(e.kind, cdp_storage::ChunkStoreDiffKind::Compaction)));
+    }
+
+    /// Generation GC keeps the newest `m` chunks materialized and falls
+    /// through to the original raw chunk for everything it reclaimed — the
+    /// `Rematerialize` path always has exact ground truth to rebuild from.
+    #[test]
+    fn gc_preserves_rematerialize_fallthrough(
+        m in 0usize..10,
+        chunks in prop::collection::vec(prop::collection::vec(point_strategy(), 1..4), 1..20),
+    ) {
+        let mut store = ChunkStore::with_config(
+            StorageBudget::MaxChunks(m),
+            ChunkStoreConfig {
+                chunk_max_rows: 64,
+                chunk_max_bytes: 1 << 16,
+                enable_changelog: false,
+                changelog_capacity: 0,
+            },
+        );
+        let n = chunks.len();
+        let originals: Vec<Vec<LabeledPoint>> = chunks.clone();
+        for (t, points) in chunks.into_iter().enumerate() {
+            let ts = t as u64;
+            store.put_raw(raw(ts)).expect("unique");
+            store
+                .put_feature(FeatureChunk::new(Timestamp(ts), Timestamp(ts), points))
+                .expect("raw present");
+        }
+        let newest_m: Vec<Timestamp> =
+            (n.saturating_sub(m)..n).map(|t| Timestamp(t as u64)).collect();
+        prop_assert_eq!(store.materialized_timestamps(), newest_m);
+        for (t, original) in originals.iter().enumerate() {
+            let ts = Timestamp(t as u64);
+            match store.lookup_feature(ts) {
+                FeatureLookup::Materialized(fc) => {
+                    prop_assert!(t >= n.saturating_sub(m));
+                    prop_assert_eq!(&fc.to_points(), original);
+                }
+                FeatureLookup::Evicted(rc) => {
+                    prop_assert!(t < n.saturating_sub(m));
+                    prop_assert_eq!(rc.timestamp, ts);
+                    prop_assert_eq!(rc.as_ref(), &raw(ts.0));
+                }
+                FeatureLookup::Unavailable => prop_assert!(false, "chunk {t} lost entirely"),
+            }
+        }
+        let stats = store.stats();
+        prop_assert_eq!(stats.evictions as usize, n.saturating_sub(m));
+        if m == 0 && n > 0 {
+            prop_assert!(stats.gc_runs >= 1);
+        }
     }
 
     /// The binary codec round-trips arbitrary chunks exactly.

@@ -26,13 +26,13 @@ fn main() {
         "after pipeline: {} examples ({} anomalous trips filtered), {} features each",
         fc.len(),
         chunk.len() - fc.len(),
-        fc.points.first().map_or(0, |p| p.features.dim()),
+        fc.rows().next().map_or(0, |r| r.dim()),
     );
-    if let Some(p) = fc.points.first() {
+    if let Some(r) = fc.rows().next() {
         println!(
             "first example: label (log1p duration) = {:.3} → ≈ {:.0} s trip",
-            p.label,
-            p.label.exp() - 1.0
+            r.label(),
+            r.label().exp() - 1.0
         );
     }
 

@@ -322,6 +322,43 @@ fn corrupted_latest_checkpoint_falls_back_to_previous() {
 }
 
 #[test]
+fn resume_surfaces_corrupt_component_state_as_typed_error() {
+    use cdpipe::pipeline::PipelineError;
+
+    let (stream, spec) = tiny_url();
+    let dir = ckpt_dir("corrupt-state");
+    let mut cfg = continuous_cfg();
+    cfg.checkpoint = Some(CheckpointConfig::new(&dir).every(2).keep(4));
+    run_deployment(&stream, &spec, &cfg);
+
+    // Truncate one stateful component's payload inside the newest checkpoint
+    // and re-frame it with a valid CRC: the envelope layer accepts the file,
+    // so the damage must surface as a typed restore error — not be silently
+    // swallowed, leaving a cold component behind a warm-looking pipeline.
+    let ckpts = CheckpointDir::open(&dir, 4).expect("open checkpoint dir");
+    let (seq, version, payload) = ckpts
+        .latest_valid_versioned()
+        .expect("read checkpoints")
+        .expect("at least one checkpoint");
+    let mut ckpt = DeploymentCheckpoint::decode_versioned(version, &payload).expect("decode");
+    let stateful = ckpt
+        .component_states
+        .iter()
+        .position(|s| !s.is_empty())
+        .expect("a stateful component");
+    ckpt.component_states[stateful].pop();
+    ckpts
+        .write(seq + 1, &ckpt.encode())
+        .expect("write doctored checkpoint");
+
+    match try_resume_deployment(&stream, &spec, &cfg) {
+        Err(DeploymentError::Pipeline(PipelineError::CorruptState { .. })) => {}
+        other => panic!("expected a CorruptState error, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn resume_without_checkpoint_config_is_a_typed_error() {
     let (stream, spec) = tiny_url();
     let cfg = continuous_cfg();

@@ -17,7 +17,7 @@ use cdpipe::pipeline::encode::DenseEncoder;
 use cdpipe::pipeline::parser::SchemaParser;
 use cdpipe::pipeline::scale::StandardScaler;
 use cdpipe::pipeline::{Pipeline, PipelineBuilder};
-use cdpipe::storage::{LabeledPoint, RawChunk, Record, Schema, Timestamp, Value};
+use cdpipe::storage::{LabeledPoint, RawChunk, Record, RowView, Schema, Timestamp, Value};
 
 struct CountingAlloc;
 
@@ -112,8 +112,8 @@ fn fused_step_allocates_less_than_materialize_then_step() {
                 local.transform_chunk(raw)
             })
             .collect();
-        let batch = chunks.iter().flat_map(|c| c.points.iter());
-        let loss = unfused_trainer.step_on(batch, engine);
+        let batch: Vec<RowView<'_>> = chunks.iter().flat_map(|c| c.rows()).collect();
+        let loss = unfused_trainer.step_rows(&batch, engine);
         assert!(loss.is_some());
     });
 
@@ -124,10 +124,10 @@ fn fused_step_allocates_less_than_materialize_then_step() {
         fused_trainer
             .try_step_fused_on(
                 raws.len(),
-                |i, sink: &mut dyn FnMut(&LabeledPoint)| {
+                |i, sink: &mut dyn FnMut(RowView<'_>)| {
                     let mut local = template.clone();
                     local.reset_counters();
-                    local.transform_chunk_fold(&raws[i], sink);
+                    local.transform_chunk_fold(&raws[i], &mut |p| sink(RowView::Point(p)));
                 },
                 engine,
                 &NoFaults,
@@ -161,10 +161,10 @@ fn fused_step_allocates_less_than_materialize_then_step() {
         fused_trainer
             .try_step_fused_on(
                 raws.len(),
-                |i, sink: &mut dyn FnMut(&LabeledPoint)| {
+                |i, sink: &mut dyn FnMut(RowView<'_>)| {
                     let mut local = template.clone();
                     local.reset_counters();
-                    local.transform_chunk_fold(&raws[i], sink);
+                    local.transform_chunk_fold(&raws[i], &mut |p| sink(RowView::Point(p)));
                 },
                 engine,
                 &NoFaults,
