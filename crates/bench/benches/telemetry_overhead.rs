@@ -1,0 +1,69 @@
+//! Telemetry overhead: with `DeploymentConfig.telemetry = None` the chunk
+//! loop pays a single branch per chunk — the disabled path must stay
+//! indistinguishable from the pre-telemetry deployment loop. The enabled
+//! path (per-chunk sampling + stateful monitors) and the store's record
+//! path are benched alongside for scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cdp_core::deployment::{run_deployment, DeploymentConfig, TelemetryConfig};
+use cdp_core::presets::{url_spec, SpecScale};
+use cdp_obs::{Metrics, TelemetryStore};
+use cdp_sampling::SamplingStrategy;
+
+fn tiny_continuous() -> DeploymentConfig {
+    DeploymentConfig::continuous(2, 3, SamplingStrategy::Uniform)
+}
+
+fn bench_deployment(c: &mut Criterion) {
+    let (stream, spec) = url_spec(SpecScale::Tiny);
+    let mut group = c.benchmark_group("telemetry/deployment");
+    group.sample_size(10);
+    let disabled = tiny_continuous();
+    group.bench_function("disabled", |b| {
+        b.iter(|| black_box(run_deployment(&stream, &spec, black_box(&disabled))));
+    });
+    let mut enabled = tiny_continuous();
+    enabled.collect_metrics = true;
+    enabled.telemetry = Some(TelemetryConfig::new());
+    group.bench_function("every_1", |b| {
+        b.iter(|| black_box(run_deployment(&stream, &spec, black_box(&enabled))));
+    });
+    group.finish();
+}
+
+fn bench_record(c: &mut Criterion) {
+    // A realistic snapshot from a completed tiny run, not a synthetic one:
+    // the per-sample record cost the loop actually pays.
+    let (stream, spec) = url_spec(SpecScale::Tiny);
+    let mut config = tiny_continuous();
+    config.collect_metrics = true;
+    let result = run_deployment(&stream, &spec, &config);
+    let snap = result.metrics;
+
+    let mut group = c.benchmark_group("telemetry/store");
+    group.bench_function("record", |b| {
+        let mut store = TelemetryStore::new(256);
+        let mut at = 0.0f64;
+        b.iter(|| {
+            at += 60.0;
+            store.record(black_box(at), black_box(&snap));
+        });
+    });
+    group.bench_function("snapshot_and_record", |b| {
+        // The full sampling tick: registry snapshot + store append.
+        let metrics = Metrics::collecting();
+        metrics.restore_from(&snap);
+        let mut store = TelemetryStore::new(256);
+        let mut at = 0.0f64;
+        b.iter(|| {
+            at += 60.0;
+            store.record(black_box(at), black_box(&metrics.snapshot()));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_deployment, bench_record);
+criterion_main!(benches);

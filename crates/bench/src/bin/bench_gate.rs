@@ -116,12 +116,36 @@ fn measure() -> Vec<(&'static str, f64)> {
         },
     );
 
+    // Telemetry must cost the disabled hot path nothing: with telemetry off
+    // the chunk loop pays a single `Option` branch, so the enabled/disabled
+    // deployment ratio is the full cost of per-chunk sampling + monitors —
+    // and a regression in the *disabled* path shows up in every other
+    // deployment-based ratio's denominator.
+    let (tel_stream, tel_spec) = cdp_core::presets::url_spec(cdp_core::presets::SpecScale::Tiny);
+    let tel_disabled = cdp_core::deployment::DeploymentConfig::continuous(
+        2,
+        3,
+        cdp_sampling::SamplingStrategy::Uniform,
+    );
+    let mut tel_enabled = tel_disabled.clone();
+    tel_enabled.collect_metrics = true;
+    tel_enabled.telemetry = Some(cdp_core::deployment::TelemetryConfig::new());
+    let telemetry_ratio = paired_floor_ratio(
+        || {
+            cdp_core::deployment::run_deployment(&tel_stream, &tel_spec, &tel_enabled);
+        },
+        || {
+            cdp_core::deployment::run_deployment(&tel_stream, &tel_spec, &tel_disabled);
+        },
+    );
+
     vec![
         ("fused_over_unfused", fused_ratio),
         ("steal_over_fixed", steal_ratio),
         ("pool_map_over_sequential", map_ratio),
         ("store_columnar_over_row", store_ratio),
         ("serving_storm_over_quiet", serving_ratio),
+        ("telemetry_enabled_over_disabled", telemetry_ratio),
     ]
 }
 

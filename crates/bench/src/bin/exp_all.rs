@@ -21,6 +21,7 @@ fn main() {
             exp::store::run(scale, out),
             exp::fault_recovery::run(scale, out),
             exp::checkpoint::run(scale, out),
+            exp::telemetry::run(scale, out),
         ];
         sections.join("\n============================================================\n\n")
     });

@@ -1,0 +1,12 @@
+//! Measures telemetry overhead (per-chunk sampling + SLO burn monitors +
+//! flight recorder) against the metrics-only baseline on the Continuous URL
+//! workload; see `cdp-bench` docs for flags. Copies `BENCH_telemetry.json`
+//! to the working directory.
+
+fn main() {
+    cdp_bench::run_binary("exp_telemetry", |scale, out| {
+        cdp_bench::experiments::telemetry::run(scale, out)
+    });
+    let (_, out) = cdp_bench::parse_args();
+    let _ = std::fs::copy(out.join("BENCH_telemetry.json"), "BENCH_telemetry.json");
+}

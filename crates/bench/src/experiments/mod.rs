@@ -16,3 +16,4 @@ pub mod staleness;
 pub mod store;
 pub mod table3;
 pub mod table4;
+pub mod telemetry;

@@ -18,6 +18,7 @@ use cdp_core::presets::SpecScale;
 use cdp_core::report::{fmt_f, Table};
 use cdp_core::serving::ModelServer;
 use cdp_ml::{LinearModel, LossKind};
+use cdp_obs::Metrics;
 use cdp_pipeline::encode::DenseEncoder;
 use cdp_pipeline::parser::SchemaParser;
 use cdp_pipeline::scale::StandardScaler;
@@ -32,6 +33,13 @@ const READERS: usize = 2;
 const PUBLISH_EVERY: Duration = Duration::from_millis(1);
 /// Repetitions per phase; the reported QPS is the median.
 const REPS: usize = 3;
+
+/// Geometric latency bucket bounds from 100 ns to ~130 ms: fine enough
+/// (~35% per step) that the interpolated p99 tracks the exact-sort value
+/// while the readers only touch two relaxed atomics per observation.
+fn latency_bounds() -> Vec<f64> {
+    (0..48).map(|i| 1e-7 * 1.35f64.powi(i)).collect()
+}
 
 /// One measured serving phase.
 #[derive(Debug, Clone)]
@@ -109,48 +117,46 @@ fn drive(server: &ModelServer, duration: Duration, storm: bool) -> (f64, f64, u6
         })
     });
 
+    let metrics = Metrics::collecting();
+    let bounds = latency_bounds();
     let readers: Vec<_> = (0..READERS)
         .map(|r| {
             let s = server.clone();
             let queries: Vec<Record> = (0..256).map(|i| query(i * READERS + r)).collect();
+            let lat = metrics.histogram_with_bounds("serving.latency_secs", &bounds);
             std::thread::spawn(move || {
                 let mut served = 0u64;
-                let mut lat_ns: Vec<u64> = Vec::with_capacity(1 << 16);
                 let start = Instant::now();
                 let mut i = 0usize;
                 while start.elapsed() < duration {
                     let t = Instant::now();
                     let p = s.predict(&queries[i % queries.len()]);
-                    lat_ns.push(t.elapsed().as_nanos() as u64);
+                    lat.observe(t.elapsed().as_secs_f64());
                     assert!(p.is_some(), "bench queries are well-formed");
                     served += 1;
                     i += 1;
                 }
-                (served, start.elapsed().as_secs_f64(), lat_ns)
+                (served, start.elapsed().as_secs_f64())
             })
         })
         .collect();
 
     let mut total = 0u64;
     let mut elapsed: f64 = 0.0;
-    let mut lat_ns: Vec<u64> = Vec::new();
     for r in readers {
-        let (served, secs, lats) = r.join().expect("reader thread");
+        let (served, secs) = r.join().expect("reader thread");
         total += served;
         elapsed = elapsed.max(secs);
-        lat_ns.extend(lats);
     }
     stop.store(true, Ordering::Relaxed);
     if let Some(p) = publisher {
         p.join().expect("publisher thread");
     }
 
-    lat_ns.sort_unstable();
-    let p99 = if lat_ns.is_empty() {
-        0.0
-    } else {
-        lat_ns[(lat_ns.len() - 1).min(lat_ns.len() * 99 / 100)] as f64 / 1_000.0
-    };
+    let p99 = metrics
+        .histogram_with_bounds("serving.latency_secs", &bounds)
+        .quantile(0.99)
+        .map_or(0.0, |secs| secs * 1e6);
     (
         total as f64 / elapsed.max(1e-9),
         p99,
@@ -178,24 +184,24 @@ fn phase(server: &ModelServer, name: &str, duration: Duration, storm: bool) -> S
 /// in `predict_batch` passes of 64.
 fn batched_phase(server: &ModelServer, duration: Duration) -> ServingPoint {
     let queries: Vec<Record> = (0..64).map(query).collect();
+    let bounds = latency_bounds();
     let mut best_qps = 0.0f64;
     let mut p99_us = 0.0;
     for _ in 0..REPS {
+        let metrics = Metrics::collecting();
+        let batch_lat = metrics.histogram_with_bounds("serving.batch_secs", &bounds);
         let start = Instant::now();
         let mut served = 0u64;
-        let mut batch_ns: Vec<u64> = Vec::new();
         while start.elapsed() < duration {
             let t = Instant::now();
             let out = server.predict_batch(&queries);
-            batch_ns.push(t.elapsed().as_nanos() as u64);
+            batch_lat.observe(t.elapsed().as_secs_f64());
             served += out.iter().filter(|p| p.is_some()).count() as u64;
         }
         let qps = served as f64 / start.elapsed().as_secs_f64();
         if qps > best_qps {
             best_qps = qps;
-            batch_ns.sort_unstable();
-            let per_batch =
-                batch_ns[(batch_ns.len() - 1).min(batch_ns.len() * 99 / 100)] as f64 / 1_000.0;
+            let per_batch = batch_lat.quantile(0.99).map_or(0.0, |secs| secs * 1e6);
             // Per-query p99 bound: the batch's p99 spread over its size.
             p99_us = per_batch / queries.len() as f64;
         }

@@ -23,6 +23,8 @@
 //! | `exp_serving` | serving QPS/p99 under a publish storm (`BENCH_serving.json`) |
 //! | `exp_store` | columnar vs row store consume + compaction ingest (`BENCH_store.json`) |
 //! | `exp_fault_recovery` | fault-injection recovery sweep (`fault_recovery.csv`) |
+//! | `exp_telemetry` | telemetry overhead vs metrics-only baseline (`BENCH_telemetry.json`) |
+//! | `postmortem` | crash a seeded run / rebuild its timeline from flight-recorder segments |
 //! | `exp_all` | everything above, in order |
 //!
 //! All binaries accept `--workers N` to pick the execution engine

@@ -27,8 +27,8 @@ use cdp_faults::{
 use cdp_linalg::DenseVector;
 use cdp_ml::{LinearModel, OptimizerState, SgdTrainer, TrainReport};
 use cdp_obs::{
-    Alert, AlertMonitor, Clock, Metrics, MetricsSnapshot, TraceSnapshot, TraceSpan, Tracer,
-    VirtualClock,
+    Alert, AlertMonitor, Clock, FlightRecorder, Metrics, MetricsSnapshot, SloMonitor,
+    TelemetryStore, TraceSnapshot, TraceSpan, Tracer, VirtualClock, DEFAULT_SERIES_CAPACITY,
 };
 use cdp_pipeline::drift::{DriftDetector, DriftStatus};
 use cdp_pipeline::PipelineError;
@@ -144,6 +144,131 @@ impl CheckpointConfig {
     }
 }
 
+/// Live telemetry for a deployment run.
+///
+/// When set on [`DeploymentConfig::telemetry`] (and metrics are collected),
+/// the loop samples every registered counter, gauge, and histogram into a
+/// ring-buffered [`TelemetryStore`] every `every_chunks` chunks, stamped on
+/// the loop's deterministic simulation clock. Each sample also drives the
+/// stateful SLA monitor ([`AlertMonitor::observe`]) and the multi-window SLO
+/// burn-rate rules ([`SloMonitor::deployment_defaults`]), with per-rule
+/// cooldown so a persistent breach lands in [`DeploymentResult::alerts`]
+/// once per cooldown window instead of once per evaluation. With a
+/// [`RecorderConfig`] attached, the store is additionally persisted to a
+/// crash-survivable on-disk segment log (the flight recorder) for
+/// post-mortem analysis. `None` (the default) costs the hot path a single
+/// branch per chunk, and an enabled store never feeds back into training:
+/// weights, curves, and accounted cost are bit-identical with telemetry on
+/// or off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryConfig {
+    /// Chunks between samples (clamped to at least 1).
+    pub every_chunks: usize,
+    /// Ring-buffer capacity per series (clamped to at least 1).
+    pub capacity: usize,
+    /// Per-rule alert cooldown in simulated seconds. The default
+    /// (`f64::INFINITY`) reports each breaching rule exactly once per run.
+    pub cooldown_secs: f64,
+    /// Serving p99 latency objective in seconds for the
+    /// `slo.serving_p99_burn` rule.
+    pub serving_p99_budget_secs: f64,
+    /// Metric-name prefixes excluded from sampling. The default excludes
+    /// `engine.*`: work-stealing queue depths and steal counts depend on
+    /// thread scheduling, and excluding them keeps recorded telemetry
+    /// bit-identical across worker counts.
+    pub exclude_prefixes: Vec<String>,
+    /// Optional flight recorder persisting the store across crashes.
+    pub recorder: Option<RecorderConfig>,
+}
+
+impl TelemetryConfig {
+    /// Sample every chunk into 256-point rings, report each breaching rule
+    /// once, exclude the scheduling-dependent `engine.*` series, and write
+    /// no segments.
+    pub fn new() -> Self {
+        Self {
+            every_chunks: 1,
+            capacity: DEFAULT_SERIES_CAPACITY,
+            cooldown_secs: f64::INFINITY,
+            serving_p99_budget_secs: 0.05,
+            exclude_prefixes: vec![String::from("engine.")],
+            recorder: None,
+        }
+    }
+
+    /// Sets the sampling interval (builder style).
+    #[must_use]
+    pub fn every(mut self, every_chunks: usize) -> Self {
+        self.every_chunks = every_chunks;
+        self
+    }
+
+    /// Sets the per-series ring capacity (builder style).
+    #[must_use]
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Sets the alert cooldown (builder style).
+    #[must_use]
+    pub fn cooldown(mut self, cooldown_secs: f64) -> Self {
+        self.cooldown_secs = cooldown_secs;
+        self
+    }
+
+    /// Attaches a flight recorder (builder style).
+    #[must_use]
+    pub fn recorder(mut self, recorder: RecorderConfig) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Flight-recorder persistence for [`TelemetryConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecorderConfig {
+    /// Directory holding the numbered segment files.
+    pub dir: PathBuf,
+    /// Segments retained, newest first (clamped to at least 1).
+    pub keep: usize,
+    /// Telemetry samples between durable segment writes (clamped to at
+    /// least 1). The loop also flushes at shutdown and on an injected
+    /// crash, so the on-disk timeline is at most one flush interval stale.
+    pub flush_every_samples: usize,
+}
+
+impl RecorderConfig {
+    /// Record into `dir`, flushing every 8 samples and keeping 4 segments.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            keep: 4,
+            flush_every_samples: 8,
+        }
+    }
+
+    /// Sets the retention budget (builder style).
+    #[must_use]
+    pub fn keep(mut self, keep: usize) -> Self {
+        self.keep = keep;
+        self
+    }
+
+    /// Sets the flush interval (builder style).
+    #[must_use]
+    pub fn flush_every(mut self, samples: usize) -> Self {
+        self.flush_every_samples = samples;
+        self
+    }
+}
+
 /// Checkpoint activity of one run. Deliberately *outside* the bit-identity
 /// contract: a resumed run legitimately writes more checkpoints (and counts
 /// its restore) than the uninterrupted run it otherwise reproduces.
@@ -203,6 +328,11 @@ pub struct DeploymentConfig {
     /// Crash-consistent checkpointing. `None` (the default) writes nothing
     /// and costs the hot path a single branch per chunk.
     pub checkpoint: Option<CheckpointConfig>,
+    /// Live telemetry: ring-buffered time series over every metric, SLO
+    /// burn-rate alerting, and an optional crash-survivable flight
+    /// recorder. Requires metrics collection to record anything; `None`
+    /// (the default) costs the hot path a single branch per chunk.
+    pub telemetry: Option<TelemetryConfig>,
     /// A serving front-end to keep fresh: when set, the run publishes the
     /// deployed `(pipeline, model)` pair to this [`ModelServer`] after the
     /// initial fit, after every training event (proactive instance or
@@ -230,6 +360,7 @@ impl DeploymentConfig {
             collect_metrics: false,
             collect_traces: false,
             checkpoint: None,
+            telemetry: None,
             serving: None,
         }
     }
@@ -325,8 +456,16 @@ pub struct DeploymentResult {
     pub trace: TraceSnapshot,
     /// SLA alerts fired by the default [`AlertMonitor`] over the final
     /// metrics snapshot (empty unless metrics were collected). Each fired
-    /// alert is also appended to the event log as `alert.fired`.
+    /// alert is also appended to the event log as `alert.fired`. With
+    /// [`DeploymentConfig::telemetry`] set, these come from the stateful
+    /// per-sample monitors instead (threshold rules plus SLO burn rules,
+    /// deduplicated by the configured cooldown).
     pub alerts: Vec<Alert>,
+    /// Ring-buffered time series over every sampled metric (empty unless
+    /// [`DeploymentConfig::telemetry`] is set and metrics were collected).
+    /// Export with [`TelemetryStore::to_prometheus`],
+    /// [`TelemetryStore::to_csv`], or [`TelemetryStore::to_json`].
+    pub telemetry: TelemetryStore,
     /// Checkpoint writes/bytes/restores (all zero without
     /// [`DeploymentConfig::checkpoint`]). Not part of the bit-identity
     /// contract — see [`CheckpointStats`].
@@ -627,6 +766,83 @@ fn publish_serving(server: &ModelServer, pm: &PipelineManager, metrics: &Metrics
     }
 }
 
+/// Live state of the telemetry layer: the ring-buffer store, the stateful
+/// alert monitors, and the optional flight recorder. Built once per run
+/// (only when telemetry is configured *and* metrics are enabled), so a
+/// disabled configuration costs the chunk loop a single `Option` branch.
+struct TelemetryRuntime {
+    store: TelemetryStore,
+    monitor: AlertMonitor,
+    slo: SloMonitor,
+    recorder: Option<FlightRecorder>,
+    alerts: Vec<Alert>,
+    every: usize,
+    chunks_since: usize,
+    flush_every: usize,
+    samples_since_flush: usize,
+}
+
+impl TelemetryRuntime {
+    fn new(tc: &TelemetryConfig, chunk_period_secs: f64) -> Result<Self, DeploymentError> {
+        let recorder = match &tc.recorder {
+            Some(rc) => Some(
+                FlightRecorder::open(&rc.dir, rc.keep)
+                    .map_err(|e| DeploymentError::Storage(StorageError::Io(e)))?,
+            ),
+            None => None,
+        };
+        Ok(Self {
+            store: TelemetryStore::new(tc.capacity)
+                .with_exclude_prefixes(tc.exclude_prefixes.clone()),
+            monitor: AlertMonitor::deployment_defaults(chunk_period_secs)
+                .with_cooldown(tc.cooldown_secs),
+            slo: SloMonitor::deployment_defaults(tc.serving_p99_budget_secs)
+                .with_cooldown(tc.cooldown_secs),
+            recorder,
+            alerts: Vec::new(),
+            every: tc.every_chunks.max(1),
+            chunks_since: 0,
+            flush_every: tc
+                .recorder
+                .as_ref()
+                .map_or(usize::MAX, |rc| rc.flush_every_samples.max(1)),
+            samples_since_flush: 0,
+        })
+    }
+
+    /// One sampling tick: records a snapshot of every metric, runs the
+    /// stateful threshold and burn-rate monitors over it, and flushes a
+    /// segment when the flush interval elapsed.
+    fn sample(&mut self, metrics: &Metrics, at_secs: f64) -> Result<(), DeploymentError> {
+        let snap = metrics.snapshot();
+        self.store.record(at_secs, &snap);
+        let mut fired = self.monitor.observe(&snap, at_secs);
+        fired.extend(self.slo.observe(&self.store, at_secs));
+        for alert in &fired {
+            metrics.event("alert.fired", alert.message());
+        }
+        self.alerts.extend(fired);
+        self.samples_since_flush += 1;
+        if let Some(rec) = self.recorder.as_mut() {
+            if self.samples_since_flush >= self.flush_every {
+                rec.flush(&self.store, &self.alerts, at_secs)
+                    .map_err(|e| DeploymentError::Storage(StorageError::Io(e)))?;
+                self.samples_since_flush = 0;
+            }
+        }
+        Ok(())
+    }
+
+    /// Best-effort segment write on the way out of a crashing run — the
+    /// post-mortem timeline is worth more than a clean error path, so I/O
+    /// failures here are swallowed.
+    fn crash_flush(&mut self, at_secs: f64) {
+        if let Some(rec) = self.recorder.as_mut() {
+            let _ = rec.flush(&self.store, &self.alerts, at_secs);
+        }
+    }
+}
+
 /// The shared arrival loop: chunks `start_idx..total` through evaluation,
 /// online learning, mode-specific freshness work, checkpointing, and final
 /// result assembly. Fresh runs enter at the deployment range's start;
@@ -656,6 +872,10 @@ fn run_chunk_loop(
         .unwrap_or(usize::MAX);
     let mut chunks_since_ckpt = 0usize;
     let mut last_processed_idx = None;
+    let mut telemetry = match (&config.telemetry, metrics.is_enabled()) {
+        (Some(tc), true) => Some(TelemetryRuntime::new(tc, config.chunk_period_secs)?),
+        _ => None,
+    };
 
     for idx in start_idx..stream.total_chunks() {
         let raw = stream.chunk(idx);
@@ -816,6 +1036,9 @@ fn run_chunk_loop(
                     // proactive fire was accounted, mid-chunk: the last
                     // durable checkpoint predates this chunk entirely.
                     if hook.crash_now(CrashSite::ProactiveFire) {
+                        if let Some(tel) = telemetry.as_mut() {
+                            tel.crash_flush(st.sim.now_secs());
+                        }
                         return Err(DeploymentError::Crashed(CrashSite::ProactiveFire));
                     }
                 } else {
@@ -839,7 +1062,17 @@ fn run_chunk_loop(
         if let Some(dir) = &ckpt_dir {
             chunks_since_ckpt += 1;
             if chunks_since_ckpt >= ckpt_every {
-                let bytes = write_checkpoint(dir, idx as u64, &st, &hook, &metrics)?;
+                let bytes = match write_checkpoint(dir, idx as u64, &st, &hook, &metrics) {
+                    Ok(bytes) => bytes,
+                    Err(e) => {
+                        // A checkpoint-site crash (or write failure) still
+                        // leaves a post-mortem trail on disk.
+                        if let Some(tel) = telemetry.as_mut() {
+                            tel.crash_flush(st.sim.now_secs());
+                        }
+                        return Err(e);
+                    }
+                };
                 st.checkpoint_stats.writes += 1;
                 st.checkpoint_stats.bytes_written += bytes;
                 chunks_since_ckpt = 0;
@@ -850,9 +1083,23 @@ fn run_chunk_loop(
                 .gauge("checkpoint.staleness")
                 .set(chunks_since_ckpt as f64 / ckpt_every as f64);
         }
+        // Telemetry sampling tick: after the checkpoint block (so the
+        // staleness gauge is current) and before the chunk-boundary crash
+        // check (so a crashed run's last flushed sample covers this chunk).
+        if let Some(tel) = telemetry.as_mut() {
+            tel.chunks_since += 1;
+            if tel.chunks_since >= tel.every {
+                tel.chunks_since = 0;
+                export_mu_gauges(&metrics, config, &st);
+                tel.sample(&metrics, st.sim.now_secs())?;
+            }
+        }
         // A "chunk" crash kills the process at the chunk boundary, *after*
         // any due checkpoint write: that write's stats exclude the crash.
         if hook.crash_now(CrashSite::ChunkBoundary) {
+            if let Some(tel) = telemetry.as_mut() {
+                tel.crash_flush(st.sim.now_secs());
+            }
             return Err(DeploymentError::Crashed(CrashSite::ChunkBoundary));
         }
     }
@@ -862,7 +1109,15 @@ fn run_chunk_loop(
     if let Some(dir) = &ckpt_dir {
         if chunks_since_ckpt > 0 {
             if let Some(idx) = last_processed_idx {
-                let bytes = write_checkpoint(dir, idx, &st, &hook, &metrics)?;
+                let bytes = match write_checkpoint(dir, idx, &st, &hook, &metrics) {
+                    Ok(bytes) => bytes,
+                    Err(e) => {
+                        if let Some(tel) = telemetry.as_mut() {
+                            tel.crash_flush(st.sim.now_secs());
+                        }
+                        return Err(e);
+                    }
+                };
                 st.checkpoint_stats.writes += 1;
                 st.checkpoint_stats.bytes_written += bytes;
             }
@@ -875,45 +1130,43 @@ fn run_chunk_loop(
         metrics
             .counter("deployment.queries")
             .add(st.evaluator.count());
-        metrics
-            .gauge("pm.mu_observed")
-            .set(stats.utilization_rate());
-        // Analytical μ predictions (paper Eqs. 4/5) next to the observed
-        // rate: the gap quantifies how far the run's access pattern departs
-        // from the closed-form model. `MaxBytes` has no closed form in
-        // chunks, so only the chunk-count budgets get a prediction.
-        let strategy = match config.mode {
-            DeploymentMode::Continuous { strategy, .. } => strategy,
-            _ => SamplingStrategy::Uniform,
-        };
-        let total_n = st.dm.chunk_count();
-        let capacity_m = match config.optimization.budget {
-            StorageBudget::MaxChunks(m) => Some(m.min(total_n)),
-            StorageBudget::Unbounded => Some(total_n),
-            StorageBudget::MaxBytes(_) => None,
-        };
-        if let Some(m) = capacity_m {
-            metrics.gauge("pm.mu_uniform").set(mu_uniform(m, total_n));
-            if let SamplingStrategy::WindowBased { window } = strategy {
-                if total_n > 0 {
-                    let w = window.clamp(1, total_n);
-                    metrics.gauge("pm.mu_window").set(mu_window(m, w, total_n));
-                }
+    }
+    export_mu_gauges(&metrics, config, &st);
+    // Final telemetry tick: sample the end-of-run state when the cadence
+    // missed it, then make the full timeline durable.
+    if let Some(tel) = telemetry.as_mut() {
+        let at = st.sim.now_secs();
+        if tel.chunks_since != 0 {
+            tel.chunks_since = 0;
+            tel.sample(&metrics, at)?;
+        }
+        if let Some(rec) = tel.recorder.as_mut() {
+            if tel.samples_since_flush > 0 {
+                rec.flush(&tel.store, &tel.alerts, at)
+                    .map_err(|e| DeploymentError::Storage(StorageError::Io(e)))?;
+                tel.samples_since_flush = 0;
             }
         }
     }
-    // SLA alerting runs over the metrics snapshot alone, so the fired set
-    // (and the `alert.fired` events it appends) is identical with tracing
-    // on or off.
-    let alerts = if metrics.is_enabled() {
-        let monitor = AlertMonitor::deployment_defaults(config.chunk_period_secs);
-        let fired = monitor.evaluate(&metrics.snapshot(), st.sim.now_secs());
-        for alert in &fired {
-            metrics.event("alert.fired", alert.message());
+    // SLA alerting: with telemetry enabled the stateful per-sample monitors
+    // already accumulated the (cooldown-deduplicated) fired set; otherwise
+    // the stateless default monitor runs once over the final snapshot. In
+    // both cases the fired set is identical with tracing on or off.
+    let (alerts, telemetry_store) = match telemetry {
+        Some(tel) => (tel.alerts, tel.store),
+        None => {
+            let alerts = if metrics.is_enabled() {
+                let monitor = AlertMonitor::deployment_defaults(config.chunk_period_secs);
+                let fired = monitor.evaluate(&metrics.snapshot(), st.sim.now_secs());
+                for alert in &fired {
+                    metrics.event("alert.fired", alert.message());
+                }
+                fired
+            } else {
+                Vec::new()
+            };
+            (alerts, TelemetryStore::default())
         }
-        fired
-    } else {
-        Vec::new()
     };
     run_span.finish();
     Ok(DeploymentResult {
@@ -945,8 +1198,44 @@ fn run_chunk_loop(
         metrics: metrics.snapshot(),
         trace: tracer.snapshot(),
         alerts,
+        telemetry: telemetry_store,
         checkpoint_stats: st.checkpoint_stats,
     })
+}
+
+/// Exports the observed materialization utilization rate μ and its
+/// analytical predictions (paper Eqs. 4/5) as gauges. Called at every
+/// telemetry sampling tick — so the `slo.mu_divergence_burn` rule watches a
+/// live signal — and once at end of run. The gap between observed and
+/// predicted quantifies how far the run's access pattern departs from the
+/// closed-form model; `MaxBytes` has no closed form in chunks, so only the
+/// chunk-count budgets get a prediction.
+fn export_mu_gauges(metrics: &Metrics, config: &DeploymentConfig, st: &LoopState) {
+    if !metrics.is_enabled() {
+        return;
+    }
+    metrics
+        .gauge("pm.mu_observed")
+        .set(st.dm.stats().utilization_rate());
+    let strategy = match config.mode {
+        DeploymentMode::Continuous { strategy, .. } => strategy,
+        _ => SamplingStrategy::Uniform,
+    };
+    let total_n = st.dm.chunk_count();
+    let capacity_m = match config.optimization.budget {
+        StorageBudget::MaxChunks(m) => Some(m.min(total_n)),
+        StorageBudget::Unbounded => Some(total_n),
+        StorageBudget::MaxBytes(_) => None,
+    };
+    if let Some(m) = capacity_m {
+        metrics.gauge("pm.mu_uniform").set(mu_uniform(m, total_n));
+        if let SamplingStrategy::WindowBased { window } = strategy {
+            if total_n > 0 {
+                let w = window.clamp(1, total_n);
+                metrics.gauge("pm.mu_window").set(mu_window(m, w, total_n));
+            }
+        }
+    }
 }
 
 /// Assembles and durably writes one checkpoint, returning the bytes

@@ -110,6 +110,7 @@ impl AlertRule {
             value,
             threshold: self.threshold,
             at_secs,
+            fired_count: 1,
         })
     }
 }
@@ -125,6 +126,10 @@ pub struct Alert {
     pub threshold: f64,
     /// Clock seconds when the evaluation ran.
     pub at_secs: f64,
+    /// How many times this rule has fired so far, including this alert
+    /// (always 1 from the stateless [`AlertMonitor::evaluate`]; cumulative
+    /// from the stateful [`AlertMonitor::observe`]).
+    pub fired_count: u64,
 }
 
 impl Alert {
@@ -137,14 +142,53 @@ impl Alert {
     }
 }
 
+/// Per-rule firing state shared by the threshold and burn-rate monitors:
+/// when the rule last fired and how many firings were admitted.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct FireState {
+    last_fired_at_secs: Option<f64>,
+    pub(crate) fired_count: u64,
+    pub(crate) suppressed_count: u64,
+}
+
+impl FireState {
+    /// Admits a firing at `at_secs` unless the rule is still inside its
+    /// cooldown; counts the decision either way.
+    pub(crate) fn admit(&mut self, at_secs: f64, cooldown_secs: f64) -> bool {
+        let in_cooldown = self
+            .last_fired_at_secs
+            .is_some_and(|last| at_secs - last < cooldown_secs);
+        if in_cooldown {
+            self.suppressed_count += 1;
+            false
+        } else {
+            self.last_fired_at_secs = Some(at_secs);
+            self.fired_count += 1;
+            true
+        }
+    }
+}
+
 /// A set of threshold rules evaluated together.
+///
+/// [`evaluate`](Self::evaluate) is stateless: it reports every breaching
+/// rule, every time — right for a single end-of-run sweep, an alert storm
+/// when called repeatedly while a condition persists. Live evaluation goes
+/// through [`observe`](Self::observe), which tracks per-rule state: a rule
+/// that fired re-fires only after [`with_cooldown`](Self::with_cooldown)
+/// clock seconds have passed (`f64::INFINITY`, the telemetry default,
+/// dedups to one firing per run), and each admitted alert carries its
+/// rule's cumulative [`fired_count`](Alert::fired_count) — so
+/// `DeploymentResult::alerts` stays bounded no matter how long the run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct AlertMonitor {
     rules: Vec<AlertRule>,
+    cooldown_secs: f64,
+    state: Vec<FireState>,
 }
 
 impl AlertMonitor {
-    /// An empty monitor.
+    /// An empty monitor with no cooldown.
     pub fn new() -> Self {
         Self::default()
     }
@@ -156,17 +200,64 @@ impl AlertMonitor {
         self
     }
 
+    /// Sets the per-rule refire cooldown in clock seconds (builder style).
+    /// Only [`observe`](Self::observe) honors it; `f64::INFINITY` dedups
+    /// each rule to a single firing.
+    #[must_use]
+    pub fn with_cooldown(mut self, cooldown_secs: f64) -> Self {
+        self.cooldown_secs = cooldown_secs.max(0.0);
+        self
+    }
+
     /// The configured rules.
     pub fn rules(&self) -> &[AlertRule] {
         &self.rules
     }
 
+    /// Times rule `name` has fired through [`observe`](Self::observe).
+    pub fn fired_count(&self, name: &str) -> u64 {
+        self.rules
+            .iter()
+            .zip(self.state.iter())
+            .find(|(r, _)| r.name == name)
+            .map_or(0, |(_, s)| s.fired_count)
+    }
+
+    /// Firings of rule `name` suppressed by the cooldown.
+    pub fn suppressed_count(&self, name: &str) -> u64 {
+        self.rules
+            .iter()
+            .zip(self.state.iter())
+            .find(|(r, _)| r.name == name)
+            .map_or(0, |(_, s)| s.suppressed_count)
+    }
+
     /// Evaluates every rule against `snap`; fired alerts in rule order.
+    /// Stateless — repeated calls re-fire persistent breaches; use
+    /// [`observe`](Self::observe) for live evaluation.
     pub fn evaluate(&self, snap: &MetricsSnapshot, at_secs: f64) -> Vec<Alert> {
         self.rules
             .iter()
             .filter_map(|r| r.check(snap, at_secs))
             .collect()
+    }
+
+    /// Evaluates every rule against `snap`, suppressing rules still inside
+    /// their cooldown; admitted alerts in rule order, each stamped with its
+    /// rule's cumulative `fired_count`.
+    pub fn observe(&mut self, snap: &MetricsSnapshot, at_secs: f64) -> Vec<Alert> {
+        self.state.resize_with(self.rules.len(), FireState::default);
+        let mut fired = Vec::new();
+        for (rule, state) in self.rules.iter().zip(self.state.iter_mut()) {
+            let Some(mut alert) = rule.check(snap, at_secs) else {
+                continue;
+            };
+            if state.admit(at_secs, self.cooldown_secs) {
+                alert.fired_count = state.fired_count;
+                fired.push(alert);
+            }
+        }
+        fired
     }
 
     /// The deployment loop's default SLA rules over metrics exported since
@@ -367,6 +458,46 @@ mod tests {
         metrics.gauge("serving.staleness_secs").set(1.5);
         let monitor = AlertMonitor::serving_defaults(0.050, 60.0);
         assert!(monitor.evaluate(&metrics.snapshot(), 0.0).is_empty());
+    }
+
+    #[test]
+    fn observe_dedups_a_persistently_breaching_gauge() {
+        // Regression: the stateless `evaluate` re-fires the same rule on
+        // every call while the condition holds, so a long run polling it
+        // per chunk would grow `DeploymentResult::alerts` without bound.
+        let metrics = Metrics::collecting();
+        metrics.gauge("checkpoint.staleness").set(5.0);
+        let snap = metrics.snapshot();
+        let monitor = AlertMonitor::deployment_defaults(1.0);
+        let stateless: usize = (0..100)
+            .map(|t| monitor.evaluate(&snap, t as f64).len())
+            .sum();
+        assert_eq!(stateless, 100, "stateless evaluation re-fires every call");
+
+        // Infinite cooldown: exactly one admitted firing over 100 polls.
+        let mut deduped = AlertMonitor::deployment_defaults(1.0).with_cooldown(f64::INFINITY);
+        let fired: Vec<Alert> = (0..100)
+            .flat_map(|t| deduped.observe(&snap, t as f64))
+            .collect();
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].rule, "checkpoint.staleness");
+        assert_eq!(fired[0].fired_count, 1);
+        assert_eq!(deduped.fired_count("checkpoint.staleness"), 1);
+        assert_eq!(deduped.suppressed_count("checkpoint.staleness"), 99);
+
+        // Finite cooldown: re-fires once per cooldown period, with a
+        // cumulative fired_count on each admitted alert.
+        let mut cooled = AlertMonitor::deployment_defaults(1.0).with_cooldown(10.0);
+        let fired: Vec<Alert> = (0..100)
+            .flat_map(|t| cooled.observe(&snap, t as f64))
+            .collect();
+        assert_eq!(fired.len(), 10);
+        assert_eq!(fired.last().unwrap().fired_count, 10);
+        assert_eq!(cooled.fired_count("checkpoint.staleness"), 10);
+
+        // A healthy snapshot resets nothing but fires nothing either.
+        metrics.gauge("checkpoint.staleness").set(0.0);
+        assert!(cooled.observe(&metrics.snapshot(), 1000.0).is_empty());
     }
 
     #[test]

@@ -38,16 +38,29 @@ mod chrome;
 mod clock;
 mod flame;
 mod lineage;
+mod recorder;
 mod registry;
+mod slo;
 mod snapshot;
+mod timeseries;
 mod trace;
 
 pub use alerts::{Alert, AlertMonitor, AlertOp, AlertRule, AlertSignal};
 pub use chrome::validate_chrome_trace;
 pub use clock::{Clock, VirtualClock, WallClock};
 pub use lineage::{LineageEntry, LineageEventKind, LINEAGE_CAPACITY};
+pub use recorder::{
+    decode_segment, list_segment_files, load_segments, segment_file_name, FlightRecorder,
+    SegmentError, SegmentHistogram, SegmentScan, TelemetrySegment, SEGMENT_EXT, SEGMENT_MAGIC,
+    SEGMENT_VERSION,
+};
 pub use registry::{Counter, Gauge, Histogram, Span, EVENT_LOG_CAPACITY, LATENCY_BOUNDS};
+pub use slo::{BudgetSignal, BurnRule, SloMonitor};
 pub use snapshot::{Event, HistogramSnapshot, MetricsSnapshot};
+pub use timeseries::{
+    HistogramFrame, HistogramSeries, SamplePoint, TelemetryStore, TimeSeries, WindowStats,
+    DEFAULT_SERIES_CAPACITY,
+};
 pub use trace::{
     SpanContext, SpanId, SpanRecord, TraceId, TraceSnapshot, TraceSpan, Tracer,
     SPAN_BUFFER_CAPACITY,
@@ -250,6 +263,60 @@ mod tests {
         assert_eq!(hist.buckets.iter().sum::<u64>(), hist.count);
         assert_eq!(hist.buckets, vec![1, 1, 0]);
         assert_eq!(hist.dropped, 0);
+    }
+
+    #[test]
+    fn histogram_quantile_interpolates_within_buckets() {
+        let metrics = Metrics::collecting();
+        let h = metrics.histogram_with_bounds("lat", &[0.1, 1.0]);
+        // 4 observations in bucket 0 (≤0.1), 4 in bucket 1 ((0.1, 1.0]).
+        for v in [0.02, 0.04, 0.06, 0.1, 0.2, 0.5, 1.0, 1.0] {
+            h.observe(v);
+        }
+        // p50 target rank 4.0 lands exactly at bucket 0's upper edge.
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((p50 - 0.1).abs() < 1e-12, "p50 = {p50}");
+        // p75 target rank 6.0 = halfway through bucket 1: 0.1 + (2/4)*0.9.
+        let p75 = h.quantile(0.75).unwrap();
+        assert!((p75 - 0.55).abs() < 1e-12, "p75 = {p75}");
+        // q=0 clamps to the recorded min; q=1 to the recorded max.
+        assert!((h.quantile(0.0).unwrap() - 0.02).abs() < 1e-12);
+        assert!((h.quantile(1.0).unwrap() - 1.0).abs() < 1e-12);
+        // Out-of-range q is rejected, not clamped.
+        assert_eq!(h.quantile(-0.1), None);
+        assert_eq!(h.quantile(1.1), None);
+        // The interpolated estimate never exceeds the bucket upper bound.
+        let snap = metrics.snapshot();
+        let hist = snap.histogram("lat").unwrap();
+        assert!(hist.quantile_interp(0.5).unwrap() <= hist.quantile(0.5).unwrap());
+    }
+
+    #[test]
+    fn histogram_quantile_handles_overflow_and_dropped_samples() {
+        let metrics = Metrics::collecting();
+        let h = metrics.histogram_with_bounds("tail", &[0.1]);
+        // Overflow-bucket observations interpolate between the last bound
+        // and the recorded max.
+        h.observe(0.05);
+        h.observe(2.0);
+        h.observe(4.0);
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((0.1..=4.0).contains(&p99), "p99 = {p99}");
+        assert!((h.quantile(1.0).unwrap() - 4.0).abs() < 1e-12);
+        // NaN/∞ are dropped, never bucketed: quantiles are unperturbed and
+        // the drop is visible in the snapshot.
+        let before = h.quantile(0.5);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(f64::NEG_INFINITY);
+        assert_eq!(h.quantile(0.5), before);
+        let snap = metrics.snapshot();
+        let hist = snap.histogram("tail").unwrap();
+        assert_eq!(hist.dropped, 3);
+        assert_eq!(hist.count, 3);
+        // Empty and disabled histograms yield no quantile.
+        assert_eq!(metrics.histogram("empty").quantile(0.5), None);
+        assert_eq!(Metrics::disabled().histogram("off").quantile(0.5), None);
     }
 
     #[test]

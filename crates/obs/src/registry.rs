@@ -347,6 +347,18 @@ impl Histogram {
             cell.observe(value);
         }
     }
+
+    /// Interpolated `q`-quantile estimate from the live bucket counts
+    /// (see [`HistogramSnapshot::quantile_interp`]). `None` for a disabled
+    /// handle, an empty histogram, or `q` outside `[0, 1]`.
+    ///
+    /// [`HistogramSnapshot::quantile_interp`]:
+    /// crate::HistogramSnapshot::quantile_interp
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.0
+            .as_ref()
+            .and_then(|cell| cell.snapshot().quantile_interp(q))
+    }
 }
 
 /// A running span: records the elapsed clock time into its histogram when

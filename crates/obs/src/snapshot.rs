@@ -70,6 +70,62 @@ impl HistogramSnapshot {
         }
         Some(self.max)
     }
+
+    /// Interpolated estimate of the `q`-quantile: linear interpolation
+    /// within the bucket containing the target rank, using the recorded
+    /// min/max as the outer bucket edges, clamped to `[min, max]`. A far
+    /// tighter estimate than [`quantile`](Self::quantile)'s upper bound —
+    /// exact when observations are uniform within their bucket. Non-finite
+    /// observations were never bucketed ([`dropped`](Self::dropped)), so
+    /// they cannot perturb the estimate. `None` when the histogram is empty
+    /// or `q` is outside `[0, 1]`.
+    pub fn quantile_interp(&self, q: f64) -> Option<f64> {
+        interp_quantile(&self.bounds, &self.buckets, q, self.min, self.max)
+    }
+}
+
+/// Shared quantile interpolation over fixed bucket counts.
+///
+/// Treats each bucket as uniform mass on `(lower, upper]`, with `lo` as the
+/// lower edge of the first bucket and `hi` as the upper edge of the overflow
+/// bucket; the result is clamped to `[lo, hi]`. Snapshots pass their
+/// recorded min/max; windowed series (which only retain bucket counts) pass
+/// the outer bounds, so their estimates saturate there.
+pub(crate) fn interp_quantile(
+    bounds: &[f64],
+    buckets: &[u64],
+    q: f64,
+    lo: f64,
+    hi: f64,
+) -> Option<f64> {
+    if !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let count: u64 = buckets.iter().sum();
+    if count == 0 {
+        return None;
+    }
+    let target = q * count as f64;
+    let mut cumulative = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let below = cumulative as f64;
+        cumulative += c;
+        if (cumulative as f64) >= target {
+            let bucket_lo = if i == 0 { lo } else { bounds[i - 1].max(lo) };
+            let bucket_hi = if i < bounds.len() {
+                bounds[i].min(hi)
+            } else {
+                hi
+            };
+            let bucket_hi = bucket_hi.max(bucket_lo);
+            let fraction = ((target - below) / c as f64).clamp(0.0, 1.0);
+            return Some((bucket_lo + fraction * (bucket_hi - bucket_lo)).clamp(lo, hi));
+        }
+    }
+    Some(hi)
 }
 
 /// A point-in-time copy of every metric in a registry.
@@ -235,7 +291,7 @@ impl MetricsSnapshot {
     }
 }
 
-fn push_entries<T>(
+pub(crate) fn push_entries<T>(
     out: &mut String,
     entries: impl Iterator<Item = T>,
     write_one: impl Fn(&mut String, T),
@@ -250,7 +306,7 @@ fn push_entries<T>(
 
 /// RFC 4180 field quoting: wrap in quotes (doubling embedded quotes) when
 /// the value contains a comma, quote, or line break.
-fn escape_csv(s: &str) -> String {
+pub(crate) fn escape_csv(s: &str) -> String {
     if s.contains([',', '"', '\n', '\r']) {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
@@ -259,7 +315,7 @@ fn escape_csv(s: &str) -> String {
 }
 
 /// JSON has no NaN/Infinity literals; encode them as null.
-fn json_num(value: f64) -> String {
+pub(crate) fn json_num(value: f64) -> String {
     if value.is_finite() {
         format!("{value}")
     } else {
@@ -267,7 +323,7 @@ fn json_num(value: f64) -> String {
     }
 }
 
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

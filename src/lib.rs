@@ -67,7 +67,8 @@ pub mod prelude {
         resume_deployment, run_deployment, try_resume_deployment, try_resume_deployment_observed,
         try_resume_deployment_traced, try_run_deployment, try_run_deployment_observed,
         try_run_deployment_traced, CheckpointConfig, CheckpointStats, DeploymentConfig,
-        DeploymentError, DeploymentMode, DeploymentResult, OptimizationConfig,
+        DeploymentError, DeploymentMode, DeploymentResult, OptimizationConfig, RecorderConfig,
+        TelemetryConfig,
     };
     pub use cdp_core::presets::{taxi_spec, url_spec, DeploymentSpec, SpecScale};
     pub use cdp_core::scheduler::Scheduler;
@@ -79,7 +80,8 @@ pub mod prelude {
     pub use cdp_faults::{CrashSite, FaultPlan, FaultStats};
     pub use cdp_ml::{LossKind, OptimizerKind, Regularizer, SgdConfig};
     pub use cdp_obs::{
-        Alert, AlertMonitor, LineageEventKind, Metrics, MetricsSnapshot, TraceSnapshot, Tracer,
+        load_segments, Alert, AlertMonitor, BurnRule, FlightRecorder, LineageEventKind, Metrics,
+        MetricsSnapshot, SloMonitor, TelemetrySegment, TelemetryStore, TraceSnapshot, Tracer,
         VirtualClock, WallClock,
     };
     pub use cdp_sampling::SamplingStrategy;
