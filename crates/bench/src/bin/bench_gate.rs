@@ -139,6 +139,26 @@ fn measure() -> Vec<(&'static str, f64)> {
         },
     );
 
+    // Group commit must keep paying for itself: the batched WAL (64
+    // records/fsync) against the unbatched WAL (fsync per append) on the
+    // same deployment. Each run gets a fresh directory — WAL appends are
+    // idempotent by sequence number, so re-running over an existing log
+    // would skip every write and time nothing.
+    let wal_root = std::env::temp_dir().join(format!("cdp-bench-gate-wal-{}", std::process::id()));
+    let wal_run = |batch: usize| {
+        let dir = wal_root.join(format!("batch-{batch}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = tel_disabled.clone();
+        cfg.wal = Some(
+            cdp_core::deployment::WalConfig::new(&dir)
+                .fsync_every(batch)
+                .group_window(0.0),
+        );
+        cdp_core::deployment::run_deployment(&tel_stream, &tel_spec, &cfg);
+    };
+    let wal_ratio = paired_floor_ratio(|| wal_run(64), || wal_run(1));
+    let _ = std::fs::remove_dir_all(&wal_root);
+
     vec![
         ("fused_over_unfused", fused_ratio),
         ("steal_over_fixed", steal_ratio),
@@ -146,6 +166,7 @@ fn measure() -> Vec<(&'static str, f64)> {
         ("store_columnar_over_row", store_ratio),
         ("serving_storm_over_quiet", serving_ratio),
         ("telemetry_enabled_over_disabled", telemetry_ratio),
+        ("wal_batched_over_unbatched", wal_ratio),
     ]
 }
 

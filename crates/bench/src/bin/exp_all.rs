@@ -22,6 +22,7 @@ fn main() {
             exp::fault_recovery::run(scale, out),
             exp::checkpoint::run(scale, out),
             exp::telemetry::run(scale, out),
+            exp::ingest::run(scale, out),
         ];
         sections.join("\n============================================================\n\n")
     });

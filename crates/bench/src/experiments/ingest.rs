@@ -1,0 +1,288 @@
+//! WAL-backed ingest: durability cost across group-commit batch sizes, and
+//! the deployment scenarios driven end-to-end through the WAL.
+//!
+//! Part 1 sweeps the group-commit batch (`fsync_every` ∈ {1, 8, 64}) on the
+//! Continuous URL workload against a WAL-off baseline, recording wall-clock
+//! overhead, appends per durable commit, and rotation/GC activity — the
+//! batched-vs-unbatched ratio this table reports is the same quantity the
+//! `wal_batched_over_unbatched` bench-gate ratio guards.
+//!
+//! Part 2 runs the arrival scenarios (sudden drift, recurring drift, bursty
+//! arrivals, out-of-order chunks) end-to-end with the WAL enabled on the
+//! simulated clock, writing each run's prequential-error trajectory so drift
+//! response is inspectable chunk by chunk.
+
+use std::path::Path;
+
+use cdp_core::deployment::{run_deployment, DeploymentConfig, DeploymentResult, WalConfig};
+use cdp_core::presets::{url_spec, DeploymentSpec, SpecScale};
+use cdp_core::report::{fmt_f, Table};
+use cdp_datagen::scenarios::{BurstyArrivals, OutOfOrderArrivals, RecurringDrift, SuddenDrift};
+use cdp_datagen::ChunkStream;
+use cdp_sampling::SamplingStrategy;
+use cdp_storage::StorageBudget;
+
+/// The sweep the experiment and the bench gate agree on.
+pub const FSYNC_BATCHES: [usize; 3] = [1, 8, 64];
+
+fn workload(spec: &DeploymentSpec) -> DeploymentConfig {
+    let mut config = DeploymentConfig::continuous(
+        spec.proactive_every,
+        spec.sample_chunks,
+        SamplingStrategy::Uniform,
+    );
+    config.optimization.budget = StorageBudget::MaxChunks(8);
+    config.collect_metrics = true;
+    config.engine = crate::engine();
+    config
+}
+
+/// WAL config for one sweep point: pure batch-driven commits (the simulated
+/// group-commit window is disabled so `fsync_every` alone sets the batch).
+fn wal_point(dir: &Path, fsync_every: usize) -> WalConfig {
+    WalConfig::new(dir)
+        .fsync_every(fsync_every)
+        .group_window(0.0)
+        .segment_bytes(64 * 1024)
+}
+
+fn identical(a: &DeploymentResult, b: &DeploymentResult) -> bool {
+    a.final_weights == b.final_weights
+        && a.error_curve == b.error_curve
+        && a.total_secs.to_bits() == b.total_secs.to_bits()
+}
+
+fn write_json(
+    scale: SpecScale,
+    baseline_wall: f64,
+    points: &[(usize, f64, DeploymentResult)],
+    scenarios: &[(&str, DeploymentResult)],
+    all_identical: bool,
+    path: &Path,
+) {
+    let point_rows: Vec<String> = points
+        .iter()
+        .map(|(batch, wall, run)| {
+            let s = &run.wal_stats;
+            format!(
+                "    {{\"fsync_every\": {batch}, \"wall_secs\": {wall:.6}, \
+                 \"overhead\": {:.3}, \"appends\": {}, \"commits\": {}, \
+                 \"records_per_commit\": {:.2}, \"bytes_committed\": {}, \
+                 \"rotations\": {}, \"segments_gced\": {}}}",
+                wall / baseline_wall.max(1e-9),
+                s.appends,
+                s.commits,
+                s.appends as f64 / (s.commits.max(1)) as f64,
+                s.bytes_committed,
+                s.rotations,
+                s.segments_gced
+            )
+        })
+        .collect();
+    let scenario_rows: Vec<String> = scenarios
+        .iter()
+        .map(|(name, run)| {
+            format!(
+                "    {{\"scenario\": \"{name}\", \"final_error\": {:.6}, \
+                 \"accounted_secs\": {:.3}, \"wal_appends\": {}, \
+                 \"wal_commits\": {}, \"alerts\": {}}}",
+                run.final_error,
+                run.total_secs,
+                run.wal_stats.appends,
+                run.wal_stats.commits,
+                run.alerts.len()
+            )
+        })
+        .collect();
+    let batched_over_unbatched = points.last().map(|(_, w, _)| *w).unwrap_or(0.0)
+        / points.first().map(|(_, w, _)| *w).unwrap_or(1.0).max(1e-9);
+    let json = format!(
+        "{{\n  \"experiment\": \"ingest\",\n  \"scale\": \"{scale:?}\",\n  \
+         \"baseline_wall_secs\": {baseline_wall:.6},\n  \
+         \"batched_over_unbatched\": {batched_over_unbatched:.3},\n  \
+         \"bit_identical\": {all_identical},\n  \"sweep\": [\n{}\n  ],\n  \
+         \"scenarios\": [\n{}\n  ]\n}}\n",
+        point_rows.join(",\n"),
+        scenario_rows.join(",\n")
+    );
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let _ = std::fs::write(path, json);
+}
+
+/// Runs the fsync-batch sweep and the scenario suite on the URL pipeline,
+/// writing `ingest.csv`, `ingest_scenarios.csv`,
+/// `ingest_scenario_trajectories.csv`, and `BENCH_ingest.json` into
+/// `out_dir` (WAL segments land under `ingest-wal/` and are cleaned up).
+pub fn run(scale: SpecScale, out_dir: &Path) -> String {
+    let (stream, spec) = url_spec(scale);
+    let base = workload(&spec);
+    let baseline = run_deployment(&stream, &spec, &base);
+
+    let wal_root = out_dir.join("ingest-wal");
+    let mut points: Vec<(usize, f64, DeploymentResult)> = Vec::new();
+    let mut all_identical = true;
+    for batch in FSYNC_BATCHES {
+        let dir = wal_root.join(format!("batch-{batch}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = base.clone();
+        config.wal = Some(wal_point(&dir, batch));
+        let run = run_deployment(&stream, &spec, &config);
+        all_identical &= identical(&baseline, &run);
+        points.push((batch, run.wall_secs, run));
+    }
+
+    // Scenario suite: each wrapper over the same URL stream, WAL enabled at
+    // the default batch, deterministic on the virtual clock.
+    let wrapped: [(&str, Box<dyn ChunkStream>); 4] = [
+        ("sudden-drift", {
+            let (s, _) = url_spec(scale);
+            let cut = s.initial_chunks() + (s.total_chunks() - s.initial_chunks()) / 2;
+            Box::new(SuddenDrift::new(s, cut))
+        }),
+        ("recurring-drift", {
+            let (s, _) = url_spec(scale);
+            Box::new(RecurringDrift::new(s, 6))
+        }),
+        ("bursty-arrivals", {
+            let (s, _) = url_spec(scale);
+            Box::new(BurstyArrivals::new(s, 41, 4, 0.3))
+        }),
+        ("out-of-order", {
+            let (s, _) = url_spec(scale);
+            Box::new(OutOfOrderArrivals::new(s, 41, 4))
+        }),
+    ];
+    let mut trajectories = Table::new(["scenario", "chunk", "error", "cost s"]);
+    let mut scenario_rows: Vec<(&str, DeploymentResult)> = Vec::new();
+    for (name, scenario) in &wrapped {
+        let dir = wal_root.join(format!("scenario-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = base.clone();
+        config.wal = Some(wal_point(&dir, 8));
+        let run = run_deployment(scenario.as_ref(), &spec, &config);
+        for (i, (chunk, err)) in run.error_curve.iter().enumerate() {
+            let cost = run.cost_curve.get(i).map(|(_, c)| *c).unwrap_or(0.0);
+            trajectories.row([
+                (*name).to_owned(),
+                chunk.to_string(),
+                fmt_f(*err, 6),
+                fmt_f(cost, 3),
+            ]);
+        }
+        scenario_rows.push((name, run));
+    }
+    let _ = std::fs::remove_dir_all(&wal_root);
+
+    let mut table = Table::new([
+        "fsync batch",
+        "wall s",
+        "overhead",
+        "appends",
+        "commits",
+        "rec/commit",
+        "rotations",
+        "gced",
+    ]);
+    table.row([
+        "off".into(),
+        fmt_f(baseline.wall_secs, 4),
+        "1.00".into(),
+        "0".into(),
+        "0".into(),
+        "-".into(),
+        "0".into(),
+        "0".into(),
+    ]);
+    for (batch, wall, run) in &points {
+        let s = &run.wal_stats;
+        table.row([
+            batch.to_string(),
+            fmt_f(*wall, 4),
+            fmt_f(*wall / baseline.wall_secs.max(1e-9), 2),
+            s.appends.to_string(),
+            s.commits.to_string(),
+            fmt_f(s.appends as f64 / (s.commits.max(1)) as f64, 2),
+            s.rotations.to_string(),
+            s.segments_gced.to_string(),
+        ]);
+    }
+
+    let mut scen_table = Table::new([
+        "scenario",
+        "final error",
+        "cost s",
+        "wal appends",
+        "wal commits",
+        "alerts",
+    ]);
+    for (name, run) in &scenario_rows {
+        scen_table.row([
+            (*name).to_owned(),
+            fmt_f(run.final_error, 4),
+            fmt_f(run.total_secs, 1),
+            run.wal_stats.appends.to_string(),
+            run.wal_stats.commits.to_string(),
+            run.alerts.len().to_string(),
+        ]);
+    }
+
+    let _ = std::fs::create_dir_all(out_dir);
+    crate::write_csv(&table, out_dir.join("ingest.csv"));
+    crate::write_csv(&scen_table, out_dir.join("ingest_scenarios.csv"));
+    crate::write_csv(
+        &trajectories,
+        out_dir.join("ingest_scenario_trajectories.csv"),
+    );
+    write_json(
+        scale,
+        baseline.wall_secs,
+        &points,
+        &scenario_rows
+            .iter()
+            .map(|(n, r)| (*n, r.clone()))
+            .collect::<Vec<_>>(),
+        all_identical,
+        &out_dir.join("BENCH_ingest.json"),
+    );
+
+    let batched = points.last().map(|(_, w, _)| *w).unwrap_or(0.0);
+    let unbatched = points.first().map(|(_, w, _)| *w).unwrap_or(1.0);
+    format!(
+        "Ingest: WAL group-commit sweep on the Continuous URL deployment\n\
+         baseline (WAL off): {} s wall\n\n{}\n\
+         batched (64) over unbatched (1): {:.2}x wall\n\
+         WAL-enabled runs bit-identical to the baseline: {}\n\n\
+         Scenario suite (WAL on, fsync batch 8, virtual clock):\n{}\n",
+        fmt_f(baseline.wall_secs, 4),
+        table.render(),
+        batched / unbatched.max(1e-9),
+        all_identical,
+        scen_table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ingest_sweep_is_bit_identical_and_writes_artifacts() {
+        let dir = std::env::temp_dir().join(format!("cdp-ingest-bench-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = run(SpecScale::Tiny, &dir);
+        assert!(report.contains("WAL-enabled runs bit-identical to the baseline: true"));
+        assert!(dir.join("ingest.csv").exists());
+        assert!(dir.join("ingest_scenarios.csv").exists());
+        let traj = std::fs::read_to_string(dir.join("ingest_scenario_trajectories.csv")).unwrap();
+        assert!(traj.contains("sudden-drift"));
+        assert!(traj.contains("out-of-order"));
+        let json = std::fs::read_to_string(dir.join("BENCH_ingest.json")).unwrap();
+        assert!(json.contains("\"experiment\": \"ingest\""));
+        assert!(json.contains("\"bit_identical\": true"));
+        assert!(json.contains("\"fsync_every\": 64"));
+        assert!(json.contains("\"scenario\": \"bursty-arrivals\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -11,6 +11,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod ingest;
 pub mod serving;
 pub mod staleness;
 pub mod store;

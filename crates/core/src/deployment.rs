@@ -33,7 +33,10 @@ use cdp_obs::{
 use cdp_pipeline::drift::{DriftDetector, DriftStatus};
 use cdp_pipeline::PipelineError;
 use cdp_sampling::{mu_uniform, mu_window, SamplingStrategy};
-use cdp_storage::{CheckpointDir, StorageBudget, StorageError, StoreStats, TieredStats};
+use cdp_storage::{
+    CheckpointDir, RawChunk, StorageBudget, StorageError, StoreStats, TieredStats, WalDir,
+    WalOptions, WalStats, WalWriter,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::checkpoint::DeploymentCheckpoint;
@@ -140,6 +143,71 @@ impl CheckpointConfig {
     #[must_use]
     pub fn keep(mut self, keep: usize) -> Self {
         self.keep = keep;
+        self
+    }
+}
+
+/// Write-ahead logging of arriving chunks for a deployment run.
+///
+/// Checkpoints make the deployment *state* crash-consistent, but a chunk
+/// that arrives between two checkpoints exists only in memory until the
+/// next checkpoint covers it. When set on [`DeploymentConfig::wal`], every
+/// arriving raw chunk is appended to an on-disk write-ahead log (group
+/// committed every `fsync_every` records, or when the oldest buffered
+/// record ages past `group_window_secs` on the deployment's simulated
+/// clock) *before* the pipeline processes it. [`try_resume_deployment`]
+/// then replays checkpoint + WAL suffix — recovered records re-ordered by
+/// sequence number — and lands bit-identical to an uninterrupted run even
+/// when the crash falls between checkpoints. Segments are rotated at
+/// `segment_bytes` and retired as soon as a durable checkpoint covers every
+/// record they hold. `None` (the default) writes nothing, costs the hot
+/// path a single branch per chunk, and preserves the pre-existing
+/// checkpoint-boundary resume semantics exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalConfig {
+    /// Directory holding the numbered WAL segment files.
+    pub dir: PathBuf,
+    /// Records per group commit (1 = fsync every append). Clamped to at
+    /// least 1.
+    pub fsync_every: usize,
+    /// Maximum simulated age of the oldest buffered record before a commit
+    /// is forced regardless of batch fill (0 disables the window).
+    pub group_window_secs: f64,
+    /// Rotate to a fresh segment once the active one exceeds this many
+    /// bytes.
+    pub segment_bytes: u64,
+}
+
+impl WalConfig {
+    /// Log into `dir`, group-committing every 8 records or 1 simulated
+    /// second, rotating segments at 256 KiB.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            fsync_every: 8,
+            group_window_secs: 1.0,
+            segment_bytes: 256 * 1024,
+        }
+    }
+
+    /// Sets the group-commit batch size (builder style).
+    #[must_use]
+    pub fn fsync_every(mut self, fsync_every: usize) -> Self {
+        self.fsync_every = fsync_every;
+        self
+    }
+
+    /// Sets the group-commit window in simulated seconds (builder style).
+    #[must_use]
+    pub fn group_window(mut self, group_window_secs: f64) -> Self {
+        self.group_window_secs = group_window_secs;
+        self
+    }
+
+    /// Sets the segment rotation threshold in bytes (builder style).
+    #[must_use]
+    pub fn segment_bytes(mut self, segment_bytes: u64) -> Self {
+        self.segment_bytes = segment_bytes;
         self
     }
 }
@@ -328,6 +396,11 @@ pub struct DeploymentConfig {
     /// Crash-consistent checkpointing. `None` (the default) writes nothing
     /// and costs the hot path a single branch per chunk.
     pub checkpoint: Option<CheckpointConfig>,
+    /// Write-ahead logging of arriving chunks, so resume can replay the
+    /// suffix a crash would otherwise lose between checkpoints. `None` (the
+    /// default) writes nothing and costs the hot path a single branch per
+    /// chunk.
+    pub wal: Option<WalConfig>,
     /// Live telemetry: ring-buffered time series over every metric, SLO
     /// burn-rate alerting, and an optional crash-survivable flight
     /// recorder. Requires metrics collection to record anything; `None`
@@ -360,6 +433,7 @@ impl DeploymentConfig {
             collect_metrics: false,
             collect_traces: false,
             checkpoint: None,
+            wal: None,
             telemetry: None,
             serving: None,
         }
@@ -470,6 +544,12 @@ pub struct DeploymentResult {
     /// [`DeploymentConfig::checkpoint`]). Not part of the bit-identity
     /// contract — see [`CheckpointStats`].
     pub checkpoint_stats: CheckpointStats,
+    /// WAL appends/commits/rotations/recovery counters (all zero without
+    /// [`DeploymentConfig::wal`]). Not part of the bit-identity contract —
+    /// a resumed run legitimately commits and replays differently from the
+    /// uninterrupted run it otherwise reproduces.
+    #[serde(default)]
+    pub wal_stats: WalStats,
 }
 
 impl DeploymentResult {
@@ -689,16 +769,29 @@ pub fn try_run_deployment_traced(
     dm.store_mut().reset_stats();
 
     // ---- Deployment loop ----
+    // Simulated deployment clock: advances by exactly one chunk period
+    // per arriving chunk, independent of wall time, so scheduling
+    // decisions stay deterministic (the bit-identical contract). Shared
+    // with the WAL writer so group-commit windows run on simulated time.
+    let sim = Arc::new(VirtualClock::new());
+    let wal = match &config.wal {
+        Some(wc) => Some(open_wal(
+            wc,
+            &hook,
+            &sim,
+            &metrics,
+            stream.deployment_range().start as u64,
+            false,
+        )?),
+        None => None,
+    };
     let st = LoopState {
         dm,
         pm,
         evaluator,
         proactive,
         ledger: CostLedger::new(config.cost_model),
-        // Simulated deployment clock: advances by exactly one chunk period
-        // per arriving chunk, independent of wall time, so scheduling
-        // decisions stay deterministic (the bit-identical contract).
-        sim: VirtualClock::new(),
+        sim,
         chunks_since_training: 0,
         last_training_secs: 0.0,
         last_training_at_secs: 0.0,
@@ -713,6 +806,7 @@ pub fn try_run_deployment_traced(
         prev_count: 0,
         initial_report,
         checkpoint_stats: CheckpointStats::default(),
+        wal,
     };
     run_chunk_loop(
         stream,
@@ -736,7 +830,7 @@ struct LoopState {
     evaluator: PrequentialEvaluator,
     proactive: ProactiveTrainer,
     ledger: CostLedger,
-    sim: VirtualClock,
+    sim: Arc<VirtualClock>,
     chunks_since_training: usize,
     last_training_secs: f64,
     last_training_at_secs: f64,
@@ -749,6 +843,76 @@ struct LoopState {
     prev_count: u64,
     initial_report: TrainReport,
     checkpoint_stats: CheckpointStats,
+    wal: Option<WalRuntime>,
+}
+
+/// Live WAL state for a run: the append-side writer plus whatever recovery
+/// salvaged from the directory at open.
+struct WalRuntime {
+    writer: WalWriter,
+    /// Recovered records sorted by sequence number. A resumed run reads
+    /// arrivals from here first (falling back to the stream for anything
+    /// the WAL lost or never held) — which is what re-orders late and
+    /// out-of-order arrivals deterministically at replay.
+    replay: Vec<(u64, RawChunk)>,
+}
+
+impl WalRuntime {
+    fn replay_chunk(&self, seq: u64) -> Option<&RawChunk> {
+        self.replay
+            .binary_search_by_key(&seq, |(s, _)| *s)
+            .ok()
+            .map(|i| &self.replay[i].1)
+    }
+}
+
+/// Opens (recovering first) the WAL for a run starting at `start_seq`. The
+/// writer continues past everything already durable; `keep_replay` decides
+/// whether recovered records at or past `start_seq` are replayed into the
+/// loop (resume) or left to the stream (fresh run).
+fn open_wal(
+    wc: &WalConfig,
+    hook: &Arc<dyn FaultHook>,
+    clock: &Arc<VirtualClock>,
+    metrics: &Metrics,
+    start_seq: u64,
+    keep_replay: bool,
+) -> Result<WalRuntime, DeploymentError> {
+    let recovery = WalDir::open(&wc.dir)?.recover()?;
+    let clock: Arc<dyn Clock> = Arc::<VirtualClock>::clone(clock);
+    let mut writer = WalWriter::open(
+        &wc.dir,
+        WalOptions {
+            fsync_every: wc.fsync_every,
+            group_window_secs: wc.group_window_secs,
+            segment_bytes: wc.segment_bytes,
+            retry: RetryPolicy::default(),
+        },
+        Arc::clone(hook),
+        clock,
+        metrics.clone(),
+        recovery.next_seq().max(start_seq),
+    )?;
+    let replayed = if keep_replay {
+        recovery
+            .chunks
+            .iter()
+            .filter(|(s, _)| *s >= start_seq)
+            .count() as u64
+    } else {
+        0
+    };
+    writer.absorb_recovery(&recovery, replayed);
+    let replay = if keep_replay {
+        recovery
+            .chunks
+            .into_iter()
+            .filter(|(s, _)| *s >= start_seq)
+            .collect()
+    } else {
+        Vec::new()
+    };
+    Ok(WalRuntime { writer, replay })
 }
 
 /// Publishes the manager's current `(pipeline, model)` pair to an attached
@@ -878,12 +1042,43 @@ fn run_chunk_loop(
     };
 
     for idx in start_idx..stream.total_chunks() {
-        let raw = stream.chunk(idx);
+        // Arrival: on resume the recovered WAL suffix is authoritative
+        // (records re-ordered by sequence number); the stream covers
+        // anything the WAL lost or never held.
+        let raw = match st.wal.as_ref().and_then(|w| w.replay_chunk(idx as u64)) {
+            Some(chunk) => chunk.clone(),
+            None => stream.chunk(idx),
+        };
         st.sim.advance_secs(config.chunk_period_secs);
         let chunk_span = tracer.child_of("deployment.chunk", run_ctx);
         let chunk_ctx = chunk_span.context();
         st.pm.set_trace_scope(chunk_ctx);
         metrics.counter("deployment.chunks").inc();
+        // WAL first: the arrival must be durable (or at least buffered
+        // toward the next group commit) before any processing touches it.
+        if let Some(w) = st.wal.as_mut() {
+            w.writer.append(idx as u64, &raw)?;
+            // A "wal-append" crash kills the process mid-group-commit:
+            // half the buffered bytes reach the segment as a torn,
+            // unsynced tail that recovery must truncate.
+            if hook.crash_now(CrashSite::WalAppend) {
+                let _ = w.writer.crash_torn();
+                if let Some(tel) = telemetry.as_mut() {
+                    tel.crash_flush(st.sim.now_secs());
+                }
+                return Err(DeploymentError::Crashed(CrashSite::WalAppend));
+            }
+            // A "wal-rotate" crash kills the process mid-rotation: the
+            // next segment exists only as an orphaned `.tmp` file that
+            // recovery must ignore.
+            if hook.crash_now(CrashSite::WalRotate) {
+                let _ = w.writer.crash_rotation();
+                if let Some(tel) = telemetry.as_mut() {
+                    tel.crash_flush(st.sim.now_secs());
+                }
+                return Err(DeploymentError::Crashed(CrashSite::WalRotate));
+            }
+        }
         // Stage 1: discretized arrival into the store (raw history).
         st.dm.ingest_raw(raw.clone())?;
         // Stages 2 + prequential evaluation + online learning.
@@ -1076,6 +1271,14 @@ fn run_chunk_loop(
                 st.checkpoint_stats.writes += 1;
                 st.checkpoint_stats.bytes_written += bytes;
                 chunks_since_ckpt = 0;
+                // This checkpoint now owns every arrival up to `idx`: pin
+                // it against the keep-budget pruner (the live WAL suffix
+                // resumes from exactly this file) and retire the WAL
+                // segments it fully covers.
+                dir.pin(idx as u64);
+                if let Some(w) = st.wal.as_mut() {
+                    w.writer.gc(idx as u64)?;
+                }
             }
             // Staleness in units of the configured interval: > 2.0 fires
             // the `checkpoint.staleness` default alert rule.
@@ -1104,6 +1307,12 @@ fn run_chunk_loop(
         }
     }
 
+    // Clean shutdown: commit any buffered WAL tail so every arrival is
+    // durable regardless of the shutdown checkpoint below.
+    if let Some(w) = st.wal.as_mut() {
+        w.writer.flush()?;
+    }
+
     // Shutdown checkpoint: make the final state durable unless the last
     // periodic write already covered it (or nothing was processed).
     if let Some(dir) = &ckpt_dir {
@@ -1120,6 +1329,10 @@ fn run_chunk_loop(
                 };
                 st.checkpoint_stats.writes += 1;
                 st.checkpoint_stats.bytes_written += bytes;
+                dir.pin(idx);
+                if let Some(w) = st.wal.as_mut() {
+                    w.writer.gc(idx)?;
+                }
             }
         }
         metrics.gauge("checkpoint.staleness").set(0.0);
@@ -1200,6 +1413,11 @@ fn run_chunk_loop(
         alerts,
         telemetry: telemetry_store,
         checkpoint_stats: st.checkpoint_stats,
+        wal_stats: st
+            .wal
+            .as_ref()
+            .map(|w| w.writer.stats())
+            .unwrap_or_default(),
     })
 }
 
@@ -1546,7 +1764,7 @@ pub fn try_resume_deployment_traced(
     let ledger = CostLedger::from_parts(config.cost_model, ckpt.accounted, ckpt.cost_curve);
     let mut drift_monitor = DriftDetector::new(60, 12, 2.0, 3.0);
     drift_monitor.restore_windows(ckpt.drift_baseline, ckpt.drift_recent);
-    let sim = VirtualClock::new();
+    let sim = Arc::new(VirtualClock::new());
     sim.advance_secs(ckpt.now_secs);
     metrics.counter("checkpoint.restores").inc();
     metrics.event(
@@ -1556,6 +1774,25 @@ pub fn try_resume_deployment_traced(
             ckpt.chunk_idx
         ),
     );
+    // WAL recovery: everything durable past the checkpoint replays into
+    // the loop; the stream covers records the WAL lost (group-commit
+    // buffers, exhausted retries). The writer continues past the highest
+    // recovered sequence so replayed appends are idempotently skipped.
+    let wal = match &config.wal {
+        Some(wc) => {
+            let rt = open_wal(wc, &hook, &sim, &metrics, ckpt.chunk_idx + 1, true)?;
+            metrics.event(
+                "wal.recover",
+                format!(
+                    "replaying {} records after chunk {}",
+                    rt.replay.len(),
+                    ckpt.chunk_idx
+                ),
+            );
+            Some(rt)
+        }
+        None => None,
+    };
 
     let st = LoopState {
         dm,
@@ -1584,6 +1821,7 @@ pub fn try_resume_deployment_traced(
             bytes_written: ckpt.ckpt_bytes,
             restores: ckpt.ckpt_restores + 1,
         },
+        wal,
     };
     // Publish the *restored* pair before re-entering the loop: a server
     // attached to a resumed deployment serves the checkpointed version

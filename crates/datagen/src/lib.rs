@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod scenarios;
 pub mod taxi;
 pub mod url;
 

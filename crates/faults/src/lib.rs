@@ -52,6 +52,22 @@ pub enum DiskOp {
     Write,
 }
 
+/// Which write-ahead-log operation a fault decision applies to.
+///
+/// WAL faults are deliberately *not* counted into [`FaultStats`] — the WAL
+/// layer keeps its own accounting (`WalStats` in `cdp-storage`) because WAL
+/// degradation (a lost append falls back to stream replay) sits outside the
+/// bit-identity contract that `FaultStats` participates in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalOp {
+    /// Encoding + buffering one record into the group-commit window.
+    Append,
+    /// Flushing the pending group to the segment file (`fsync`).
+    Fsync,
+    /// Rotating to a fresh segment file.
+    Rotate,
+}
+
 /// The outcome of consulting the hook at a disk fault site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DiskFault {
@@ -82,6 +98,12 @@ pub enum CrashSite {
     ProactiveFire,
     /// During a checkpoint write — the file is left torn (temp only).
     CheckpointWrite,
+    /// During a WAL group commit — the segment is left with a torn final
+    /// record (half a frame, no fsync).
+    WalAppend,
+    /// During a WAL segment rotation — the new segment is left as an
+    /// orphaned `.tmp` that recovery must ignore.
+    WalRotate,
 }
 
 impl CrashSite {
@@ -91,6 +113,8 @@ impl CrashSite {
             CrashSite::ChunkBoundary => "chunk",
             CrashSite::ProactiveFire => "fire",
             CrashSite::CheckpointWrite => "checkpoint",
+            CrashSite::WalAppend => "wal-append",
+            CrashSite::WalRotate => "wal-rotate",
         }
     }
 
@@ -100,6 +124,8 @@ impl CrashSite {
             "chunk" => Some(CrashSite::ChunkBoundary),
             "fire" => Some(CrashSite::ProactiveFire),
             "checkpoint" => Some(CrashSite::CheckpointWrite),
+            "wal-append" => Some(CrashSite::WalAppend),
+            "wal-rotate" => Some(CrashSite::WalRotate),
             _ => None,
         }
     }
@@ -174,6 +200,12 @@ pub struct FaultPlan {
     pub slow_chunk: f64,
     /// Injected latency when `slow_chunk` fires, in milliseconds.
     pub slow_chunk_ms: u64,
+    /// P(injected failure) per WAL append attempt.
+    pub wal_append_error: f64,
+    /// P(injected failure) per WAL group-commit fsync attempt.
+    pub wal_fsync_error: f64,
+    /// P(injected failure) per WAL segment-rotation attempt.
+    pub wal_rotate_error: f64,
     /// Where to kill the process, if anywhere (crash-point injection).
     pub crash_site: Option<CrashSite>,
     /// Which occurrence of `crash_site` dies (0-based countdown, not a
@@ -192,6 +224,9 @@ impl FaultPlan {
             worker_panic: 0.0,
             slow_chunk: 0.0,
             slow_chunk_ms: 0,
+            wal_append_error: 0.0,
+            wal_fsync_error: 0.0,
+            wal_rotate_error: 0.0,
             crash_site: None,
             crash_at: 0,
         }
@@ -209,6 +244,9 @@ impl FaultPlan {
             worker_panic: 0.25,
             slow_chunk: 0.05,
             slow_chunk_ms: 1,
+            wal_append_error: 0.10,
+            wal_fsync_error: 0.10,
+            wal_rotate_error: 0.10,
             crash_site: None,
             crash_at: 0,
         }
@@ -236,9 +274,12 @@ impl FaultPlan {
         prob("CDP_FAULT_CORRUPT", &mut plan.read_corruption);
         prob("CDP_FAULT_WORKER_PANIC", &mut plan.worker_panic);
         prob("CDP_FAULT_SLOW", &mut plan.slow_chunk);
+        prob("CDP_FAULT_WAL_APPEND_ERR", &mut plan.wal_append_error);
+        prob("CDP_FAULT_WAL_FSYNC_ERR", &mut plan.wal_fsync_error);
+        prob("CDP_FAULT_WAL_ROTATE_ERR", &mut plan.wal_rotate_error);
         // Crash-point coordinates: `CDP_FAULT_CRASH_SITE` ∈ {chunk, fire,
-        // checkpoint} arms the kill, `CDP_FAULT_CRASH_AT` picks the
-        // occurrence (default 0).
+        // checkpoint, wal-append, wal-rotate} arms the kill,
+        // `CDP_FAULT_CRASH_AT` picks the occurrence (default 0).
         plan.crash_site = std::env::var("CDP_FAULT_CRASH_SITE")
             .ok()
             .and_then(|v| CrashSite::parse(&v));
@@ -258,6 +299,9 @@ impl FaultPlan {
             || self.read_corruption > 0.0
             || self.worker_panic > 0.0
             || self.slow_chunk > 0.0
+            || self.wal_append_error > 0.0
+            || self.wal_fsync_error > 0.0
+            || self.wal_rotate_error > 0.0
             || self.crash_site.is_some()
     }
 }
@@ -343,6 +387,14 @@ pub trait FaultHook: Send + Sync + fmt::Debug {
         DiskFault::Proceed
     }
 
+    /// Decision for one WAL attempt (`key` is the WAL sequence number of
+    /// the record — or of the *next* record for fsync/rotate sites).
+    /// Injected WAL failures are transient per attempt, like disk faults,
+    /// and are accounted by the WAL layer itself, not by [`FaultStats`].
+    fn decide_wal(&self, _op: WalOp, _key: u64, _attempt: u32) -> DiskFault {
+        DiskFault::Proceed
+    }
+
     /// Worker faults for the next engine map call. Implementations that
     /// inject must also account the order's injections/retries/outcome here
     /// (the engine only acts the order out physically), keeping stats
@@ -411,6 +463,9 @@ const SITE_DISK_READ: u64 = 0x01;
 const SITE_DISK_WRITE: u64 = 0x02;
 const SITE_WORKER: u64 = 0x03;
 const SITE_CORRUPT_BYTE: u64 = 0x04;
+const SITE_WAL_APPEND: u64 = 0x05;
+const SITE_WAL_FSYNC: u64 = 0x06;
+const SITE_WAL_ROTATE: u64 = 0x07;
 
 /// Pure per-event hash: depends only on the plan seed and the event
 /// coordinates, never on call order.
@@ -452,7 +507,7 @@ pub struct FaultInjector {
     epoch: AtomicU64,
     /// Per-[`CrashSite`] consultation counts (indexed by site order), for
     /// the crash countdown.
-    crash_seen: [AtomicU64; 3],
+    crash_seen: [AtomicU64; 5],
     c: Counters,
 }
 
@@ -471,7 +526,13 @@ impl FaultInjector {
         Self {
             plan,
             epoch: AtomicU64::new(epoch),
-            crash_seen: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            crash_seen: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+            ],
             c: Counters {
                 injected_disk_read: AtomicU64::new(stats.injected_disk_read),
                 injected_disk_write: AtomicU64::new(stats.injected_disk_write),
@@ -498,6 +559,8 @@ impl FaultInjector {
             CrashSite::ChunkBoundary => 0,
             CrashSite::ProactiveFire => 1,
             CrashSite::CheckpointWrite => 2,
+            CrashSite::WalAppend => 3,
+            CrashSite::WalRotate => 4,
         }
     }
 }
@@ -535,6 +598,19 @@ impl FaultHook for FaultInjector {
                     DiskFault::Proceed
                 }
             }
+        }
+    }
+
+    fn decide_wal(&self, op: WalOp, key: u64, attempt: u32) -> DiskFault {
+        let (site, p) = match op {
+            WalOp::Append => (SITE_WAL_APPEND, self.plan.wal_append_error),
+            WalOp::Fsync => (SITE_WAL_FSYNC, self.plan.wal_fsync_error),
+            WalOp::Rotate => (SITE_WAL_ROTATE, self.plan.wal_rotate_error),
+        };
+        if unit(event_hash(self.plan.seed, site, key, u64::from(attempt))) < p {
+            DiskFault::Fail
+        } else {
+            DiskFault::Proceed
         }
     }
 
@@ -750,10 +826,72 @@ mod tests {
             CrashSite::ChunkBoundary,
             CrashSite::ProactiveFire,
             CrashSite::CheckpointWrite,
+            CrashSite::WalAppend,
+            CrashSite::WalRotate,
         ] {
             assert_eq!(CrashSite::parse(site.name()), Some(site));
         }
         assert_eq!(CrashSite::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn wal_decisions_are_deterministic_and_site_independent() {
+        let a = FaultInjector::new(FaultPlan::chaos(11));
+        let b = FaultInjector::new(FaultPlan::chaos(11));
+        let da: Vec<DiskFault> = (0..300)
+            .flat_map(|k| {
+                [
+                    a.decide_wal(WalOp::Append, k, 0),
+                    a.decide_wal(WalOp::Fsync, k, 0),
+                    a.decide_wal(WalOp::Rotate, k, 1),
+                ]
+            })
+            .collect();
+        let db: Vec<DiskFault> = (0..300)
+            .flat_map(|k| {
+                [
+                    b.decide_wal(WalOp::Append, k, 0),
+                    b.decide_wal(WalOp::Fsync, k, 0),
+                    b.decide_wal(WalOp::Rotate, k, 1),
+                ]
+            })
+            .collect();
+        assert_eq!(da, db);
+        assert!(
+            da.contains(&DiskFault::Fail),
+            "chaos plan must fire at WAL sites"
+        );
+        // WAL decisions never perturb disk-site decisions (distinct site
+        // discriminants in the event hash).
+        let fresh = FaultInjector::new(FaultPlan::chaos(11));
+        for k in 0..50 {
+            assert_eq!(
+                a.decide_disk(DiskOp::Read, k, 0),
+                fresh.decide_disk(DiskOp::Read, k, 0)
+            );
+        }
+        // NoFaults and the none() plan always proceed.
+        assert_eq!(NoFaults.decide_wal(WalOp::Fsync, 1, 0), DiskFault::Proceed);
+        let none = FaultInjector::new(FaultPlan::none());
+        for k in 0..100 {
+            assert_eq!(none.decide_wal(WalOp::Append, k, 0), DiskFault::Proceed);
+        }
+    }
+
+    #[test]
+    fn wal_crash_sites_count_down_independently() {
+        let plan = FaultPlan {
+            crash_site: Some(CrashSite::WalAppend),
+            crash_at: 1,
+            ..FaultPlan::none()
+        };
+        let inj = FaultInjector::new(plan);
+        assert!(!inj.crash_now(CrashSite::WalAppend));
+        assert!(!inj.crash_now(CrashSite::WalRotate));
+        assert!(!inj.crash_now(CrashSite::ChunkBoundary));
+        assert!(inj.crash_now(CrashSite::WalAppend));
+        assert!(!inj.crash_now(CrashSite::WalAppend));
+        assert_eq!(inj.snapshot().injected_crashes, 1);
     }
 
     #[test]

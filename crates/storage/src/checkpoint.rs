@@ -30,6 +30,7 @@
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::disk::crc32;
 use crate::{SchemaVersion, StorageError};
@@ -46,11 +47,23 @@ pub const CHECKPOINT_SCHEMA: SchemaVersion = SchemaVersion(3);
 /// Schema versions this build can read.
 const ACCEPTED_SCHEMAS: [u16; 2] = [1, CHECKPOINT_SCHEMA.0];
 
+/// Sentinel for "no generation pinned".
+const UNPINNED: u64 = u64::MAX;
+
 /// A directory of numbered checkpoint files with a bounded retention budget.
+///
+/// A caller whose recovery depends on one specific generation — the WAL
+/// keys its suffix replay to the newest *durable* checkpoint — can
+/// [`CheckpointDir::pin`] that sequence number: pruning then never deletes
+/// the pinned file, even when it falls outside the keep budget, until the
+/// pin advances or is released.
 #[derive(Debug)]
 pub struct CheckpointDir {
     dir: PathBuf,
     keep: usize,
+    /// Pinned generation ([`UNPINNED`] = none); interior-mutable so the
+    /// write path can stay `&self`.
+    pinned: AtomicU64,
 }
 
 impl CheckpointDir {
@@ -65,7 +78,29 @@ impl CheckpointDir {
         Ok(Self {
             dir,
             keep: keep.max(1),
+            pinned: AtomicU64::new(UNPINNED),
         })
+    }
+
+    /// Pins generation `seq`: [`CheckpointDir::write`]'s pruning will never
+    /// delete it, even beyond the keep budget, until the pin moves or
+    /// [`CheckpointDir::unpin`] releases it. The WAL layer pins the
+    /// checkpoint its live suffix replays from.
+    pub fn pin(&self, seq: u64) {
+        self.pinned.store(seq, Ordering::Relaxed);
+    }
+
+    /// Releases the pin, restoring pure keep-budget pruning.
+    pub fn unpin(&self) {
+        self.pinned.store(UNPINNED, Ordering::Relaxed);
+    }
+
+    /// The currently pinned generation, if any.
+    pub fn pinned(&self) -> Option<u64> {
+        match self.pinned.load(Ordering::Relaxed) {
+            UNPINNED => None,
+            seq => Some(seq),
+        }
     }
 
     /// The directory this store writes into.
@@ -160,10 +195,19 @@ impl CheckpointDir {
     }
 
     fn prune(&self) -> Result<(), StorageError> {
+        let pinned = self.pinned();
         let mut seqs = self.list()?;
-        while seqs.len() > self.keep {
-            let oldest = seqs.remove(0);
-            match fs::remove_file(self.path_for(oldest)) {
+        let mut i = 0;
+        // Oldest-first, but never the pinned generation (a live WAL suffix
+        // may depend on exactly that file for resume) and never the newest
+        // (recovery's first candidate).
+        while seqs.len() > self.keep && i < seqs.len().saturating_sub(1) {
+            if Some(seqs[i]) == pinned {
+                i += 1;
+                continue;
+            }
+            let victim = seqs.remove(i);
+            match fs::remove_file(self.path_for(victim)) {
                 Ok(()) => {}
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
                 Err(e) => return Err(e.into()),
@@ -277,6 +321,31 @@ mod tests {
             ok(store.write(seq, &seq.to_be_bytes()));
         }
         assert_eq!(ok(store.list()), vec![3, 4]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pinned_generation_survives_keep_budget_pruning() {
+        let dir = temp_dir("pin");
+        let store = ok(CheckpointDir::open(&dir, 1));
+        ok(store.write(0, b"gen-0"));
+        // Pin generation 0 — a live WAL suffix depends on it — then write
+        // past the keep budget: everything else ages out, the pin survives.
+        store.pin(0);
+        assert_eq!(store.pinned(), Some(0));
+        for seq in 1..5u64 {
+            ok(store.write(seq, &seq.to_be_bytes()));
+        }
+        assert_eq!(ok(store.list()), vec![0, 4]);
+        // Advancing the pin releases the old generation on the next write.
+        store.pin(4);
+        ok(store.write(5, b"gen-5"));
+        assert_eq!(ok(store.list()), vec![4, 5]);
+        // Unpinning restores pure keep-budget pruning.
+        store.unpin();
+        assert_eq!(store.pinned(), None);
+        ok(store.write(6, b"gen-6"));
+        assert_eq!(ok(store.list()), vec![6]);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -531,14 +531,23 @@ impl DiskTier {
             DiskFault::Delay(d) => std::thread::sleep(d),
             DiskFault::Proceed | DiskFault::Corrupt => {}
         }
-        // Write to a sibling temp file first, then rename into place: a crash
-        // mid-write leaves (at worst) an orphaned `.tmp` no reader looks at,
-        // never a truncated chunk file under the real name.
+        // Write to a sibling temp file first, fsync, then rename into place:
+        // a crash mid-write leaves (at worst) an orphaned `.tmp` no reader
+        // looks at, never a truncated chunk file under the real name.
+        // Without the fsync the rename can land before the data does, making
+        // the *named* file torn after a power cut.
         let tmp = path.with_extension("tmp");
         let mut file = fs::File::create(&tmp)?;
         file.write_all(encoded)?;
+        file.sync_all()?;
         drop(file);
         fs::rename(&tmp, path)?;
+        // The rename itself must survive a crash too: fsync the parent
+        // directory. Filesystems that refuse to sync a directory handle
+        // downgrade durability, not correctness, so that error is ignored.
+        if let Ok(d) = fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
         Ok(())
     }
 
@@ -946,6 +955,50 @@ mod tests {
             "p=0.3 needs 4 consecutive hits to lose a write"
         );
         assert!(hook.snapshot().injected_disk_write > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_write_protocol_survives_injected_faults() {
+        // The fsync-before-rename + parent-dir-fsync protocol must hold on
+        // the *retry* path too: a write whose first attempt takes an
+        // injected failure still lands as a fully-synced named file with no
+        // `.tmp` residue, and reads back bit-identical.
+        let dir = std::env::temp_dir().join(format!("cdpf-fsync-{}", std::process::id()));
+        let hook = Arc::new(FaultInjector::new(FaultPlan {
+            seed: 23,
+            disk_write_error: 0.5,
+            ..FaultPlan::none()
+        }));
+        let no_backoff = RetryPolicy {
+            max_retries: 5,
+            base_backoff: std::time::Duration::ZERO,
+        };
+        let mut tier = ok(DiskTier::open_with_hook(
+            &dir,
+            Arc::clone(&hook) as _,
+            no_backoff,
+        ));
+        for t in 0..20u64 {
+            let mut chunk = sample_chunk();
+            chunk.timestamp = Timestamp(t);
+            chunk.raw_ref = Timestamp(t);
+            ok(tier.write(&chunk));
+            assert_eq!(some(ok(tier.read(Timestamp(t)))).timestamp, Timestamp(t));
+        }
+        assert!(
+            hook.snapshot().injected_disk_write > 0,
+            "the retry path must actually have been exercised"
+        );
+        let leftovers: Vec<_> = ok(std::fs::read_dir(&dir))
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

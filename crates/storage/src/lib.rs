@@ -30,6 +30,7 @@ pub mod disk;
 pub mod record;
 pub mod store;
 pub mod tiered;
+pub mod wal;
 
 pub use checkpoint::{CheckpointDir, CHECKPOINT_SCHEMA};
 pub use chunk::{ChunkStats, FeatureChunk, LabeledPoint, RawChunk, Timestamp};
@@ -40,6 +41,7 @@ pub use store::{
     StorageBudget, StoreStats,
 };
 pub use tiered::{TieredLookup, TieredStats, TieredStore};
+pub use wal::{WalDir, WalOptions, WalRecovery, WalStats, WalWriter, WAL_SCHEMA};
 
 /// Version stamp embedded in every on-disk format's header.
 ///

@@ -68,12 +68,15 @@ pub mod prelude {
         try_resume_deployment_traced, try_run_deployment, try_run_deployment_observed,
         try_run_deployment_traced, CheckpointConfig, CheckpointStats, DeploymentConfig,
         DeploymentError, DeploymentMode, DeploymentResult, OptimizationConfig, RecorderConfig,
-        TelemetryConfig,
+        TelemetryConfig, WalConfig,
     };
     pub use cdp_core::presets::{taxi_spec, url_spec, DeploymentSpec, SpecScale};
     pub use cdp_core::scheduler::Scheduler;
     pub use cdp_core::serving::{
         BatchConfig, ModelServer, Prediction, RouterConfig, ServingRouter, ServingSnapshot,
+    };
+    pub use cdp_datagen::scenarios::{
+        BurstyArrivals, DiurnalArrivals, OutOfOrderArrivals, RecurringDrift, SuddenDrift,
     };
     pub use cdp_datagen::ChunkStream;
     pub use cdp_eval::ErrorMetric;
@@ -85,5 +88,5 @@ pub mod prelude {
         VirtualClock, WallClock,
     };
     pub use cdp_sampling::SamplingStrategy;
-    pub use cdp_storage::StorageBudget;
+    pub use cdp_storage::{StorageBudget, WalStats};
 }

@@ -3,10 +3,10 @@
 //! to an uninterrupted run — same weights, prequential curve, accounted cost,
 //! storage counters, and alerts (DESIGN.md §12).
 //!
-//! Comparison rules: `checkpoint.*` and `engine.scratch_*` metrics and
-//! `DeploymentResult::checkpoint_stats` are excluded (they legitimately
-//! differ between an uninterrupted run and a crash-resume pair — the scratch
-//! pool is transient process state), wall-clock histograms are
+//! Comparison rules: `checkpoint.*`, `wal.*`, and `engine.scratch_*` metrics
+//! and `DeploymentResult::checkpoint_stats` / `wal_stats` are excluded (they
+//! legitimately differ between an uninterrupted run and a crash-resume pair —
+//! the scratch pool is transient process state), wall-clock histograms are
 //! compared by observation count only, and event/lineage timestamps (wall
 //! clock under `Metrics::collecting`) are ignored in favour of their
 //! deterministic payloads.
@@ -50,7 +50,11 @@ fn without_checkpoint_keys<V: Clone>(m: &BTreeMap<String, V>) -> BTreeMap<String
     // counts legitimately differ across a crash-resume pair (the gradients
     // themselves stay bit-identical — a reset buffer equals a fresh one).
     m.iter()
-        .filter(|(k, _)| !k.starts_with("checkpoint.") && !k.starts_with("engine.scratch_"))
+        .filter(|(k, _)| {
+            !k.starts_with("checkpoint.")
+                && !k.starts_with("wal.")
+                && !k.starts_with("engine.scratch_")
+        })
         .map(|(k, v)| (k.clone(), v.clone()))
         .collect()
 }
@@ -103,7 +107,7 @@ fn check_metrics(a: &MetricsSnapshot, b: &MetricsSnapshot) -> Result<(), String>
     let payloads = |s: &MetricsSnapshot| -> Vec<(String, String)> {
         s.events
             .iter()
-            .filter(|e| !e.name.starts_with("checkpoint."))
+            .filter(|e| !e.name.starts_with("checkpoint.") && !e.name.starts_with("wal."))
             .map(|e| (e.name.clone(), e.detail.clone()))
             .collect()
     };
@@ -409,24 +413,30 @@ fn mode_config(mode_idx: usize) -> DeploymentConfig {
     cfg
 }
 
-const CRASH_SITES: [CrashSite; 3] = [
+const CRASH_SITES: [CrashSite; 5] = [
     CrashSite::ChunkBoundary,
     CrashSite::ProactiveFire,
     CrashSite::CheckpointWrite,
+    CrashSite::WalAppend,
+    CrashSite::WalRotate,
 ];
 
 proptest! {
     /// Sweeps seeded crash points across the three deployment modes with
-    /// spill on and off: every kill either resumes to a bit-identical end
-    /// state, or — when the crash predates the first durable checkpoint —
-    /// reports the typed `NoCheckpoint` fallback-to-scratch condition.
+    /// spill on and off, WAL off/unbatched/batched: every kill either
+    /// resumes to a bit-identical end state, or — when the crash predates
+    /// the first durable checkpoint — reports the typed `NoCheckpoint`
+    /// fallback-to-scratch condition. (A WAL crash site with the WAL
+    /// disabled never fires; the run then completes and must still match
+    /// the baseline.)
     #[test]
     fn every_seeded_kill_resumes_bit_identically(
         mode_idx in 0usize..3,
         spill in prop::bool::ANY,
-        site_idx in 0usize..3,
+        site_idx in 0usize..5,
         crash_at in 0u64..8,
         interval in 1usize..4,
+        wal_idx in 0usize..3,
     ) {
         let (stream, spec) = tiny_url();
         let mut baseline_cfg = mode_config(mode_idx);
@@ -436,6 +446,10 @@ proptest! {
         let dir = ckpt_dir("sweep");
         let mut cfg = baseline_cfg.clone();
         cfg.checkpoint = Some(CheckpointConfig::new(&dir).every(interval).keep(2));
+        if wal_idx > 0 {
+            let batch = if wal_idx == 1 { 1 } else { 8 };
+            cfg.wal = Some(WalConfig::new(dir.join("wal")).fsync_every(batch));
+        }
         cfg.faults = crash_plan(CRASH_SITES[site_idx], crash_at);
 
         match try_run_deployment(&stream, &spec, &cfg) {
